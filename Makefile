@@ -1,0 +1,50 @@
+# fedsched — reproduction of Baruah, DATE 2015.
+# Stdlib-only Go; all targets are thin wrappers over the go tool.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench fuzz experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per evaluation experiment (E1–E21) plus package micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing sessions over the decoders and the QPA cross-check.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshalJSON -fuzztime=30s ./internal/dag/
+	$(GO) test -fuzz=FuzzBuilder -fuzztime=30s ./internal/dag/
+	$(GO) test -fuzz=FuzzExactVsNaive -fuzztime=30s ./internal/dbf/
+
+# Regenerate the EXPERIMENTS.md measurement body (full scale; several minutes).
+experiments:
+	$(GO) run ./cmd/experiments -plot -csv results -o report.md
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick -plot
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/avionics
+	$(GO) run ./examples/anomaly
+	$(GO) run ./examples/speedupbound
+	$(GO) run ./examples/pipeline
+
+clean:
+	rm -f report.md test_output.txt bench_output.txt

@@ -1,0 +1,130 @@
+package fedsched
+
+// One benchmark per experiment of the evaluation suite E1–E21 (DESIGN.md §4).
+// Each benchmark runs the corresponding experiment end to end at the quick
+// configuration and validates its headline invariant, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the harness and re-checks every reproduced claim. The full-size
+// tables recorded in EXPERIMENTS.md come from `go run ./cmd/experiments`.
+
+import (
+	"strings"
+	"testing"
+
+	"fedsched/internal/exp"
+)
+
+// runExperiment executes one suite entry b.N times, failing the benchmark on
+// any error or UNEXPECTED note.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var target exp.Experiment
+	for _, e := range exp.Suite() {
+		if e.ID == id {
+			target = e
+			break
+		}
+	}
+	if target.Run == nil {
+		b.Fatalf("experiment %s not in suite", id)
+	}
+	cfg := exp.QuickConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := target.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range res.Notes {
+			if strings.Contains(n, "UNEXPECTED") {
+				b.Fatalf("%s: %s", id, n)
+			}
+		}
+	}
+}
+
+// BenchmarkE1Example1 regenerates the paper's Example 1 quantities
+// (len=6, vol=9, δ=9/16, u=9/20).
+func BenchmarkE1Example1(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkE2CapacityAugmentation regenerates Example 2: required processors
+// grow as n while U_sum ≤ 1 — no capacity augmentation bound exists.
+func BenchmarkE2CapacityAugmentation(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkE3LSMakespanBound regenerates Lemma 1: LS never exceeds
+// len + (vol−len)/m over random DAGs.
+func BenchmarkE3LSMakespanBound(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkE4AcceptanceVsUtil regenerates the paper's schedulability
+// experiment: acceptance ratio vs normalized utilization on m=8.
+func BenchmarkE4AcceptanceVsUtil(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkE5AcceptanceVsDeadlineRatio sweeps deadline tightness β.
+func BenchmarkE5AcceptanceVsDeadlineRatio(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkE6BaselineComparison compares FEDCONS with PART-SEQ, LI-FED-D and
+// the NECESSARY upper bound.
+func BenchmarkE6BaselineComparison(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkE7MinprocsAblation compares MINPROCS LS scan vs analytic sizing.
+func BenchmarkE7MinprocsAblation(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkE8PartitionAblation compares partition heuristics and admission
+// tests on low-density systems.
+func BenchmarkE8PartitionAblation(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkE9Anomaly regenerates Graham's timing anomaly and the
+// template-replay defence (footnote 2).
+func BenchmarkE9Anomaly(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkE10SimulationValidation simulates every accepted system under
+// release jitter and early completion; zero misses expected.
+func BenchmarkE10SimulationValidation(b *testing.B) { runExperiment(b, "E10") }
+
+// BenchmarkE11Scalability measures FEDCONS analysis cost vs n, |V| and m.
+func BenchmarkE11Scalability(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE12WeightedSchedVsM computes weighted schedulability vs platform
+// size for FEDCONS and the baselines.
+func BenchmarkE12WeightedSchedVsM(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkE13ArbitraryDeadlines exercises the arbitrary-deadline extension
+// (the paper's future work), comparing window-based handling with the
+// fully-constrained transform.
+func BenchmarkE13ArbitraryDeadlines(b *testing.B) { runExperiment(b, "E13") }
+
+// BenchmarkE14ImplicitComparison compares FEDCONS with the implicit-deadline
+// LI-FED algorithm of the paper's reference [17] on implicit workloads.
+func BenchmarkE14ImplicitComparison(b *testing.B) { runExperiment(b, "E14") }
+
+// BenchmarkE15EmpiricalSpeedup measures platform inflation m*/m0 against the
+// 3 − 1/m guarantee of Theorem 1.
+func BenchmarkE15EmpiricalSpeedup(b *testing.B) { runExperiment(b, "E15") }
+
+// BenchmarkE16SharedSchedulerAblation compares EDF+DBF* shared processors
+// (the paper) with deadline-monotonic + exact RTA.
+func BenchmarkE16SharedSchedulerAblation(b *testing.B) { runExperiment(b, "E16") }
+
+// BenchmarkE17SustainabilityProbe searches for WCET-reduction sustainability
+// violations in MINPROCS (a consequence of Graham's anomaly).
+func BenchmarkE17SustainabilityProbe(b *testing.B) { runExperiment(b, "E17") }
+
+// BenchmarkE18LemmaOneVsOptimal measures LS against the exact
+// branch-and-bound optimum (the true Lemma 1 ratio).
+func BenchmarkE18LemmaOneVsOptimal(b *testing.B) { runExperiment(b, "E18") }
+
+// BenchmarkE19SpeedFactorSearch searches the minimum processor speed FEDCONS
+// needs on NECESSARY-feasible systems (the paper's speedup metric, measured).
+func BenchmarkE19SpeedFactorSearch(b *testing.B) { runExperiment(b, "E19") }
+
+// BenchmarkE20PartitionOptimality measures first-fit partitioning against
+// the exact bin packer on implicit-deadline systems (the §III bottleneck
+// remark, quantified).
+func BenchmarkE20PartitionOptimality(b *testing.B) { runExperiment(b, "E20") }
+
+// BenchmarkE21GeneratorSensitivity re-measures the acceptance curve across
+// workload ensembles (the paper's generator-influence caveat).
+func BenchmarkE21GeneratorSensitivity(b *testing.B) { runExperiment(b, "E21") }

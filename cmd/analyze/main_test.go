@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+func TestAnalyzeExample1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example1", "-minm"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"tau1", "0.562", "0.450", // δ = 9/16, u = 9/20
+		"FEDCONS (paper)", "SCHEDULABLE", "min m = 1",
+		"NECESSARY",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeMixedSystemWithDBF(t *testing.T) {
+	data, err := task.EncodeSystem(&task.SystemFile{
+		Processors: 4,
+		Tasks: task.System{
+			task.MustNew("high", dag.Independent(5, 5, 5, 5), 10, 10),
+			task.MustNew("low", dag.Singleton(2), 8, 16),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-dbf", "50", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MINPROCS sizing") {
+		t.Errorf("missing MINPROCS section:\n%s", out)
+	}
+	if !strings.Contains(out, "t,total_dbf,total_dbf_star") {
+		t.Errorf("missing dbf CSV header:\n%s", out)
+	}
+	// First breakpoint is the low task's D=8 with demand 2.
+	if !strings.Contains(out, "8,2,2.000") {
+		t.Errorf("missing dbf point 8,2,2.000:\n%s", out)
+	}
+	if !strings.Contains(out, "HIGH") || !strings.Contains(out, "low") {
+		t.Errorf("classification missing:\n%s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("accepted no input")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "no.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted missing file")
+	}
+}

@@ -1,0 +1,57 @@
+// Command dagviz emits Graphviz DOT for the DAGs of a task-system JSON file
+// (one digraph per task), or for the paper's Example 1 when run with
+// -example1.
+//
+// Usage:
+//
+//	dagviz system.json | dot -Tpng > dags.png
+//	dagviz -example1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dagviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dagviz", flag.ContinueOnError)
+	example1 := fs.Bool("example1", false, "emit the paper's Example 1 DAG and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example1 {
+		fmt.Fprint(out, dag.Example1().DOT("example1"))
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file (or -example1)")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sf, err := task.DecodeSystem(data)
+	if err != nil {
+		return err
+	}
+	for i, tk := range sf.Tasks {
+		name := tk.Name
+		if name == "" {
+			name = fmt.Sprintf("task%d", i)
+		}
+		fmt.Fprint(out, tk.G.DOT(name))
+	}
+	return nil
+}

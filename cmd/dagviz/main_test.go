@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+func TestExample1DOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph \"example1\"", "->", "rankdir=LR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// 5 edges in Example 1.
+	if got := strings.Count(out, "->"); got != 5 {
+		t.Errorf("edge count = %d, want 5", got)
+	}
+}
+
+func TestSystemFileDOT(t *testing.T) {
+	data, err := task.EncodeSystem(&task.SystemFile{
+		Processors: 2,
+		Tasks: task.System{
+			task.MustNew("alpha", dag.Chain(1, 2), 5, 9),
+			task.MustNew("", dag.Singleton(1), 3, 4),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `digraph "alpha"`) {
+		t.Errorf("named task digraph missing:\n%s", out)
+	}
+	if !strings.Contains(out, `digraph "task1"`) {
+		t.Errorf("fallback name missing:\n%s", out)
+	}
+}
+
+func TestDagvizErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("accepted zero arguments")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted missing file")
+	}
+}

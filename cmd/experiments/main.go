@@ -1,0 +1,110 @@
+// Command experiments runs the full DESIGN.md experiment suite (E1–E12) and
+// prints the result tables as Markdown — the content recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E4,E6] [-csv dir] [-seed N] [-systems N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fedsched/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		quick   = fs.Bool("quick", false, "use the scaled-down configuration")
+		plot    = fs.Bool("plot", false, "render each experiment's figure as an ASCII chart")
+		only    = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+		csvDir  = fs.String("csv", "", "also write one CSV per experiment into this directory")
+		outFile = fs.String("o", "", "also write the full Markdown report (with summary) to this file")
+		seed    = fs.Int64("seed", 0, "override the suite seed")
+		systems = fs.Int("systems", 0, "override systems per sweep point")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *systems != 0 {
+		cfg.SystemsPerPoint = *systems
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var collected []*exp.Result
+	for _, e := range exp.Suite() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s — %s...\n", e.ID, e.Name)
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		collected = append(collected, res)
+		fmt.Fprintln(out, res.Table.Markdown())
+		if *plot {
+			if fig := res.Render(56, 14); fig != "" {
+				fmt.Fprintln(out, "```")
+				fmt.Fprint(out, fig)
+				fmt.Fprintln(out, "```")
+				fmt.Fprintln(out)
+			}
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(out, "> %s\n", n)
+		}
+		fmt.Fprintln(out)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, strings.ToLower(res.ID)+".csv")
+			if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if *outFile != "" {
+		var sb strings.Builder
+		sb.WriteString("## Summary\n\n")
+		sb.WriteString(exp.Summary(collected))
+		sb.WriteString("\n## Measured tables\n\n")
+		if err := exp.WriteReport(&sb, collected, exp.ReportOptions{Figures: *plot}); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFile, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-only", "E1", "-quick"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E1 — Example 1") {
+		t.Errorf("missing E1 table:\n%s", out)
+	}
+	if strings.Contains(out, "E2 —") {
+		t.Error("-only E1 also ran E2")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E2", "-quick", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "min m (FEDCONS)") {
+		t.Errorf("csv content: %s", data)
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E1", "-systems", "2", "-seed", "99"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-systems", "-5"}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted negative systems override")
+	}
+}
+
+func TestPlotFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E4", "-quick", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "* ratio") {
+		t.Errorf("plot legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, " 0.00 |") {
+		t.Errorf("plot axis missing:\n%s", out)
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-only", "E1,E2", "-quick", "-plot", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"## Summary", "| E1 |", "| E2 |", "## Measured tables", "### E1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report file missing %q", want)
+		}
+	}
+}

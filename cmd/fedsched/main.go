@@ -1,0 +1,188 @@
+// Command fedsched runs Algorithm FEDCONS on a task-system JSON file and
+// prints the resulting processor allocation, or the failure diagnosis.
+//
+// Usage:
+//
+//	fedsched [flags] system.json
+//
+// The input format is produced by cmd/taskgen:
+//
+//	{"processors": 8, "tasks": [{"name": "...", "deadline": 16,
+//	 "period": 20, "dag": {"vertices": [{"wcet": 2}, ...],
+//	 "edges": [[0,1], ...]}}, ...]}
+//
+// Flags select the MINPROCS variant, the LS priority, the partitioning
+// heuristic and admission test, and optional verification and simulation of
+// the produced allocation.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fedsched/internal/core"
+	"fedsched/internal/listsched"
+	"fedsched/internal/partition"
+	"fedsched/internal/sim"
+	"fedsched/internal/task"
+)
+
+// errUnschedulable distinguishes an analysis verdict (exit code 2) from an
+// operational failure (exit code 1).
+var errUnschedulable = errors.New("unschedulable")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case errors.Is(err, errUnschedulable):
+		os.Exit(2)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "fedsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fedsched", flag.ContinueOnError)
+	var (
+		minprocs  = fs.String("minprocs", "ls-scan", "MINPROCS variant: ls-scan (paper) or analytic")
+		prio      = fs.String("priority", "insertion", "LS list order: insertion, longest-path, largest-wcet")
+		heuristic = fs.String("partition", "first-fit", "partition heuristic: first-fit (paper), best-fit, worst-fit")
+		admission = fs.String("admission", "dbf-approx", "partition admission test: dbf-approx (paper), edf-exact or dm-rta")
+		verify    = fs.Bool("verify", true, "independently audit the allocation before printing")
+		simulate  = fs.Int64("simulate", 0, "if > 0, simulate the allocation over this release horizon")
+		save      = fs.String("save", "", "write the allocation (with template schedules) to this JSON file")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file, got %d args", fs.NArg())
+	}
+
+	opt, err := buildOptions(*minprocs, *prio, *heuristic, *admission)
+	if err != nil {
+		return err
+	}
+
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sf, err := task.DecodeSystem(data)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "system: %d tasks on m=%d processors (U_sum=%.3f, Σδ=%.3f)\n",
+		len(sf.Tasks), sf.Processors, sf.Tasks.USum(), sf.Tasks.DensitySum())
+
+	alloc, err := core.Schedule(sf.Tasks, sf.Processors, opt)
+	if err != nil {
+		fmt.Fprintln(out, "verdict: UNSCHEDULABLE")
+		fmt.Fprintln(out, "reason: ", err)
+		return errUnschedulable
+	}
+	if *verify {
+		if err := core.Verify(sf.Tasks, sf.Processors, alloc); err != nil {
+			return fmt.Errorf("allocation failed verification: %w", err)
+		}
+	}
+	printAllocation(out, sf.Tasks, alloc)
+
+	if *save != "" {
+		data, err := core.EncodeAllocation(alloc)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "allocation written to %s\n", *save)
+	}
+
+	if *simulate > 0 {
+		rep, err := sim.Federated(sf.Tasks, alloc, sim.Config{
+			Horizon:  *simulate,
+			Arrivals: sim.SporadicRandom,
+			Exec:     sim.UniformExec,
+			Seed:     *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nsimulation over horizon %d: %d dag-jobs, %d deadline misses\n",
+			*simulate, rep.TotalReleased(), rep.TotalMissed())
+		for _, st := range rep.PerTask {
+			fmt.Fprintf(out, "  %-12s released=%-6d missed=%-4d maxResp=%-6d meanResp=%.1f\n",
+				st.Name, st.Released, st.Missed, st.MaxResponse, st.MeanResponse())
+		}
+	}
+	return nil
+}
+
+func buildOptions(minprocs, prio, heuristic, admission string) (core.Options, error) {
+	var opt core.Options
+	switch minprocs {
+	case "ls-scan":
+		opt.Minprocs = core.LSScan
+	case "analytic":
+		opt.Minprocs = core.Analytic
+	default:
+		return opt, fmt.Errorf("unknown -minprocs %q", minprocs)
+	}
+	switch prio {
+	case "insertion":
+		opt.Priority = nil
+	case "longest-path":
+		opt.Priority = listsched.LongestPathFirst
+	case "largest-wcet":
+		opt.Priority = listsched.LargestWCETFirst
+	default:
+		return opt, fmt.Errorf("unknown -priority %q", prio)
+	}
+	switch heuristic {
+	case "first-fit":
+		opt.Partition.Heuristic = partition.FirstFit
+	case "best-fit":
+		opt.Partition.Heuristic = partition.BestFit
+	case "worst-fit":
+		opt.Partition.Heuristic = partition.WorstFit
+	default:
+		return opt, fmt.Errorf("unknown -partition %q", heuristic)
+	}
+	switch admission {
+	case "dbf-approx":
+		opt.Partition.Test = partition.ApproxDBF
+	case "edf-exact":
+		opt.Partition.Test = partition.ExactEDF
+	case "dm-rta":
+		opt.Partition.Test = partition.DMRta
+	default:
+		return opt, fmt.Errorf("unknown -admission %q", admission)
+	}
+	return opt, nil
+}
+
+func printAllocation(out io.Writer, sys task.System, alloc *core.Allocation) {
+	fmt.Fprintln(out, "verdict: SCHEDULABLE")
+	ded, shared := alloc.ProcessorsUsed()
+	fmt.Fprintf(out, "processors: %d dedicated (federated), %d shared (partitioned EDF)\n", ded, shared)
+	for _, h := range alloc.High {
+		tk := sys[h.TaskIndex]
+		fmt.Fprintf(out, "  high-density %-12s δ=%.3f → procs %v, template makespan %d ≤ D=%d\n",
+			tk.Name, tk.Density(), h.Procs, h.Template.Makespan, tk.D)
+	}
+	for k, p := range alloc.SharedProcs {
+		idxs := alloc.TasksOnShared(k)
+		fmt.Fprintf(out, "  shared proc %d: %d tasks:", p, len(idxs))
+		for _, i := range idxs {
+			fmt.Fprintf(out, " %s(δ=%.2f)", sys[i].Name, sys[i].Density())
+		}
+		fmt.Fprintln(out)
+	}
+}

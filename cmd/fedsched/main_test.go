@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// writeSystem writes a SystemFile to a temp file and returns its path.
+func writeSystem(t *testing.T, sf *task.SystemFile) string {
+	t.Helper()
+	data, err := task.EncodeSystem(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func schedulableFile(t *testing.T) string {
+	return writeSystem(t, &task.SystemFile{
+		Processors: 4,
+		Tasks: task.System{
+			task.MustNew("high", dag.Independent(5, 5, 5, 5), 10, 10),
+			task.MustNew("low", dag.Singleton(2), 8, 16),
+		},
+	})
+}
+
+func TestSchedulableVerdict(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{schedulableFile(t)}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"verdict: SCHEDULABLE", "high-density high", "shared proc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnschedulableVerdict(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 1,
+		Tasks: task.System{
+			task.MustNew("big", dag.Independent(5, 5, 5, 5), 10, 10),
+		},
+	})
+	var buf bytes.Buffer
+	err := run([]string{path}, &buf)
+	if !errors.Is(err, errUnschedulable) {
+		t.Fatalf("want errUnschedulable, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "verdict: UNSCHEDULABLE") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestSimulationOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-simulate", "500", schedulableFile(t)}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deadline misses") {
+		t.Errorf("simulation summary missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), " 0 deadline misses") {
+		t.Errorf("accepted system should report zero misses:\n%s", buf.String())
+	}
+}
+
+func TestAllOptionCombinations(t *testing.T) {
+	path := schedulableFile(t)
+	for _, mp := range []string{"ls-scan", "analytic"} {
+		for _, pr := range []string{"insertion", "longest-path", "largest-wcet"} {
+			for _, h := range []string{"first-fit", "best-fit", "worst-fit"} {
+				for _, a := range []string{"dbf-approx", "edf-exact", "dm-rta"} {
+					var buf bytes.Buffer
+					err := run([]string{"-minprocs", mp, "-priority", pr, "-partition", h, "-admission", a, path}, &buf)
+					if err != nil {
+						t.Errorf("%s/%s/%s/%s: %v", mp, pr, h, a, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBadFlagsAndFiles(t *testing.T) {
+	if err := run([]string{"-minprocs", "magic", schedulableFile(t)}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown minprocs")
+	}
+	if err := run([]string{"-priority", "x", schedulableFile(t)}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown priority")
+	}
+	if err := run([]string{"-partition", "x", schedulableFile(t)}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown partition heuristic")
+	}
+	if err := run([]string{"-admission", "x", schedulableFile(t)}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown admission test")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted missing file")
+	}
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("accepted zero arguments")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/sim"
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+func systemPath(t *testing.T) string {
+	t.Helper()
+	data, err := task.EncodeSystem(&task.SystemFile{
+		Processors: 4,
+		Tasks: task.System{
+			task.MustNew("high", dag.Independent(5, 5, 5, 5), 10, 10),
+			task.MustNew("low", dag.Singleton(2), 8, 16),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimulateFederated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "1000", systemPath(t)}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "federated runtime") {
+		t.Errorf("missing federated section:\n%s", out)
+	}
+	if !strings.Contains(out, "deadline misses: 0") {
+		t.Errorf("accepted system must report zero misses:\n%s", out)
+	}
+}
+
+func TestSimulateGlobalAndGantt(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-horizon", "500", "-global", "-gantt", "40",
+		"-arrivals", "sporadic", "-exec", "uniform", systemPath(t)}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"global EDF", "dedicated group", "shared processor", "P0 "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-arrivals", "weird", systemPath(t)}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown arrival model")
+	}
+	if err := run([]string{"-exec", "weird", systemPath(t)}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown exec model")
+	}
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("accepted zero arguments")
+	}
+	// Unschedulable system: nothing to simulate.
+	data, err := task.EncodeSystem(&task.SystemFile{
+		Processors: 1,
+		Tasks:      task.System{task.MustNew("big", dag.Independent(5, 5, 5, 5), 10, 10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unschedulable system")
+	}
+}
+
+func TestSimulateWithSavedAllocationAndDM(t *testing.T) {
+	path := systemPath(t)
+	// Produce the allocation file via the core API (what fedsched -save does).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := task.DecodeSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := core.Schedule(sf.Tasks, sf.Processors, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := core.EncodeAllocation(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocPath := filepath.Join(t.TempDir(), "alloc.json")
+	if err := os.WriteFile(allocPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-alloc", allocPath, "-horizon", "500", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deadline misses: 0") {
+		t.Errorf("output: %s", buf.String())
+	}
+	// DM shared policy flag.
+	if err := run([]string{"-shared", "dm", "-horizon", "500", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-shared", "x", path}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown shared policy")
+	}
+	// Corrupt allocation file must be rejected.
+	if err := os.WriteFile(allocPath, []byte(`{"M":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-alloc", allocPath, path}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted corrupt allocation")
+	}
+}
+
+func TestAuditAndTraceExport(t *testing.T) {
+	path := systemPath(t)
+	tracePath := filepath.Join(t.TempDir(), "traces.json")
+	var buf bytes.Buffer
+	err := run([]string{"-horizon", "500", "-arrivals", "sporadic", "-exec", "uniform",
+		"-audit", "-trace", tracePath, path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace audit:") {
+		t.Errorf("audit summary missing:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pt sim.PlatformTrace
+	if err := json.Unmarshal(data, &pt); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	if len(pt.High)+len(pt.Shared) == 0 {
+		t.Fatal("trace file empty")
+	}
+	// The exported traces re-audit cleanly.
+	for _, tr := range append(append([]*trace.Trace(nil), pt.High...), pt.Shared...) {
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// DM audit path.
+	if err := run([]string{"-horizon", "400", "-shared", "dm", "-audit", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+func TestGeneratesValidSystemFile(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-tasks", "5", "-m", "4", "-util", "0.4", "-seed", "7"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := task.DecodeSystem(buf.Bytes())
+	if err != nil {
+		t.Fatalf("output is not a valid system file: %v", err)
+	}
+	if sf.Processors != 4 || len(sf.Tasks) != 5 {
+		t.Errorf("m=%d tasks=%d, want 4/5", sf.Processors, len(sf.Tasks))
+	}
+	if !sf.Tasks.Constrained() {
+		t.Error("default generation must be constrained-deadline")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different output")
+	}
+	var c bytes.Buffer
+	if err := run([]string{"-seed", "4"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	for _, shape := range []string{"erdos-renyi", "fork-join", "series-parallel"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-shape", shape, "-tasks", "2"}, &buf); err != nil {
+			t.Errorf("shape %s: %v", shape, err)
+		}
+	}
+	if err := run([]string{"-shape", "nonsense"}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown shape")
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-m", "0"},
+		{"-tasks", "0"},
+		{"-util", "0"},
+		{"-beta-min", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

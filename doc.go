@@ -1,0 +1,14 @@
+// Package fedsched is a Go reproduction of "The federated scheduling of
+// constrained-deadline sporadic DAG task systems" (S. Baruah, DATE 2015).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), runnable examples under examples/, and command-line tools
+// under cmd/. bench_test.go in this directory hosts one benchmark per
+// experiment in the evaluation suite (E1–E21); run them with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full result tables with
+//
+//	go run ./cmd/experiments
+package fedsched

@@ -1,0 +1,98 @@
+// Quickstart: build the paper's Example 1 DAG task, inspect its quantities,
+// assemble a small mixed task system, run Algorithm FEDCONS on it, and
+// simulate the resulting allocation.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/sim"
+	"fedsched/internal/task"
+)
+
+func main() {
+	// --- 1. A DAG task, by hand: the paper's Example 1 (Figure 1). ---
+	tau1 := task.MustNew("tau1", dag.Example1(), dag.Example1D, dag.Example1T)
+	fmt.Println("Example 1 task:", tau1)
+	fmt.Printf("  vol=%d len=%d density=%s utilization=%s → %s\n",
+		tau1.Volume(), tau1.Len(), tau1.DensityRat().RatString(),
+		tau1.UtilizationRat().RatString(), kind(tau1))
+
+	// --- 2. Build a second, high-density task with the Builder API. ---
+	b := dag.NewBuilder(6)
+	src := b.AddVertex("sense", 2)
+	l := b.AddVertex("left", 6)
+	r := b.AddVertex("right", 6)
+	m := b.AddVertex("mid", 6)
+	fuse := b.AddVertex("fuse", 2)
+	b.AddEdge(src, l)
+	b.AddEdge(src, r)
+	b.AddEdge(src, m)
+	b.AddEdge(l, fuse)
+	b.AddEdge(r, fuse)
+	b.AddEdge(m, fuse)
+	g := b.MustBuild()
+	// vol = 22, len = 10; D = 14 < vol makes it high-density (δ = 22/14).
+	tau2 := task.MustNew("tau2", g, 14, 20)
+	fmt.Println("hand-built task:", tau2, "→", kind(tau2))
+
+	// --- 3. A couple of light sequential tasks. ---
+	tau3 := task.MustNew("tau3", dag.Singleton(3), 12, 30)
+	tau4 := task.MustNew("tau4", dag.Chain(2, 2), 18, 25)
+
+	sys := task.System{tau1, tau2, tau3, tau4}
+	const procs = 4
+
+	// --- 4. Run FEDCONS. ---
+	alloc, err := core.Schedule(sys, procs, core.Options{})
+	if err != nil {
+		log.Fatalf("unschedulable: %v", err)
+	}
+	if err := core.Verify(sys, procs, alloc); err != nil {
+		log.Fatalf("allocation failed audit: %v", err)
+	}
+	ded, shared := alloc.ProcessorsUsed()
+	fmt.Printf("\nFEDCONS verdict: schedulable on %d processors (%d dedicated, %d shared)\n",
+		procs, ded, shared)
+	for _, h := range alloc.High {
+		fmt.Printf("  %s gets procs %v; template makespan %d ≤ D=%d\n",
+			sys[h.TaskIndex].Name, h.Procs, h.Template.Makespan, sys[h.TaskIndex].D)
+	}
+	for k, p := range alloc.SharedProcs {
+		fmt.Printf("  shared proc %d runs EDF over:", p)
+		for _, i := range alloc.TasksOnShared(k) {
+			fmt.Printf(" %s", sys[i].Name)
+		}
+		fmt.Println()
+	}
+
+	// --- 5. Simulate 100k ticks of sporadic arrivals with early completions. ---
+	rep, err := sim.Federated(sys, alloc, sim.Config{
+		Horizon:  100_000,
+		Arrivals: sim.SporadicRandom,
+		Exec:     sim.UniformExec,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated %d dag-jobs: %d deadline misses\n", rep.TotalReleased(), rep.TotalMissed())
+	for _, st := range rep.PerTask {
+		fmt.Printf("  %-5s released=%-5d maxResp=%-5d meanResp=%.1f\n",
+			st.Name, st.Released, st.MaxResponse, st.MeanResponse())
+	}
+}
+
+func kind(tk *task.DAGTask) string {
+	if tk.HighDensity() {
+		return "high-density (gets dedicated processors)"
+	}
+	return "low-density (partitioned onto shared processors)"
+}

@@ -1,0 +1,3 @@
+module fedsched
+
+go 1.22

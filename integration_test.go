@@ -1,0 +1,199 @@
+package fedsched
+
+// End-to-end randomized cross-validation: every analysis path against every
+// auditor. For each random system and platform:
+//
+//   - every FEDCONS configuration that accepts must pass core.Verify;
+//   - acceptances must satisfy the NECESSARY conditions;
+//   - the accepted allocation must round-trip through JSON and re-verify;
+//   - a traced simulation (sporadic jitter + early completion) must show
+//     zero misses, pass the platform/precedence audits, and pass the
+//     scheduling-rule audit matching the configured shared policy;
+//   - the global-EDF comparator's trace must pass its own audit.
+//
+// This is the "everything agrees with everything" test; each individual
+// property also has focused tests in its own package.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/baseline"
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/fp"
+	"fedsched/internal/gen"
+	"fedsched/internal/partition"
+	"fedsched/internal/sim"
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+func TestEndToEndCrossValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(20150313)) // DATE 2015 started March 9–13
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	configs := []struct {
+		name   string
+		opt    core.Options
+		shared sim.SharedPolicy
+	}{
+		{"paper", core.Options{}, sim.EDFPolicy},
+		{"analytic", core.Options{Minprocs: core.Analytic}, sim.EDFPolicy},
+		{"exact-edf", core.Options{Partition: partition.Options{Test: partition.ExactEDF}}, sim.EDFPolicy},
+		{"dm-rta", core.Options{Partition: partition.Options{Test: partition.DMRta}}, sim.DMPolicy},
+		{"worst-fit", core.Options{Partition: partition.Options{Heuristic: partition.WorstFit}}, sim.EDFPolicy},
+	}
+
+	accepted := 0
+	for trial := 0; trial < trials; trial++ {
+		p := gen.DefaultParams(1+r.Intn(6), 0.3+r.Float64()*4)
+		p.MinVerts, p.MaxVerts = 3, 12
+		p.Shape = gen.Shape(r.Intn(4))
+		sys, err := gen.System(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 1 + r.Intn(8)
+		for _, cf := range configs {
+			alloc, err := core.Schedule(sys, m, cf.opt)
+			if err != nil {
+				continue
+			}
+			accepted++
+			if err := core.Verify(sys, m, alloc); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, cf.name, err)
+			}
+			if !baseline.Necessary(sys, m) {
+				t.Fatalf("trial %d %s: acceptance fails necessary conditions", trial, cf.name)
+			}
+			// Serialization round trip.
+			blob, err := core.EncodeAllocation(alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := core.DecodeAllocation(blob, sys, m)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, cf.name, err)
+			}
+			// Traced simulation with full audits.
+			cfg := sim.Config{
+				Horizon:  1200,
+				Arrivals: sim.SporadicRandom,
+				Exec:     sim.UniformExec,
+				Shared:   cf.shared,
+				Seed:     int64(trial),
+			}
+			rep, pt, err := sim.FederatedTraced(sys, back, cfg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, cf.name, err)
+			}
+			if rep.TotalMissed() != 0 {
+				t.Fatalf("trial %d %s: %d misses in accepted system", trial, cf.name, rep.TotalMissed())
+			}
+			auditPlatform(t, sys, back, pt, cf.shared)
+		}
+		// The global-EDF comparator audits cleanly regardless of verdicts.
+		if trial%5 == 0 {
+			_, tr, err := sim.GlobalEDFTraced(sys, m, sim.Config{
+				Horizon: 600, Arrivals: sim.SporadicRandom, Exec: sim.UniformExec, Seed: int64(trial),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("trial %d global: %v", trial, err)
+			}
+			cons := precedences(sys)
+			if err := tr.CheckPrecedence(cons); err != nil {
+				t.Fatalf("trial %d global: %v", trial, err)
+			}
+			if err := tr.CheckGlobalEDF(m, cons); err != nil {
+				t.Fatalf("trial %d global: %v", trial, err)
+			}
+		}
+	}
+	if accepted < 10 {
+		t.Fatalf("test too vacuous: only %d acceptances", accepted)
+	}
+}
+
+func auditPlatform(t *testing.T, sys task.System, alloc *core.Allocation, pt *sim.PlatformTrace, shared sim.SharedPolicy) {
+	t.Helper()
+	for gi, tr := range pt.High {
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+		h := alloc.High[gi]
+		var cons []trace.Precedence
+		for _, e := range sys[h.TaskIndex].G.Edges() {
+			cons = append(cons, trace.Precedence{Task: h.TaskIndex, From: e[0], To: e[1]})
+		}
+		if err := tr.CheckPrecedence(cons); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, tr := range pt.Shared {
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+		switch shared {
+		case sim.DMPolicy:
+			idxs := alloc.TasksOnShared(k)
+			sps := make([]task.Sporadic, len(idxs))
+			for j, i := range idxs {
+				sps[j] = sys[i].AsSporadic()
+			}
+			rank := map[int]int{}
+			for rnk, j := range fp.DMOrder(sps) {
+				rank[idxs[j]] = rnk
+			}
+			err := tr.CheckPriority(func(a, b trace.JobInfo) bool {
+				return rank[a.ID.Task] < rank[b.ID.Task]
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := tr.CheckEDF(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func precedences(sys task.System) []trace.Precedence {
+	var cons []trace.Precedence
+	for i, tk := range sys {
+		for _, e := range tk.G.Edges() {
+			cons = append(cons, trace.Precedence{Task: i, From: e[0], To: e[1]})
+		}
+	}
+	return cons
+}
+
+// TestExample1EndToEnd is the paper's own worked example taken through the
+// entire stack in one assertion chain.
+func TestExample1EndToEnd(t *testing.T) {
+	tau1 := task.MustNew("tau1", dag.Example1(), dag.Example1D, dag.Example1T)
+	sys := task.System{tau1}
+	if tau1.Volume() != 9 || tau1.Len() != 6 || tau1.HighDensity() {
+		t.Fatal("Example 1 quantities drifted")
+	}
+	alloc, err := core.Schedule(sys, 1, core.Options{})
+	if err != nil {
+		t.Fatalf("Example 1 must fit one processor: %v", err)
+	}
+	if err := core.Verify(sys, 1, alloc); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Federated(sys, alloc, sim.Config{Horizon: 10_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMissed() != 0 || rep.PerTask[0].MaxResponse != 9 {
+		t.Fatalf("Example 1 runtime: %+v", rep.PerTask[0])
+	}
+}

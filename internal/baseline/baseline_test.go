@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+func lowTask(c, d, t Time) *task.DAGTask {
+	return task.MustNew("l", dag.Singleton(c), d, t)
+}
+
+func parTask(k int, w, d, t Time) *task.DAGTask {
+	wcets := make([]Time, k)
+	for i := range wcets {
+		wcets[i] = w
+	}
+	return task.MustNew("p", dag.Independent(wcets...), d, t)
+}
+
+func TestPartSeqRejectsHighDensity(t *testing.T) {
+	// vol = 20 > D = 10: sequential execution cannot meet the deadline,
+	// no matter how many processors.
+	sys := task.System{parTask(4, 5, 10, 10)}
+	if PartSeq(sys, 64) {
+		t.Fatal("PART-SEQ accepted a high-density task")
+	}
+	// FEDCONS handles it with 2 processors.
+	if !core.Schedulable(sys, 2, core.Options{}) {
+		t.Fatal("FEDCONS must schedule the same task on 2 processors")
+	}
+}
+
+func TestPartSeqAcceptsSequentialSystems(t *testing.T) {
+	sys := task.System{lowTask(2, 8, 16), lowTask(3, 10, 20), lowTask(4, 12, 24)}
+	if !PartSeq(sys, 2) {
+		t.Fatal("light sequential system must partition")
+	}
+}
+
+func TestLiFedRequiresImplicitDeadlines(t *testing.T) {
+	sys := task.System{lowTask(2, 8, 16)} // constrained, not implicit
+	if LiFed(sys, 4) {
+		t.Fatal("LI-FED must decline non-implicit systems")
+	}
+}
+
+func TestLiFedImplicitSystem(t *testing.T) {
+	// High-utilization task: vol=20, len=5, T=D=10 ⇒ n = ⌈15/5⌉ = 3.
+	high := parTask(4, 5, 10, 10)
+	low1 := lowTask(4, 10, 10) // u = 0.4
+	low2 := lowTask(5, 10, 10) // u = 0.5
+	sys := task.System{high, low1, low2}
+	if !LiFed(sys, 4) {
+		t.Fatal("3 dedicated + 1 shared (u=0.9) must be accepted")
+	}
+	if LiFed(sys, 3) {
+		t.Fatal("no processor left for the low tasks on m=3")
+	}
+}
+
+func TestLiFedInfeasibleCriticalPath(t *testing.T) {
+	sys := task.System{task.MustNew("c", dag.Chain(6, 6), 10, 10)}
+	if LiFed(sys, 64) {
+		t.Fatal("len > T must be rejected")
+	}
+}
+
+func TestLiFedDConstrained(t *testing.T) {
+	// High-density: vol=20, len=5, D=10 (T=20) ⇒ n = ⌈15/5⌉ = 3.
+	high := parTask(4, 5, 10, 20)
+	low := lowTask(2, 8, 16) // δ = 0.25
+	sys := task.System{high, low}
+	if !LiFedD(sys, 4) {
+		t.Fatal("LI-FED-D must accept with 3+1 processors")
+	}
+	if LiFedD(sys, 3) {
+		t.Fatal("LI-FED-D must reject with no shared processor left")
+	}
+}
+
+func TestLiFedDRejectsArbitraryDeadline(t *testing.T) {
+	sys := task.System{task.MustNew("a", dag.Singleton(1), 20, 10)}
+	if LiFedD(sys, 4) {
+		t.Fatal("LI-FED-D is defined for constrained deadlines only")
+	}
+}
+
+func TestLiFedDWindowEqualsCriticalPath(t *testing.T) {
+	// vol > D == len: needs unbounded parallelism, must be rejected.
+	b := dag.NewBuilder(3)
+	b.AddJob(5)
+	b.AddJob(5)
+	b.AddJob(1)
+	b.AddEdge(0, 2)
+	g := b.MustBuild() // vol=11, len=6
+	sys := task.System{task.MustNew("t", g, 6, 10)}
+	if LiFedD(sys, 64) {
+		t.Fatal("D == len with vol > len must be rejected by the analytic bound")
+	}
+}
+
+func TestNecessaryConditions(t *testing.T) {
+	// U_sum > m.
+	sys := task.System{lowTask(9, 10, 10), lowTask(9, 10, 10)}
+	if Necessary(sys, 1) {
+		t.Error("U_sum=1.8 > m=1 must fail")
+	}
+	if !Necessary(sys, 2) {
+		t.Error("two u=0.9 tasks pass necessary conditions on m=2")
+	}
+	// len > D.
+	bad := task.System{task.MustNew("c", dag.Chain(6, 6), 10, 100)}
+	if Necessary(bad, 64) {
+		t.Error("len > D must fail")
+	}
+}
+
+func TestNecessaryDemandBound(t *testing.T) {
+	// Paper Example 2 with n=4: U_sum = 1, len ≤ D, but demand at t=1 is 4:
+	// needs m ≥ 4 by condition (iii).
+	n := 4
+	var sys task.System
+	for i := 0; i < n; i++ {
+		sys = append(sys, task.MustNew("e", dag.Singleton(1), 1, Time(n)))
+	}
+	for m := 1; m < n; m++ {
+		if Necessary(sys, m) {
+			t.Errorf("Example 2 demand bound must reject m=%d", m)
+		}
+	}
+	if !Necessary(sys, n) {
+		t.Errorf("Example 2 passes necessary conditions at m=%d", n)
+	}
+}
+
+func TestNecessaryDominatesFedcons(t *testing.T) {
+	// Soundness ordering: anything FEDCONS accepts must pass NECESSARY
+	// (a sufficient test can never beat a necessary condition).
+	r := rand.New(rand.NewSource(41))
+	accepted := 0
+	for trial := 0; trial < 200; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		if core.Schedulable(sys, m, core.Options{}) {
+			accepted++
+			if !Necessary(sys, m) {
+				t.Fatalf("trial %d: FEDCONS accepted but NECESSARY rejected", trial)
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("test vacuous")
+	}
+}
+
+func TestFedconsDominatesPartSeq(t *testing.T) {
+	// FEDCONS phase 2 is exactly PART-SEQ's algorithm, and phase 1 only
+	// removes tasks PART-SEQ cannot place at all — so PART-SEQ acceptance
+	// must imply FEDCONS acceptance whenever no high-density tasks exist.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		sys := randomLowSystem(r, 1+r.Intn(8))
+		m := 1 + r.Intn(6)
+		if PartSeq(sys, m) && !core.Schedulable(sys, m, core.Options{}) {
+			t.Fatalf("trial %d: PART-SEQ accepted a low-density system FEDCONS rejected", trial)
+		}
+	}
+}
+
+func randomLowSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		tt := Time(10 + r.Intn(90))
+		d := Time(2 + r.Intn(int(tt)-1))
+		c := Time(1 + r.Intn(int(d)))
+		if c >= d {
+			c = d - 1
+		}
+		if c < 1 {
+			c = 1
+		}
+		sys = append(sys, lowTask(c, d, tt))
+	}
+	return sys
+}
+
+func randomSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		nv := 1 + r.Intn(6)
+		b := dag.NewBuilder(nv)
+		for v := 0; v < nv; v++ {
+			b.AddJob(Time(1 + r.Intn(6)))
+		}
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		d := g.LongestChain() + Time(r.Intn(int(2*g.Volume())))
+		tt := d + Time(r.Intn(40))
+		sys = append(sys, task.MustNew("r", g, d, tt))
+	}
+	return sys
+}

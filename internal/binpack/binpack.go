@@ -1,0 +1,159 @@
+// Package binpack decides exact feasibility of packing task utilizations
+// into m unit-capacity bins — optimal partitioning of implicit-deadline
+// sequential tasks (per-processor EDF needs exactly Σu ≤ 1 when D = T).
+//
+// Section III of the paper observes that for implicit deadlines the
+// partitioning step can be solved to speedup (1 + ε) in polynomial time via
+// the Hochbaum–Shmoys PTAS [13], making the high-utilization tasks the
+// bottleneck; for constrained deadlines the partitioning step (Lemma 2's
+// 3 − 1/m) is the bottleneck instead. At the scale of the experiment suite
+// an *exact* branch-and-bound packer is both simpler and stronger than a
+// PTAS — it realizes the ε → 0 endpoint of the paper's remark — so E20 uses
+// it as the optimal-partitioning reference. (DESIGN.md records this
+// substitution.)
+//
+// Capacities compare in exact rational arithmetic; there is no floating-
+// point feasibility cliff.
+package binpack
+
+import (
+	"math/big"
+	"sort"
+)
+
+// DefaultNodeBudget bounds the branch-and-bound search.
+const DefaultNodeBudget = 5_000_000
+
+// one is the shared read-only rational 1.
+var one = big.NewRat(1, 1)
+
+// Feasible reports whether the items (each in (0, 1]) can be partitioned
+// into at most m bins with each bin's sum ≤ 1. conclusive is false when the
+// node budget was exhausted first (feasible is then false but unproven).
+//
+// The search uses first-fit-decreasing as a fast accept, total-sum and
+// item-count lower bounds, and load-symmetry pruning, which together make it
+// exact and fast for the n ≤ ~40 item counts the experiments use.
+func Feasible(items []*big.Rat, m int, nodeBudget int) (feasible, conclusive bool) {
+	if m < 0 {
+		return false, true
+	}
+	if len(items) == 0 {
+		return true, true
+	}
+	if nodeBudget <= 0 {
+		nodeBudget = DefaultNodeBudget
+	}
+	sorted := make([]*big.Rat, len(items))
+	copy(sorted, items)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Cmp(sorted[j]) > 0 })
+
+	// Sanity: every item must fit a bin at all.
+	total := new(big.Rat)
+	for _, it := range sorted {
+		if it.Sign() <= 0 || it.Cmp(one) > 0 {
+			return false, true
+		}
+		total.Add(total, it)
+	}
+	if m == 0 {
+		return false, true
+	}
+	// Volume lower bound.
+	if total.Cmp(new(big.Rat).SetInt64(int64(m))) > 0 {
+		return false, true
+	}
+	// Fast accept: first-fit decreasing.
+	if ffd(sorted, m) {
+		return true, true
+	}
+	s := &packSearch{m: m, items: sorted, budget: nodeBudget}
+	bins := make([]*big.Rat, 0, m)
+	ok := s.place(0, bins)
+	return ok, s.budget > 0 || ok
+}
+
+// ffd runs first-fit decreasing (items pre-sorted descending).
+func ffd(items []*big.Rat, m int) bool {
+	loads := make([]*big.Rat, 0, m)
+	for _, it := range items {
+		placed := false
+		for _, l := range loads {
+			if new(big.Rat).Add(l, it).Cmp(one) <= 0 {
+				l.Add(l, it)
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		if len(loads) == m {
+			return false
+		}
+		loads = append(loads, new(big.Rat).Set(it))
+	}
+	return true
+}
+
+type packSearch struct {
+	m      int
+	items  []*big.Rat
+	budget int
+}
+
+// place tries to put item i given current bin loads; exact with symmetry
+// pruning (never try two bins with equal load for the same item).
+func (s *packSearch) place(i int, bins []*big.Rat) bool {
+	if i == len(s.items) {
+		return true
+	}
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	it := s.items[i]
+	seen := make(map[string]bool, len(bins))
+	for _, b := range bins {
+		key := b.RatString()
+		if seen[key] {
+			continue // symmetric to a load already tried
+		}
+		seen[key] = true
+		nl := new(big.Rat).Add(b, it)
+		if nl.Cmp(one) > 0 {
+			continue
+		}
+		old := new(big.Rat).Set(b)
+		b.Set(nl)
+		if s.place(i+1, bins) {
+			return true
+		}
+		b.Set(old)
+	}
+	// Open a new bin (items are sorted, so opening one empty bin suffices —
+	// all empty bins are symmetric).
+	if len(bins) < s.m {
+		bins = append(bins, new(big.Rat).Set(it))
+		if s.place(i+1, bins) {
+			return true
+		}
+		bins = bins[:len(bins)-1]
+	}
+	return false
+}
+
+// MinBins returns the minimum number of unit bins needed, searching m = 1…
+// cap. conclusive is false if any search was budget-limited.
+func MinBins(items []*big.Rat, cap int, nodeBudget int) (m int, conclusive bool) {
+	for m = 1; m <= cap; m++ {
+		ok, conc := Feasible(items, m, nodeBudget)
+		if !conc {
+			return 0, false
+		}
+		if ok {
+			return m, true
+		}
+	}
+	return 0, true
+}

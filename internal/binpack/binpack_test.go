@@ -1,0 +1,199 @@
+package binpack
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func rat(num, den int64) *big.Rat { return big.NewRat(num, den) }
+
+func TestFeasibleBasics(t *testing.T) {
+	cases := []struct {
+		name  string
+		items []*big.Rat
+		m     int
+		want  bool
+	}{
+		{"empty", nil, 0, true},
+		{"single fits", []*big.Rat{rat(1, 2)}, 1, true},
+		{"single full", []*big.Rat{rat(1, 1)}, 1, true},
+		{"two halves one bin", []*big.Rat{rat(1, 2), rat(1, 2)}, 1, true},
+		{"over half pair", []*big.Rat{rat(51, 100), rat(51, 100)}, 1, false},
+		{"over half pair two bins", []*big.Rat{rat(51, 100), rat(51, 100)}, 2, true},
+		{"no bins", []*big.Rat{rat(1, 2)}, 0, false},
+		{"thirds exact", []*big.Rat{rat(1, 3), rat(1, 3), rat(1, 3)}, 1, true},
+	}
+	for _, c := range cases {
+		got, conc := Feasible(c.items, c.m, 0)
+		if !conc {
+			t.Errorf("%s: inconclusive", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: feasible = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFeasibleRejectsBadItems(t *testing.T) {
+	if ok, _ := Feasible([]*big.Rat{rat(3, 2)}, 4, 0); ok {
+		t.Error("accepted item > 1")
+	}
+	if ok, _ := Feasible([]*big.Rat{rat(0, 1)}, 4, 0); ok {
+		t.Error("accepted zero item")
+	}
+}
+
+func TestExactBeatsFFD(t *testing.T) {
+	// Classic FFD-suboptimal instance: items {0.6, 0.5, 0.5, 0.4} in 2 bins.
+	// FFD: [0.6, ...0.5 no, 0.4→1.0][0.5, 0.5] — actually that packs! Use
+	// the known 2-bin case FFD fails: {0.51, 0.27, 0.27, 0.27, 0.34, 0.34}
+	// in 2 bins of 1.0: total = 2.0 exactly; packing: [0.51+0.27+...]. Try
+	// {6,5,5,4,4,4}/12 in 2 bins (total 28/12 > 2 — no). Construct directly:
+	// {0.55, 0.45, 0.40, 0.35, 0.25} into 2 bins: total 2.0.
+	// Exact: [0.55+0.45] [0.40+0.35+0.25]. FFD: 0.55,0.45→1.0 ✓; 0.40,0.35,
+	// 0.25 → 1.0 ✓ — FFD also finds it. Known hard: {0.42,0.42,0.34,0.34,
+	// 0.24,0.24} in 2: total 2.0; exact [0.42+0.34+0.24]×2. FFD: 0.42,0.42
+	// →0.84; +0.34? 1.18 no → bin2 0.34; bin1 0.84+? 0.34 no; bin2 0.68;
+	// 0.24: bin1 1.08 no; bin2 0.92 ✓... then last 0.24: bin1 no, bin2
+	// 1.16 no → FFD fails with 2 bins; exact succeeds.
+	items := []*big.Rat{rat(42, 100), rat(42, 100), rat(34, 100), rat(34, 100), rat(24, 100), rat(24, 100)}
+	if ffd(items, 2) {
+		t.Fatal("FFD unexpectedly packed the adversarial instance (check construction)")
+	}
+	ok, conc := Feasible(items, 2, 0)
+	if !conc || !ok {
+		t.Fatalf("exact search must pack the instance: ok=%v conclusive=%v", ok, conc)
+	}
+}
+
+func TestMinBinsMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + r.Intn(8)
+		items := make([]*big.Rat, n)
+		for i := range items {
+			items[i] = rat(int64(1+r.Intn(99)), 100)
+		}
+		m, conc := MinBins(items, n, 0)
+		if !conc {
+			t.Fatalf("inconclusive at trial %d", trial)
+		}
+		want := bruteMinBins(items)
+		if m != want {
+			t.Fatalf("MinBins = %d, brute force = %d for %v", m, want, items)
+		}
+	}
+}
+
+// bruteMinBins enumerates all assignments (n ≤ 8).
+func bruteMinBins(items []*big.Rat) int {
+	n := len(items)
+	best := n
+	assign := make([]int, n)
+	var rec func(i, used int)
+	rec = func(i, used int) {
+		if used >= best {
+			return
+		}
+		if i == n {
+			best = used
+			return
+		}
+		loads := make([]*big.Rat, used)
+		for b := range loads {
+			loads[b] = new(big.Rat)
+		}
+		for j := 0; j < i; j++ {
+			loads[assign[j]].Add(loads[assign[j]], items[j])
+		}
+		for b := 0; b <= used && b < n; b++ {
+			nu := used
+			if b == used {
+				nu++
+			} else if new(big.Rat).Add(loads[b], items[i]).Cmp(one) > 0 {
+				continue
+			}
+			assign[i] = b
+			rec(i+1, nu)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestSymmetryPruningStillExact(t *testing.T) {
+	// Many equal items: heavy symmetry; exact answer is ceil(n·u / 1) with
+	// u = 1/3: 3 per bin.
+	items := make([]*big.Rat, 9)
+	for i := range items {
+		items[i] = rat(1, 3)
+	}
+	m, conc := MinBins(items, 9, 0)
+	if !conc || m != 3 {
+		t.Fatalf("MinBins = %d,%v, want 3,true", m, conc)
+	}
+}
+
+func BenchmarkFeasibleHard(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	items := make([]*big.Rat, 20)
+	for i := range items {
+		items[i] = rat(int64(20+r.Intn(60)), 100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Feasible(items, 9, 0)
+	}
+}
+
+func TestFeasibleMonotoneInBins(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(10)
+		items := make([]*big.Rat, n)
+		for i := range items {
+			items[i] = rat(int64(1+r.Intn(99)), 100)
+		}
+		prev := false
+		for m := 0; m <= n+1; m++ {
+			ok, conc := Feasible(items, m, 0)
+			if !conc {
+				t.Fatal("inconclusive")
+			}
+			if prev && !ok {
+				t.Fatalf("feasible at m=%d but not m=%d", m-1, m)
+			}
+			prev = ok
+		}
+		// n bins always suffice (each item ≤ 1).
+		if ok, _ := Feasible(items, n, 0); !ok {
+			t.Fatal("n bins must always suffice")
+		}
+	}
+}
+
+func TestFeasibleSupersetMonotone(t *testing.T) {
+	// Removing an item never breaks feasibility.
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(8)
+		items := make([]*big.Rat, n)
+		for i := range items {
+			items[i] = rat(int64(1+r.Intn(99)), 100)
+		}
+		m := 1 + r.Intn(n)
+		full, conc := Feasible(items, m, 0)
+		if !conc || !full {
+			continue
+		}
+		drop := r.Intn(n)
+		sub := append(append([]*big.Rat(nil), items[:drop]...), items[drop+1:]...)
+		ok, conc := Feasible(sub, m, 0)
+		if !conc || !ok {
+			t.Fatalf("subset infeasible where superset feasible (m=%d)", m)
+		}
+	}
+}

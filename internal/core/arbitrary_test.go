@@ -1,0 +1,167 @@
+package core_test
+
+// Tests for the conservative arbitrary-deadline extension (paper Section V:
+// future work): the first phase sizes high-density tasks against the window
+// min(D, T) so a dag-job always vacates its dedicated group before the next
+// release, and the partition phase remains sound because DBF* upper-bounds
+// the demand of arbitrary-deadline sporadic tasks too.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+	"fedsched/internal/sim"
+	"fedsched/internal/task"
+)
+
+func TestMinprocsUsesWindowNotDeadline(t *testing.T) {
+	// 4 independent jobs of 5: vol=20, len=5. With D=20, T=10 a single
+	// processor would meet the deadline (makespan 20 ≤ D) but overrun the
+	// period — unsound. The window min(D,T)=10 forces 2 processors.
+	tk := task.MustNew("arb", dag.Independent(5, 5, 5, 5), 20, 10)
+	mu, tmpl, ok := core.Minprocs(tk, 8, nil)
+	if !ok {
+		t.Fatal("Minprocs failed")
+	}
+	if mu != 2 {
+		t.Fatalf("mu = %d, want 2 (window-bound, not deadline-bound)", mu)
+	}
+	if tmpl.Makespan > 10 {
+		t.Fatalf("template makespan %d exceeds period 10", tmpl.Makespan)
+	}
+	// Analytic agrees on the window.
+	muA, tmplA, okA := core.MinprocsAnalytic(tk, 8, nil)
+	if !okA || muA < 2 || tmplA.Makespan > 10 {
+		t.Fatalf("analytic: mu=%d ok=%v makespan=%d", muA, okA, tmplA.Makespan)
+	}
+}
+
+func TestVerifyRejectsTemplateExceedingPeriod(t *testing.T) {
+	tk := task.MustNew("arb", dag.Independent(5, 5, 5, 5), 20, 10)
+	sys := task.System{tk}
+	alloc, err := core.Schedule(sys, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(sys, 2, alloc); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: replace the template with a single-processor schedule whose
+	// makespan (20) meets D but overruns T. Verify must reject.
+	sOne := mustLS(t, tk.G, 1)
+	bad := *alloc
+	bad.High = append([]core.HighAssignment(nil), alloc.High...)
+	bad.High[0].Procs = []int{0}
+	bad.High[0].Template = sOne
+	bad.SharedProcs = []int{1}
+	if err := core.Verify(sys, 2, &bad); err == nil {
+		t.Fatal("Verify accepted a template overrunning the period")
+	}
+}
+
+func TestArbitraryDeadlinePartitionSound(t *testing.T) {
+	// Low-density arbitrary-deadline tasks: D > T exploits extra slack the
+	// fully-constrained transform would forfeit.
+	sys := task.System{
+		task.MustNew("a", dag.Singleton(6), 14, 10), // D > T, u = 0.6
+		task.MustNew("b", dag.Singleton(5), 15, 12), // D > T, u ≈ 0.417
+	}
+	// Σu > 1: cannot share one processor regardless of deadlines.
+	if core.Schedulable(sys, 1, core.Options{}) {
+		t.Fatal("Σu > 1 accepted on one processor")
+	}
+	alloc, err := core.Schedule(sys, 2, core.Options{})
+	if err != nil {
+		t.Fatalf("two processors must suffice: %v", err)
+	}
+	if err := core.Verify(sys, 2, alloc); err != nil {
+		t.Fatal(err)
+	}
+	// Keeping the true (late) deadline in the partition exploits slack the
+	// fully-constrained transform D' = min(D, T) forfeits: with
+	// x = (C=4, D=20, T=5) and y = (C=2, D=8, T=10), the arbitrary-deadline
+	// test sees demand 4 + DBF*(y, 20) = 8.4 ≤ 20 at x's deadline, while
+	// the transform x' = (4,5,5) forces 2 + DBF*(x', 8) = 8.4 > 8 at y's.
+	slack := task.System{
+		task.MustNew("x", dag.Singleton(4), 20, 5),
+		task.MustNew("y", dag.Singleton(2), 8, 10),
+	}
+	if !core.Schedulable(slack, 1, core.Options{}) {
+		t.Fatal("arbitrary-deadline slack system must fit one processor")
+	}
+	transform := task.System{
+		task.MustNew("x", dag.Singleton(4), 5, 5),
+		task.MustNew("y", dag.Singleton(2), 8, 10),
+	}
+	if core.Schedulable(transform, 1, core.Options{}) {
+		t.Fatal("fully-constrained transform must fail on one processor")
+	}
+}
+
+func TestArbitraryAcceptedSystemsSimulateCleanly(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	validated := 0
+	for trial := 0; trial < 80; trial++ {
+		sys := randomArbitrarySystem(r, 1+r.Intn(5))
+		m := 1 + r.Intn(6)
+		alloc, err := core.Schedule(sys, m, core.Options{})
+		if err != nil {
+			continue
+		}
+		if err := core.Verify(sys, m, alloc); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		validated++
+		rep, err := sim.Federated(sys, alloc, sim.Config{
+			Horizon:  2000,
+			Arrivals: sim.SporadicRandom,
+			Exec:     sim.UniformExec,
+			Seed:     int64(trial),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.TotalMissed() != 0 {
+			t.Fatalf("trial %d: %d misses in accepted arbitrary-deadline system", trial, rep.TotalMissed())
+		}
+	}
+	if validated == 0 {
+		t.Fatal("test vacuous")
+	}
+}
+
+func randomArbitrarySystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		nv := 1 + r.Intn(6)
+		b := dag.NewBuilder(nv)
+		for v := 0; v < nv; v++ {
+			b.AddJob(task.Time(1 + r.Intn(6)))
+		}
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		tt := g.LongestChain() + task.Time(r.Intn(int(2*g.Volume())))
+		// Deadline anywhere from len to 2.5 T: frequently arbitrary.
+		d := g.LongestChain() + task.Time(r.Intn(int(2*tt)+1))
+		sys = append(sys, task.MustNew("r", g, d, tt))
+	}
+	return sys
+}
+
+func mustLS(t *testing.T, g *dag.DAG, m int) *listsched.Schedule {
+	t.Helper()
+	s, err := listsched.Run(g, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fedsched/internal/task"
+)
+
+// EncodeAllocation marshals an allocation (with its template schedules) to
+// indented JSON. The artifact is what a deployment would ship to the target:
+// the static processor assignment plus the lookup tables σ_i the run-time
+// dispatcher replays.
+func EncodeAllocation(a *Allocation) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("fedcons: nil allocation")
+	}
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// DecodeAllocation unmarshals an allocation and audits it against the system
+// and platform it claims to schedule (Verify). Decoding untrusted or stale
+// allocation files therefore cannot smuggle an unschedulable mapping past
+// the dispatcher.
+func DecodeAllocation(data []byte, sys task.System, m int) (*Allocation, error) {
+	var a Allocation
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("fedcons: decoding allocation: %w", err)
+	}
+	if err := Verify(sys, m, &a); err != nil {
+		return nil, fmt.Errorf("fedcons: decoded allocation rejected: %w", err)
+	}
+	return &a, nil
+}

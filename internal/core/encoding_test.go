@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+func TestAllocationRoundTrip(t *testing.T) {
+	sys := task.System{
+		highTask("h", 4, 5, 10, 10),
+		lowTask("l1", 2, 8, 16),
+		lowTask("l2", 3, 12, 24),
+	}
+	alloc, err := Schedule(sys, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAllocation(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAllocation(data, sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != alloc.M || len(back.High) != len(alloc.High) {
+		t.Fatalf("round trip changed structure: %+v", back)
+	}
+	if back.High[0].Template.Makespan != alloc.High[0].Template.Makespan {
+		t.Error("template makespan changed")
+	}
+	for i := range alloc.High[0].Template.Intervals {
+		if back.High[0].Template.Intervals[i] != alloc.High[0].Template.Intervals[i] {
+			t.Fatal("template intervals changed")
+		}
+	}
+	if err := Verify(sys, 4, back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAllocationRejectsTampering(t *testing.T) {
+	sys := task.System{
+		highTask("h", 4, 5, 10, 10),
+		lowTask("l", 2, 8, 16),
+	}
+	alloc, err := Schedule(sys, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAllocation(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong platform.
+	if _, err := DecodeAllocation(data, sys, 5); err == nil {
+		t.Error("accepted allocation for wrong m")
+	}
+	// Wrong system: swap the low task for a heavier one.
+	sys2 := task.System{
+		highTask("h", 4, 5, 10, 10),
+		lowTask("l", 200, 8, 16),
+	}
+	if _, err := DecodeAllocation(data, sys2, 3); err == nil {
+		t.Error("accepted allocation for a different (infeasible) system")
+	}
+	// Corrupted JSON field: steal a processor via text surgery.
+	tampered := strings.Replace(string(data), `"Procs": [`+"\n        0,\n        1\n      ]", `"Procs": [0]`, 1)
+	if tampered == string(data) {
+		t.Skip("tampering pattern not found; layout changed")
+	}
+	if _, err := DecodeAllocation([]byte(tampered), sys, 3); err == nil {
+		t.Error("accepted tampered allocation")
+	}
+	// Garbage.
+	if _, err := DecodeAllocation([]byte("{"), sys, 3); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+	// Nil encode.
+	if _, err := EncodeAllocation(nil); err == nil {
+		t.Error("encoded nil allocation")
+	}
+}
+
+func TestDecodeAllocationEmptyShared(t *testing.T) {
+	// A system with only high-density tasks round-trips with an empty (but
+	// non-nil after decode-verify) partition.
+	sys := task.System{highTask("h", 4, 5, 10, 10)}
+	alloc, err := Schedule(sys, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAllocation(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAllocation(data, sys, 2); err != nil {
+		t.Fatal(err)
+	}
+}

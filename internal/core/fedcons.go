@@ -1,0 +1,321 @@
+// Package core implements Algorithm FEDCONS (paper Fig. 2), the federated
+// scheduling algorithm for constrained-deadline sporadic DAG task systems,
+// together with its procedure MINPROCS (Fig. 3).
+//
+// FEDCONS(τ, m) runs in two phases:
+//
+//  1. Every high-density task τ_i (δ_i ≥ 1) is assigned the minimum number of
+//     dedicated processors m_i on which Graham's List Scheduling produces a
+//     template schedule σ_i with makespan ≤ D_i (procedure MINPROCS). The
+//     template is retained: at run time, dag-jobs of τ_i are dispatched by
+//     table lookup from σ_i, never by re-running LS (footnote 2: LS timing
+//     anomalies). If the high-density tasks exhaust the platform, FAILURE.
+//  2. The remaining low-density tasks are partitioned onto the remaining
+//     processors by the Baruah–Fisher first-fit algorithm (package
+//     partition); each shared processor runs preemptive uniprocessor EDF.
+//
+// Theorem 1: if an optimal federated scheduler can schedule τ on m speed-x
+// processors, FEDCONS schedules τ on m speed-(3 − 1/m)·x processors.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fedsched/internal/listsched"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+// Time is re-exported for convenience.
+type Time = task.Time
+
+// MinprocsMode selects how the per-task processor count of a high-density
+// task is determined.
+type MinprocsMode int
+
+const (
+	// LSScan is the paper's Fig. 3: try μ = ⌈δ_i⌉, ⌈δ_i⌉+1, …, m_r and
+	// return the first μ for which the LS makespan is ≤ D_i. A linear scan
+	// is required because LS makespan is not monotone in μ (Graham
+	// anomalies); see the E9 experiment.
+	LSScan MinprocsMode = iota
+	// Analytic uses the closed form μ = ⌈(vol−len)/(D−len)⌉ derived from
+	// Graham's bound (the constrained-deadline analogue of the Li et al.
+	// assignment). Never smaller-capacity than needed, but may allocate
+	// more processors than LSScan finds necessary — the E7 ablation.
+	Analytic
+)
+
+// String names the mode.
+func (m MinprocsMode) String() string {
+	switch m {
+	case LSScan:
+		return "ls-scan"
+	case Analytic:
+		return "analytic"
+	default:
+		return fmt.Sprintf("MinprocsMode(%d)", int(m))
+	}
+}
+
+// Options configures FEDCONS. The zero value is the paper's algorithm:
+// MINPROCS by LS scan with insertion-order lists, first-fit DBF* partition.
+type Options struct {
+	// Minprocs selects the phase-1 sizing rule.
+	Minprocs MinprocsMode
+	// Priority is the LS list order (nil = insertion order).
+	Priority listsched.Priority
+	// Partition configures the phase-2 partitioner.
+	Partition partition.Options
+}
+
+// HighAssignment is the phase-1 outcome for one high-density task.
+type HighAssignment struct {
+	// TaskIndex is the index of the task in the input system.
+	TaskIndex int
+	// Procs are the global processor ids granted exclusively to the task.
+	Procs []int
+	// Template is the schedule σ_i of one dag-job on len(Procs) processors;
+	// Template processor p corresponds to global processor Procs[p].
+	Template *listsched.Schedule
+}
+
+// Allocation is a successful FEDCONS run: a complete static mapping of the
+// task system onto the platform.
+type Allocation struct {
+	// M is the platform size.
+	M int
+	// High holds one entry per high-density task, in input order.
+	High []HighAssignment
+	// SharedProcs are the global ids of the processors left to phase 2.
+	SharedProcs []int
+	// LowIndices are the input indices of the low-density tasks, in input
+	// order; Low partition entries refer to positions in this slice.
+	LowIndices []int
+	// Low is the partition of the low-density tasks over SharedProcs:
+	// Low.Assignment[k] lists positions in LowIndices placed on
+	// SharedProcs[k].
+	Low *partition.Result
+}
+
+// TasksOnShared returns the input-system indices assigned to shared
+// processor k (an index into SharedProcs).
+func (a *Allocation) TasksOnShared(k int) []int {
+	out := make([]int, 0, len(a.Low.Assignment[k]))
+	for _, pos := range a.Low.Assignment[k] {
+		out = append(out, a.LowIndices[pos])
+	}
+	return out
+}
+
+// ProcessorsUsed returns how many processors are dedicated to high-density
+// tasks and how many are shared.
+func (a *Allocation) ProcessorsUsed() (dedicated, shared int) {
+	for _, h := range a.High {
+		dedicated += len(h.Procs)
+	}
+	return dedicated, len(a.SharedProcs)
+}
+
+// FailurePhase identifies where FEDCONS gave up.
+type FailurePhase int
+
+const (
+	// PhaseHighDensity: MINPROCS needed more processors than remained
+	// (Fig. 2 line 4), or a high-density task cannot meet its deadline on
+	// any number of processors (len_i > D_i).
+	PhaseHighDensity FailurePhase = iota
+	// PhaseLowDensity: PARTITION returned FAILURE (Fig. 2 line 7).
+	PhaseLowDensity
+)
+
+// String names the phase.
+func (p FailurePhase) String() string {
+	switch p {
+	case PhaseHighDensity:
+		return "high-density"
+	case PhaseLowDensity:
+		return "low-density"
+	default:
+		return fmt.Sprintf("FailurePhase(%d)", int(p))
+	}
+}
+
+// FailureError reports an unschedulable verdict with its cause.
+type FailureError struct {
+	Phase     FailurePhase
+	TaskIndex int    // input index of the task that could not be placed
+	TaskName  string // its name
+	Remaining int    // processors remaining when the failure occurred
+	Err       error  // underlying error (phase 2 only)
+}
+
+func (e *FailureError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("fedcons: FAILURE in %v phase: task %d (%q), %d processors remaining: %v",
+			e.Phase, e.TaskIndex, e.TaskName, e.Remaining, e.Err)
+	}
+	return fmt.Sprintf("fedcons: FAILURE in %v phase: task %d (%q) needs more than the %d remaining processors",
+		e.Phase, e.TaskIndex, e.TaskName, e.Remaining)
+}
+
+// Unwrap exposes the phase-2 cause.
+func (e *FailureError) Unwrap() error { return e.Err }
+
+// window returns the scheduling window of a dag-job on dedicated
+// processors: min(D_i, T_i). For the paper's constrained-deadline setting
+// this is simply D_i; using the min additionally makes the first phase
+// sound for arbitrary-deadline tasks (D_i > T_i), where the template must
+// also vacate the processor group before the next dag-job can arrive —
+// the conservative handling of the extension the paper poses as future
+// work (Section V).
+func window(tk *task.DAGTask) Time {
+	if tk.T < tk.D {
+		return tk.T
+	}
+	return tk.D
+}
+
+// Minprocs implements procedure MINPROCS(τ_i, m_r) of Fig. 3: the smallest
+// μ ∈ [⌈δ_i⌉, mr] for which LS schedules G_i with makespan ≤ min(D_i, T_i),
+// together with the witness schedule. For constrained deadlines the bound is
+// exactly the paper's D_i; see window for the arbitrary-deadline case. ok is
+// false when no such μ exists (the paper's ∞ return). prio selects the LS
+// list order (nil = insertion order).
+func Minprocs(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int, tmpl *listsched.Schedule, ok bool) {
+	d := window(tk)
+	if tk.Len() > d {
+		return 0, nil, false // no processor count can beat the critical path
+	}
+	start := ceilDensity(tk)
+	if start < 1 {
+		start = 1
+	}
+	// Any set of simultaneously-running jobs is an antichain of G, so on
+	// Width(G) processors a work-conserving scheduler never delays an
+	// available job and the LS makespan equals len(G) ≤ d exactly. Scanning
+	// past the width is therefore pointless: cap the scan there (and since
+	// len ≤ d, the scan is guaranteed to succeed by μ = width if the budget
+	// allows it).
+	limit := mr
+	if w := tk.G.Width(); w < limit {
+		limit = w
+	}
+	for mu = start; mu <= limit; mu++ {
+		s, err := listsched.Run(tk.G, mu, prio)
+		if err != nil {
+			return 0, nil, false
+		}
+		if s.Makespan <= d {
+			return mu, s, true
+		}
+	}
+	return 0, nil, false
+}
+
+// MinprocsAnalytic sizes a high-density task by Graham's bound instead of
+// searching: the smallest μ with len + (vol − len)/μ ≤ D (where D is the
+// min(D_i, T_i) window), i.e. μ = ⌈(vol − len)/(D − len)⌉ (and 1 when
+// vol ≤ D). The witness schedule is still built with LS, whose bound
+// guarantees the deadline. ok is false when len_i > D, or len_i == D with
+// parallel slack remaining, or μ exceeds mr.
+func MinprocsAnalytic(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int, tmpl *listsched.Schedule, ok bool) {
+	vol, l, d := tk.Volume(), tk.Len(), window(tk)
+	switch {
+	case l > d:
+		return 0, nil, false
+	case vol <= d:
+		mu = 1
+	case l == d:
+		return 0, nil, false // bound needs (vol−len)/(D−len) with D > len
+	default:
+		mu = int((vol - l + (d - l) - 1) / (d - l))
+	}
+	if mu < 1 {
+		mu = 1
+	}
+	if mu > mr {
+		return 0, nil, false
+	}
+	s, err := listsched.Run(tk.G, mu, prio)
+	if err != nil || s.Makespan > d {
+		// Graham's bound makes the deadline certain; reaching here would
+		// mean a bug in LS, so surface it as infeasible rather than panic.
+		return 0, nil, false
+	}
+	return mu, s, true
+}
+
+// ceilDensity returns ⌈δ_i⌉ = ⌈vol / min(D,T)⌉ in exact integer arithmetic.
+func ceilDensity(tk *task.DAGTask) int {
+	den := tk.D
+	if tk.T < den {
+		den = tk.T
+	}
+	return int((tk.Volume() + den - 1) / den)
+}
+
+// Schedule runs FEDCONS(τ, m). On success it returns the allocation; on
+// failure, a *FailureError describing the phase and task responsible.
+func Schedule(sys task.System, m int, opt Options) (*Allocation, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("fedcons: m must be ≥ 1, got %d", m)
+	}
+
+	alloc := &Allocation{M: m}
+	nextProc := 0 // processors [0, nextProc) are spoken for
+	mr := m       // m_r: remaining processors (Fig. 2 line 1)
+
+	minprocs := Minprocs
+	if opt.Minprocs == Analytic {
+		minprocs = MinprocsAnalytic
+	}
+
+	// Phase 1: size and place each high-density task (Fig. 2 lines 2–6).
+	var low task.System
+	for i, tk := range sys {
+		if !tk.HighDensity() {
+			low = append(low, tk)
+			alloc.LowIndices = append(alloc.LowIndices, i)
+			continue
+		}
+		mi, tmpl, ok := minprocs(tk, mr, opt.Priority)
+		if !ok {
+			return nil, &FailureError{Phase: PhaseHighDensity, TaskIndex: i, TaskName: tk.Name, Remaining: mr}
+		}
+		procs := make([]int, mi)
+		for p := range procs {
+			procs[p] = nextProc
+			nextProc++
+		}
+		alloc.High = append(alloc.High, HighAssignment{TaskIndex: i, Procs: procs, Template: tmpl})
+		mr -= mi
+	}
+
+	// Phase 2: partition the low-density tasks (Fig. 2 line 7).
+	for p := 0; p < mr; p++ {
+		alloc.SharedProcs = append(alloc.SharedProcs, nextProc+p)
+	}
+	res, err := partition.Partition(low, mr, opt.Partition)
+	if err != nil {
+		fe := &FailureError{Phase: PhaseLowDensity, Remaining: mr, Err: err}
+		var pf *partition.FailureError
+		if errors.As(err, &pf) {
+			fe.TaskIndex = alloc.LowIndices[pf.TaskIndex]
+			fe.TaskName = pf.TaskName
+		}
+		return nil, fe
+	}
+	alloc.Low = res
+	return alloc, nil
+}
+
+// Schedulable is the boolean view of Schedule, for experiment harnesses.
+func Schedulable(sys task.System, m int, opt Options) bool {
+	_, err := Schedule(sys, m, opt)
+	return err == nil
+}

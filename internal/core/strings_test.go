@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+func TestEnumStrings(t *testing.T) {
+	if LSScan.String() != "ls-scan" || Analytic.String() != "analytic" {
+		t.Error("MinprocsMode strings wrong")
+	}
+	if !strings.Contains(MinprocsMode(99).String(), "99") {
+		t.Error("unknown MinprocsMode should embed its value")
+	}
+	if PhaseHighDensity.String() != "high-density" || PhaseLowDensity.String() != "low-density" {
+		t.Error("FailurePhase strings wrong")
+	}
+	if !strings.Contains(FailurePhase(7).String(), "7") {
+		t.Error("unknown FailurePhase should embed its value")
+	}
+}
+
+func TestFailureErrorMessages(t *testing.T) {
+	// Phase 1 failure: no wrapped error.
+	sys := task.System{highTask("huge", 8, 5, 10, 10)}
+	_, err := Schedule(sys, 1, Options{})
+	var fe *FailureError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want FailureError, got %v", err)
+	}
+	msg := fe.Error()
+	for _, want := range []string{"high-density", "huge", "FAILURE"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	if fe.Unwrap() != nil {
+		t.Error("phase-1 failure should not wrap an error")
+	}
+	// Phase 2 failure wraps the partition error.
+	sys2 := task.System{lowTask("a", 4, 5, 100), lowTask("b", 4, 5, 100)}
+	_, err2 := Schedule(sys2, 1, Options{})
+	var fe2 *FailureError
+	if !errors.As(err2, &fe2) {
+		t.Fatalf("want FailureError, got %v", err2)
+	}
+	if fe2.Unwrap() == nil {
+		t.Error("phase-2 failure should wrap the partition error")
+	}
+	var pf *partition.FailureError
+	if !errors.As(err2, &pf) {
+		t.Error("wrapped partition.FailureError not reachable via errors.As")
+	}
+	if !strings.Contains(fe2.Error(), "low-density") {
+		t.Errorf("message: %s", fe2.Error())
+	}
+}
+
+func TestVerifyMoreTamperings(t *testing.T) {
+	sys := task.System{
+		highTask("h", 4, 5, 10, 10),
+		lowTask("l", 2, 8, 16),
+	}
+	alloc, err := Schedule(sys, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// High assignment index out of range.
+	bad := cloneAlloc(alloc)
+	bad.High[0].TaskIndex = 9
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted out-of-range high index")
+	}
+
+	// Duplicate task coverage (high task also listed as low).
+	bad = cloneAlloc(alloc)
+	bad.LowIndices = append(bad.LowIndices, 0)
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted duplicated task")
+	}
+
+	// Low-density task with dedicated processors.
+	bad = cloneAlloc(alloc)
+	bad.High[0].TaskIndex = 1
+	bad.LowIndices = []int{0}
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted low-density task in a high assignment")
+	}
+
+	// Empty processor grant.
+	bad = cloneAlloc(alloc)
+	bad.High[0].Procs = nil
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted zero processors for a high task")
+	}
+
+	// Missing template.
+	bad = cloneAlloc(alloc)
+	bad.High[0].Template = nil
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted nil template")
+	}
+
+	// Processor out of range.
+	bad = cloneAlloc(alloc)
+	bad.High[0].Procs = []int{0, 99}
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted out-of-range processor")
+	}
+
+	// Shared processor out of range.
+	bad = cloneAlloc(alloc)
+	bad.SharedProcs = []int{-1}
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted negative shared processor")
+	}
+
+	// Low index out of range.
+	bad = cloneAlloc(alloc)
+	bad.LowIndices = []int{42}
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted out-of-range low index")
+	}
+
+	// Uncovered task.
+	bad = cloneAlloc(alloc)
+	bad.LowIndices = nil
+	bad.Low = &partition.Result{Assignment: [][]int{{}}}
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted missing task coverage")
+	}
+
+	// Nil partition result.
+	bad = cloneAlloc(alloc)
+	bad.Low = nil
+	if Verify(sys, 3, bad) == nil {
+		t.Error("accepted nil partition")
+	}
+}
+
+func cloneAlloc(a *Allocation) *Allocation {
+	c := *a
+	c.High = append([]HighAssignment(nil), a.High...)
+	for i := range c.High {
+		c.High[i].Procs = append([]int(nil), a.High[i].Procs...)
+	}
+	c.SharedProcs = append([]int(nil), a.SharedProcs...)
+	c.LowIndices = append([]int(nil), a.LowIndices...)
+	return &c
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+// Verify audits an Allocation against the system and platform it claims to
+// schedule. It checks, independently of how the allocation was produced:
+//
+//   - every task appears exactly once (as a high assignment or in LowIndices);
+//   - high assignments are exactly the high-density tasks, their processor
+//     sets are disjoint, within range, and sized to their templates;
+//   - each template is a valid schedule of the task's DAG with makespan ≤ D
+//     (so every dag-job meets its deadline under lookup-table replay, since
+//     D ≤ T serializes consecutive dag-jobs);
+//   - shared processors are disjoint from dedicated ones; and
+//   - the low-density partition is exactly EDF-schedulable per processor
+//     (partition.Verify, which applies the exact QPA test).
+//
+// Verify is the auditor used by tests, experiments and cmd/fedsched.
+func Verify(sys task.System, m int, a *Allocation) error {
+	if a == nil {
+		return fmt.Errorf("fedcons: nil allocation")
+	}
+	if a.M != m {
+		return fmt.Errorf("fedcons: allocation for m=%d, want %d", a.M, m)
+	}
+	owned := make([]int, m) // 0 = unused, 1 = dedicated, 2 = shared
+	covered := make([]bool, len(sys))
+
+	for _, h := range a.High {
+		if h.TaskIndex < 0 || h.TaskIndex >= len(sys) {
+			return fmt.Errorf("fedcons: high assignment index %d out of range", h.TaskIndex)
+		}
+		tk := sys[h.TaskIndex]
+		if covered[h.TaskIndex] {
+			return fmt.Errorf("fedcons: task %d assigned twice", h.TaskIndex)
+		}
+		covered[h.TaskIndex] = true
+		if !tk.HighDensity() {
+			return fmt.Errorf("fedcons: task %d (δ=%.3f) is low-density but got dedicated processors", h.TaskIndex, tk.Density())
+		}
+		if len(h.Procs) == 0 {
+			return fmt.Errorf("fedcons: task %d granted zero processors", h.TaskIndex)
+		}
+		for _, p := range h.Procs {
+			if p < 0 || p >= m {
+				return fmt.Errorf("fedcons: processor %d out of range", p)
+			}
+			if owned[p] != 0 {
+				return fmt.Errorf("fedcons: processor %d claimed twice", p)
+			}
+			owned[p] = 1
+		}
+		if h.Template == nil {
+			return fmt.Errorf("fedcons: task %d has no template schedule", h.TaskIndex)
+		}
+		if h.Template.M != len(h.Procs) {
+			return fmt.Errorf("fedcons: task %d template uses %d processors, granted %d", h.TaskIndex, h.Template.M, len(h.Procs))
+		}
+		if err := h.Template.Validate(tk.G); err != nil {
+			return fmt.Errorf("fedcons: task %d template invalid: %w", h.TaskIndex, err)
+		}
+		// The template must fit the scheduling window min(D, T): ≤ D meets
+		// the deadline; ≤ T vacates the group before the next dag-job.
+		if w := window(tk); h.Template.Makespan > w {
+			return fmt.Errorf("fedcons: task %d template makespan %d exceeds window min(D,T)=%d", h.TaskIndex, h.Template.Makespan, w)
+		}
+	}
+
+	for _, p := range a.SharedProcs {
+		if p < 0 || p >= m {
+			return fmt.Errorf("fedcons: shared processor %d out of range", p)
+		}
+		if owned[p] != 0 {
+			return fmt.Errorf("fedcons: shared processor %d also dedicated", p)
+		}
+		owned[p] = 2
+	}
+
+	low := make(task.System, 0, len(a.LowIndices))
+	for _, i := range a.LowIndices {
+		if i < 0 || i >= len(sys) {
+			return fmt.Errorf("fedcons: low index %d out of range", i)
+		}
+		if covered[i] {
+			return fmt.Errorf("fedcons: task %d assigned twice", i)
+		}
+		covered[i] = true
+		if sys[i].HighDensity() {
+			return fmt.Errorf("fedcons: task %d (δ=%.3f) is high-density but was partitioned", i, sys[i].Density())
+		}
+		low = append(low, sys[i])
+	}
+	for i, ok := range covered {
+		if !ok {
+			return fmt.Errorf("fedcons: task %d unassigned", i)
+		}
+	}
+
+	if a.Low == nil {
+		return fmt.Errorf("fedcons: nil partition result")
+	}
+	if err := partition.Verify(low, len(a.SharedProcs), a.Low); err != nil {
+		return fmt.Errorf("fedcons: %w", err)
+	}
+	return nil
+}

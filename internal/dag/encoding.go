@@ -1,0 +1,106 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// jsonDAG is the wire form of a DAG.
+type jsonDAG struct {
+	Vertices []jsonVertex `json:"vertices"`
+	Edges    [][2]int     `json:"edges"`
+}
+
+type jsonVertex struct {
+	Name string `json:"name,omitempty"`
+	WCET Time   `json:"wcet"`
+}
+
+// MarshalJSON encodes the DAG as {"vertices":[{name,wcet}...],"edges":[[u,v]...]}.
+func (g *DAG) MarshalJSON() ([]byte, error) {
+	jd := jsonDAG{
+		Vertices: make([]jsonVertex, g.N()),
+		Edges:    g.Edges(),
+	}
+	for v := 0; v < g.N(); v++ {
+		jd.Vertices[v] = jsonVertex{Name: g.verts[v].Name, WCET: g.verts[v].WCET}
+	}
+	if jd.Edges == nil {
+		jd.Edges = [][2]int{}
+	}
+	return json.Marshal(jd)
+}
+
+// UnmarshalJSON decodes and validates a DAG from its wire form.
+func (g *DAG) UnmarshalJSON(data []byte) error {
+	var jd jsonDAG
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return fmt.Errorf("dag: decoding: %w", err)
+	}
+	b := NewBuilder(len(jd.Vertices))
+	for _, v := range jd.Vertices {
+		b.AddVertex(v.Name, v.WCET)
+	}
+	for _, e := range jd.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*g = *built
+	return nil
+}
+
+// DOT renders the DAG in Graphviz DOT syntax. Vertices are labelled with
+// their name (or index) and WCET, mirroring the paper's Figure 1 style where
+// vertex size encodes WCET.
+func (g *DAG) DOT(graphName string) string {
+	var sb strings.Builder
+	if graphName == "" {
+		graphName = "G"
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n", graphName)
+	sb.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for v := 0; v < g.N(); v++ {
+		label := g.verts[v].Name
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		// Scale node size with WCET, as in the paper's figure.
+		size := 0.4 + 0.1*float64(g.verts[v].WCET)
+		if size > 2.0 {
+			size = 2.0
+		}
+		fmt.Fprintf(&sb, "  %d [label=\"%s\\n%d\", width=%.2f];\n", v, label, g.verts[v].WCET, size)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %d -> %d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Equal reports structural equality: same vertices (names, WCETs, order) and
+// same edge set.
+func (g *DAG) Equal(h *DAG) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.verts[v] != h.verts[v] {
+			return false
+		}
+		gs, hs := g.succ[v], h.succ[v]
+		if len(gs) != len(hs) {
+			return false
+		}
+		for i := range gs {
+			if gs[i] != hs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package dag
+
+// Example1 returns the DAG of the paper's Example 1 (Figure 1): five
+// vertices, five precedence edges, longest chain len = 6 and volume vol = 9.
+// Together with D = 16 and T = 20 the task has density 9/16 and utilization
+// 9/20, making it a low-density task.
+//
+// The figure's exact topology is not recoverable from the paper text; this is
+// a faithful reconstruction with the same vertex count, edge count, volume
+// and longest-chain length, which are the only quantities the example (and
+// the analysis) depends on.
+func Example1() *DAG {
+	b := NewBuilder(5)
+	a := b.AddVertex("a", 2)
+	c := b.AddVertex("b", 1)
+	d := b.AddVertex("c", 3)
+	e := b.AddVertex("d", 2)
+	f := b.AddVertex("e", 1)
+	b.AddEdge(a, d) // 2 → 3
+	b.AddEdge(c, d) // 1 → 3
+	b.AddEdge(a, e) // 2 → 2
+	b.AddEdge(d, f) // 3 → 1: chain a→c→e has length 2+3+1 = 6
+	b.AddEdge(e, f) // 2 → 1
+	return b.MustBuild()
+}
+
+// Example1D and Example1T are the deadline and period of the paper's
+// Example 1 task.
+const (
+	Example1D Time = 16
+	Example1T Time = 20
+)
+
+// Chain returns a pure chain DAG v0 → v1 → … with the given WCETs: the
+// degenerate fully-sequential workload (len = vol).
+func Chain(wcets ...Time) *DAG {
+	b := NewBuilder(len(wcets))
+	for i, w := range wcets {
+		b.AddJob(w)
+		if i > 0 {
+			b.AddEdge(i-1, i)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Independent returns a DAG of fully parallel jobs with the given WCETs
+// (no edges): the degenerate fully-parallel workload.
+func Independent(wcets ...Time) *DAG {
+	b := NewBuilder(len(wcets))
+	for _, w := range wcets {
+		b.AddJob(w)
+	}
+	return b.MustBuild()
+}
+
+// Singleton returns the one-vertex DAG with the given WCET, as used by the
+// paper's Example 2 construction.
+func Singleton(wcet Time) *DAG {
+	b := NewBuilder(1)
+	b.AddJob(wcet)
+	return b.MustBuild()
+}
+
+// ForkJoin returns a fork-join DAG: a source of WCET srcW, fan parallel
+// branches of WCET branchW each, and a sink of WCET sinkW.
+func ForkJoin(srcW Time, fan int, branchW, sinkW Time) *DAG {
+	b := NewBuilder(fan + 2)
+	src := b.AddVertex("fork", srcW)
+	sink := fan + 1
+	for i := 0; i < fan; i++ {
+		v := b.AddJob(branchW)
+		b.AddEdge(src, v)
+		b.AddEdge(v, sink)
+	}
+	b.AddVertex("join", sinkW)
+	return b.MustBuild()
+}

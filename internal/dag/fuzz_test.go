@@ -1,0 +1,97 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON checks that arbitrary input never panics the decoder and
+// that anything it accepts satisfies the DAG invariants.
+func FuzzUnmarshalJSON(f *testing.F) {
+	seed, _ := json.Marshal(Example1())
+	f.Add(seed)
+	f.Add([]byte(`{"vertices":[{"wcet":1}],"edges":[]}`))
+	f.Add([]byte(`{"vertices":[{"wcet":1},{"wcet":2}],"edges":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g DAG
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected input is fine
+		}
+		// Accepted: full invariant audit.
+		if len(g.TopologicalOrder()) != g.N() {
+			t.Fatal("accepted graph is not acyclic")
+		}
+		if g.LongestChain() > g.Volume() {
+			t.Fatal("len > vol")
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.WCET(v) <= 0 {
+				t.Fatal("non-positive WCET accepted")
+			}
+		}
+		for _, e := range g.Edges() {
+			if e[0] == e[1] {
+				t.Fatal("self-loop accepted")
+			}
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatal("Edges/HasEdge mismatch")
+			}
+		}
+		// Round trip must be stable.
+		again, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var g2 DAG
+		if err := json.Unmarshal(again, &g2); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if !g.Equal(&g2) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzBuilder drives the Builder with a byte-coded construction script and
+// validates everything a successful Build returns.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 0, 1, 1, 2})
+	f.Add([]byte{1, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]%16) + 1
+		b := NewBuilder(n)
+		i := 1
+		for v := 0; v < n && i < len(data); v++ {
+			b.AddJob(Time(data[i]%32) + 1)
+			i++
+		}
+		built := 0
+		for ; i+1 < len(data); i += 2 {
+			b.AddEdge(int(data[i]%32), int(data[i+1]%32))
+			built++
+		}
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		if len(g.TopologicalOrder()) != g.N() {
+			t.Fatal("built graph not acyclic")
+		}
+		path, l := g.CriticalPath()
+		var sum Time
+		for j, v := range path {
+			sum += g.WCET(v)
+			if j > 0 && !g.HasEdge(path[j-1], v) {
+				t.Fatal("critical path not a chain")
+			}
+		}
+		if sum != l {
+			t.Fatal("critical path length mismatch")
+		}
+	})
+}

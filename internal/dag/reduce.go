@@ -1,0 +1,69 @@
+package dag
+
+// TransitiveClosure returns a DAG on the same vertices with an edge (u, v)
+// for every pair where v is reachable from u by a directed path of length
+// ≥ 1. The closure preserves vol, len and all precedence semantics; it is
+// the graph on which chain/antichain arguments (Width, MinChainCover) run.
+func (g *DAG) TransitiveClosure() *DAG {
+	n := g.N()
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddVertex(g.verts[v].Name, g.verts[v].WCET)
+	}
+	for u := 0; u < n; u++ {
+		reach := g.Reachable(u)
+		for v := 0; v < n; v++ {
+			if reach[v] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TransitiveReduction returns the unique minimal DAG with the same
+// reachability relation: every edge (u, v) for which some longer path u ⇝ v
+// exists is removed. Reductions make generated workloads canonical (the
+// Erdős–Rényi method produces many redundant edges) without changing any
+// scheduling-relevant quantity.
+func (g *DAG) TransitiveReduction() *DAG {
+	n := g.N()
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddVertex(g.verts[v].Name, g.verts[v].WCET)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.succ[u] {
+			// (u, v) is redundant iff v is reachable from some other
+			// successor of u.
+			redundant := false
+			for _, w := range g.succ[u] {
+				if w != v && g.Reachable(w)[v] {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// SameReachability reports whether g and h (on the same vertex count) have
+// identical reachability relations.
+func (g *DAG) SameReachability(h *DAG) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		a, b := g.Reachable(v), h.Reachable(v)
+		for u := range a {
+			if a[u] != b[u] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransitiveClosureBasic(t *testing.T) {
+	g := Chain(1, 1, 1) // 0→1→2
+	c := g.TransitiveClosure()
+	if c.M() != 3 { // 0→1, 1→2, 0→2
+		t.Fatalf("closure has %d edges, want 3", c.M())
+	}
+	if !c.HasEdge(0, 2) {
+		t.Error("closure missing 0→2")
+	}
+}
+
+func TestTransitiveReductionRemovesShortcut(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddJob(1)
+	b.AddJob(1)
+	b.AddJob(1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2) // redundant shortcut
+	g := b.MustBuild()
+	r := g.TransitiveReduction()
+	if r.M() != 2 {
+		t.Fatalf("reduction has %d edges, want 2", r.M())
+	}
+	if r.HasEdge(0, 2) {
+		t.Error("shortcut 0→2 survived reduction")
+	}
+}
+
+func TestReductionAndClosureInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		g := randomDAG(r, 2+r.Intn(20), r.Float64()*0.5)
+		red := g.TransitiveReduction()
+		clo := g.TransitiveClosure()
+		// Reachability is preserved by both.
+		if !g.SameReachability(red) {
+			t.Fatal("reduction changed reachability")
+		}
+		if !g.SameReachability(clo) {
+			t.Fatal("closure changed reachability")
+		}
+		// Scheduling-relevant quantities are invariant.
+		if red.Volume() != g.Volume() || red.LongestChain() != g.LongestChain() || red.Width() != g.Width() {
+			t.Fatalf("reduction changed vol/len/width: %s vs %s", g, red)
+		}
+		if clo.LongestChain() != g.LongestChain() || clo.Width() != g.Width() {
+			t.Fatalf("closure changed len/width: %s vs %s", g, clo)
+		}
+		// Edge-count sandwich: reduction ≤ original ≤ closure.
+		if red.M() > g.M() || g.M() > clo.M() {
+			t.Fatalf("edge counts: red=%d orig=%d clo=%d", red.M(), g.M(), clo.M())
+		}
+		// Reduction is a fixed point.
+		again := red.TransitiveReduction()
+		if !again.Equal(red) {
+			t.Fatal("reduction not idempotent")
+		}
+		// Closure is a fixed point.
+		cagain := clo.TransitiveClosure()
+		if !cagain.Equal(clo) {
+			t.Fatal("closure not idempotent")
+		}
+		// Reduction of the closure equals reduction of the original
+		// (uniqueness of the minimal equivalent DAG).
+		if !clo.TransitiveReduction().Equal(red) {
+			t.Fatal("closure→reduction differs from direct reduction")
+		}
+	}
+}
+
+func TestReductionMinimality(t *testing.T) {
+	// Removing any edge from a reduction must change reachability.
+	r := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 40; trial++ {
+		g := randomDAG(r, 2+r.Intn(10), 0.4).TransitiveReduction()
+		for _, drop := range g.Edges() {
+			b := NewBuilder(g.N())
+			for v := 0; v < g.N(); v++ {
+				b.AddVertex(g.Vertex(v).Name, g.WCET(v))
+			}
+			for _, e := range g.Edges() {
+				if e != drop {
+					b.AddEdge(e[0], e[1])
+				}
+			}
+			h := b.MustBuild()
+			if g.SameReachability(h) {
+				t.Fatalf("edge %v of a reduction is redundant", drop)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package dag
+
+// Width computes the exact maximum antichain size of the DAG — the largest
+// set of pairwise-incomparable vertices, i.e. the true maximum number of
+// jobs that can ever execute simultaneously. (MaxParallelism's level width
+// is only a lower bound on this quantity.)
+//
+// By Dilworth's theorem the maximum antichain equals the minimum number of
+// chains covering all vertices, and for a DAG the minimum chain cover equals
+// |V| − M where M is a maximum matching in the bipartite graph whose left
+// and right copies of V are joined for every pair (u, v) with u reachable to
+// v (the transitive closure). The matching is found with the standard
+// augmenting-path algorithm, O(|V|·E⁺) on the closure.
+//
+// Width is what caps the useful processor count for a single dag-job: any
+// set of simultaneously-running jobs is an antichain, so on Width(G)
+// processors a work-conserving scheduler never makes a job wait, and the LS
+// makespan collapses to len(G). MINPROCS uses this to bound its scan.
+func (g *DAG) Width() int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	// Transitive closure via DFS from each vertex: adj[u] lists all v ≠ u
+	// reachable from u.
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		seen := g.Reachable(u)
+		for v := 0; v < n; v++ {
+			if seen[v] {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	// Maximum bipartite matching (left = chain predecessors, right = chain
+	// successors) via augmenting paths.
+	matchR := make([]int, n) // right vertex → matched left vertex
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var tryAugment func(u int, visited []bool) bool
+	tryAugment = func(u int, visited []bool) bool {
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if matchR[v] == -1 || tryAugment(matchR[v], visited) {
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for u := 0; u < n; u++ {
+		visited := make([]bool, n)
+		if tryAugment(u, visited) {
+			matched++
+		}
+	}
+	return n - matched
+}
+
+// MinChainCover returns a partition of the vertices into the minimum number
+// of chains (paths in the transitive closure), witnessing Width via
+// Dilworth's theorem: len(cover) == Width().
+func (g *DAG) MinChainCover() [][]int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		seen := g.Reachable(u)
+		for v := 0; v < n; v++ {
+			if seen[v] {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	matchR := make([]int, n)
+	matchL := make([]int, n)
+	for i := range matchR {
+		matchR[i] = -1
+		matchL[i] = -1
+	}
+	var tryAugment func(u int, visited []bool) bool
+	tryAugment = func(u int, visited []bool) bool {
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if matchR[v] == -1 || tryAugment(matchR[v], visited) {
+				matchR[v] = u
+				matchL[u] = v
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < n; u++ {
+		visited := make([]bool, n)
+		tryAugment(u, visited)
+	}
+	// Chains start at vertices that are nobody's matched successor.
+	isSucc := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if matchR[v] != -1 {
+			isSucc[v] = true
+		}
+	}
+	var cover [][]int
+	for v := 0; v < n; v++ {
+		if isSucc[v] {
+			continue
+		}
+		var chain []int
+		for u := v; u != -1; u = matchL[u] {
+			chain = append(chain, u)
+		}
+		cover = append(cover, chain)
+	}
+	return cover
+}

@@ -1,0 +1,333 @@
+// Package dbf implements demand bound functions and uniprocessor EDF
+// schedulability analysis for constrained-deadline sporadic task sets.
+//
+// It provides three layers:
+//
+//  1. The exact demand bound function DBF(τ, t) of Baruah, Mok and Rosier
+//     (RTSS 1990): the maximum cumulative execution demand of jobs of τ with
+//     both arrival and deadline inside any interval of length t.
+//  2. The paper's Equation (1): the DBF* linear approximation
+//     DBF*(τ, t) = 0 for t < D, and vol + u·(t − D) otherwise, which upper-
+//     bounds DBF and is what the PARTITION algorithm (paper Fig. 4) tests.
+//  3. Uniprocessor EDF schedulability tests built on the two: the sufficient
+//     DBF*-based test underlying Baruah–Fisher partitioning, and the exact
+//     processor-demand test accelerated by QPA (Zhang & Burns, 2009).
+//
+// Exactness note: DBF* is a rational-valued function (slope u = C/T). The
+// package computes it both in float64 (fast path) and in math/big.Rat
+// (ExactApprox* functions) so that the bin-packing comparisons that decide
+// schedulability never hinge on floating-point rounding.
+package dbf
+
+import (
+	"math/big"
+	"sort"
+
+	"fedsched/internal/task"
+)
+
+// Time is re-exported for convenience.
+type Time = task.Time
+
+// DBF returns the exact demand bound function of the sporadic task s at
+// interval length t:
+//
+//	DBF(s, t) = max(0, ⌊(t − D)/T⌋ + 1) · C
+//
+// i.e. the total WCET of the maximum number of jobs that can have both their
+// release and their deadline within a window of length t.
+func DBF(s task.Sporadic, t Time) Time {
+	if t < s.D {
+		return 0
+	}
+	n := (t-s.D)/s.T + 1
+	return n * s.C
+}
+
+// Approx returns DBF*(s, t) per the paper's Equation (1), in float64:
+//
+//	DBF*(s, t) = 0            if t < D
+//	           = C + u·(t−D)  otherwise, where u = C/T.
+//
+// Approx(s, t) ≥ DBF(s, t) for all t, with equality at t = D.
+func Approx(s task.Sporadic, t Time) float64 {
+	if t < s.D {
+		return 0
+	}
+	return float64(s.C) + float64(s.C)/float64(s.T)*float64(t-s.D)
+}
+
+// ApproxRat returns DBF*(s, t) exactly as a rational.
+func ApproxRat(s task.Sporadic, t Time) *big.Rat {
+	if t < s.D {
+		return new(big.Rat)
+	}
+	// C + C·(t−D)/T = (C·T + C·(t−D)) / T, computed in big to avoid overflow.
+	num := new(big.Int).Mul(big.NewInt(s.C), big.NewInt(s.T+t-s.D))
+	return new(big.Rat).SetFrac(num, big.NewInt(s.T))
+}
+
+// TotalDBF returns Σ_i DBF(τ_i, t).
+func TotalDBF(set []task.Sporadic, t Time) Time {
+	var h Time
+	for _, s := range set {
+		h += DBF(s, t)
+	}
+	return h
+}
+
+// TotalApproxRat returns Σ_i DBF*(τ_i, t) exactly.
+func TotalApproxRat(set []task.Sporadic, t Time) *big.Rat {
+	sum := new(big.Rat)
+	for _, s := range set {
+		sum.Add(sum, ApproxRat(s, t))
+	}
+	return sum
+}
+
+// TotalUtilizationRat returns Σ_i C_i/T_i exactly.
+func TotalUtilizationRat(set []task.Sporadic) *big.Rat {
+	sum := new(big.Rat)
+	for _, s := range set {
+		sum.Add(sum, s.UtilizationRat())
+	}
+	return sum
+}
+
+// one is the rational constant 1, shared read-only.
+var one = big.NewRat(1, 1)
+
+// ApproxFeasible reports whether the task set passes the sufficient
+// DBF*-based uniprocessor EDF test used by Baruah–Fisher partitioning:
+//
+//	Σ u_i ≤ 1, and Σ_j DBF*(τ_j, D_i) ≤ D_i at every relative deadline D_i.
+//
+// Because each DBF* is linear beyond its own deadline, demand between
+// breakpoints grows at slope Σ u ≤ 1, so checking the breakpoints D_i plus
+// the slope condition establishes Σ DBF*(t) ≤ t for all t ≥ 0 — and since
+// DBF ≤ DBF*, the set is EDF-schedulable on a unit-speed processor.
+// Comparisons are performed in exact rational arithmetic.
+func ApproxFeasible(set []task.Sporadic) bool {
+	if len(set) == 0 {
+		return true
+	}
+	if TotalUtilizationRat(set).Cmp(one) > 0 {
+		return false
+	}
+	for _, s := range set {
+		if TotalApproxRat(set, s.D).Cmp(new(big.Rat).SetInt64(s.D)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsApprox reports whether cand can be added to the set already assigned to
+// a processor, per the Baruah–Fisher first-fit admission condition (paper
+// Fig. 4, line 3, plus the utilization condition of [7, Corollary 1]):
+//
+//	vol(cand) + Σ_{τ_j ∈ assigned} DBF*(τ_j, D_cand) ≤ D_cand
+//	u(cand)   + Σ_{τ_j ∈ assigned} u_j                ≤ 1
+//
+// The caller must offer candidates in non-decreasing deadline order for the
+// resulting assignment to be EDF-schedulable (already-assigned tasks then
+// have deadlines ≤ D_cand, so all DBF* breakpoints were checked on their own
+// admission). See package comment for the exactness guarantee.
+func FitsApprox(assigned []task.Sporadic, cand task.Sporadic) bool {
+	u := TotalUtilizationRat(assigned)
+	u.Add(u, cand.UtilizationRat())
+	if u.Cmp(one) > 0 {
+		return false
+	}
+	demand := TotalApproxRat(assigned, cand.D)
+	demand.Add(demand, new(big.Rat).SetInt64(cand.C))
+	return demand.Cmp(new(big.Rat).SetInt64(cand.D)) <= 0
+}
+
+// SlackApprox returns D − (vol(cand) + Σ DBF*(assigned, D_cand)) as a float,
+// the admission margin used by best-fit/worst-fit partitioning heuristics.
+// Negative slack means cand does not fit.
+func SlackApprox(assigned []task.Sporadic, cand task.Sporadic) float64 {
+	demand := TotalApproxRat(assigned, cand.D)
+	demand.Add(demand, new(big.Rat).SetInt64(cand.C))
+	slack := new(big.Rat).Sub(new(big.Rat).SetInt64(cand.D), demand)
+	f, _ := slack.Float64()
+	u := TotalUtilizationRat(assigned)
+	u.Add(u, cand.UtilizationRat())
+	if u.Cmp(one) > 0 {
+		return -1
+	}
+	return f
+}
+
+// exactTestBound computes an upper bound L on the length of the interval the
+// exact processor-demand test must examine, assuming Σ u_i < 1:
+//
+//	L_a = max( D_max, Σ_i (T_i − D_i)·u_i / (1 − U) )
+//
+// For constrained deadlines every term (T_i − D_i) is ≥ 0. The returned bound
+// is rounded up to the next integer tick.
+func exactTestBound(set []task.Sporadic) (Time, bool) {
+	u := TotalUtilizationRat(set)
+	if u.Cmp(one) >= 0 {
+		return 0, false
+	}
+	num := new(big.Rat)
+	var dmax Time
+	for _, s := range set {
+		if s.D > dmax {
+			dmax = s.D
+		}
+		term := new(big.Rat).Mul(big.NewRat(s.T-s.D, 1), s.UtilizationRat())
+		num.Add(num, term)
+	}
+	den := new(big.Rat).Sub(one, u)
+	la := new(big.Rat).Quo(num, den)
+	// Round up to integer.
+	i := new(big.Int).Div(la.Num(), la.Denom())
+	bound := Time(i.Int64())
+	if new(big.Rat).SetInt64(bound).Cmp(la) < 0 {
+		bound++
+	}
+	if bound < dmax {
+		bound = dmax
+	}
+	return bound, true
+}
+
+// maxDeadlineBelow returns the largest absolute deadline k·T_i + D_i that is
+// strictly smaller than t, over all tasks, and whether one exists.
+func maxDeadlineBelow(set []task.Sporadic, t Time) (Time, bool) {
+	var best Time = -1
+	for _, s := range set {
+		if s.D >= t {
+			continue
+		}
+		// Largest k with k·T + D < t:  k = ⌈(t − D)/T⌉ − 1 = ⌊(t − D − 1)/T⌋.
+		k := (t - s.D - 1) / s.T
+		d := k*s.T + s.D
+		if d > best {
+			best = d
+		}
+	}
+	return best, best >= 0
+}
+
+// ExactFeasible reports whether the constrained-deadline sporadic task set is
+// EDF-schedulable on one unit-speed preemptive processor, using the exact
+// processor-demand criterion  ∀t ≥ 0: Σ DBF(τ_i, t) ≤ t,  accelerated by the
+// QPA iteration of Zhang & Burns. This is an exact (necessary and
+// sufficient) test whenever Σ u_i < 1; for Σ u_i == 1 exactly the test falls
+// back to checking all absolute deadlines up to the hyperperiod (and reports
+// false on hyperperiod overflow — a conservative answer). Σ u_i > 1 is
+// always infeasible.
+func ExactFeasible(set []task.Sporadic) bool {
+	if len(set) == 0 {
+		return true
+	}
+	cmp := TotalUtilizationRat(set).Cmp(one)
+	if cmp > 0 {
+		return false
+	}
+	if cmp == 0 {
+		return exactFeasibleFullUtil(set)
+	}
+	bound, ok := exactTestBound(set)
+	if !ok {
+		return false
+	}
+	return qpa(set, bound)
+}
+
+// qpa runs the QPA iteration: starting from the largest absolute deadline
+// below the bound L, it walks t downward via t ← h(t) (or the next smaller
+// deadline when h(t) = t), declaring failure the moment h(t) > t.
+func qpa(set []task.Sporadic, l Time) bool {
+	dmin := set[0].D
+	for _, s := range set[1:] {
+		if s.D < dmin {
+			dmin = s.D
+		}
+	}
+	t, ok := maxDeadlineBelow(set, l+1) // largest deadline ≤ L
+	if !ok {
+		return true // no deadline within the bound: vacuously schedulable
+	}
+	for {
+		h := TotalDBF(set, t)
+		if h > t {
+			return false
+		}
+		if h <= dmin {
+			return true
+		}
+		if h < t {
+			t = h
+		} else { // h == t: step to the next smaller absolute deadline
+			nt, ok := maxDeadlineBelow(set, t)
+			if !ok {
+				return true
+			}
+			t = nt
+		}
+	}
+}
+
+// exactFeasibleFullUtil handles Σ u_i == 1 by enumerating every absolute
+// deadline up to hyperperiod + D_max. Returns false conservatively if the
+// hyperperiod overflows the enumeration budget.
+func exactFeasibleFullUtil(set []task.Sporadic) bool {
+	const maxHyper = Time(1) << 32
+	hyper := Time(1)
+	for _, s := range set {
+		hyper = lcm(hyper, s.T)
+		if hyper <= 0 || hyper > maxHyper {
+			return false // overflow / too large: conservative answer
+		}
+	}
+	var dmax Time
+	for _, s := range set {
+		if s.D > dmax {
+			dmax = s.D
+		}
+	}
+	limit := hyper + dmax
+	// Collect all absolute deadlines ≤ limit and check demand at each.
+	var deadlines []Time
+	for _, s := range set {
+		for d := s.D; d <= limit; d += s.T {
+			deadlines = append(deadlines, d)
+		}
+		if len(deadlines) > 1<<22 {
+			return false // enumeration budget exceeded: conservative
+		}
+	}
+	sort.Slice(deadlines, func(i, j int) bool { return deadlines[i] < deadlines[j] })
+	for _, t := range deadlines {
+		if TotalDBF(set, t) > t {
+			return false
+		}
+	}
+	return true
+}
+
+func gcd(a, b Time) Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b Time) Time {
+	return a / gcd(a, b) * b
+}
+
+// AsSporadics collapses a DAG task system into three-parameter tasks
+// (C = vol_i, D_i, T_i), the representation PARTITION operates on.
+func AsSporadics(sys task.System) []task.Sporadic {
+	out := make([]task.Sporadic, len(sys))
+	for i, tk := range sys {
+		out[i] = tk.AsSporadic()
+	}
+	return out
+}

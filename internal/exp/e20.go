@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"math/big"
+
+	"fedsched/internal/baseline"
+	"fedsched/internal/binpack"
+	"fedsched/internal/core"
+	"fedsched/internal/gen"
+	"fedsched/internal/stats"
+	"fedsched/internal/task"
+)
+
+// E20PartitionOptimality quantifies the paper's Section III "bottleneck"
+// remark. For implicit-deadline systems of low-utilization tasks the
+// partitioning problem is pure bin packing of utilizations (per-processor
+// EDF is exact at Σu ≤ 1), which the paper notes can be solved to speedup
+// (1 + ε) via the Hochbaum–Shmoys PTAS; this experiment uses the exact
+// branch-and-bound packer (the ε → 0 endpoint) as OPT and measures how much
+// acceptance the practical first-fit policies give up against it —
+// contrasted with the constrained-deadline regime, where no comparable
+// near-optimal partitioner is known and Lemma 2's 3 − 1/m is the bottleneck.
+func E20PartitionOptimality(cfg Config) (*Result, error) {
+	const m, n = 8, 16
+	r := cfg.rng(20)
+	tab := &stats.Table{
+		Title:   "E20 — implicit-deadline partitioning vs the optimal packer (m=8, n=16, all u<1)",
+		Columns: []string{"U/m", "systems", "OPT packing", "FEDCONS (FF+DBF*)", "LI-FED (FF util)", "FF gap vs OPT"},
+	}
+	res := &Result{
+		ID:    "E20",
+		Title: "Extension: partition optimality gap on implicit systems",
+		Table: tab,
+		Plot:  &PlotSpec{XCol: 0, YCols: []int{2, 3, 4}},
+	}
+	subopt := 0
+	for _, normU := range []float64{0.6, 0.7, 0.8, 0.85, 0.9, 0.95} {
+		var opt, fed, li stats.Counter
+		for i := 0; i < cfg.SystemsPerPoint; i++ {
+			p := sweepParams(n, m, normU)
+			p.BetaMin, p.BetaMax = 1.0, 1.0 // implicit deadlines
+			// Packing regime: cap every task at u < 1 (UUniFastDiscard).
+			utils := gen.UUniFastDiscard(r, n, normU*float64(m), 0.99, 1000)
+			if utils == nil {
+				continue
+			}
+			sys := make(task.System, 0, n)
+			genFailed := false
+			for _, u := range utils {
+				if u < 1e-4 {
+					u = 1e-4
+				}
+				tk, err := gen.TaskFor(r, gen.Graph(r, p), u, p)
+				if err != nil {
+					genFailed = true
+					break
+				}
+				sys = append(sys, tk)
+			}
+			if genFailed {
+				continue
+			}
+			if high, _ := sys.SplitByUtilization(); len(high) > 0 {
+				continue // T got floored at len for some task: skip
+			}
+			items := make([]*big.Rat, len(sys))
+			for j, tk := range sys {
+				items[j] = tk.UtilizationRat()
+			}
+			ok, conclusive := binpack.Feasible(items, m, 0)
+			if !conclusive {
+				continue
+			}
+			f := core.Schedulable(sys, m, core.Options{})
+			l := baseline.LiFed(sys, m)
+			opt.Add(ok)
+			fed.Add(f)
+			li.Add(l)
+			if (f || l) && !ok {
+				subopt++ // heuristic accepted what OPT proves impossible: bug
+			}
+		}
+		gap := opt.Ratio() - fed.Ratio()
+		tab.AddRow(normU, opt.Total, opt.Ratio(), fed.Ratio(), li.Ratio(), gap)
+	}
+	if subopt > 0 {
+		res.Notes = append(res.Notes, "UNEXPECTED: a first-fit heuristic accepted a system the exact packer proves infeasible")
+	}
+	res.Notes = append(res.Notes,
+		"On implicit systems the optimal packer upper-bounds both first-fit policies, and the gap only",
+		"opens near saturation (U/m ≳ 0.8) — consistent with the paper's Section III remark that for",
+		"implicit deadlines partitioning is solvable near-optimally (PTAS [13]; exact B&B here) and the",
+		"high-utilization tasks are the real bottleneck. Under constrained deadlines there is no analogous",
+		"optimal reference, and Lemma 2's 3 − 1/m partitioning bound becomes the binding term of Theorem 1.")
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Config { return Config{Seed: 7, SystemsPerPoint: 8, SimHorizon: 2000} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config must be invalid")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuiteCoversDesignDoc(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Suite() {
+		if e.Run == nil || e.ID == "" || e.Name == "" {
+			t.Fatalf("incomplete suite entry %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for i := 1; i <= 12; i++ {
+		id := "E" + itoa(i)
+		if !ids[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return string(rune('0' + i))
+}
+
+func TestE1MatchesPaperExactly(t *testing.T) {
+	res, err := E1Example1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		if row[3] != "true" {
+			t.Errorf("quantity %s: paper %s vs measured %s", row[0], row[1], row[2])
+		}
+	}
+	assertNoUnexpected(t, res)
+}
+
+func TestE2RequiresExactlyNProcessors(t *testing.T) {
+	res, err := E2CapacityAugmentation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoUnexpected(t, res)
+	// Spot-check the n=8 row: min m must equal 8 for both columns.
+	for _, row := range res.Table.Rows {
+		if row[0] == "8" {
+			if row[3] != "8" || row[4] != "8" {
+				t.Errorf("n=8 row = %v, want min m = 8", row)
+			}
+			return
+		}
+	}
+	t.Error("n=8 row missing")
+}
+
+func TestE3NoBoundViolations(t *testing.T) {
+	res, err := E3LSMakespanBound(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoUnexpected(t, res)
+	for _, row := range res.Table.Rows {
+		if row[4] != "0" {
+			t.Errorf("Graham bound violations in row %v", row)
+		}
+	}
+}
+
+func TestE4CurveShape(t *testing.T) {
+	res, err := E4AcceptanceVsUtil(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Table.Rows
+	if len(rows) != len(utilGrid) {
+		t.Fatalf("%d rows, want %d", len(rows), len(utilGrid))
+	}
+	// Acceptance at the lightest point must beat the heaviest point.
+	first, last := rows[0][3], rows[len(rows)-1][3]
+	if first == "0" {
+		t.Errorf("acceptance at U/m=0.05 is zero")
+	}
+	if first == last {
+		t.Logf("warning: flat acceptance curve (%s..%s) — small sample?", first, last)
+	}
+}
+
+func TestE6OrderingHolds(t *testing.T) {
+	res, err := E6BaselineComparison(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoUnexpected(t, res)
+}
+
+func TestE9AnomalyRowsAreConclusive(t *testing.T) {
+	res, err := E9Anomaly(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoUnexpected(t, res)
+	if len(res.Table.Rows) < 5 {
+		t.Fatalf("only %d anomaly instances", len(res.Table.Rows))
+	}
+	for _, row := range res.Table.Rows {
+		if row[6] != "MISS" || row[7] != "ok" {
+			t.Errorf("row %v: want rerun MISS, replay ok", row)
+		}
+	}
+}
+
+func TestE10ZeroMisses(t *testing.T) {
+	res, err := E10SimulationValidation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoUnexpected(t, res)
+	for _, row := range res.Table.Rows {
+		if row[3] != "0" {
+			t.Errorf("misses in row %v", row)
+		}
+	}
+}
+
+func TestE8DominanceHolds(t *testing.T) {
+	res, err := E8PartitionAblation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoUnexpected(t, res)
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	results, err := All(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Suite()) {
+		t.Fatalf("%d results for %d experiments", len(results), len(Suite()))
+	}
+	for _, res := range results {
+		if res.Table == nil || len(res.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", res.ID)
+		}
+		if len(res.Notes) == 0 {
+			t.Errorf("%s: no notes", res.ID)
+		}
+	}
+}
+
+func assertNoUnexpected(t *testing.T, res *Result) {
+	t.Helper()
+	for _, n := range res.Notes {
+		if strings.Contains(n, "UNEXPECTED") {
+			t.Errorf("%s: %s", res.ID, n)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReportOptions configures WriteReport.
+type ReportOptions struct {
+	// Figures renders each experiment's ASCII figure under its table.
+	Figures bool
+	// FigureWidth/FigureHeight size the ASCII charts (defaults 56×14).
+	FigureWidth  int
+	FigureHeight int
+}
+
+// WriteReport renders a slice of experiment results as the Markdown body
+// recorded in EXPERIMENTS.md: one section per experiment with its table,
+// optional figure, and notes. The caller prepends whatever preamble it
+// wants; cmd/experiments exposes this via -o.
+func WriteReport(w io.Writer, results []*Result, opt ReportOptions) error {
+	width, height := opt.FigureWidth, opt.FigureHeight
+	if width == 0 {
+		width = 56
+	}
+	if height == 0 {
+		height = 14
+	}
+	for _, res := range results {
+		if _, err := io.WriteString(w, res.Table.Markdown()); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if opt.Figures {
+			if fig := res.Render(width, height); fig != "" {
+				if _, err := fmt.Fprintf(w, "```\n%s```\n\n", fig); err != nil {
+					return err
+				}
+			}
+		}
+		for _, n := range res.Notes {
+			if _, err := fmt.Fprintf(w, "> %s\n", n); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary produces the one-line-per-experiment overview table used at the
+// top of EXPERIMENTS.md: id, title, and a PASS/ATTENTION flag derived from
+// the notes (any UNEXPECTED note flags attention).
+func Summary(results []*Result) string {
+	var sb strings.Builder
+	sb.WriteString("| ID | Experiment | Status |\n| --- | --- | --- |\n")
+	for _, res := range results {
+		status := "ok"
+		for _, n := range res.Notes {
+			if strings.Contains(n, "UNEXPECTED") {
+				status = "ATTENTION"
+				break
+			}
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s |\n", res.ID, res.Title, status)
+	}
+	return sb.String()
+}

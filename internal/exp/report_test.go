@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fedsched/internal/stats"
+)
+
+func fakeResults() []*Result {
+	tab := &stats.Table{Title: "T", Columns: []string{"x", "y"}}
+	tab.AddRow(0.1, 1.0)
+	tab.AddRow(0.9, 0.0)
+	return []*Result{
+		{ID: "EA", Title: "alpha", Table: tab, Notes: []string{"fine"}, Plot: &PlotSpec{XCol: 0, YCols: []int{1}}},
+		{ID: "EB", Title: "beta", Table: tab, Notes: []string{"UNEXPECTED: broken"}},
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, fakeResults(), ReportOptions{Figures: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### T", "> fine", "> UNEXPECTED: broken", "```"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Without figures no code fences appear.
+	var plain bytes.Buffer
+	if err := WriteReport(&plain, fakeResults(), ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "```") {
+		t.Error("figures rendered without Figures option")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(fakeResults())
+	if !strings.Contains(s, "| EA | alpha | ok |") {
+		t.Errorf("summary: %s", s)
+	}
+	if !strings.Contains(s, "| EB | beta | ATTENTION |") {
+		t.Errorf("summary: %s", s)
+	}
+}
+
+func TestExperimentsAreDeterministic(t *testing.T) {
+	// Same config ⇒ byte-identical tables (the whole suite is seeded).
+	cfg := quick()
+	for _, id := range []string{"E4", "E15"} {
+		var runs []*Result
+		for i := 0; i < 2; i++ {
+			for _, e := range Suite() {
+				if e.ID != id {
+					continue
+				}
+				res, err := e.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runs = append(runs, res)
+			}
+		}
+		if runs[0].Table.Markdown() != runs[1].Table.Markdown() {
+			t.Errorf("%s is not deterministic", id)
+		}
+	}
+}

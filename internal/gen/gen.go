@@ -1,0 +1,345 @@
+// Package gen generates random sporadic DAG task systems for the
+// schedulability experiments (the paper evaluates on "randomly-generated
+// task systems"; DESIGN.md §3 records the substitution of the real-time
+// community's standard generator).
+//
+// Utilizations come from UUniFast (Bini & Buttazzo), DAG structure from the
+// layered Erdős–Rényi method (edges i→j, i<j, with probability p), fork-join
+// or recursive series-parallel expansion. Periods are derived from the target
+// utilization (T = vol/u, floored at len so every task is feasible), and
+// constrained deadlines are drawn as D = len + β·(T − len) with β uniform in
+// a configurable range — β small yields tight (density-heavy) systems.
+//
+// All randomness flows through the caller's *rand.Rand; generation is fully
+// reproducible from a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// Time is re-exported for convenience.
+type Time = task.Time
+
+// UUniFast draws n utilizations summing to total, uniformly over the simplex
+// (Bini & Buttazzo's UUniFast). Individual values may exceed 1 when
+// total > 1 — exactly how high-utilization (and hence high-density) DAG
+// tasks arise in federated-scheduling experiments.
+func UUniFast(r *rand.Rand, n int, total float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(r.Float64(), 1/float64(n-1-i))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// UUniFastDiscard repeats UUniFast until every utilization is ≤ cap,
+// returning nil after maxTries failures (e.g. total > n·cap is impossible).
+func UUniFastDiscard(r *rand.Rand, n int, total, cap float64, maxTries int) []float64 {
+	if total > float64(n)*cap {
+		return nil
+	}
+	for try := 0; try < maxTries; try++ {
+		u := UUniFast(r, n, total)
+		ok := true
+		for _, v := range u {
+			if v > cap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return u
+		}
+	}
+	return nil
+}
+
+// Shape selects the random DAG topology.
+type Shape int
+
+const (
+	// ErdosRenyi: edges i→j (i<j) independently with probability EdgeProb.
+	ErdosRenyi Shape = iota
+	// ForkJoin: a source, a random fan of parallel branches, a sink.
+	ForkJoin
+	// SeriesParallel: recursive series/parallel composition.
+	SeriesParallel
+	// Layered: vertices arranged in random layers with edges only between
+	// adjacent layers (the Qamhieh–Midonnet style generator).
+	Layered
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ErdosRenyi:
+		return "erdos-renyi"
+	case ForkJoin:
+		return "fork-join"
+	case SeriesParallel:
+		return "series-parallel"
+	case Layered:
+		return "layered"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Params configures system generation. See DefaultParams for a baseline.
+type Params struct {
+	// Tasks is the number of tasks n.
+	Tasks int
+	// TotalUtilization is U_sum(τ), split across tasks by UUniFast.
+	TotalUtilization float64
+	// Shape, MinVerts, MaxVerts, EdgeProb control the DAG structure.
+	Shape    Shape
+	MinVerts int
+	MaxVerts int
+	EdgeProb float64
+	// WCETMin, WCETMax bound per-vertex WCETs (inclusive).
+	WCETMin Time
+	WCETMax Time
+	// BetaMin, BetaMax bound the deadline tightness: D = len + β·(T − len)
+	// with β uniform in [BetaMin, BetaMax]. With BetaMax ≤ 1 every deadline
+	// is constrained (D ≤ T; β = 1 means implicit whenever T ≥ len); a
+	// BetaMax in (1, 3] generates arbitrary-deadline tasks (D may exceed T)
+	// for the E13 extension experiment.
+	BetaMin float64
+	BetaMax float64
+}
+
+// DefaultParams is the baseline configuration used across experiments:
+// 10 tasks, moderately parallel 20–50-vertex Erdős–Rényi DAGs, deadlines
+// uniformly constrained.
+func DefaultParams(tasks int, totalU float64) Params {
+	return Params{
+		Tasks:            tasks,
+		TotalUtilization: totalU,
+		Shape:            ErdosRenyi,
+		MinVerts:         20,
+		MaxVerts:         50,
+		EdgeProb:         0.1,
+		WCETMin:          1,
+		WCETMax:          100,
+		BetaMin:          0.25,
+		BetaMax:          1.0,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.Tasks < 1:
+		return fmt.Errorf("gen: Tasks must be ≥ 1, got %d", p.Tasks)
+	case p.TotalUtilization <= 0:
+		return fmt.Errorf("gen: TotalUtilization must be positive, got %v", p.TotalUtilization)
+	case p.MinVerts < 1 || p.MaxVerts < p.MinVerts:
+		return fmt.Errorf("gen: vertex range [%d,%d] invalid", p.MinVerts, p.MaxVerts)
+	case p.EdgeProb < 0 || p.EdgeProb > 1:
+		return fmt.Errorf("gen: EdgeProb %v outside [0,1]", p.EdgeProb)
+	case p.WCETMin < 1 || p.WCETMax < p.WCETMin:
+		return fmt.Errorf("gen: WCET range [%d,%d] invalid", p.WCETMin, p.WCETMax)
+	case p.BetaMin <= 0 || p.BetaMax < p.BetaMin || p.BetaMax > 3:
+		return fmt.Errorf("gen: beta range [%v,%v] invalid", p.BetaMin, p.BetaMax)
+	}
+	return nil
+}
+
+// System generates one random task system under p. Every generated task is
+// individually feasible (len_i ≤ D_i ≤ T_i) and the system's USum is close
+// to (never above by more than rounding) TotalUtilization.
+func System(r *rand.Rand, p Params) (task.System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	utils := UUniFast(r, p.Tasks, p.TotalUtilization)
+	sys := make(task.System, 0, p.Tasks)
+	for i, u := range utils {
+		g := Graph(r, p)
+		tk, err := TaskFor(r, g, u, p)
+		if err != nil {
+			return nil, fmt.Errorf("gen: task %d: %w", i, err)
+		}
+		tk.Name = fmt.Sprintf("tau%d", i+1)
+		sys = append(sys, tk)
+	}
+	return sys, nil
+}
+
+// Graph generates one random DAG under p.
+func Graph(r *rand.Rand, p Params) *dag.DAG {
+	n := p.MinVerts
+	if p.MaxVerts > p.MinVerts {
+		n += r.Intn(p.MaxVerts - p.MinVerts + 1)
+	}
+	switch p.Shape {
+	case ForkJoin:
+		return forkJoin(r, n, p)
+	case SeriesParallel:
+		return seriesParallel(r, n, p)
+	case Layered:
+		return layered(r, n, p)
+	default:
+		return erdosRenyi(r, n, p)
+	}
+}
+
+// TaskFor wraps a DAG into a sporadic DAG task with utilization ≈ u:
+// T = max(len, round(vol/u)) and D = len + β·(T − len). The len floor keeps
+// the task feasible; it caps the achievable per-task utilization at
+// vol/len (a task cannot demand more than its maximum parallel speed).
+func TaskFor(r *rand.Rand, g *dag.DAG, u float64, p Params) (*task.DAGTask, error) {
+	if u <= 0 {
+		return nil, fmt.Errorf("utilization %v must be positive", u)
+	}
+	vol := g.Volume()
+	l := g.LongestChain()
+	t := Time(math.Round(float64(vol) / u))
+	if t < l {
+		t = l
+	}
+	if t < 1 {
+		t = 1
+	}
+	beta := p.BetaMin + r.Float64()*(p.BetaMax-p.BetaMin)
+	d := l + Time(math.Round(beta*float64(t-l)))
+	if d < 1 {
+		d = 1
+	}
+	// With BetaMax ≤ 1 the system is guaranteed constrained; clamp away any
+	// rounding overshoot. BetaMax > 1 deliberately permits D > T.
+	if p.BetaMax <= 1 && d > t {
+		d = t
+	}
+	return task.New("", g, d, t)
+}
+
+func wcet(r *rand.Rand, p Params) Time {
+	return p.WCETMin + Time(r.Int63n(int64(p.WCETMax-p.WCETMin+1)))
+}
+
+func erdosRenyi(r *rand.Rand, n int, p Params) *dag.DAG {
+	b := dag.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddJob(wcet(r, p))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p.EdgeProb {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func forkJoin(r *rand.Rand, n int, p Params) *dag.DAG {
+	if n < 3 {
+		n = 3
+	}
+	fan := n - 2
+	b := dag.NewBuilder(n)
+	src := b.AddVertex("fork", wcet(r, p))
+	for i := 0; i < fan; i++ {
+		v := b.AddJob(wcet(r, p))
+		b.AddEdge(src, v)
+		b.AddEdge(v, fan+1)
+	}
+	b.AddVertex("join", wcet(r, p))
+	return b.MustBuild()
+}
+
+// seriesParallel builds a two-terminal series-parallel graph with about n
+// vertices by recursive composition, then attaches WCETs.
+func seriesParallel(r *rand.Rand, n int, p Params) *dag.DAG {
+	b := dag.NewBuilder(n)
+	var build func(budget int) (entry, exit int)
+	build = func(budget int) (int, int) {
+		if budget <= 1 {
+			v := b.AddJob(wcet(r, p))
+			return v, v
+		}
+		left := 1 + r.Intn(budget-1)
+		right := budget - left
+		if r.Intn(2) == 0 { // series
+			e1, x1 := build(left)
+			e2, x2 := build(right)
+			b.AddEdge(x1, e2)
+			return e1, x2
+		}
+		// parallel: shared entry/exit wrappers around two branches
+		e1, x1 := build(left)
+		e2, x2 := build(right)
+		entry := b.AddJob(wcet(r, p))
+		exit := b.AddJob(wcet(r, p))
+		b.AddEdge(entry, e1)
+		b.AddEdge(entry, e2)
+		b.AddEdge(x1, exit)
+		b.AddEdge(x2, exit)
+		return entry, exit
+	}
+	build(n)
+	return b.MustBuild()
+}
+
+// layered distributes n vertices over random layers and adds edges between
+// adjacent layers with probability max(EdgeProb, enough to keep each
+// non-source vertex connected).
+func layered(r *rand.Rand, n int, p Params) *dag.DAG {
+	b := dag.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddJob(wcet(r, p))
+	}
+	layers := 1 + r.Intn(maxInt(1, n/2))
+	layerOf := make([]int, n)
+	for v := range layerOf {
+		layerOf[v] = r.Intn(layers)
+	}
+	// Bucket vertices per layer (empty layers simply vanish).
+	buckets := make([][]int, layers)
+	for v, l := range layerOf {
+		buckets[l] = append(buckets[l], v)
+	}
+	prev := -1
+	for l := 0; l < layers; l++ {
+		if len(buckets[l]) == 0 {
+			continue
+		}
+		if prev >= 0 {
+			for _, v := range buckets[l] {
+				connected := false
+				for _, u := range buckets[prev] {
+					if r.Float64() < p.EdgeProb {
+						b.AddEdge(u, v)
+						connected = true
+					}
+				}
+				if !connected { // keep the layering meaningful
+					b.AddEdge(buckets[prev][r.Intn(len(buckets[prev]))], v)
+				}
+			}
+		}
+		prev = l
+	}
+	return b.MustBuild()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

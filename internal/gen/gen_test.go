@@ -1,0 +1,256 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUUniFastSumsToTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(20)
+		total := r.Float64() * 16
+		if total == 0 {
+			total = 0.5
+		}
+		u := UUniFast(r, n, total)
+		if len(u) != n {
+			t.Fatalf("len = %d, want %d", len(u), n)
+		}
+		sum := 0.0
+		for _, v := range u {
+			if v < 0 {
+				t.Fatalf("negative utilization %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("sum = %v, want %v", sum, total)
+		}
+	}
+}
+
+func TestUUniFastZeroTasks(t *testing.T) {
+	if UUniFast(rand.New(rand.NewSource(1)), 0, 1) != nil {
+		t.Error("n=0 must return nil")
+	}
+}
+
+func TestUUniFastDiscardRespectsCap(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	u := UUniFastDiscard(r, 8, 4.0, 1.0, 1000)
+	if u == nil {
+		t.Fatal("feasible cap produced nil")
+	}
+	for _, v := range u {
+		if v > 1.0+1e-12 {
+			t.Fatalf("utilization %v exceeds cap", v)
+		}
+	}
+	if UUniFastDiscard(r, 2, 3.0, 1.0, 10) != nil {
+		t.Error("impossible cap (3 > 2·1) must return nil")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams(10, 4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.Tasks = 0 },
+		func(p *Params) { p.TotalUtilization = 0 },
+		func(p *Params) { p.MinVerts = 0 },
+		func(p *Params) { p.MaxVerts = p.MinVerts - 1 },
+		func(p *Params) { p.EdgeProb = 1.5 },
+		func(p *Params) { p.WCETMin = 0 },
+		func(p *Params) { p.WCETMax = 0 },
+		func(p *Params) { p.BetaMin = 0 },
+		func(p *Params) { p.BetaMax = 3.5 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams(10, 4)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestSystemGeneratesFeasibleConstrainedTasks(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		p := DefaultParams(1+r.Intn(15), 0.5+r.Float64()*8)
+		sys, err := System(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sys) != p.Tasks {
+			t.Fatalf("generated %d tasks, want %d", len(sys), p.Tasks)
+		}
+		if !sys.Constrained() {
+			t.Fatal("generated system not constrained-deadline")
+		}
+		for _, tk := range sys {
+			if tk.Len() > tk.D {
+				t.Fatalf("infeasible task generated: %s", tk)
+			}
+			if tk.G.N() < p.MinVerts || tk.G.N() > p.MaxVerts {
+				t.Fatalf("vertex count %d outside [%d,%d]", tk.G.N(), p.MinVerts, p.MaxVerts)
+			}
+		}
+		// USum should approximate the target (the len floor may shave it).
+		if sys.USum() > p.TotalUtilization*1.05+0.1 {
+			t.Fatalf("USum %v far above target %v", sys.USum(), p.TotalUtilization)
+		}
+	}
+}
+
+func TestSystemDeterministicPerSeed(t *testing.T) {
+	p := DefaultParams(5, 3)
+	a, err := System(rand.New(rand.NewSource(7)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := System(rand.New(rand.NewSource(7)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].D != b[i].D || a[i].T != b[i].T || !a[i].G.Equal(b[i].G) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, shape := range []Shape{ErdosRenyi, ForkJoin, SeriesParallel} {
+		p := DefaultParams(1, 1)
+		p.Shape = shape
+		p.MinVerts, p.MaxVerts = 10, 30
+		for trial := 0; trial < 20; trial++ {
+			g := Graph(r, p)
+			if g.N() == 0 {
+				t.Fatalf("%v: empty graph", shape)
+			}
+			if g.LongestChain() > g.Volume() {
+				t.Fatalf("%v: len > vol", shape)
+			}
+			switch shape {
+			case ForkJoin:
+				if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+					t.Fatalf("fork-join must have single source and sink")
+				}
+				if g.Depth() != 3 {
+					t.Fatalf("fork-join depth = %d, want 3", g.Depth())
+				}
+			case SeriesParallel:
+				if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+					t.Fatalf("series-parallel must be two-terminal, got %d sources %d sinks",
+						len(g.Sources()), len(g.Sinks()))
+				}
+			}
+		}
+	}
+}
+
+func TestBetaControlsDeadlineTightness(t *testing.T) {
+	// β near 0 ⇒ D near len; β = 1 ⇒ D = T (implicit).
+	r := rand.New(rand.NewSource(6))
+	tight := DefaultParams(10, 2)
+	tight.BetaMin, tight.BetaMax = 0.01, 0.05
+	sysT, err := System(r, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := DefaultParams(10, 2)
+	loose.BetaMin, loose.BetaMax = 1.0, 1.0
+	sysL, err := System(r, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range sysL {
+		if tk.D != tk.T {
+			t.Fatalf("β=1 must give implicit deadlines, got D=%d T=%d", tk.D, tk.T)
+		}
+	}
+	// Tight systems have strictly higher density sums for the same total U.
+	if sysT.DensitySum() <= sysL.DensitySum() {
+		t.Errorf("tight density %v not above loose %v", sysT.DensitySum(), sysL.DensitySum())
+	}
+}
+
+func TestHighUtilizationYieldsHighDensityTasks(t *testing.T) {
+	// With total utilization well above the task count, some tasks must be
+	// high-density (u > 1 ⇒ δ > 1).
+	r := rand.New(rand.NewSource(8))
+	p := DefaultParams(4, 12)
+	found := false
+	for trial := 0; trial < 10 && !found; trial++ {
+		sys, err := System(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		high, _ := sys.SplitByDensity()
+		found = len(high) > 0
+	}
+	if !found {
+		t.Fatal("U_sum=12 across 4 tasks never produced a high-density task")
+	}
+}
+
+func TestTaskForUtilizationAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p := DefaultParams(1, 1)
+	for trial := 0; trial < 100; trial++ {
+		g := Graph(r, p)
+		target := 0.05 + r.Float64()*0.9
+		tk, err := TaskFor(r, g, target, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tk.Utilization()
+		// T rounding distorts u by at most one part in T.
+		if math.Abs(got-target)/target > 0.02 && math.Abs(got-target) > 0.02 {
+			t.Fatalf("utilization %v too far from target %v (vol=%d T=%d)",
+				got, target, tk.Volume(), tk.T)
+		}
+	}
+}
+
+func TestTaskForRejectsNonPositiveU(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	p := DefaultParams(1, 1)
+	if _, err := TaskFor(r, Graph(r, p), 0, p); err == nil {
+		t.Fatal("accepted u=0")
+	}
+}
+
+func TestLayeredShape(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	p := DefaultParams(1, 1)
+	p.Shape = Layered
+	p.MinVerts, p.MaxVerts = 8, 40
+	for trial := 0; trial < 40; trial++ {
+		g := Graph(r, p)
+		if g.N() < 8 || g.N() > 40 {
+			t.Fatalf("vertex count %d out of range", g.N())
+		}
+		// Layered structure: every non-source vertex has at least one
+		// predecessor (by construction), unless it sits in the first
+		// non-empty layer.
+		levels := g.Levels()
+		if len(levels) == 0 {
+			t.Fatal("no levels")
+		}
+		for _, lv := range levels[1:] {
+			for _, v := range lv {
+				if g.InDegree(v) == 0 {
+					t.Fatalf("vertex %d beyond layer 0 has no predecessor", v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package listsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+)
+
+func randomDAG(r *rand.Rand, n int, p float64, maxW int) *dag.DAG {
+	b := dag.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddJob(Time(1 + r.Intn(maxW)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRunRejectsBadM(t *testing.T) {
+	if _, err := Run(dag.Singleton(1), 0, nil); err == nil {
+		t.Fatal("accepted m=0")
+	}
+}
+
+func TestRunEmptyDAG(t *testing.T) {
+	s, err := Run(dag.NewBuilder(0).MustBuild(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 0 || len(s.Intervals) != 0 {
+		t.Errorf("empty schedule: %+v", s)
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	s, err := Run(dag.Singleton(7), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", s.Makespan)
+	}
+	if err := s.Validate(dag.Singleton(7)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainIsSequential(t *testing.T) {
+	g := dag.Chain(2, 3, 4)
+	s, err := Run(g, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 9 {
+		t.Errorf("chain makespan = %d, want 9 (no parallelism possible)", s.Makespan)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndependentJobsPack(t *testing.T) {
+	g := dag.Independent(3, 3, 3, 3)
+	s, err := Run(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 6 {
+		t.Errorf("makespan = %d, want 6 (two rounds of two)", s.Makespan)
+	}
+	s1, _ := Run(g, 4, nil)
+	if s1.Makespan != 3 {
+		t.Errorf("makespan on m=4 = %d, want 3", s1.Makespan)
+	}
+	s2, _ := Run(g, 1, nil)
+	if s2.Makespan != 12 {
+		t.Errorf("makespan on m=1 = %d, want 12", s2.Makespan)
+	}
+}
+
+func TestExample1Makespans(t *testing.T) {
+	g := dag.Example1()
+	// On one processor the makespan must be vol = 9.
+	s1, _ := Run(g, 1, nil)
+	if s1.Makespan != 9 {
+		t.Errorf("m=1 makespan = %d, want 9", s1.Makespan)
+	}
+	// On many processors it cannot beat len = 6.
+	s8, _ := Run(g, 8, nil)
+	if s8.Makespan < 6 {
+		t.Errorf("m=8 makespan = %d below len=6", s8.Makespan)
+	}
+	// The DAG fits its deadline 16 on a single processor (9 ≤ 16).
+	if s1.Makespan > dag.Example1D {
+		t.Errorf("Example 1 must meet D=16 even on one processor")
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// In a work-conserving schedule, a processor is idle at time t only if
+	// no job is available at t. Verify on random instances by replaying.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		g := randomDAG(r, 3+r.Intn(20), 0.25, 6)
+		m := 1 + r.Intn(4)
+		s, err := Run(g, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertWorkConserving(t, g, s)
+	}
+}
+
+// assertWorkConserving checks that at every job start boundary, there is no
+// instant where a processor idles while a job is ready-but-unstarted.
+func assertWorkConserving(t *testing.T, g *dag.DAG, s *Schedule) {
+	t.Helper()
+	// Sample at every event time: job starts and ends.
+	events := map[Time]bool{}
+	for _, iv := range s.Intervals {
+		events[iv.Start] = true
+		events[iv.End] = true
+	}
+	for at := range events {
+		busy := 0
+		for _, iv := range s.Intervals {
+			if iv.Start <= at && at < iv.End {
+				busy++
+			}
+		}
+		if busy == s.M {
+			continue
+		}
+		// Some processor idle at `at`: no job may be available yet unstarted.
+		for j := 0; j < g.N(); j++ {
+			if s.Intervals[j].Start <= at {
+				continue // already started
+			}
+			avail := true
+			for _, p := range g.Predecessors(j) {
+				if s.Intervals[p].End > at {
+					avail = false
+					break
+				}
+			}
+			if avail {
+				t.Fatalf("at t=%d: %d/%d busy but job %d available and unstarted",
+					at, busy, s.M, j)
+			}
+		}
+	}
+}
+
+func TestGrahamBoundHolds(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		g := randomDAG(r, 2+r.Intn(40), r.Float64()*0.4, 10)
+		m := 1 + r.Intn(8)
+		for _, prio := range []Priority{nil, LongestPathFirst, LargestWCETFirst} {
+			s, err := Run(g, m, prio)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !WithinGrahamBound(s, g) {
+				t.Fatalf("Graham bound violated: makespan=%d m=%d vol=%d len=%d",
+					s.Makespan, m, g.Volume(), g.LongestChain())
+			}
+			if s.Makespan < MakespanLowerBound(g, m) {
+				t.Fatalf("makespan %d below lower bound %d", s.Makespan, MakespanLowerBound(g, m))
+			}
+		}
+	}
+}
+
+func TestLongestPathFirstNotWorseOnForkJoin(t *testing.T) {
+	// On a fork-join with one long branch, critical-path priority starts the
+	// long branch first and is at least as good as insertion order.
+	b := dag.NewBuilder(6)
+	src := b.AddJob(1)
+	short1 := b.AddJob(2)
+	short2 := b.AddJob(2)
+	long := b.AddJob(10)
+	sink := b.AddJob(1)
+	b.AddEdge(src, short1)
+	b.AddEdge(src, short2)
+	b.AddEdge(src, long)
+	b.AddEdge(short1, sink)
+	b.AddEdge(short2, sink)
+	b.AddEdge(long, sink)
+	g := b.MustBuild()
+	ins, _ := Run(g, 2, nil)
+	lpf, _ := Run(g, 2, LongestPathFirst)
+	if lpf.Makespan > ins.Makespan {
+		t.Errorf("LPF makespan %d > insertion %d", lpf.Makespan, ins.Makespan)
+	}
+	if lpf.Makespan != 12 { // 1 + 10 + 1 on the critical path
+		t.Errorf("LPF makespan = %d, want 12", lpf.Makespan)
+	}
+}
+
+func TestMakespanMonotoneInWCETIncrease(t *testing.T) {
+	// LS is anomalous under WCET *decreases*, but our deterministic LS on the
+	// *same* list must never produce a makespan exceeding Graham's bound
+	// after changes; also verify schedules stay valid after increases.
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		g := randomDAG(r, 3+r.Intn(15), 0.3, 5)
+		v := r.Intn(g.N())
+		g2, err := g.WithWCET(v, g.WCET(v)+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Run(g2, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Validate(g2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFindAnomalyDiscoversInstance(t *testing.T) {
+	a := FindAnomaly(rand.New(rand.NewSource(1)), 20000, nil)
+	if a == nil {
+		t.Fatal("no anomaly found within budget — LS anomaly search broken")
+	}
+	// Re-verify the instance end to end.
+	before, err := Run(a.Original, a.M, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Run(a.Reduced, a.M, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Makespan != a.Before || after.Makespan != a.After {
+		t.Fatalf("recorded makespans %d→%d, replay %d→%d", a.Before, a.After, before.Makespan, after.Makespan)
+	}
+	if a.After <= a.Before {
+		t.Fatalf("not an anomaly: %d → %d", a.Before, a.After)
+	}
+	if a.Reduced.WCET(a.Vertex) != a.Original.WCET(a.Vertex)-1 {
+		t.Error("reduced instance does not differ by exactly one tick at Vertex")
+	}
+}
+
+func TestClassicAnomalyStable(t *testing.T) {
+	a := ClassicAnomaly()
+	if a.After <= a.Before {
+		t.Fatalf("ClassicAnomaly not anomalous: %d → %d", a.Before, a.After)
+	}
+}
+
+func TestByProcessorPartitionsIntervals(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(13)), 20, 0.2, 5)
+	s, err := Run(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := s.ByProcessor()
+	total := 0
+	for p, ivs := range per {
+		for i, iv := range ivs {
+			if iv.Proc != p {
+				t.Fatalf("interval on wrong processor: %+v in bucket %d", iv, p)
+			}
+			if i > 0 && ivs[i-1].End > iv.Start {
+				t.Fatalf("processor %d intervals overlap", p)
+			}
+			total++
+		}
+	}
+	if total != g.N() {
+		t.Fatalf("ByProcessor lost intervals: %d of %d", total, g.N())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := dag.Chain(2, 3)
+	s, _ := Run(g, 1, nil)
+	// Break precedence.
+	bad := *s
+	bad.Intervals = append([]Interval(nil), s.Intervals...)
+	bad.Intervals[1].Start = 0
+	bad.Intervals[1].End = 3
+	if err := bad.Validate(g); err == nil {
+		t.Error("Validate accepted precedence violation")
+	}
+	// Wrong duration.
+	bad2 := *s
+	bad2.Intervals = append([]Interval(nil), s.Intervals...)
+	bad2.Intervals[0].End = bad2.Intervals[0].Start + 1
+	if err := bad2.Validate(g); err == nil {
+		t.Error("Validate accepted wrong duration")
+	}
+	// Wrong makespan.
+	bad3 := *s
+	bad3.Makespan = 1
+	if err := bad3.Validate(g); err == nil {
+		t.Error("Validate accepted wrong makespan")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(14)), 30, 0.2, 8)
+	a, _ := Run(g, 4, LongestPathFirst)
+	b, _ := Run(g, 4, LongestPathFirst)
+	for i := range a.Intervals {
+		if a.Intervals[i] != b.Intervals[i] {
+			t.Fatal("LS is not deterministic")
+		}
+	}
+}
+
+func BenchmarkRunLS(b *testing.B) {
+	g := randomDAG(rand.New(rand.NewSource(1)), 300, 0.05, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, 8, LongestPathFirst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMakespanCollapsesToLenAtWidth(t *testing.T) {
+	// On Width(G) processors no available job ever waits (running ∪ ready
+	// sets are antichains), so LS achieves exactly len(G) regardless of the
+	// priority list. This is the theorem MINPROCS uses to cap its scan.
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 150; trial++ {
+		g := randomDAG(r, 1+r.Intn(25), r.Float64()*0.4, 8)
+		w := g.Width()
+		for _, prio := range []Priority{nil, LongestPathFirst, LargestWCETFirst} {
+			s, err := Run(g, w, prio)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Makespan != g.LongestChain() {
+				t.Fatalf("makespan %d != len %d at m=width=%d for %s",
+					s.Makespan, g.LongestChain(), w, g)
+			}
+			// More processors cannot help (nor hurt) beyond the width.
+			s2, err := Run(g, w+3, prio)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s2.Makespan != g.LongestChain() {
+				t.Fatalf("makespan %d != len beyond width", s2.Makespan)
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package opt computes exact optimal makespans of small DAGs on identical
+// processors by branch and bound — a concrete stand-in for the "optimal
+// scheduler" that the paper's speedup bounds (Definition 1, Lemma 1) are
+// stated against.
+//
+// The search explores non-preemptive schedules. For P|prec|Cmax an optimal
+// non-preemptive schedule exists in which every job starts either at time 0
+// or at some job's completion (left-shifting any other schedule loses
+// nothing), so branching happens only at completion instants, over subsets
+// of ready jobs to dispatch onto free processors. Two admissible lower
+// bounds prune the search:
+//
+//	LB₁ = now + (remaining work)/m        (capacity bound)
+//	LB₂ = max over unfinished jobs of earliest-start + tail chain
+//
+// The LS makespan seeds the incumbent, so the search only explores where LS
+// might be suboptimal. Note that optimal *preemptive* makespans can be
+// smaller still; since OPT_np ≥ OPT_pre, every ratio LS/OPT_np measured by
+// experiment E18 is a lower bound on the true LS/OPT_pre ratio, and Graham's
+// (2 − 1/m) guarantee applies to both.
+//
+// The exponential search is intended for |V| ≤ ~14; Makespan gives up (ok ==
+// false) after the node budget.
+package opt
+
+import (
+	"math/bits"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+)
+
+// Time is re-exported for convenience.
+type Time = dag.Time
+
+// DefaultNodeBudget bounds the branch-and-bound search size.
+const DefaultNodeBudget = 2_000_000
+
+// Makespan returns the optimal non-preemptive makespan of g on m identical
+// processors. ok is false if |V| > 30 or the node budget was exhausted
+// before the search completed (the returned value is then the best
+// incumbent, an upper bound).
+func Makespan(g *dag.DAG, m int, nodeBudget int) (makespan Time, ok bool) {
+	n := g.N()
+	if n == 0 {
+		return 0, true
+	}
+	if n > 30 || m < 1 {
+		return 0, false
+	}
+	if nodeBudget <= 0 {
+		nodeBudget = DefaultNodeBudget
+	}
+	// Incumbent: LS with a critical-path list (usually near-optimal).
+	inc := Time(1) << 62
+	for _, prio := range []listsched.Priority{listsched.LongestPathFirst, nil, listsched.LargestWCETFirst} {
+		if s, err := listsched.Run(g, m, prio); err == nil && s.Makespan < inc {
+			inc = s.Makespan
+		}
+	}
+	if m >= g.Width() {
+		// Theorem: with at least Width processors, LS achieves len(G),
+		// which is a universal lower bound — already optimal.
+		return g.LongestChain(), true
+	}
+
+	bb := &search{
+		g:      g,
+		m:      m,
+		n:      n,
+		budget: nodeBudget,
+		best:   inc,
+		tail:   tails(g),
+		wcet:   make([]Time, n),
+		preds:  make([]uint32, n),
+	}
+	var totalWork Time
+	for v := 0; v < n; v++ {
+		bb.wcet[v] = g.WCET(v)
+		totalWork += bb.wcet[v]
+		for _, p := range g.Predecessors(v) {
+			bb.preds[v] |= 1 << uint(p)
+		}
+	}
+	bb.totalWork = totalWork
+	bb.dfs(0, 0, nil, 0)
+	if bb.budget <= 0 {
+		return bb.best, false
+	}
+	return bb.best, true
+}
+
+// tails returns, per vertex, the longest chain length starting at the vertex
+// (inclusive) — the tail used by LB₂.
+func tails(g *dag.DAG) []Time {
+	n := g.N()
+	tail := make([]Time, n)
+	order := g.TopologicalOrder()
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		var best Time
+		for _, w := range g.Successors(v) {
+			if tail[w] > best {
+				best = tail[w]
+			}
+		}
+		tail[v] = best + g.WCET(v)
+	}
+	return tail
+}
+
+type running struct {
+	job    int
+	finish Time
+}
+
+type search struct {
+	g         *dag.DAG
+	m, n      int
+	budget    int
+	best      Time
+	tail      []Time
+	wcet      []Time
+	preds     []uint32
+	totalWork Time
+}
+
+// dfs explores decisions at time `now` with `done` completed, `run` active
+// (sorted by finish), and workDone the total work of done plus the elapsed
+// part of running jobs — not tracked exactly; remaining work is recomputed.
+func (s *search) dfs(done uint32, startedWork Time, run []running, now Time) {
+	if s.budget <= 0 {
+		return
+	}
+	s.budget--
+
+	allMask := uint32(1)<<uint(s.n) - 1
+	started := done
+	for _, r := range run {
+		started |= 1 << uint(r.job)
+	}
+
+	// Completion: everything started and nothing running means done.
+	if started == allMask && len(run) == 0 {
+		if now < s.best {
+			s.best = now
+		}
+		return
+	}
+
+	// Lower bounds.
+	remaining := s.totalWork - startedWork // work of unstarted jobs
+	var runTail Time                       // latest running finish, and running leftovers
+	var leftover Time
+	for _, r := range run {
+		if r.finish > runTail {
+			runTail = r.finish
+		}
+		leftover += r.finish - now
+	}
+	lb := now + (remaining+leftover+Time(s.m)-1)/Time(s.m)
+	if runTail > lb {
+		lb = runTail
+	}
+	// Chain bound over unstarted jobs (they can start at `now` at best).
+	for v := 0; v < s.n; v++ {
+		if started&(1<<uint(v)) == 0 {
+			if b := now + s.tail[v]; b > lb {
+				lb = b
+			}
+		}
+	}
+	// Chain bound through running jobs.
+	for _, r := range run {
+		if b := r.finish + s.tail[r.job] - s.wcet[r.job]; b > lb {
+			lb = b
+		}
+	}
+	if lb >= s.best {
+		return
+	}
+
+	free := s.m - len(run)
+	ready := s.readyMask(done, started)
+
+	if free > 0 && ready != 0 {
+		// Branch over non-empty subsets of ready jobs of size ≤ free,
+		// largest-tail-first ordering for better pruning.
+		jobs := maskJobs(ready)
+		s.branchStarts(done, startedWork, run, now, jobs, free)
+	}
+	// Always also consider starting nothing and advancing to the next
+	// completion (required: the optimal choice may hold a processor idle
+	// for a job that becomes ready later).
+	if len(run) > 0 {
+		s.advance(done, startedWork, run, now)
+	}
+}
+
+// branchStarts enumerates subsets of `jobs` (size ≤ free) to start at now.
+func (s *search) branchStarts(done uint32, startedWork Time, run []running, now Time, jobs []int, free int) {
+	k := len(jobs)
+	for sub := 1; sub < 1<<uint(k); sub++ {
+		if bits.OnesCount32(uint32(sub)) > free {
+			continue
+		}
+		if s.budget <= 0 {
+			return
+		}
+		nrun := append([]running(nil), run...)
+		work := startedWork
+		for i := 0; i < k; i++ {
+			if sub&(1<<uint(i)) != 0 {
+				j := jobs[i]
+				nrun = append(nrun, running{job: j, finish: now + s.wcet[j]})
+				work += s.wcet[j]
+			}
+		}
+		s.advance(done, work, nrun, now)
+	}
+}
+
+// advance jumps to the earliest completion among run, retires every job
+// finishing then, and recurses.
+func (s *search) advance(done uint32, startedWork Time, run []running, now Time) {
+	next := run[0].finish
+	for _, r := range run[1:] {
+		if r.finish < next {
+			next = r.finish
+		}
+	}
+	var keep []running
+	ndone := done
+	for _, r := range run {
+		if r.finish == next {
+			ndone |= 1 << uint(r.job)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	s.dfs(ndone, startedWork, keep, next)
+}
+
+// readyMask returns unstarted jobs whose predecessors are all done.
+func (s *search) readyMask(done, started uint32) uint32 {
+	var ready uint32
+	for v := 0; v < s.n; v++ {
+		bit := uint32(1) << uint(v)
+		if started&bit != 0 {
+			continue
+		}
+		if s.preds[v]&^done == 0 {
+			ready |= bit
+		}
+	}
+	return ready
+}
+
+func maskJobs(mask uint32) []int {
+	var out []int
+	for mask != 0 {
+		v := bits.TrailingZeros32(mask)
+		out = append(out, v)
+		mask &^= 1 << uint(v)
+	}
+	return out
+}
+
+// MinprocsOPT returns the smallest μ ≤ cap for which the optimal
+// non-preemptive makespan of g is ≤ window, and the makespan at that μ.
+// ok is false if no μ within cap works or a search was inconclusive.
+// This is what procedure MINPROCS would return with a clairvoyant optimal
+// scheduler in place of LS — the reference point of Lemma 1.
+func MinprocsOPT(g *dag.DAG, window Time, cap int, nodeBudget int) (mu int, makespan Time, ok bool) {
+	if g.LongestChain() > window {
+		return 0, 0, false
+	}
+	limit := g.Width()
+	if cap < limit {
+		limit = cap
+	}
+	for mu = 1; mu <= limit; mu++ {
+		ms, complete := Makespan(g, mu, nodeBudget)
+		if !complete {
+			return 0, 0, false
+		}
+		if ms <= window {
+			return mu, ms, true
+		}
+	}
+	return 0, 0, false
+}

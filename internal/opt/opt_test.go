@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+)
+
+func TestMakespanKnownShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *dag.DAG
+		m    int
+		want Time
+	}{
+		{"empty", dag.NewBuilder(0).MustBuild(), 2, 0},
+		{"singleton", dag.Singleton(7), 3, 7},
+		{"chain", dag.Chain(2, 3, 4), 4, 9},
+		{"independent m=2", dag.Independent(3, 3, 3, 3), 2, 6},
+		{"independent m=3", dag.Independent(3, 3, 3, 3), 3, 6},
+		{"independent m=4", dag.Independent(3, 3, 3, 3), 4, 3},
+		{"example1 m=1", dag.Example1(), 1, 9},
+		{"example1 m=2", dag.Example1(), 2, 6},
+		{"example1 m=3", dag.Example1(), 3, 6},
+	}
+	for _, c := range cases {
+		got, ok := Makespan(c.g, c.m, 0)
+		if !ok {
+			t.Errorf("%s: search inconclusive", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: OPT = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMakespanRejectsBigInputs(t *testing.T) {
+	b := dag.NewBuilder(31)
+	for i := 0; i < 31; i++ {
+		b.AddJob(1)
+	}
+	if _, ok := Makespan(b.MustBuild(), 2, 0); ok {
+		t.Error("accepted |V| > 30")
+	}
+	if _, ok := Makespan(dag.Singleton(1), 0, 0); ok {
+		t.Error("accepted m = 0")
+	}
+}
+
+func randomSmallDAG(r *rand.Rand, n int) *dag.DAG {
+	b := dag.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddJob(Time(1 + r.Intn(8)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.3 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestOptimalNeverAboveLSAndRespectsLowerBound(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		g := randomSmallDAG(r, 3+r.Intn(8))
+		m := 1 + r.Intn(3)
+		optMs, ok := Makespan(g, m, 0)
+		if !ok {
+			t.Fatalf("trial %d: inconclusive (|V|=%d m=%d)", trial, g.N(), m)
+		}
+		lb := listsched.MakespanLowerBound(g, m)
+		if optMs < lb {
+			t.Fatalf("OPT %d below lower bound %d", optMs, lb)
+		}
+		for _, prio := range []listsched.Priority{nil, listsched.LongestPathFirst} {
+			s, err := listsched.Run(g, m, prio)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if optMs > s.Makespan {
+				t.Fatalf("OPT %d above LS %d", optMs, s.Makespan)
+			}
+			// Graham: LS ≤ (2 − 1/m)·OPT, i.e. LS·m ≤ (2m−1)·OPT.
+			if s.Makespan*Time(m) > (2*Time(m)-1)*optMs {
+				t.Fatalf("Lemma 1 violated: LS=%d OPT=%d m=%d", s.Makespan, optMs, m)
+			}
+		}
+	}
+}
+
+func TestOptimalIsAnomalyFree(t *testing.T) {
+	// Unlike LS, the optimal makespan is monotone under WCET reduction:
+	// any schedule of the original is feasible for the reduced instance.
+	an := listsched.FindAnomaly(rand.New(rand.NewSource(1)), 20_000, nil)
+	if an == nil {
+		t.Fatal("no anomaly instance")
+	}
+	before, ok1 := Makespan(an.Original, an.M, 0)
+	after, ok2 := Makespan(an.Reduced, an.M, 0)
+	if !ok1 || !ok2 {
+		t.Fatal("inconclusive")
+	}
+	if after > before {
+		t.Fatalf("OPT anomalous: %d → %d", before, after)
+	}
+	// And the anomaly means LS(reduced) > OPT(reduced).
+	ls, err := listsched.Run(an.Reduced, an.M, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Makespan <= after {
+		t.Skip("this anomaly instance is LS-optimal on the reduced DAG; rare but possible")
+	}
+}
+
+func TestMakespanBeatsLSWhereExpected(t *testing.T) {
+	// A case where LS is strictly suboptimal: the classic trap where greedy
+	// work-conservation occupies both processors with short jobs while the
+	// long chain waits. Jobs: a(1)→c(4); b1(2), b2(2) independent; m=2.
+	// LS (insertion order a,b1,b2,c): t0 a(P0), b1(P1); t1 a done, b2(P0);
+	// t2: b1 done... c starts at min(3): makespan 1+... compute: c ready at
+	// t1 but both procs busy until t2 (b1) → c at t2? P1 frees at 2 → c
+	// 2..6 → makespan 6. OPT: a(P0 0-1), c(P0 1-5), b1(P1 0-2), b2(P1 2-4)
+	// → 5.
+	b := dag.NewBuilder(4)
+	a := b.AddJob(1)
+	b.AddJob(2) // b1
+	b.AddJob(2) // b2
+	c := b.AddJob(4)
+	b.AddEdge(a, c)
+	g := b.MustBuild()
+	optMs, ok := Makespan(g, 2, 0)
+	if !ok {
+		t.Fatal("inconclusive")
+	}
+	if optMs != 5 {
+		t.Fatalf("OPT = %d, want 5", optMs)
+	}
+	ls, err := listsched.Run(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Makespan <= optMs {
+		t.Logf("note: LS matched OPT here (makespan %d); trap not triggered by this list", ls.Makespan)
+	}
+}
+
+func TestMinprocsOPT(t *testing.T) {
+	// 4 independent jobs of 5 with window 10: OPT needs 2 processors.
+	g := dag.Independent(5, 5, 5, 5)
+	mu, ms, ok := MinprocsOPT(g, 10, 8, 0)
+	if !ok || mu != 2 || ms != 10 {
+		t.Fatalf("MinprocsOPT = %d,%d,%v; want 2,10,true", mu, ms, ok)
+	}
+	// Window below len: impossible.
+	if _, _, ok := MinprocsOPT(dag.Chain(6, 6), 10, 8, 0); ok {
+		t.Error("accepted window < len")
+	}
+	// Cap too small.
+	if _, _, ok := MinprocsOPT(g, 10, 1, 0); ok {
+		t.Error("cap=1 cannot meet window 10 for vol 20")
+	}
+}
+
+func TestWidthShortCircuit(t *testing.T) {
+	// m ≥ width returns len immediately (and exactly).
+	g := dag.Example1()
+	ms, ok := Makespan(g, g.Width(), 0)
+	if !ok || ms != g.LongestChain() {
+		t.Fatalf("Makespan at width = %d,%v, want len=%d", ms, ok, g.LongestChain())
+	}
+}
+
+func BenchmarkMakespanBB(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	g := randomSmallDAG(r, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Makespan(g, 2, 0); !ok {
+			b.Fatal("inconclusive")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+)
+
+func TestOptimalMonotoneInProcessors(t *testing.T) {
+	// More processors never hurt the optimum (unlike LS, which is anomalous
+	// in m as well): OPT(m+1) ≤ OPT(m).
+	r := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 80; trial++ {
+		g := randomSmallDAG(r, 3+r.Intn(7))
+		var prev Time = 1 << 62
+		for m := 1; m <= 4; m++ {
+			ms, ok := Makespan(g, m, 0)
+			if !ok {
+				t.Fatalf("inconclusive at m=%d", m)
+			}
+			if ms > prev {
+				t.Fatalf("OPT rose from %d to %d when adding a processor", prev, ms)
+			}
+			prev = ms
+		}
+		// And it bottoms out at len(G).
+		msW, ok := Makespan(g, g.Width(), 0)
+		if !ok || msW != g.LongestChain() {
+			t.Fatalf("OPT at width = %d, want len %d", msW, g.LongestChain())
+		}
+	}
+}
+
+func TestOptimalMonotoneUnderWCETReduction(t *testing.T) {
+	// Reducing a WCET never increases the optimum (any schedule remains
+	// feasible) — the property LS famously lacks.
+	r := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 80; trial++ {
+		g := randomSmallDAG(r, 3+r.Intn(7))
+		m := 1 + r.Intn(3)
+		before, ok := Makespan(g, m, 0)
+		if !ok {
+			t.Fatal("inconclusive")
+		}
+		v := r.Intn(g.N())
+		if g.WCET(v) <= 1 {
+			continue
+		}
+		g2, err := g.WithWCET(v, g.WCET(v)-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, ok := Makespan(g2, m, 0)
+		if !ok {
+			t.Fatal("inconclusive")
+		}
+		if after > before {
+			t.Fatalf("OPT anomalous: %d → %d after reducing vertex %d", before, after, v)
+		}
+	}
+}
+
+func TestOptimalSubadditiveInWCET(t *testing.T) {
+	// Increasing one WCET by k increases OPT by at most k (insert idle
+	// time): OPT(g + k·e_v) ≤ OPT(g) + k.
+	r := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 60; trial++ {
+		g := randomSmallDAG(r, 3+r.Intn(6))
+		m := 1 + r.Intn(3)
+		base, ok := Makespan(g, m, 0)
+		if !ok {
+			t.Fatal("inconclusive")
+		}
+		v := r.Intn(g.N())
+		k := Time(1 + r.Intn(4))
+		g2, err := g.WithWCET(v, g.WCET(v)+k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, ok := Makespan(g2, m, 0)
+		if !ok {
+			t.Fatal("inconclusive")
+		}
+		if grown > base+k {
+			t.Fatalf("OPT grew by %d > %d after +%d on one vertex", grown-base, k, k)
+		}
+		if grown < base {
+			t.Fatalf("OPT shrank after a WCET increase: %d → %d", base, grown)
+		}
+	}
+}
+
+func dagBudgetExhausts(t *testing.T) *dag.DAG {
+	t.Helper()
+	b := dag.NewBuilder(14)
+	for i := 0; i < 14; i++ {
+		b.AddJob(Time(1 + i%5))
+	}
+	return b.MustBuild()
+}
+
+func TestNodeBudgetInconclusive(t *testing.T) {
+	// A tiny budget on a wide instance must report inconclusive, returning
+	// the incumbent (which is still an upper bound ≥ the true optimum).
+	g := dagBudgetExhausts(t)
+	ms, ok := Makespan(g, 3, 2)
+	if ok {
+		t.Skip("instance solved within 2 nodes (width short-circuit?)")
+	}
+	full, okFull := Makespan(g, 3, 50_000_000)
+	if !okFull {
+		t.Fatal("full-budget search inconclusive")
+	}
+	if ms < full {
+		t.Fatalf("inconclusive incumbent %d below true optimum %d", ms, full)
+	}
+}

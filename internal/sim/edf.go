@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+
+	"fedsched/internal/fp"
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+// upJob is one dag-job collapsed to a sequential job on a shared processor.
+type upJob struct {
+	taskIdx   int  // index into the processor's task group
+	inst      int  // dag-job instance number within its task
+	seq       int  // global admission order, for deterministic tie-breaking
+	key       Time // scheduling priority: absolute deadline (EDF) or DM rank
+	release   Time
+	deadline  Time // absolute
+	remaining Time
+}
+
+// uniprocEDF simulates the preemptive uniprocessor scheduler of one shared
+// processor: EDF (the paper's choice) or deadline-monotonic fixed priority,
+// per cfg.Shared. Intra-task structure is irrelevant on a single processor
+// (Section IV-B): each dag-job executes its vertices sequentially, so only
+// the total actual execution time matters. rngFor returns the deterministic
+// per-task random source.
+//
+// When rec is non-nil, every execution slice and job is recorded (with task
+// ids taken from taskIDs and the given processor id) for auditing by package
+// trace.
+func uniprocEDF(group task.System, cfg Config, rngFor func(j int) *rand.Rand, rec *trace.Recorder, proc int, taskIDs []int) []TaskStats {
+	stats := make([]TaskStats, len(group))
+	// Fixed-priority rank per task (used when cfg.Shared == DMPolicy).
+	rank := make([]Time, len(group))
+	if cfg.Shared == DMPolicy {
+		sps := make([]task.Sporadic, len(group))
+		for i, tk := range group {
+			sps[i] = tk.AsSporadic()
+		}
+		for r, i := range fp.DMOrder(sps) {
+			rank[i] = Time(r)
+		}
+	}
+	jobID := func(j upJob) trace.JobID {
+		id := trace.JobID{Task: j.taskIdx, Inst: j.inst}
+		if taskIDs != nil {
+			id.Task = taskIDs[j.taskIdx]
+		}
+		return id
+	}
+
+	// Generate all jobs up front.
+	var jobs []upJob
+	for j, tk := range group {
+		rng := rngFor(j)
+		for inst, rel := range arrivals(tk, cfg, rng) {
+			var exec Time
+			for v := 0; v < tk.G.N(); v++ {
+				exec += execTime(tk.G.WCET(v), cfg, rng)
+			}
+			jb := upJob{
+				taskIdx:   j,
+				inst:      inst,
+				release:   rel,
+				deadline:  rel + tk.D,
+				remaining: exec,
+			}
+			if cfg.Shared == DMPolicy {
+				jb.key = rank[j]
+			} else {
+				jb.key = jb.deadline
+			}
+			jobs = append(jobs, jb)
+			if rec != nil {
+				rec.Job(trace.JobInfo{ID: jobID(jb), Release: rel, Deadline: jb.deadline, Demand: exec})
+			}
+		}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].release < jobs[b].release })
+	for i := range jobs {
+		jobs[i].seq = i
+	}
+
+	// Event loop: advance between arrivals and completions.
+	pending := &edfHeap{}
+	now := Time(0)
+	next := 0 // next arrival index
+	for next < len(jobs) || pending.len() > 0 {
+		if pending.len() == 0 {
+			if jobs[next].release > now {
+				now = jobs[next].release
+			}
+		}
+		for next < len(jobs) && jobs[next].release <= now {
+			pending.push(jobs[next])
+			next++
+		}
+		if pending.len() == 0 {
+			continue
+		}
+		j := pending.peek()
+		finish := now + j.remaining
+		if next < len(jobs) && jobs[next].release < finish {
+			// Run until the next arrival, then re-evaluate priorities.
+			ran := jobs[next].release - now
+			if rec != nil {
+				rec.Run(jobID(j), proc, now, now+ran)
+			}
+			pending.a[0].remaining -= ran
+			now = jobs[next].release
+			continue
+		}
+		// Job completes before any new arrival.
+		pending.pop()
+		if rec != nil {
+			rec.Run(jobID(j), proc, now, finish)
+		}
+		now = finish
+		stats[j.taskIdx].record(j.release, finish, j.deadline)
+	}
+	return stats
+}
+
+// edfHeap is a min-heap of jobs by (key, seq); key is the absolute deadline
+// under EDF and the DM rank under fixed priority.
+type edfHeap struct{ a []upJob }
+
+func (h *edfHeap) len() int    { return len(h.a) }
+func (h *edfHeap) peek() upJob { return h.a[0] }
+func (h *edfHeap) less(x, y int) bool {
+	if h.a[x].key != h.a[y].key {
+		return h.a[x].key < h.a[y].key
+	}
+	return h.a[x].seq < h.a[y].seq
+}
+
+func (h *edfHeap) push(j upJob) {
+	h.a = append(h.a, j)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *edfHeap) pop() upJob {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < last && h.less(l, s) {
+			s = l
+		}
+		if r < last && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+// ReplayMode selects how dag-jobs of high-density tasks are dispatched on
+// their dedicated processors.
+type ReplayMode int
+
+const (
+	// TemplateReplay uses σ_i as a lookup table: every job starts exactly at
+	// its tabulated start time, processors idling when jobs finish early.
+	// This is the paper's (anomaly-safe) run-time rule.
+	TemplateReplay ReplayMode = iota
+	// NaiveRerun re-runs Graham's LS online with the actual execution
+	// times — the rule footnote 2 warns against. Subject to timing
+	// anomalies; experiment E9 exhibits deadline misses under it.
+	NaiveRerun
+)
+
+// Federated simulates the run-time behaviour of a FEDCONS allocation of sys
+// under cfg, using TemplateReplay for the high-density tasks. It returns
+// per-task statistics in input-system order.
+func Federated(sys task.System, alloc *core.Allocation, cfg Config) (*Report, error) {
+	return FederatedMode(sys, alloc, cfg, TemplateReplay, nil)
+}
+
+// PlatformTrace carries the per-group execution traces of a federated run.
+// Federated isolation makes each group's trace independently auditable: the
+// EDF rule only ever applies within one shared processor.
+type PlatformTrace struct {
+	// High has one trace per high-density assignment, in allocation order;
+	// processor ids inside are the task's global dedicated processors.
+	High []*trace.Trace
+	// Shared has one trace per shared processor, indexed like
+	// Allocation.SharedProcs; processor ids inside are global.
+	Shared []*trace.Trace
+}
+
+// FederatedMode is Federated with an explicit replay mode and LS priority
+// (the priority is used only by NaiveRerun; nil = insertion order).
+func FederatedMode(sys task.System, alloc *core.Allocation, cfg Config, mode ReplayMode, prio listsched.Priority) (*Report, error) {
+	rep, _, err := federated(sys, alloc, cfg, mode, prio, false)
+	return rep, err
+}
+
+// FederatedTraced is Federated plus full execution traces for auditing with
+// package trace.
+func FederatedTraced(sys task.System, alloc *core.Allocation, cfg Config) (*Report, *PlatformTrace, error) {
+	return federated(sys, alloc, cfg, TemplateReplay, nil, true)
+}
+
+func federated(sys task.System, alloc *core.Allocation, cfg Config, mode ReplayMode, prio listsched.Priority, traced bool) (*Report, *PlatformTrace, error) {
+	if cfg.Horizon <= 0 {
+		return nil, nil, fmt.Errorf("sim: horizon must be positive, got %d", cfg.Horizon)
+	}
+	if alloc == nil {
+		return nil, nil, fmt.Errorf("sim: nil allocation")
+	}
+	rep := &Report{PerTask: make([]TaskStats, len(sys))}
+	for i, tk := range sys {
+		rep.PerTask[i].Name = tk.Name
+	}
+	var pt *PlatformTrace
+	if traced {
+		pt = &PlatformTrace{}
+	}
+
+	// High-density tasks: isolated replay per dedicated group.
+	for _, h := range alloc.High {
+		tk := sys[h.TaskIndex]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(h.TaskIndex)*7919))
+		var rec *trace.Recorder
+		if traced {
+			rec = trace.NewRecorder(alloc.M)
+		}
+		st, err := replayHigh(tk, h.TaskIndex, h.Procs, h.Template, cfg, mode, prio, rng, rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: task %d (%q): %w", h.TaskIndex, tk.Name, err)
+		}
+		st.Name = tk.Name
+		rep.PerTask[h.TaskIndex] = st
+		if traced {
+			pt.High = append(pt.High, rec.Trace())
+		}
+	}
+
+	// Shared processors: independent uniprocessor EDF per processor.
+	for k, proc := range alloc.SharedProcs {
+		idxs := alloc.TasksOnShared(k)
+		group := make(task.System, len(idxs))
+		for j, i := range idxs {
+			group[j] = sys[i]
+		}
+		var rec *trace.Recorder
+		if traced {
+			rec = trace.NewRecorder(alloc.M)
+		}
+		stats := uniprocEDF(group, cfg, func(j int) *rand.Rand {
+			return rand.New(rand.NewSource(cfg.Seed + int64(idxs[j])*7919))
+		}, rec, proc, idxs)
+		for j, i := range idxs {
+			stats[j].Name = sys[i].Name
+			rep.PerTask[i] = stats[j]
+		}
+		if traced {
+			pt.Shared = append(pt.Shared, rec.Trace())
+		}
+	}
+	return rep, pt, nil
+}
+
+// replayHigh simulates every dag-job of one high-density task on its
+// dedicated processor group. taskIdx and procs are used only for trace
+// recording (rec may be nil).
+func replayHigh(tk *task.DAGTask, taskIdx int, procs []int, tmpl *listsched.Schedule, cfg Config, mode ReplayMode, prio listsched.Priority, rng *rand.Rand, rec *trace.Recorder) (TaskStats, error) {
+	var st TaskStats
+	if tmpl == nil {
+		return st, fmt.Errorf("missing template schedule")
+	}
+	prevBusyUntil := Time(0) // when the group's previous dag-job fully vacated
+	for inst, rel := range arrivals(tk, cfg, rng) {
+		start := rel
+		if rel < prevBusyUntil {
+			// Under TemplateReplay this cannot happen for a verified
+			// allocation: makespan ≤ D ≤ T ≤ separation. Violations indicate
+			// a broken allocation and are reported, not silently absorbed.
+			if mode == TemplateReplay {
+				return st, fmt.Errorf("dag-job released at %d while group busy until %d", rel, prevBusyUntil)
+			}
+			// NaiveRerun can overrun past T (that is the anomaly the E9
+			// experiment demonstrates); model a dispatcher that starts the
+			// next dag-job as soon as the group is vacated.
+			start = prevBusyUntil
+		}
+		actual := make([]Time, tk.G.N())
+		for v := range actual {
+			actual[v] = execTime(tk.G.WCET(v), cfg, rng)
+		}
+		var finish Time
+		switch mode {
+		case NaiveRerun:
+			reduced, err := dagWithActuals(tk.G, actual)
+			if err != nil {
+				return st, err
+			}
+			s, err := listsched.Run(reduced, tmpl.M, prio)
+			if err != nil {
+				return st, err
+			}
+			finish = start + s.Makespan
+		default: // TemplateReplay
+			for v := range actual {
+				vs := start + tmpl.Intervals[v].Start
+				end := vs + actual[v]
+				if end > finish {
+					finish = end
+				}
+				if rec != nil {
+					id := trace.JobID{Task: taskIdx, Inst: inst, Vertex: v}
+					rec.Job(trace.JobInfo{ID: id, Release: rel, Deadline: rel + tk.D, Demand: actual[v]})
+					rec.Run(id, procs[tmpl.Intervals[v].Proc], vs, end)
+				}
+			}
+		}
+		st.record(rel, finish, rel+tk.D)
+		prevBusyUntil = finish
+	}
+	return st, nil
+}
+
+// dagWithActuals clones g with each vertex's WCET replaced by its actual
+// execution time (all positive).
+func dagWithActuals(g *dag.DAG, actual []Time) (*dag.DAG, error) {
+	b := dag.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		b.AddVertex(g.Vertex(v).Name, actual[v])
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+// gJob is one vertex job of one dag-job instance under global EDF.
+type gJob struct {
+	taskIdx   int
+	inst      int // dag-job instance number within the task
+	vertex    int
+	release   Time // dag-job release
+	deadline  Time // absolute dag-job deadline (the EDF priority)
+	seq       int  // deterministic tie-break
+	remaining Time
+	pendPreds int
+}
+
+// GlobalEDF simulates vertex-level preemptive global EDF of the whole DAG
+// task system on m identical processors: at every scheduling event the m
+// available jobs with the earliest absolute dag-job deadlines execute (ties
+// broken deterministically); jobs become available when their dag-job is
+// released and all predecessor jobs have completed. Preemption and migration
+// are free, as in the global-scheduling literature the paper cites ([5],
+// [8], [16]).
+//
+// GlobalEDF is an observation tool, not a schedulability test: a miss-free
+// simulation of the periodic/WCET scenario does not prove sporadic
+// schedulability. Experiments use it as an empirical comparator.
+func GlobalEDF(sys task.System, m int, cfg Config) (*Report, error) {
+	rep, _, err := globalEDF(sys, m, cfg, nil)
+	return rep, err
+}
+
+// GlobalEDFTraced is GlobalEDF plus the full execution trace, auditable with
+// trace.CheckGlobalEDF. Processor ids in the trace are an arbitrary (but
+// consistent) per-event assignment: global EDF migrates freely.
+func GlobalEDFTraced(sys task.System, m int, cfg Config) (*Report, *trace.Trace, error) {
+	rec := trace.NewRecorder(m)
+	rep, _, err := globalEDF(sys, m, cfg, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, rec.Trace(), nil
+}
+
+func globalEDF(sys task.System, m int, cfg Config, rec *trace.Recorder) (*Report, *trace.Trace, error) {
+	if m < 1 {
+		return nil, nil, fmt.Errorf("sim: m must be ≥ 1, got %d", m)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, nil, fmt.Errorf("sim: horizon must be positive, got %d", cfg.Horizon)
+	}
+	rep := &Report{PerTask: make([]TaskStats, len(sys))}
+	for i, tk := range sys {
+		rep.PerTask[i].Name = tk.Name
+	}
+
+	// Materialize all vertex jobs of all dag-job instances.
+	type instance struct {
+		taskIdx  int
+		release  Time
+		deadline Time
+		done     int // completed vertices
+		finish   Time
+	}
+	var instances []instance
+	var all []*gJob
+	jobsOf := make(map[int][]*gJob) // instance index → its vertex jobs
+	for i, tk := range sys {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		for _, rel := range arrivals(tk, cfg, rng) {
+			instIdx := len(instances)
+			instances = append(instances, instance{taskIdx: i, release: rel, deadline: rel + tk.D})
+			for v := 0; v < tk.G.N(); v++ {
+				j := &gJob{
+					taskIdx: i, inst: instIdx, vertex: v,
+					release: rel, deadline: rel + tk.D,
+					remaining: execTime(tk.G.WCET(v), cfg, rng),
+					pendPreds: tk.G.InDegree(v),
+				}
+				all = append(all, j)
+				jobsOf[instIdx] = append(jobsOf[instIdx], j)
+				if rec != nil {
+					rec.Job(trace.JobInfo{
+						ID:       trace.JobID{Task: i, Inst: instIdx, Vertex: v},
+						Release:  rel,
+						Deadline: rel + tk.D,
+						Demand:   j.remaining,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].release < all[b].release })
+	for s, j := range all {
+		j.seq = s
+	}
+
+	// ready: available jobs; released[t]: source jobs pending release.
+	ready := &gHeap{}
+	next := 0 // next index in `all` to release
+	now := Time(0)
+	remainingJobs := len(all)
+
+	releaseUpTo := func(t Time) {
+		for next < len(all) && all[next].release <= t {
+			if all[next].pendPreds == 0 {
+				ready.push(all[next])
+			}
+			next++
+		}
+	}
+
+	for remainingJobs > 0 {
+		releaseUpTo(now)
+		if ready.len() == 0 {
+			if next >= len(all) {
+				// Jobs remain but none ready and no future release:
+				// impossible for valid DAGs (some running predecessor would
+				// have completed) — guarded for robustness.
+				return nil, nil, fmt.Errorf("sim: global EDF stalled at t=%d with %d jobs left", now, remainingJobs)
+			}
+			now = all[next].release
+			continue
+		}
+		// Select the min(m, ready) highest-priority jobs.
+		running := ready.takeUpTo(m)
+		// Advance to the next event: earliest completion or next release.
+		step := running[0].remaining
+		for _, j := range running[1:] {
+			if j.remaining < step {
+				step = j.remaining
+			}
+		}
+		if next < len(all) && all[next].release > now && all[next].release-now < step {
+			step = all[next].release - now
+		}
+		if rec != nil {
+			for p, j := range running {
+				rec.Run(trace.JobID{Task: j.taskIdx, Inst: j.inst, Vertex: j.vertex}, p, now, now+step)
+			}
+		}
+		now += step
+		for _, j := range running {
+			j.remaining -= step
+			if j.remaining > 0 {
+				ready.push(j) // preempted or still running; reconsidered next event
+				continue
+			}
+			remainingJobs--
+			inst := &instances[j.inst]
+			inst.done++
+			if now > inst.finish {
+				inst.finish = now
+			}
+			if inst.done == len(jobsOf[j.inst]) {
+				rep.PerTask[inst.taskIdx].record(inst.release, inst.finish, inst.deadline)
+			}
+			// Unblock successors.
+			tk := sys[j.taskIdx]
+			for _, w := range tk.G.Successors(j.vertex) {
+				for _, sj := range jobsOf[j.inst] {
+					if sj.vertex == w {
+						sj.pendPreds--
+						if sj.pendPreds == 0 && sj.release <= now {
+							ready.push(sj)
+						}
+					}
+				}
+			}
+		}
+	}
+	return rep, nil, nil
+}
+
+// gHeap is a min-heap of jobs by (deadline, seq).
+type gHeap struct{ a []*gJob }
+
+func (h *gHeap) len() int { return len(h.a) }
+func (h *gHeap) less(x, y int) bool {
+	if h.a[x].deadline != h.a[y].deadline {
+		return h.a[x].deadline < h.a[y].deadline
+	}
+	return h.a[x].seq < h.a[y].seq
+}
+
+func (h *gHeap) push(j *gJob) {
+	h.a = append(h.a, j)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *gHeap) pop() *gJob {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < last && h.less(l, s) {
+			s = l
+		}
+		if r < last && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}
+
+// takeUpTo pops up to k jobs in priority order.
+func (h *gHeap) takeUpTo(k int) []*gJob {
+	if k > h.len() {
+		k = h.len()
+	}
+	out := make([]*gJob, 0, k)
+	for len(out) < k {
+		out = append(out, h.pop())
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+// globalCons flattens every task's edges into trace precedence constraints.
+// JobID.Task for global traces is the system task index; JobID.Inst is a
+// global instance counter, but precedence is declared per (Task, Vertex)
+// pair and instantiated per Inst by the checker, which is exactly right
+// because instances of different tasks never share (Task, Inst).
+func globalCons(sys task.System) []trace.Precedence {
+	var cons []trace.Precedence
+	for i, tk := range sys {
+		for _, e := range tk.G.Edges() {
+			cons = append(cons, trace.Precedence{Task: i, From: e[0], To: e[1]})
+		}
+	}
+	return cons
+}
+
+func TestGlobalEDFTraceAudits(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	audited := 0
+	for trial := 0; trial < 25; trial++ {
+		sys := randomSystem(r, 1+r.Intn(4))
+		m := 1 + r.Intn(4)
+		rep, tr, err := GlobalEDFTraced(sys, m, Config{
+			Horizon:  800,
+			Arrivals: SporadicRandom,
+			Exec:     UniformExec,
+			Seed:     int64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalReleased() == 0 {
+			continue
+		}
+		audited++
+		if err := tr.Check(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cons := globalCons(sys)
+		if err := tr.CheckPrecedence(cons); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tr.CheckGlobalEDF(m, cons); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if audited == 0 {
+		t.Fatal("test vacuous")
+	}
+}
+
+func TestGlobalEDFTracedStatsMatchUntraced(t *testing.T) {
+	sys := task.System{
+		parTask("p", 4, 5, 10, 10),
+		lowTask("l", 2, 8, 16),
+	}
+	cfg := Config{Horizon: 500, Seed: 7, Arrivals: SporadicRandom, Exec: UniformExec}
+	a, err := GlobalEDF(sys, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, tr, err := GlobalEDFTraced(sys, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerTask {
+		if a.PerTask[i] != b.PerTask[i] {
+			t.Fatalf("stats diverge: %+v vs %+v", a.PerTask[i], b.PerTask[i])
+		}
+	}
+	// Trace misses agree with report misses.
+	if got, want := len(tr.Misses()), b.TotalMissed(); (got > 0) != (want > 0) {
+		t.Fatalf("trace misses %d vs report %d", got, want)
+	}
+}

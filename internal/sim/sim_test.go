@@ -1,0 +1,411 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+	"fedsched/internal/task"
+)
+
+func lowTask(name string, c, d, t Time) *task.DAGTask {
+	return task.MustNew(name, dag.Singleton(c), d, t)
+}
+
+func parTask(name string, k int, w, d, t Time) *task.DAGTask {
+	wcets := make([]Time, k)
+	for i := range wcets {
+		wcets[i] = w
+	}
+	return task.MustNew(name, dag.Independent(wcets...), d, t)
+}
+
+func mustAlloc(t *testing.T, sys task.System, m int) *core.Allocation {
+	t.Helper()
+	alloc, err := core.Schedule(sys, m, core.Options{})
+	if err != nil {
+		t.Fatalf("FEDCONS failed: %v", err)
+	}
+	if err := core.Verify(sys, m, alloc); err != nil {
+		t.Fatalf("allocation invalid: %v", err)
+	}
+	return alloc
+}
+
+func TestArrivalsRespectMinSeparation(t *testing.T) {
+	tk := lowTask("a", 1, 5, 10)
+	for _, pol := range []ArrivalPolicy{Periodic, SporadicRandom} {
+		cfg := Config{Horizon: 1000, Arrivals: pol, Seed: 3}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rel := arrivals(tk, cfg, rng)
+		if len(rel) == 0 || rel[0] != 0 {
+			t.Fatalf("%v: first release = %v", pol, rel)
+		}
+		for i := 1; i < len(rel); i++ {
+			if rel[i]-rel[i-1] < tk.T {
+				t.Fatalf("%v: separation %d < T=%d", pol, rel[i]-rel[i-1], tk.T)
+			}
+			if pol == Periodic && rel[i]-rel[i-1] != tk.T {
+				t.Fatalf("periodic separation %d != T", rel[i]-rel[i-1])
+			}
+		}
+		for _, r := range rel {
+			if r >= cfg.Horizon {
+				t.Fatalf("release %d beyond horizon", r)
+			}
+		}
+	}
+}
+
+func TestExecTimeRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if e := execTime(7, Config{Exec: FullWCET}, rng); e != 7 {
+			t.Fatalf("FullWCET returned %d", e)
+		}
+		e := execTime(7, Config{Exec: UniformExec}, rng)
+		if e < 1 || e > 7 {
+			t.Fatalf("UniformExec returned %d", e)
+		}
+	}
+}
+
+func TestFederatedAcceptedSystemNeverMisses(t *testing.T) {
+	sys := task.System{
+		parTask("h", 4, 5, 10, 10), // high-density, 2 dedicated procs
+		lowTask("l1", 2, 8, 16),
+		lowTask("l2", 3, 12, 24),
+	}
+	alloc := mustAlloc(t, sys, 3)
+	for _, arr := range []ArrivalPolicy{Periodic, SporadicRandom} {
+		for _, ex := range []ExecPolicy{FullWCET, UniformExec} {
+			rep, err := Federated(sys, alloc, Config{Horizon: 5000, Arrivals: arr, Exec: ex, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TotalMissed() != 0 {
+				t.Fatalf("arr=%v exec=%v: %d misses in accepted system", arr, ex, rep.TotalMissed())
+			}
+			if rep.TotalReleased() == 0 {
+				t.Fatal("no dag-jobs released")
+			}
+		}
+	}
+}
+
+func TestFederatedResponseBounds(t *testing.T) {
+	sys := task.System{parTask("h", 4, 5, 10, 10)}
+	alloc := mustAlloc(t, sys, 2)
+	rep, err := Federated(sys, alloc, Config{Horizon: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.PerTask[0]
+	// Template makespan is 10; with WCET execution every response is 10.
+	if st.MaxResponse != 10 {
+		t.Errorf("MaxResponse = %d, want 10", st.MaxResponse)
+	}
+	if st.MeanResponse() != 10 {
+		t.Errorf("MeanResponse = %v, want 10", st.MeanResponse())
+	}
+	if st.MaxLateness != 0 {
+		t.Errorf("MaxLateness = %d, want 0", st.MaxLateness)
+	}
+}
+
+func TestFederatedEarlyCompletionShortensResponses(t *testing.T) {
+	sys := task.System{parTask("h", 4, 5, 10, 10)}
+	alloc := mustAlloc(t, sys, 2)
+	rep, err := Federated(sys, alloc, Config{Horizon: 5000, Exec: UniformExec, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.PerTask[0]
+	if st.Missed != 0 {
+		t.Fatalf("template replay with early completions missed %d deadlines", st.Missed)
+	}
+	if st.MaxResponse > 10 {
+		t.Errorf("early completion increased response beyond WCET makespan: %d", st.MaxResponse)
+	}
+	if st.MeanResponse() >= 10 {
+		t.Errorf("mean response %v not reduced by early completions", st.MeanResponse())
+	}
+}
+
+func TestUniprocEDFSingleTask(t *testing.T) {
+	group := task.System{lowTask("a", 3, 5, 10)}
+	stats := uniprocEDF(group, Config{Horizon: 100}, func(j int) *rand.Rand {
+		return rand.New(rand.NewSource(1))
+	}, nil, 0, nil)
+	if stats[0].Released != 10 {
+		t.Errorf("released = %d, want 10", stats[0].Released)
+	}
+	if stats[0].Missed != 0 {
+		t.Errorf("misses = %d", stats[0].Missed)
+	}
+	if stats[0].MaxResponse != 3 {
+		t.Errorf("MaxResponse = %d, want 3 (uncontended)", stats[0].MaxResponse)
+	}
+}
+
+func TestUniprocEDFPreemption(t *testing.T) {
+	// Long job released at 0 (D=100), short tight job released later must
+	// preempt and meet its deadline.
+	long := lowTask("long", 50, 100, 1000)
+	short := lowTask("short", 2, 4, 7)
+	stats := uniprocEDF(task.System{long, short}, Config{Horizon: 50}, func(j int) *rand.Rand {
+		return rand.New(rand.NewSource(int64(j)))
+	}, nil, 0, nil)
+	if stats[1].Missed != 0 {
+		t.Fatalf("short task missed %d deadlines despite EDF preemption", stats[1].Missed)
+	}
+	if stats[0].Missed != 0 {
+		t.Fatalf("long task missed: %+v", stats[0])
+	}
+}
+
+func TestUniprocEDFDetectsOverload(t *testing.T) {
+	// Two always-full jobs with the same tight deadline cannot both make it.
+	a := lowTask("a", 4, 5, 5)
+	b := lowTask("b", 4, 5, 5)
+	stats := uniprocEDF(task.System{a, b}, Config{Horizon: 10}, func(j int) *rand.Rand {
+		return rand.New(rand.NewSource(int64(j)))
+	}, nil, 0, nil)
+	if stats[0].Missed+stats[1].Missed == 0 {
+		t.Fatal("overloaded processor reported no misses")
+	}
+}
+
+func TestGlobalEDFSimpleSystem(t *testing.T) {
+	sys := task.System{
+		parTask("p", 4, 5, 10, 10),
+		lowTask("l", 2, 8, 16),
+	}
+	rep, err := GlobalEDF(sys, 3, Config{Horizon: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMissed() != 0 {
+		t.Fatalf("global EDF missed %d on an easy system", rep.TotalMissed())
+	}
+	if rep.TotalReleased() == 0 {
+		t.Fatal("nothing released")
+	}
+}
+
+func TestGlobalEDFRespectsPrecedence(t *testing.T) {
+	// A chain cannot finish faster than its length even on many processors.
+	sys := task.System{task.MustNew("c", dag.Chain(3, 4, 5), 20, 30)}
+	rep, err := GlobalEDF(sys, 8, Config{Horizon: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerTask[0].MaxResponse != 12 {
+		t.Errorf("chain response = %d, want 12", rep.PerTask[0].MaxResponse)
+	}
+}
+
+func TestGlobalEDFDetectsOverload(t *testing.T) {
+	// Example 2 with n=3 on m=2: three C=1,D=1 jobs at t=0 on 2 processors.
+	sys := task.System{
+		task.MustNew("a", dag.Singleton(1), 1, 3),
+		task.MustNew("b", dag.Singleton(1), 1, 3),
+		task.MustNew("c", dag.Singleton(1), 1, 3),
+	}
+	rep, err := GlobalEDF(sys, 2, Config{Horizon: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMissed() == 0 {
+		t.Fatal("global EDF on m=2 must miss for three simultaneous unit jobs")
+	}
+	rep3, err := GlobalEDF(sys, 3, Config{Horizon: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.TotalMissed() != 0 {
+		t.Fatal("m=3 suffices")
+	}
+}
+
+func TestNaiveRerunCanMissWhereReplayDoesNot(t *testing.T) {
+	// Find an LS timing anomaly, wrap it into a high-density task whose
+	// deadline sits between the nominal and the anomalous makespan, and
+	// check: template replay meets every deadline while the naive online
+	// re-run of LS misses when the anomalous vertex completes early.
+	an := listsched.FindAnomaly(rand.New(rand.NewSource(1)), 20000, nil)
+	if an == nil {
+		t.Fatal("no anomaly instance found")
+	}
+	d := an.Before // deadline = nominal makespan: replay is exactly on time
+	tk := task.MustNew("anom", an.Original, d, d+10)
+	sys := task.System{tk}
+	m := an.M
+	tmpl, err := listsched.Run(an.Original, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := &core.Allocation{
+		M:    m,
+		High: []core.HighAssignment{{TaskIndex: 0, Procs: procIDs(m), Template: tmpl}},
+	}
+	// Deterministic "early completion" scenario: exactly the anomaly's
+	// reduced instance. Build it by simulating with a custom exec policy —
+	// here we reproduce it by replaying the reduced DAG manually.
+	// Template replay: every job at its tabulated start, actual times from
+	// the reduced DAG: finish ≤ template makespan = d. Never misses.
+	worstFinish := Time(0)
+	for v := 0; v < an.Original.N(); v++ {
+		end := tmpl.Intervals[v].Start + an.Reduced.WCET(v)
+		if end > worstFinish {
+			worstFinish = end
+		}
+	}
+	if worstFinish > d {
+		t.Fatalf("template replay finish %d exceeds deadline %d", worstFinish, d)
+	}
+	// Naive re-run on the reduced DAG: the anomaly makes it late.
+	rerun, err := listsched.Run(an.Reduced, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Makespan <= d {
+		t.Fatalf("anomaly instance lost its sting: rerun %d ≤ D %d", rerun.Makespan, d)
+	}
+	// And end-to-end through the simulator with WCET execution: both modes
+	// meet deadlines (no early completion), so the difference is strictly
+	// about early completion.
+	repReplay, err := FederatedMode(sys, alloc, Config{Horizon: 200}, TemplateReplay, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repReplay.TotalMissed() != 0 {
+		t.Fatalf("replay with WCET execution missed %d", repReplay.TotalMissed())
+	}
+}
+
+func procIDs(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestFederatedRejectsBadInput(t *testing.T) {
+	sys := task.System{lowTask("a", 1, 5, 10)}
+	alloc := mustAlloc(t, sys, 1)
+	if _, err := Federated(sys, alloc, Config{Horizon: 0}); err == nil {
+		t.Error("accepted zero horizon")
+	}
+	if _, err := Federated(sys, nil, Config{Horizon: 10}); err == nil {
+		t.Error("accepted nil allocation")
+	}
+	if _, err := GlobalEDF(sys, 0, Config{Horizon: 10}); err == nil {
+		t.Error("accepted m=0")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	sys := task.System{
+		parTask("h", 3, 4, 8, 12),
+		lowTask("l", 2, 9, 14),
+	}
+	alloc := mustAlloc(t, sys, 3)
+	cfg := Config{Horizon: 3000, Arrivals: SporadicRandom, Exec: UniformExec, Seed: 99}
+	a, err := Federated(sys, alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Federated(sys, alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerTask {
+		if a.PerTask[i] != b.PerTask[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestRandomAcceptedSystemsSimulateCleanly(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	validated := 0
+	for trial := 0; trial < 60; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		alloc, err := core.Schedule(sys, m, core.Options{})
+		if err != nil {
+			continue
+		}
+		validated++
+		rep, err := Federated(sys, alloc, Config{
+			Horizon: 2000, Arrivals: SporadicRandom, Exec: UniformExec, Seed: int64(trial),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.TotalMissed() != 0 {
+			t.Fatalf("trial %d: accepted system missed %d deadlines", trial, rep.TotalMissed())
+		}
+	}
+	if validated == 0 {
+		t.Fatal("test vacuous")
+	}
+}
+
+func randomSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		nv := 1 + r.Intn(6)
+		b := dag.NewBuilder(nv)
+		for v := 0; v < nv; v++ {
+			b.AddJob(Time(1 + r.Intn(6)))
+		}
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		d := g.LongestChain() + Time(r.Intn(int(2*g.Volume())))
+		tt := d + Time(r.Intn(40))
+		sys = append(sys, task.MustNew("r", g, d, tt))
+	}
+	return sys
+}
+
+func BenchmarkFederatedSimulation(b *testing.B) {
+	sys := task.System{
+		parTask("h", 4, 5, 10, 10),
+		lowTask("l1", 2, 8, 16),
+		lowTask("l2", 3, 12, 24),
+	}
+	alloc, err := core.Schedule(sys, 3, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Federated(sys, alloc, Config{Horizon: 10000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlobalEDFSimulation(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	sys := randomSystem(r, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GlobalEDF(sys, 8, Config{Horizon: 5000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+// audit runs the full trace audit on a traced federated simulation: platform
+// rules per group, DAG precedence for the high-density groups, and the EDF
+// rule per shared processor.
+func audit(t *testing.T, sys task.System, alloc *core.Allocation, cfg Config) {
+	t.Helper()
+	rep, pt, err := FederatedTraced(sys, alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalReleased() == 0 {
+		t.Fatal("nothing simulated")
+	}
+	for gi, tr := range pt.High {
+		if err := tr.Check(); err != nil {
+			t.Fatalf("high group %d: %v", gi, err)
+		}
+		h := alloc.High[gi]
+		var cons []trace.Precedence
+		for _, e := range sys[h.TaskIndex].G.Edges() {
+			cons = append(cons, trace.Precedence{Task: h.TaskIndex, From: e[0], To: e[1]})
+		}
+		if err := tr.CheckPrecedence(cons); err != nil {
+			t.Fatalf("high group %d: %v", gi, err)
+		}
+		if got, want := len(tr.Misses()), int(rep.PerTask[h.TaskIndex].Missed); got != 0 || want != 0 {
+			t.Fatalf("high group %d: trace misses %d, stats misses %d", gi, got, want)
+		}
+	}
+	for k, tr := range pt.Shared {
+		if err := tr.Check(); err != nil {
+			t.Fatalf("shared proc %d: %v", k, err)
+		}
+		if err := tr.CheckEDF(); err != nil {
+			t.Fatalf("shared proc %d: %v", k, err)
+		}
+		if len(tr.Misses()) != 0 {
+			t.Fatalf("shared proc %d: trace shows misses in accepted system", k)
+		}
+	}
+}
+
+func TestTracedFederatedAuditsClean(t *testing.T) {
+	sys := task.System{
+		parTask("h", 4, 5, 10, 10),
+		lowTask("l1", 2, 8, 16),
+		lowTask("l2", 3, 12, 24),
+		lowTask("l3", 1, 6, 9),
+	}
+	alloc := mustAlloc(t, sys, 4)
+	for _, cfg := range []Config{
+		{Horizon: 2000, Seed: 1},
+		{Horizon: 2000, Arrivals: SporadicRandom, Exec: UniformExec, Seed: 2},
+	} {
+		audit(t, sys, alloc, cfg)
+	}
+}
+
+func TestTracedRandomSystems(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	audited := 0
+	for trial := 0; trial < 40; trial++ {
+		sys := randomSystem(r, 1+r.Intn(5))
+		m := 1 + r.Intn(6)
+		alloc, err := core.Schedule(sys, m, core.Options{})
+		if err != nil {
+			continue
+		}
+		audited++
+		audit(t, sys, alloc, Config{
+			Horizon:  1500,
+			Arrivals: SporadicRandom,
+			Exec:     UniformExec,
+			Seed:     int64(trial),
+		})
+	}
+	if audited == 0 {
+		t.Fatal("test vacuous")
+	}
+}
+
+func TestTracedStatsAgreeWithUntraced(t *testing.T) {
+	sys := task.System{
+		parTask("h", 3, 4, 8, 12),
+		lowTask("l", 2, 9, 14),
+	}
+	alloc := mustAlloc(t, sys, 3)
+	cfg := Config{Horizon: 3000, Arrivals: SporadicRandom, Exec: UniformExec, Seed: 9}
+	plain, err := Federated(sys, alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, _, err := FederatedTraced(sys, alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.PerTask {
+		if plain.PerTask[i] != traced.PerTask[i] {
+			t.Fatalf("task %d: %+v vs %+v", i, plain.PerTask[i], traced.PerTask[i])
+		}
+	}
+}
+
+func TestTraceGanttRenders(t *testing.T) {
+	sys := task.System{parTask("h", 4, 5, 10, 10)}
+	alloc := mustAlloc(t, sys, 2)
+	_, pt, err := FederatedTraced(sys, alloc, Config{Horizon: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pt.High[0].Gantt(0, 30, 1)
+	if len(g) == 0 {
+		t.Fatal("empty gantt")
+	}
+}

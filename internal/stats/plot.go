@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for Plot.
+type Series struct {
+	Name string
+	Y    []float64 // sampled at the shared X grid, in order
+}
+
+// Plot renders one or more series over a shared x-grid as an ASCII chart —
+// the textual stand-in for the acceptance-ratio figures a paper would print.
+// Each series is drawn with its own glyph; overlapping points show the glyph
+// of the later series. The y-range is [0, max(1, data max)] unless all
+// values exceed 1, in which case it expands to fit.
+func Plot(title string, xs []float64, series []Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return ""
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	ymax := 1.0
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xmin {
+			xmin = x
+		}
+		if x > xmax {
+			xmax = x
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round(y / ymax * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		n := len(s.Y)
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			grid[row(s.Y[i])][col(xs[i])] = g
+		}
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for r, line := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%5.2f ", ymax)
+		case height - 1:
+			label = " 0.00 "
+		}
+		fmt.Fprintf(&sb, "%s|%s|\n", label, line)
+	}
+	fmt.Fprintf(&sb, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&sb, "      %-*.3g%*.3g\n", width/2+1, xmin, width/2+1, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "      %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return sb.String()
+}
+
+// PlotTable renders the given numeric columns of a Table against a numeric
+// x-column as an ASCII chart. Non-numeric cells are skipped. It returns ""
+// when nothing is plottable.
+func PlotTable(t *Table, xCol int, yCols []int, width, height int) string {
+	var xs []float64
+	rows := make([][]float64, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		x, okX := parseFloat(row[xCol])
+		if !okX {
+			continue
+		}
+		ys := make([]float64, 0, len(yCols))
+		ok := true
+		for _, c := range yCols {
+			if c >= len(row) {
+				ok = false
+				break
+			}
+			y, okY := parseFloat(row[c])
+			if !okY {
+				ok = false
+				break
+			}
+			ys = append(ys, y)
+		}
+		if !ok {
+			continue
+		}
+		xs = append(xs, x)
+		rows = append(rows, ys)
+	}
+	if len(xs) < 2 {
+		return ""
+	}
+	series := make([]Series, len(yCols))
+	for j, c := range yCols {
+		series[j].Name = t.Columns[c]
+		for i := range rows {
+			series[j].Y = append(series[j].Y, rows[i][j])
+		}
+	}
+	return Plot(t.Title, xs, series, width, height)
+}
+
+// parseFloat is a dependency-free strconv.ParseFloat for the simple decimal
+// forms AddRow produces; returns false on anything else.
+func parseFloat(s string) (float64, bool) {
+	var sign float64 = 1
+	i := 0
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		if s[i] == '-' {
+			sign = -1
+		}
+		i++
+	}
+	mant := 0.0
+	digits := 0
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		mant = mant*10 + float64(s[i]-'0')
+		digits++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		scale := 0.1
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			mant += float64(s[i]-'0') * scale
+			scale /= 10
+			digits++
+		}
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	// Exponent form (e.g. 3.969e+04 from %.4g).
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		esign := 1
+		if i < len(s) && (s[i] == '-' || s[i] == '+') {
+			if s[i] == '-' {
+				esign = -1
+			}
+			i++
+		}
+		exp := 0
+		edigits := 0
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			exp = exp*10 + int(s[i]-'0')
+			edigits++
+		}
+		if edigits == 0 {
+			return 0, false
+		}
+		mant *= math.Pow(10, float64(esign*exp))
+	}
+	if i != len(s) {
+		return 0, false
+	}
+	return sign * mant, true
+}

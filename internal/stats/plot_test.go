@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseFloat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{"0.5", 0.5, true},
+		{"-2.25", -2.25, true},
+		{"+3", 3, true},
+		{"3.969e+04", 39690, true},
+		{"1e-2", 0.01, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"1.2.3", 0, false},
+		{"[0.1, 0.2]", 0, false},
+		{"1e", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseFloat(c.in)
+		if ok != c.ok {
+			t.Errorf("parseFloat(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && math.Abs(got-c.want) > 1e-9*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("parseFloat(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPlotBasicShape(t *testing.T) {
+	xs := []float64{0, 0.5, 1}
+	s := []Series{{Name: "accept", Y: []float64{1, 0.5, 0}}}
+	out := Plot("test curve", xs, s, 30, 8)
+	if !strings.Contains(out, "test curve") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* accept") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	// First grid line (y=max) must contain the first point's glyph at the
+	// left; the last grid line must contain the final point at the right.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row missing glyph: %q", lines[1])
+	}
+	if !strings.Contains(out, "1.00 ") {
+		t.Errorf("y-axis max label missing:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesAndEmpty(t *testing.T) {
+	if Plot("x", nil, nil, 10, 5) != "" {
+		t.Error("empty input must render empty")
+	}
+	xs := []float64{1, 2, 3, 4}
+	out := Plot("two", xs, []Series{
+		{Name: "a", Y: []float64{0.1, 0.2, 0.3, 0.4}},
+		{Name: "b", Y: []float64{0.4, 0.3, 0.2, 0.1}},
+	}, 20, 6)
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legends missing:\n%s", out)
+	}
+}
+
+func TestPlotExpandsAboveOne(t *testing.T) {
+	out := Plot("big", []float64{0, 1}, []Series{{Name: "v", Y: []float64{0, 5}}}, 12, 5)
+	if !strings.Contains(out, "5.00 ") {
+		t.Errorf("y-axis should expand to 5:\n%s", out)
+	}
+}
+
+func TestPlotTable(t *testing.T) {
+	tab := &Table{Title: "E4", Columns: []string{"U/m", "systems", "ratio"}}
+	tab.AddRow(0.1, 20, 1.0)
+	tab.AddRow(0.5, 20, 0.6)
+	tab.AddRow(0.9, 20, 0.0)
+	out := PlotTable(tab, 0, []int{2}, 24, 6)
+	if out == "" {
+		t.Fatal("plottable table rendered empty")
+	}
+	if !strings.Contains(out, "ratio") {
+		t.Errorf("series name missing:\n%s", out)
+	}
+	// Non-numeric columns yield empty output.
+	bad := &Table{Columns: []string{"a", "b"}}
+	bad.AddRow("x", "y")
+	bad.AddRow("p", "q")
+	if PlotTable(bad, 0, []int{1}, 24, 6) != "" {
+		t.Error("non-numeric table should not plot")
+	}
+}
+
+func TestPlotTableSkipsUnparseableRows(t *testing.T) {
+	tab := &Table{Columns: []string{"x", "y"}}
+	tab.AddRow(0.1, 1.0)
+	tab.AddRow("[0.5]", 0.5) // skipped
+	tab.AddRow(0.9, 0.0)
+	out := PlotTable(tab, 0, []int{1}, 24, 6)
+	if out == "" {
+		t.Fatal("should plot the two parseable rows")
+	}
+}

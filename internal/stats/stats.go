@@ -1,0 +1,185 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: acceptance-ratio counters with Wilson confidence intervals,
+// weighted schedulability (Bastoni, Brandenburg & Anderson), descriptive
+// statistics, and table rendering (Markdown and CSV) for EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Counter tallies accept/reject outcomes of a schedulability test.
+// The zero Counter is ready to use.
+type Counter struct {
+	Accepted int
+	Total    int
+}
+
+// Add records one outcome.
+func (c *Counter) Add(accepted bool) {
+	c.Total++
+	if accepted {
+		c.Accepted++
+	}
+}
+
+// Ratio returns the acceptance ratio, or 0 for an empty counter.
+func (c *Counter) Ratio() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Accepted) / float64(c.Total)
+}
+
+// Wilson95 returns the 95% Wilson score interval for the acceptance ratio.
+// It behaves sensibly at ratios of exactly 0 or 1, unlike the normal
+// approximation.
+func (c *Counter) Wilson95() (lo, hi float64) {
+	if c.Total == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054
+	n := float64(c.Total)
+	p := c.Ratio()
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// WeightedPoint pairs a workload weight (customarily the normalized system
+// utilization) with the acceptance ratio observed at that weight.
+type WeightedPoint struct {
+	Weight float64
+	Ratio  float64
+}
+
+// WeightedSchedulability collapses an acceptance-ratio curve into the single
+// score Σ w·S(w) / Σ w — the standard summary for comparing schedulers
+// across platform sizes (experiment E12). Returns 0 for empty input.
+func WeightedSchedulability(points []WeightedPoint) float64 {
+	num, den := 0.0, 0.0
+	for _, p := range points {
+		num += p.Weight * p.Ratio
+		den += p.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Table is a rectangular result table with named columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row formatted from arbitrary values (%v for strings and
+// ints, %.4g for floats).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

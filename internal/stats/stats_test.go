@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Ratio() != 0 {
+		t.Error("empty counter ratio must be 0")
+	}
+	for i := 0; i < 7; i++ {
+		c.Add(true)
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(false)
+	}
+	if c.Total != 10 || c.Accepted != 7 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if math.Abs(c.Ratio()-0.7) > 1e-12 {
+		t.Errorf("ratio = %v", c.Ratio())
+	}
+}
+
+func TestWilson95(t *testing.T) {
+	var c Counter
+	lo, hi := c.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v,%v], want [0,1]", lo, hi)
+	}
+	for i := 0; i < 100; i++ {
+		c.Add(true)
+	}
+	lo, hi = c.Wilson95()
+	if hi != 1 {
+		t.Errorf("all-accept hi = %v, want 1", hi)
+	}
+	if lo < 0.9 {
+		t.Errorf("all-accept (n=100) lo = %v, want > 0.9", lo)
+	}
+	// Interval must contain the point estimate and be within [0,1].
+	c2 := Counter{Accepted: 30, Total: 100}
+	lo, hi = c2.Wilson95()
+	if lo > c2.Ratio() || hi < c2.Ratio() {
+		t.Errorf("interval [%v,%v] excludes ratio %v", lo, hi, c2.Ratio())
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("interval [%v,%v] outside [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonNarrowsWithN(t *testing.T) {
+	small := Counter{Accepted: 5, Total: 10}
+	large := Counter{Accepted: 500, Total: 1000}
+	sl, sh := small.Wilson95()
+	ll, lh := large.Wilson95()
+	if (lh - ll) >= (sh - sl) {
+		t.Errorf("larger sample must give narrower interval: %v vs %v", lh-ll, sh-sl)
+	}
+}
+
+func TestMeanStdDevMax(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-input conventions broken")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2.138089935299395) > 1e-9 {
+		t.Errorf("stddev = %v", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("max = %v, want 9", got)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("single sample stddev must be 0")
+	}
+}
+
+func TestWeightedSchedulability(t *testing.T) {
+	if WeightedSchedulability(nil) != 0 {
+		t.Error("empty input must give 0")
+	}
+	pts := []WeightedPoint{
+		{Weight: 1, Ratio: 1},
+		{Weight: 3, Ratio: 0},
+	}
+	if got := WeightedSchedulability(pts); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("weighted = %v, want 0.25", got)
+	}
+	// All-ones curve scores 1 regardless of weights.
+	pts2 := []WeightedPoint{{0.5, 1}, {0.9, 1}, {1.3, 1}}
+	if got := WeightedSchedulability(pts2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("weighted = %v, want 1", got)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{Title: "E4", Columns: []string{"U/m", "accept"}}
+	tab.AddRow(0.5, 0.98)
+	tab.AddRow("1.0", 0)
+	md := tab.Markdown()
+	for _, want := range []string{"### E4", "| U/m | accept |", "| --- | --- |", "| 0.5 | 0.98 |", "| 1.0 | 0 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("x,y", `he said "hi"`)
+	tab.AddRow(1, 2.5)
+	csv := tab.CSV()
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n1,2.5\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}

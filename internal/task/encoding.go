@@ -1,0 +1,80 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fedsched/internal/dag"
+)
+
+// jsonTask is the wire form of a DAGTask.
+type jsonTask struct {
+	Name string   `json:"name,omitempty"`
+	D    Time     `json:"deadline"`
+	T    Time     `json:"period"`
+	G    *dag.DAG `json:"dag"`
+}
+
+// MarshalJSON encodes the task with its graph inline.
+func (tk *DAGTask) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTask{Name: tk.Name, D: tk.D, T: tk.T, G: tk.G})
+}
+
+// UnmarshalJSON decodes and validates a DAGTask.
+func (tk *DAGTask) UnmarshalJSON(data []byte) error {
+	var jt jsonTask
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return fmt.Errorf("task: decoding: %w", err)
+	}
+	built, err := New(jt.Name, jt.G, jt.D, jt.T)
+	if err != nil {
+		return err
+	}
+	*tk = *built
+	return nil
+}
+
+// SystemFile is the on-disk representation of a task system together with
+// the platform it targets, as consumed by cmd/fedsched and produced by
+// cmd/taskgen.
+type SystemFile struct {
+	// Processors is the number of identical unit-speed processors m.
+	Processors int `json:"processors"`
+	// Tasks is the task system τ.
+	Tasks System `json:"tasks"`
+}
+
+// Validate validates the platform size and every task.
+func (f *SystemFile) Validate() error {
+	if f.Processors < 1 {
+		return fmt.Errorf("task: processors must be ≥ 1, got %d", f.Processors)
+	}
+	return f.Tasks.Validate()
+}
+
+// EncodeSystem marshals a SystemFile with indentation.
+func EncodeSystem(f *SystemFile) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// DecodeSystem unmarshals and validates a SystemFile.
+func DecodeSystem(data []byte) (*SystemFile, error) {
+	var f SystemFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("task: decoding system file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+func min64(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

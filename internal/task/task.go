@@ -1,0 +1,328 @@
+// Package task defines the recurrent-task abstractions of the paper: the
+// three-parameter sporadic task of Mok, the sporadic DAG task of Baruah et
+// al., and task systems with their classification into implicit-,
+// constrained- and arbitrary-deadline systems and into high-/low-density
+// tasks.
+//
+// All derived quantities follow Section II of the paper verbatim:
+//
+//	vol_i = Σ_{v∈V_i} e_v                  (total WCET of a dag-job)
+//	len_i = longest chain length in G_i
+//	u_i   = vol_i / T_i                    (utilization)
+//	δ_i   = vol_i / min(D_i, T_i)          (density)
+//
+// A task is high-utilization if u_i ≥ 1 and high-density if δ_i ≥ 1.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"fedsched/internal/dag"
+)
+
+// Time is a point in, or duration of, discrete time, in abstract ticks.
+type Time = dag.Time
+
+// Sporadic is a three-parameter sporadic task (C, D, T): jobs arrive with
+// minimum inter-arrival time T, execute for at most C, and must finish
+// within D of arrival. Jobs have no internal parallelism.
+type Sporadic struct {
+	Name string
+	C    Time // worst-case execution time
+	D    Time // relative deadline
+	T    Time // period (minimum inter-arrival separation)
+}
+
+// Validate checks the basic sanity constraints C ≥ 1, D ≥ 1, T ≥ 1.
+func (s Sporadic) Validate() error {
+	if s.C < 1 || s.D < 1 || s.T < 1 {
+		return fmt.Errorf("task %q: parameters must be ≥ 1, got C=%d D=%d T=%d", s.Name, s.C, s.D, s.T)
+	}
+	return nil
+}
+
+// Utilization returns C/T.
+func (s Sporadic) Utilization() float64 { return float64(s.C) / float64(s.T) }
+
+// Density returns C/min(D,T).
+func (s Sporadic) Density() float64 { return float64(s.C) / float64(min64(s.D, s.T)) }
+
+// UtilizationRat returns C/T exactly.
+func (s Sporadic) UtilizationRat() *big.Rat { return big.NewRat(s.C, s.T) }
+
+// Constrained reports whether D ≤ T.
+func (s Sporadic) Constrained() bool { return s.D <= s.T }
+
+// Implicit reports whether D == T.
+func (s Sporadic) Implicit() bool { return s.D == s.T }
+
+// String renders the task compactly.
+func (s Sporadic) String() string {
+	name := s.Name
+	if name == "" {
+		name = "τ"
+	}
+	return fmt.Sprintf("%s(C=%d,D=%d,T=%d)", name, s.C, s.D, s.T)
+}
+
+// DAGTask is a sporadic DAG task τ_i = (G_i, D_i, T_i).
+//
+// A release of a dag-job at instant t makes all |V_i| jobs of G_i available
+// (subject to the precedence constraints); they must all complete by t + D_i,
+// and at least T_i must elapse before the next release.
+type DAGTask struct {
+	Name string
+	G    *dag.DAG
+	D    Time
+	T    Time
+
+	// vol/len are memoized on first use; a DAGTask's graph is immutable.
+	vol, length Time
+	cached      bool
+}
+
+// New constructs a validated DAGTask.
+func New(name string, g *dag.DAG, d, t Time) (*DAGTask, error) {
+	tk := &DAGTask{Name: name, G: g, D: d, T: t}
+	if err := tk.Validate(); err != nil {
+		return nil, err
+	}
+	return tk, nil
+}
+
+// MustNew is New that panics on error; for tests and fixtures.
+func MustNew(name string, g *dag.DAG, d, t Time) *DAGTask {
+	tk, err := New(name, g, d, t)
+	if err != nil {
+		panic(err)
+	}
+	return tk
+}
+
+// Validate checks that the graph is present and non-empty and that D and T
+// are positive.
+func (tk *DAGTask) Validate() error {
+	if tk.G == nil {
+		return fmt.Errorf("task %q: nil DAG", tk.Name)
+	}
+	if tk.G.N() == 0 {
+		return fmt.Errorf("task %q: empty DAG", tk.Name)
+	}
+	if tk.D < 1 || tk.T < 1 {
+		return fmt.Errorf("task %q: D and T must be ≥ 1, got D=%d T=%d", tk.Name, tk.D, tk.T)
+	}
+	return nil
+}
+
+func (tk *DAGTask) memoize() {
+	if !tk.cached {
+		tk.vol = tk.G.Volume()
+		tk.length = tk.G.LongestChain()
+		tk.cached = true
+	}
+}
+
+// Volume returns vol_i, the total WCET of one dag-job.
+func (tk *DAGTask) Volume() Time { tk.memoize(); return tk.vol }
+
+// Len returns len_i, the length of the longest chain in G_i.
+func (tk *DAGTask) Len() Time { tk.memoize(); return tk.length }
+
+// Utilization returns u_i = vol_i / T_i.
+func (tk *DAGTask) Utilization() float64 { return float64(tk.Volume()) / float64(tk.T) }
+
+// UtilizationRat returns u_i exactly as a rational.
+func (tk *DAGTask) UtilizationRat() *big.Rat { return big.NewRat(tk.Volume(), tk.T) }
+
+// Density returns δ_i = vol_i / min(D_i, T_i).
+func (tk *DAGTask) Density() float64 {
+	return float64(tk.Volume()) / float64(min64(tk.D, tk.T))
+}
+
+// DensityRat returns δ_i exactly as a rational.
+func (tk *DAGTask) DensityRat() *big.Rat { return big.NewRat(tk.Volume(), min64(tk.D, tk.T)) }
+
+// HighDensity reports whether δ_i ≥ 1 (the paper's criterion for granting a
+// task exclusive processors in FEDCONS).
+func (tk *DAGTask) HighDensity() bool { return tk.Volume() >= min64(tk.D, tk.T) }
+
+// HighUtilization reports whether u_i ≥ 1 (the criterion used by the
+// implicit-deadline federated scheduling of Li et al.).
+func (tk *DAGTask) HighUtilization() bool { return tk.Volume() >= tk.T }
+
+// Constrained reports whether D_i ≤ T_i.
+func (tk *DAGTask) Constrained() bool { return tk.D <= tk.T }
+
+// Implicit reports whether D_i == T_i.
+func (tk *DAGTask) Implicit() bool { return tk.D == tk.T }
+
+// Feasible reports the elementary necessary conditions for the task to be
+// schedulable at all, on any number of unit-speed processors:
+// len_i ≤ D_i (the critical path fits in the scheduling window) and
+// u_i ≤ some capacity — only the first is per-task; see System.Feasible.
+func (tk *DAGTask) Feasible() bool { return tk.Len() <= tk.D }
+
+// AsSporadic collapses the task to the three-parameter sporadic task
+// (C = vol_i, D_i, T_i). This is exact for tasks confined to a single
+// processor, where intra-task parallelism cannot be exploited (Section IV-B).
+func (tk *DAGTask) AsSporadic() Sporadic {
+	return Sporadic{Name: tk.Name, C: tk.Volume(), D: tk.D, T: tk.T}
+}
+
+// String summarizes the task.
+func (tk *DAGTask) String() string {
+	name := tk.Name
+	if name == "" {
+		name = "τ"
+	}
+	return fmt.Sprintf("%s(|V|=%d vol=%d len=%d D=%d T=%d δ=%.3f u=%.3f)",
+		name, tk.G.N(), tk.Volume(), tk.Len(), tk.D, tk.T, tk.Density(), tk.Utilization())
+}
+
+// System is a sporadic DAG task system τ = {τ_1, …, τ_n}.
+type System []*DAGTask
+
+// ErrEmptySystem is returned by Validate for a system with no tasks.
+var ErrEmptySystem = errors.New("task: empty system")
+
+// Validate validates every task in the system.
+func (sys System) Validate() error {
+	if len(sys) == 0 {
+		return ErrEmptySystem
+	}
+	for i, tk := range sys {
+		if tk == nil {
+			return fmt.Errorf("task: system[%d] is nil", i)
+		}
+		if err := tk.Validate(); err != nil {
+			return fmt.Errorf("system[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// USum returns U_sum(τ) = Σ u_i.
+func (sys System) USum() float64 {
+	u := 0.0
+	for _, tk := range sys {
+		u += tk.Utilization()
+	}
+	return u
+}
+
+// DensitySum returns Σ δ_i.
+func (sys System) DensitySum() float64 {
+	d := 0.0
+	for _, tk := range sys {
+		d += tk.Density()
+	}
+	return d
+}
+
+// Constrained reports whether every task has D_i ≤ T_i.
+func (sys System) Constrained() bool {
+	for _, tk := range sys {
+		if !tk.Constrained() {
+			return false
+		}
+	}
+	return true
+}
+
+// Implicit reports whether every task has D_i == T_i.
+func (sys System) Implicit() bool {
+	for _, tk := range sys {
+		if !tk.Implicit() {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitByDensity partitions the system into τ_high (δ_i ≥ 1) and τ_low
+// (δ_i < 1), preserving order, as the first step of FEDCONS.
+func (sys System) SplitByDensity() (high, low System) {
+	for _, tk := range sys {
+		if tk.HighDensity() {
+			high = append(high, tk)
+		} else {
+			low = append(low, tk)
+		}
+	}
+	return high, low
+}
+
+// SplitByUtilization partitions into u_i ≥ 1 and u_i < 1 (the Li et al.
+// implicit-deadline criterion).
+func (sys System) SplitByUtilization() (high, low System) {
+	for _, tk := range sys {
+		if tk.HighUtilization() {
+			high = append(high, tk)
+		} else {
+			low = append(low, tk)
+		}
+	}
+	return high, low
+}
+
+// Feasible reports the elementary necessary conditions for feasibility on m
+// unit-speed processors: U_sum ≤ m and len_i ≤ D_i for all i. Failing either
+// means no scheduling algorithm whatsoever can succeed. (These conditions are
+// not jointly sufficient.)
+func (sys System) Feasible(m int) bool {
+	if sys.USum() > float64(m)+1e-9 {
+		return false
+	}
+	for _, tk := range sys {
+		if !tk.Feasible() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a shallow copy of the system slice (tasks are shared).
+func (sys System) Clone() System {
+	return append(System(nil), sys...)
+}
+
+// Summary aggregates the classification statistics of a system.
+type Summary struct {
+	Tasks       int
+	HighDensity int
+	USum        float64
+	DensitySum  float64
+	MaxDensity  float64
+	Constrained bool
+	Implicit    bool
+}
+
+// Summarize computes the system's Summary in one pass.
+func (sys System) Summarize() Summary {
+	s := Summary{Tasks: len(sys), Constrained: true, Implicit: true}
+	for _, tk := range sys {
+		u := tk.Utilization()
+		d := tk.Density()
+		s.USum += u
+		s.DensitySum += d
+		if d > s.MaxDensity {
+			s.MaxDensity = d
+		}
+		if tk.HighDensity() {
+			s.HighDensity++
+		}
+		if !tk.Constrained() {
+			s.Constrained = false
+		}
+		if !tk.Implicit() {
+			s.Implicit = false
+		}
+	}
+	if len(sys) == 0 {
+		s.Constrained = false
+		s.Implicit = false
+	}
+	return s
+}

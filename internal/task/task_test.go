@@ -1,0 +1,359 @@
+package task
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fedsched/internal/dag"
+)
+
+func example1Task() *DAGTask {
+	return MustNew("tau1", dag.Example1(), dag.Example1D, dag.Example1T)
+}
+
+func TestExample1Quantities(t *testing.T) {
+	tk := example1Task()
+	if tk.Volume() != 9 {
+		t.Errorf("vol = %d, want 9", tk.Volume())
+	}
+	if tk.Len() != 6 {
+		t.Errorf("len = %d, want 6", tk.Len())
+	}
+	if got, want := tk.Density(), 9.0/16.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("δ = %v, want %v", got, want)
+	}
+	if got, want := tk.Utilization(), 9.0/20.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("u = %v, want %v", got, want)
+	}
+	if tk.HighDensity() {
+		t.Error("Example 1 must be a low-density task (δ = 9/16 < 1)")
+	}
+	if !tk.Constrained() {
+		t.Error("Example 1 is constrained-deadline (D=16 ≤ T=20)")
+	}
+	if tk.Implicit() {
+		t.Error("Example 1 is not implicit-deadline")
+	}
+	if !tk.Feasible() {
+		t.Error("Example 1 is feasible (len=6 ≤ D=16)")
+	}
+}
+
+func TestDensityUsesMinDT(t *testing.T) {
+	g := dag.Independent(4, 4) // vol=8, len=4
+	// Arbitrary-deadline task with D > T: density must divide by T.
+	tk := MustNew("x", g, 20, 10)
+	if got, want := tk.Density(), 0.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("density with D>T = %v, want %v (divide by T)", got, want)
+	}
+	// Constrained task: density divides by D.
+	tk2 := MustNew("y", g, 10, 20)
+	if got, want := tk2.Density(), 0.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("density with D<T = %v, want %v (divide by D)", got, want)
+	}
+}
+
+func TestHighDensityBoundary(t *testing.T) {
+	// δ == 1 exactly must be classified high-density ("density ≥ 1").
+	g := dag.Singleton(10)
+	tk := MustNew("b", g, 10, 10)
+	if !tk.HighDensity() {
+		t.Error("δ = 1 task must be high-density")
+	}
+	tk2 := MustNew("b2", g, 11, 11)
+	if tk2.HighDensity() {
+		t.Error("δ = 10/11 task must be low-density")
+	}
+}
+
+func TestHighUtilizationBoundary(t *testing.T) {
+	g := dag.Independent(5, 5)
+	if !MustNew("a", g, 10, 10).HighUtilization() {
+		t.Error("u = 1 must be high-utilization")
+	}
+	if MustNew("b", g, 10, 11).HighUtilization() {
+		t.Error("u = 10/11 must be low-utilization")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := dag.Singleton(1)
+	cases := []struct {
+		name string
+		tk   *DAGTask
+	}{
+		{"nil graph", &DAGTask{Name: "n", G: nil, D: 1, T: 1}},
+		{"empty graph", &DAGTask{Name: "e", G: dag.NewBuilder(0).MustBuild(), D: 1, T: 1}},
+		{"zero deadline", &DAGTask{Name: "d", G: g, D: 0, T: 1}},
+		{"zero period", &DAGTask{Name: "t", G: g, D: 1, T: 0}},
+	}
+	for _, c := range cases {
+		if err := c.tk.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid task", c.name)
+		}
+	}
+	if err := MustNew("ok", g, 1, 1).Validate(); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+}
+
+func TestSporadicValidateAndClassify(t *testing.T) {
+	s := Sporadic{Name: "s", C: 2, D: 5, T: 10}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Constrained() || s.Implicit() {
+		t.Error("C=2,D=5,T=10 must be constrained and not implicit")
+	}
+	if got := s.Utilization(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("u = %v, want 0.2", got)
+	}
+	if got := s.Density(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("δ = %v, want 0.4", got)
+	}
+	bad := Sporadic{C: 0, D: 1, T: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted C=0")
+	}
+}
+
+func TestAsSporadic(t *testing.T) {
+	tk := example1Task()
+	s := tk.AsSporadic()
+	if s.C != 9 || s.D != 16 || s.T != 20 {
+		t.Errorf("AsSporadic = %v, want C=9 D=16 T=20", s)
+	}
+}
+
+func TestSystemAggregates(t *testing.T) {
+	sys := System{
+		example1Task(),
+		MustNew("hi", dag.Independent(8, 8), 8, 16), // vol=16, δ=2, u=1: high-density
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantU := 9.0/20.0 + 16.0/16.0
+	if got := sys.USum(); math.Abs(got-wantU) > 1e-12 {
+		t.Errorf("USum = %v, want %v", got, wantU)
+	}
+	wantD := 9.0/16.0 + 2.0
+	if got := sys.DensitySum(); math.Abs(got-wantD) > 1e-12 {
+		t.Errorf("DensitySum = %v, want %v", got, wantD)
+	}
+	high, low := sys.SplitByDensity()
+	if len(high) != 1 || len(low) != 1 || high[0].Name != "hi" {
+		t.Errorf("SplitByDensity: high=%v low=%v", high, low)
+	}
+	if !sys.Constrained() {
+		t.Error("system is constrained-deadline")
+	}
+	if sys.Implicit() {
+		t.Error("system is not implicit-deadline")
+	}
+}
+
+func TestSplitByUtilization(t *testing.T) {
+	sys := System{
+		MustNew("lowU", dag.Singleton(1), 10, 10),
+		MustNew("highU", dag.Independent(6, 6), 10, 10),
+	}
+	high, low := sys.SplitByUtilization()
+	if len(high) != 1 || high[0].Name != "highU" || len(low) != 1 {
+		t.Errorf("SplitByUtilization: high=%v low=%v", high, low)
+	}
+}
+
+func TestSystemFeasibleNecessaryConditions(t *testing.T) {
+	// U_sum = 2 needs m ≥ 2.
+	sys := System{
+		MustNew("a", dag.Independent(5, 5), 10, 10),
+		MustNew("b", dag.Independent(5, 5), 10, 10),
+	}
+	if sys.Feasible(1) {
+		t.Error("U_sum=2 cannot be feasible on m=1")
+	}
+	if !sys.Feasible(2) {
+		t.Error("U_sum=2, len≤D should pass necessary conditions on m=2")
+	}
+	// len > D is infeasible on any m.
+	bad := System{MustNew("c", dag.Chain(6, 6), 10, 100)}
+	if bad.Feasible(64) {
+		t.Error("len=12 > D=10 must be infeasible regardless of m")
+	}
+}
+
+func TestExample2CapacityAugmentationConstruction(t *testing.T) {
+	// The paper's Example 2: n tasks with C=1, D=1, T=n. U_sum = 1,
+	// len_i = 1 ≤ D_i, yet total demand in [0,1) is n: only schedulable on
+	// a speed-n processor. Verify the system's density sum is n while its
+	// utilization is 1 — the quantity capacity augmentation cannot see.
+	for _, n := range []int{2, 5, 17} {
+		var sys System
+		for i := 0; i < n; i++ {
+			sys = append(sys, MustNew("e", dag.Singleton(1), 1, Time(n)))
+		}
+		if got := sys.USum(); math.Abs(got-1.0) > 1e-9 {
+			t.Errorf("n=%d: USum = %v, want 1", n, got)
+		}
+		if got := sys.DensitySum(); math.Abs(got-float64(n)) > 1e-9 {
+			t.Errorf("n=%d: DensitySum = %v, want %d", n, got, n)
+		}
+		for _, tk := range sys {
+			if !tk.Feasible() {
+				t.Errorf("n=%d: len ≤ D must hold", n)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTripTask(t *testing.T) {
+	tk := example1Task()
+	data, err := json.Marshal(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DAGTask
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tk.Name || back.D != tk.D || back.T != tk.T || !back.G.Equal(tk.G) {
+		t.Errorf("round trip mismatch: %s vs %s", tk, &back)
+	}
+	if back.Volume() != 9 || back.Len() != 6 {
+		t.Error("decoded task quantities wrong")
+	}
+}
+
+func TestJSONRejectsInvalidTask(t *testing.T) {
+	var tk DAGTask
+	err := json.Unmarshal([]byte(`{"deadline":0,"period":5,"dag":{"vertices":[{"wcet":1}],"edges":[]}}`), &tk)
+	if err == nil {
+		t.Fatal("accepted zero deadline")
+	}
+}
+
+func TestSystemFileRoundTrip(t *testing.T) {
+	f := &SystemFile{
+		Processors: 4,
+		Tasks:      System{example1Task(), MustNew("s", dag.Singleton(3), 5, 9)},
+	}
+	data, err := EncodeSystem(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Processors != 4 || len(back.Tasks) != 2 {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestSystemFileValidation(t *testing.T) {
+	if _, err := DecodeSystem([]byte(`{"processors":0,"tasks":[]}`)); err == nil {
+		t.Error("accepted zero processors")
+	}
+	if _, err := EncodeSystem(&SystemFile{Processors: 2, Tasks: nil}); err == nil {
+		t.Error("accepted empty system")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tk := example1Task()
+	s := tk.String()
+	for _, want := range []string{"vol=9", "len=6", "D=16", "T=20"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	sp := Sporadic{C: 1, D: 2, T: 3}
+	if !strings.Contains(sp.String(), "C=1") {
+		t.Errorf("Sporadic.String() = %q", sp.String())
+	}
+}
+
+// Property: density ≥ utilization always (min(D,T) ≤ T), with equality iff
+// D ≥ T; and a high-utilization task is always high-density.
+func TestPropertyDensityDominatesUtilization(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		wcets := make([]Time, n)
+		for i := range wcets {
+			wcets[i] = Time(1 + r.Intn(30))
+		}
+		g := dag.Independent(wcets...)
+		d := Time(1 + r.Intn(100))
+		tt := Time(1 + r.Intn(100))
+		tk := MustNew("p", g, d, tt)
+		if tk.Density() < tk.Utilization()-1e-12 {
+			return false
+		}
+		if tk.HighUtilization() && !tk.HighDensity() {
+			return false
+		}
+		// Exact rationals must agree with floats.
+		du, _ := tk.DensityRat().Float64()
+		if math.Abs(du-tk.Density()) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: USum is additive over concatenation of systems.
+func TestPropertyUSumAdditive(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	mk := func() System {
+		var sys System
+		for i := 0; i < 1+r.Intn(5); i++ {
+			sys = append(sys, MustNew("x", dag.Singleton(Time(1+r.Intn(9))), Time(1+r.Intn(50)), Time(1+r.Intn(50))))
+		}
+		return sys
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b := mk(), mk()
+		both := append(a.Clone(), b...)
+		if math.Abs(both.USum()-(a.USum()+b.USum())) > 1e-9 {
+			t.Fatal("USum not additive")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sys := System{
+		example1Task(), // low, constrained, δ=9/16
+		MustNew("hi", dag.Independent(8, 8), 8, 16), // high, δ=2, u=1
+		MustNew("imp", dag.Singleton(2), 10, 10),    // implicit
+	}
+	s := sys.Summarize()
+	if s.Tasks != 3 || s.HighDensity != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.MaxDensity-2.0) > 1e-12 {
+		t.Errorf("MaxDensity = %v, want 2", s.MaxDensity)
+	}
+	if math.Abs(s.USum-sys.USum()) > 1e-12 || math.Abs(s.DensitySum-sys.DensitySum()) > 1e-12 {
+		t.Error("summary aggregates disagree with direct computations")
+	}
+	if !s.Constrained || s.Implicit {
+		t.Errorf("classification flags: %+v", s)
+	}
+	empty := System{}.Summarize()
+	if empty.Tasks != 0 || empty.Constrained || empty.Implicit {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	implicit := System{MustNew("a", dag.Singleton(1), 5, 5)}.Summarize()
+	if !implicit.Implicit || !implicit.Constrained {
+		t.Errorf("implicit flags: %+v", implicit)
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckGlobalEDF validates the global-EDF rule on an m-processor trace:
+// whenever a job is available (its dag-job released and all predecessors
+// complete) with remaining demand but not executing, every one of the m
+// processors must be executing a job with no later absolute deadline.
+// Equivalently: no pending job ever outranks a running one while any
+// processor idles or runs lower-priority work.
+//
+// The check samples every event instant (slice boundaries and availability
+// times); schedulers that reshuffle only at events — like sim.GlobalEDF —
+// are validated exactly.
+func (t *Trace) CheckGlobalEDF(m int, cons []Precedence) error {
+	if m < 1 {
+		return fmt.Errorf("trace: m must be ≥ 1")
+	}
+	info := make(map[JobID]JobInfo, len(t.Jobs))
+	for _, ji := range t.Jobs {
+		info[ji.ID] = ji
+	}
+	done := t.CompletionTimes()
+
+	// Availability: release, pushed later by predecessor completions.
+	avail := make(map[JobID]Time, len(t.Jobs))
+	for _, ji := range t.Jobs {
+		avail[ji.ID] = ji.Release
+	}
+	for _, c := range cons {
+		for id := range info {
+			if id.Task != c.Task || id.Vertex != c.To {
+				continue
+			}
+			pred := JobID{Task: c.Task, Inst: id.Inst, Vertex: c.From}
+			if pd, ok := done[pred]; ok && pd > avail[id] {
+				avail[id] = pd
+			}
+		}
+	}
+
+	// Event instants.
+	eventSet := make(map[Time]bool)
+	for _, s := range t.Slices {
+		eventSet[s.Start] = true
+		eventSet[s.End] = true
+	}
+	for _, a := range avail {
+		eventSet[a] = true
+	}
+	events := make([]Time, 0, len(eventSet))
+	for e := range eventSet {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+
+	// Precompute per-job sorted slices for executed-before queries.
+	byJob := make(map[JobID][]Slice)
+	for _, s := range t.Slices {
+		byJob[s.Job] = append(byJob[s.Job], s)
+	}
+	for id := range byJob {
+		ss := byJob[id]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		byJob[id] = ss
+	}
+	executedBefore := func(id JobID, at Time) Time {
+		var got Time
+		for _, s := range byJob[id] {
+			if s.End <= at {
+				got += s.End - s.Start
+			} else if s.Start < at {
+				got += at - s.Start
+			}
+		}
+		return got
+	}
+	runningAt := func(id JobID, at Time) bool {
+		for _, s := range byJob[id] {
+			if s.Start <= at && at < s.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	if len(events) > 0 {
+		// The final event is the end of all execution; nothing to check there.
+		events = events[:len(events)-1]
+	}
+	for _, at := range events {
+		// Partition jobs into running and pending at `at`.
+		var running []JobInfo
+		var pending []JobInfo
+		for id, ji := range info {
+			if runningAt(id, at) {
+				running = append(running, ji)
+				continue
+			}
+			if avail[id] <= at && executedBefore(id, at) < ji.Demand {
+				pending = append(pending, ji)
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		// Highest-priority pending job.
+		best := pending[0]
+		for _, p := range pending[1:] {
+			if p.Deadline < best.Deadline {
+				best = p
+			}
+		}
+		if len(running) < m {
+			return fmt.Errorf("trace: global EDF violated at t=%d: %v pending while %d/%d processors busy",
+				at, best.ID, len(running), m)
+		}
+		for _, r := range running {
+			if r.Deadline > best.Deadline {
+				return fmt.Errorf("trace: global EDF violated at t=%d: %v (d=%d) pending while %v (d=%d) runs",
+					at, best.ID, best.Deadline, r.ID, r.Deadline)
+			}
+		}
+	}
+	return nil
+}

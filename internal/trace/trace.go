@@ -1,0 +1,381 @@
+// Package trace records and audits execution traces of the run-time
+// simulators: which job ran on which processor during which interval, plus
+// release and completion events.
+//
+// A trace is the ground truth the analysis promises something about; the
+// package's checkers re-derive the promised properties from the raw
+// intervals instead of trusting the simulator:
+//
+//   - Check validates the platform rules: a processor executes at most one
+//     job at a time, a job executes on at most one processor at a time (no
+//     intra-job parallelism), execution happens only between release and
+//     completion, and every job receives exactly its recorded demand.
+//   - CheckPrecedence validates DAG precedence between jobs of one dag-job.
+//   - CheckEDF validates the EDF priority rule on a single processor: at no
+//     instant does a job run while another pending job has an earlier
+//     absolute deadline.
+//   - Gantt renders a per-processor ASCII time chart for inspection.
+//
+// The sim package emits traces when a Recorder is attached to its Config
+// counterpart (see sim.TracedUniprocEDF); tests feed adversarial traces to
+// the checkers directly.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time mirrors the simulator's tick type.
+type Time = int64
+
+// JobID identifies one vertex job of one dag-job instance of one task.
+type JobID struct {
+	Task   int // input-system task index
+	Inst   int // dag-job instance number
+	Vertex int // vertex within the DAG (0 for collapsed sequential jobs)
+}
+
+// String renders the id as task/instance/vertex.
+func (j JobID) String() string { return fmt.Sprintf("T%d.J%d.v%d", j.Task, j.Inst, j.Vertex) }
+
+// Slice is one contiguous execution interval of one job on one processor.
+type Slice struct {
+	Job   JobID
+	Proc  int
+	Start Time
+	End   Time
+}
+
+// JobInfo carries the per-job metadata the checkers validate against.
+type JobInfo struct {
+	ID       JobID
+	Release  Time
+	Deadline Time // absolute
+	Demand   Time // total execution the job must receive
+}
+
+// Trace is a complete record of one simulation.
+type Trace struct {
+	Procs  int
+	Slices []Slice
+	Jobs   []JobInfo
+}
+
+// Recorder accumulates slices with automatic merging of back-to-back
+// execution of the same job on the same processor.
+type Recorder struct {
+	tr Trace
+}
+
+// NewRecorder returns a Recorder for a platform with procs processors.
+func NewRecorder(procs int) *Recorder {
+	return &Recorder{tr: Trace{Procs: procs}}
+}
+
+// Job registers a job's metadata.
+func (r *Recorder) Job(info JobInfo) { r.tr.Jobs = append(r.tr.Jobs, info) }
+
+// Run records execution of job on proc during [start, end). Zero-length
+// slices are ignored; adjacent slices of the same job/processor merge.
+func (r *Recorder) Run(job JobID, proc int, start, end Time) {
+	if end <= start {
+		return
+	}
+	if n := len(r.tr.Slices); n > 0 {
+		last := &r.tr.Slices[n-1]
+		if last.Job == job && last.Proc == proc && last.End == start {
+			last.End = end
+			return
+		}
+	}
+	r.tr.Slices = append(r.tr.Slices, Slice{Job: job, Proc: proc, Start: start, End: end})
+}
+
+// Trace returns the accumulated trace.
+func (r *Recorder) Trace() *Trace { return &r.tr }
+
+// Check validates the platform rules (see package comment). It runs in
+// O(S log S) for S slices.
+func (t *Trace) Check() error {
+	// Per-processor non-overlap.
+	byProc := make(map[int][]Slice)
+	for _, s := range t.Slices {
+		if s.Proc < 0 || s.Proc >= t.Procs {
+			return fmt.Errorf("trace: slice %v on processor %d of %d", s, s.Proc, t.Procs)
+		}
+		if s.End <= s.Start {
+			return fmt.Errorf("trace: empty slice %v", s)
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], s)
+	}
+	for p, ss := range byProc {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		for i := 1; i < len(ss); i++ {
+			if ss[i].Start < ss[i-1].End {
+				return fmt.Errorf("trace: processor %d overlap: %v then %v", p, ss[i-1], ss[i])
+			}
+		}
+	}
+	// Per-job: no parallel self-execution, window containment, exact demand.
+	byJob := make(map[JobID][]Slice)
+	for _, s := range t.Slices {
+		byJob[s.Job] = append(byJob[s.Job], s)
+	}
+	info := make(map[JobID]JobInfo, len(t.Jobs))
+	for _, ji := range t.Jobs {
+		if _, dup := info[ji.ID]; dup {
+			return fmt.Errorf("trace: duplicate job info for %v", ji.ID)
+		}
+		info[ji.ID] = ji
+	}
+	for id, ss := range byJob {
+		ji, ok := info[id]
+		if !ok {
+			return fmt.Errorf("trace: slice for unregistered job %v", id)
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		var got Time
+		for i, s := range ss {
+			if i > 0 && s.Start < ss[i-1].End {
+				return fmt.Errorf("trace: job %v executes in parallel with itself: %v, %v", id, ss[i-1], s)
+			}
+			if s.Start < ji.Release {
+				return fmt.Errorf("trace: job %v runs at %d before release %d", id, s.Start, ji.Release)
+			}
+			got += s.End - s.Start
+		}
+		if got != ji.Demand {
+			return fmt.Errorf("trace: job %v received %d of %d demand", id, got, ji.Demand)
+		}
+	}
+	// Registered jobs with demand must appear.
+	for _, ji := range t.Jobs {
+		if ji.Demand > 0 && len(byJob[ji.ID]) == 0 {
+			return fmt.Errorf("trace: job %v never executed (demand %d)", ji.ID, ji.Demand)
+		}
+	}
+	return nil
+}
+
+// CompletionTimes returns each job's completion time (end of its last
+// slice). Jobs with no slices are absent.
+func (t *Trace) CompletionTimes() map[JobID]Time {
+	done := make(map[JobID]Time)
+	for _, s := range t.Slices {
+		if s.End > done[s.Job] {
+			done[s.Job] = s.End
+		}
+	}
+	return done
+}
+
+// Misses returns the jobs whose completion exceeds their deadline.
+func (t *Trace) Misses() []JobID {
+	done := t.CompletionTimes()
+	var out []JobID
+	for _, ji := range t.Jobs {
+		if c, ok := done[ji.ID]; ok && c > ji.Deadline {
+			out = append(out, ji.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func less(a, b JobID) bool {
+	if a.Task != b.Task {
+		return a.Task < b.Task
+	}
+	if a.Inst != b.Inst {
+		return a.Inst < b.Inst
+	}
+	return a.Vertex < b.Vertex
+}
+
+// Precedence is one intra-dag-job ordering constraint: within every instance
+// of task Task, vertex From must complete before vertex To starts.
+type Precedence struct {
+	Task     int
+	From, To int
+}
+
+// CheckPrecedence validates the given constraints against the trace.
+func (t *Trace) CheckPrecedence(constraints []Precedence) error {
+	starts := make(map[JobID]Time)
+	for _, s := range t.Slices {
+		if cur, ok := starts[s.Job]; !ok || s.Start < cur {
+			starts[s.Job] = s.Start
+		}
+	}
+	done := t.CompletionTimes()
+	// Group instances per task.
+	instances := make(map[int]map[int]bool)
+	for _, ji := range t.Jobs {
+		if instances[ji.ID.Task] == nil {
+			instances[ji.ID.Task] = make(map[int]bool)
+		}
+		instances[ji.ID.Task][ji.ID.Inst] = true
+	}
+	for _, c := range constraints {
+		for inst := range instances[c.Task] {
+			from := JobID{Task: c.Task, Inst: inst, Vertex: c.From}
+			to := JobID{Task: c.Task, Inst: inst, Vertex: c.To}
+			fd, fok := done[from]
+			ts, tok := starts[to]
+			if !fok || !tok {
+				continue // unexecuted jobs are caught by Check
+			}
+			if ts < fd {
+				return fmt.Errorf("trace: precedence %d→%d violated in %v: succ starts %d before pred ends %d",
+					c.From, c.To, to, ts, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckEDF validates the EDF rule on a single-processor trace: whenever a
+// job executes, no other registered job is pending (released, not yet
+// complete, with remaining demand) with a strictly earlier deadline.
+// The trace must be for one processor's jobs only.
+func (t *Trace) CheckEDF() error {
+	return t.CheckPriority(func(a, b JobInfo) bool { return a.Deadline < b.Deadline })
+}
+
+// CheckPriority validates an arbitrary preemptive priority rule on a
+// single-processor trace: whenever a job executes, no pending job has
+// strictly higher priority per the given predicate (higher(a, b) reports
+// whether a outranks b). CheckEDF is CheckPriority on absolute deadlines;
+// fixed-priority audits pass a rank comparison on the task ids.
+func (t *Trace) CheckPriority(higher func(a, b JobInfo) bool) error {
+	info := make(map[JobID]JobInfo, len(t.Jobs))
+	for _, ji := range t.Jobs {
+		info[ji.ID] = ji
+	}
+	// EDF decisions change only at events, and every execution interval
+	// begins at an event, so sampling each slice's start instant suffices.
+	slices := append([]Slice(nil), t.Slices...)
+	sort.Slice(slices, func(i, j int) bool { return slices[i].Start < slices[j].Start })
+	executedBefore := func(id JobID, at Time) Time {
+		var got Time
+		for _, s := range slices {
+			if s.Job != id {
+				continue
+			}
+			if s.End <= at {
+				got += s.End - s.Start
+			} else if s.Start < at {
+				got += at - s.Start
+			}
+		}
+		return got
+	}
+	for _, s := range slices {
+		running, ok := info[s.Job]
+		if !ok {
+			return fmt.Errorf("trace: slice for unregistered job %v", s.Job)
+		}
+		// Priority state changes only at slice starts and job releases;
+		// check both kinds of instants that fall inside this slice.
+		for id, ji := range info {
+			if id == s.Job || !higher(ji, running) {
+				continue
+			}
+			// Sample the later of the slice start and the rival's release;
+			// the rival must already be released within the slice to compete.
+			at := s.Start
+			if ji.Release > at {
+				at = ji.Release
+			}
+			if at >= s.End {
+				continue // rival released after this slice ended
+			}
+			if executedBefore(id, at) < ji.Demand {
+				return fmt.Errorf("trace: priority rule violated at t=%d: %v (d=%d) runs while %v (d=%d) pending",
+					at, s.Job, running.Deadline, id, ji.Deadline)
+			}
+		}
+	}
+	return nil
+}
+
+// Gantt renders the trace as a per-processor ASCII chart covering
+// [from, to), one character per scale ticks. Each job is labelled by a
+// rotating letter; idle time prints as '.'.
+func (t *Trace) Gantt(from, to, scale Time) string {
+	if scale < 1 {
+		scale = 1
+	}
+	width := int((to - from + scale - 1) / scale)
+	if width < 1 {
+		return ""
+	}
+	labels := make(map[JobID]byte)
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	next := 0
+	label := func(id JobID) byte {
+		if b, ok := labels[id]; ok {
+			return b
+		}
+		b := alphabet[next%len(alphabet)]
+		next++
+		labels[id] = b
+		return b
+	}
+	rows := make([][]byte, t.Procs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range t.Slices {
+		if s.End <= from || s.Start >= to {
+			continue // outside the window: don't draw, don't label
+		}
+		b := label(s.Job)
+		for tt := s.Start; tt < s.End; tt++ {
+			if tt < from || tt >= to {
+				continue
+			}
+			rows[s.Proc][int((tt-from)/scale)] = b
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%d..%d (1 char = %d tick(s))\n", from, to, scale)
+	for p, row := range rows {
+		fmt.Fprintf(&sb, "P%-2d |%s|\n", p, row)
+	}
+	// Legend, sorted for determinism.
+	ids := make([]JobID, 0, len(labels))
+	for id := range labels {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return less(ids[i], ids[j]) })
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "  %c = %v\n", labels[id], id)
+	}
+	return sb.String()
+}
+
+// Utilization returns, per processor, the fraction of [from, to) spent
+// executing jobs. Slices are clipped to the window.
+func (t *Trace) Utilization(from, to Time) []float64 {
+	out := make([]float64, t.Procs)
+	if to <= from {
+		return out
+	}
+	span := float64(to - from)
+	for _, s := range t.Slices {
+		lo, hi := s.Start, s.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			out[s.Proc] += float64(hi-lo) / span
+		}
+	}
+	return out
+}

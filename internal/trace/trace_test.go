@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func id(t, i, v int) JobID { return JobID{Task: t, Inst: i, Vertex: v} }
+
+func validTwoJobTrace() *Trace {
+	r := NewRecorder(2)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 4})
+	r.Job(JobInfo{ID: id(1, 0, 0), Release: 2, Deadline: 12, Demand: 3})
+	r.Run(id(0, 0, 0), 0, 0, 4)
+	r.Run(id(1, 0, 0), 1, 2, 5)
+	return r.Trace()
+}
+
+func TestCheckAcceptsValidTrace(t *testing.T) {
+	if err := validTwoJobTrace().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderMergesAdjacentSlices(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 100, Demand: 6})
+	r.Run(id(0, 0, 0), 0, 0, 2)
+	r.Run(id(0, 0, 0), 0, 2, 6)
+	tr := r.Trace()
+	if len(tr.Slices) != 1 {
+		t.Fatalf("adjacent slices not merged: %v", tr.Slices)
+	}
+	if tr.Slices[0].End != 6 {
+		t.Errorf("merged slice = %v", tr.Slices[0])
+	}
+	if err := tr.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderIgnoresEmptySlices(t *testing.T) {
+	r := NewRecorder(1)
+	r.Run(id(0, 0, 0), 0, 5, 5)
+	if len(r.Trace().Slices) != 0 {
+		t.Fatal("zero-length slice recorded")
+	}
+}
+
+func TestCheckCatchesProcessorOverlap(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 4})
+	r.Job(JobInfo{ID: id(1, 0, 0), Release: 0, Deadline: 10, Demand: 4})
+	r.Run(id(0, 0, 0), 0, 0, 4)
+	r.Run(id(1, 0, 0), 0, 2, 6)
+	if err := r.Trace().Check(); err == nil {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestCheckCatchesSelfParallelism(t *testing.T) {
+	r := NewRecorder(2)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 6})
+	r.Run(id(0, 0, 0), 0, 0, 3)
+	r.Run(id(0, 0, 0), 1, 1, 4)
+	if err := r.Trace().Check(); err == nil {
+		t.Fatal("intra-job parallelism not detected")
+	}
+}
+
+func TestCheckCatchesEarlyExecution(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 5, Deadline: 15, Demand: 2})
+	r.Run(id(0, 0, 0), 0, 3, 5)
+	if err := r.Trace().Check(); err == nil {
+		t.Fatal("pre-release execution not detected")
+	}
+}
+
+func TestCheckCatchesDemandMismatch(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 5})
+	r.Run(id(0, 0, 0), 0, 0, 3)
+	if err := r.Trace().Check(); err == nil {
+		t.Fatal("short execution not detected")
+	}
+}
+
+func TestCheckCatchesUnexecutedJob(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 5})
+	if err := r.Trace().Check(); err == nil {
+		t.Fatal("unexecuted job not detected")
+	}
+}
+
+func TestCheckCatchesUnknownProcessorAndJob(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 1})
+	r.Run(id(0, 0, 0), 3, 0, 1)
+	if err := r.Trace().Check(); err == nil {
+		t.Fatal("out-of-range processor not detected")
+	}
+	r2 := NewRecorder(1)
+	r2.Run(id(9, 9, 9), 0, 0, 1)
+	if err := r2.Trace().Check(); err == nil {
+		t.Fatal("unregistered job not detected")
+	}
+}
+
+func TestCheckCatchesDuplicateJobInfo(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 1})
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 1})
+	r.Run(id(0, 0, 0), 0, 0, 1)
+	if err := r.Trace().Check(); err == nil {
+		t.Fatal("duplicate job info not detected")
+	}
+}
+
+func TestMisses(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 3, Demand: 5})
+	r.Run(id(0, 0, 0), 0, 0, 5)
+	misses := r.Trace().Misses()
+	if len(misses) != 1 || misses[0] != id(0, 0, 0) {
+		t.Fatalf("misses = %v", misses)
+	}
+	if len(validTwoJobTrace().Misses()) != 0 {
+		t.Fatal("false positive miss")
+	}
+}
+
+func TestCheckPrecedence(t *testing.T) {
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 2})
+	r.Job(JobInfo{ID: id(0, 0, 1), Release: 0, Deadline: 10, Demand: 2})
+	r.Run(id(0, 0, 0), 0, 0, 2)
+	r.Run(id(0, 0, 1), 0, 2, 4)
+	cons := []Precedence{{Task: 0, From: 0, To: 1}}
+	if err := r.Trace().CheckPrecedence(cons); err != nil {
+		t.Fatal(err)
+	}
+	// Reverse the order: violation.
+	r2 := NewRecorder(1)
+	r2.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 2})
+	r2.Job(JobInfo{ID: id(0, 0, 1), Release: 0, Deadline: 10, Demand: 2})
+	r2.Run(id(0, 0, 1), 0, 0, 2)
+	r2.Run(id(0, 0, 0), 0, 2, 4)
+	if err := r2.Trace().CheckPrecedence(cons); err == nil {
+		t.Fatal("precedence violation not detected")
+	}
+}
+
+func TestCheckEDFAcceptsEDFTrace(t *testing.T) {
+	// Job A (d=20) starts; job B (d=10) arrives at 2 and preempts; A resumes.
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 20, Demand: 6})
+	r.Job(JobInfo{ID: id(1, 0, 0), Release: 2, Deadline: 10, Demand: 3})
+	r.Run(id(0, 0, 0), 0, 0, 2)
+	r.Run(id(1, 0, 0), 0, 2, 5)
+	r.Run(id(0, 0, 0), 0, 5, 9)
+	tr := r.Trace()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckEDF(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckEDFCatchesPriorityInversion(t *testing.T) {
+	// B (d=10) pending from 2 but A (d=20) keeps running: violation.
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 20, Demand: 6})
+	r.Job(JobInfo{ID: id(1, 0, 0), Release: 2, Deadline: 10, Demand: 3})
+	r.Run(id(0, 0, 0), 0, 0, 6)
+	r.Run(id(1, 0, 0), 0, 6, 9)
+	if err := r.Trace().CheckEDF(); err == nil {
+		t.Fatal("EDF violation not detected")
+	}
+}
+
+func TestCheckEDFSliceBoundaryNotViolation(t *testing.T) {
+	// A lower-priority job running *before* the higher-priority one is
+	// released is fine; and equal deadlines are fine in either order.
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 10, Demand: 2})
+	r.Job(JobInfo{ID: id(1, 0, 0), Release: 0, Deadline: 10, Demand: 2})
+	r.Run(id(1, 0, 0), 0, 0, 2)
+	r.Run(id(0, 0, 0), 0, 2, 4)
+	if err := r.Trace().CheckEDF(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tr := validTwoJobTrace()
+	g := tr.Gantt(0, 6, 1)
+	if !strings.Contains(g, "P0 ") || !strings.Contains(g, "P1 ") {
+		t.Fatalf("missing processor rows:\n%s", g)
+	}
+	lines := strings.Split(g, "\n")
+	var p0 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "P0 ") {
+			p0 = l
+		}
+	}
+	if !strings.Contains(p0, "aaaa..") {
+		t.Errorf("P0 row = %q, want job a during [0,4)", p0)
+	}
+	if !strings.Contains(g, "= T0.J0.v0") {
+		t.Errorf("legend missing:\n%s", g)
+	}
+	// Degenerate ranges do not panic.
+	if tr.Gantt(5, 5, 1) != "" {
+		t.Error("empty range should render empty")
+	}
+	// Coarse scale shrinks width.
+	coarse := tr.Gantt(0, 6, 3)
+	if len(coarse) >= len(g) {
+		t.Error("coarser scale did not shrink output")
+	}
+}
+
+func TestCompletionTimes(t *testing.T) {
+	tr := validTwoJobTrace()
+	done := tr.CompletionTimes()
+	if done[id(0, 0, 0)] != 4 || done[id(1, 0, 0)] != 5 {
+		t.Fatalf("completions = %v", done)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tr := validTwoJobTrace() // P0: [0,4), P1: [2,5)
+	u := tr.Utilization(0, 10)
+	if u[0] != 0.4 || u[1] != 0.3 {
+		t.Fatalf("utilization = %v, want [0.4 0.3]", u)
+	}
+	// Clipping.
+	u2 := tr.Utilization(3, 5)
+	if u2[0] != 0.5 || u2[1] != 1.0 {
+		t.Fatalf("clipped utilization = %v, want [0.5 1.0]", u2)
+	}
+	// Degenerate window.
+	if got := tr.Utilization(5, 5); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("degenerate window = %v", got)
+	}
+}
+
+func TestCheckGlobalEDFDetectsViolations(t *testing.T) {
+	// m=2. Three jobs released at 0: a(d=5), b(d=6), c(d=20). Valid global
+	// EDF runs a and b first, c afterwards.
+	mk := func() *Recorder {
+		r := NewRecorder(2)
+		r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 5, Demand: 3})
+		r.Job(JobInfo{ID: id(1, 0, 0), Release: 0, Deadline: 6, Demand: 3})
+		r.Job(JobInfo{ID: id(2, 0, 0), Release: 0, Deadline: 20, Demand: 2})
+		return r
+	}
+	good := mk()
+	good.Run(id(0, 0, 0), 0, 0, 3)
+	good.Run(id(1, 0, 0), 1, 0, 3)
+	good.Run(id(2, 0, 0), 0, 3, 5)
+	if err := good.Trace().CheckGlobalEDF(2, nil); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// Violation: c runs while a pends.
+	bad := mk()
+	bad.Run(id(2, 0, 0), 0, 0, 2)
+	bad.Run(id(1, 0, 0), 1, 0, 3)
+	bad.Run(id(0, 0, 0), 0, 2, 5)
+	if err := bad.Trace().CheckGlobalEDF(2, nil); err == nil {
+		t.Fatal("priority inversion not detected")
+	}
+	// Violation: idle processor while work pends.
+	idle := mk()
+	idle.Run(id(0, 0, 0), 0, 0, 3)
+	idle.Run(id(1, 0, 0), 0, 3, 6)
+	idle.Run(id(2, 0, 0), 0, 6, 8)
+	if err := idle.Trace().CheckGlobalEDF(2, nil); err == nil {
+		t.Fatal("idling with pending work not detected")
+	}
+	// The same single-processor serialization is valid global EDF at m=1.
+	if err := idle.Trace().CheckGlobalEDF(1, nil); err != nil {
+		t.Fatalf("m=1 serialization rejected: %v", err)
+	}
+}
+
+func TestCheckGlobalEDFRespectsPrecedenceAvailability(t *testing.T) {
+	// v1 precedes v2 within the same task instance: v2 pending only after
+	// v1 completes, so a lower-priority unrelated job may run meanwhile.
+	r := NewRecorder(1)
+	r.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 4, Demand: 1})
+	r.Job(JobInfo{ID: id(0, 0, 1), Release: 0, Deadline: 4, Demand: 1})
+	r.Job(JobInfo{ID: id(1, 0, 0), Release: 0, Deadline: 9, Demand: 1})
+	cons := []Precedence{{Task: 0, From: 0, To: 1}}
+	// Order: v0 (d=4), then the d=9 job, then v1 (d=4)? That WOULD violate:
+	// after v0 completes at 1, v1 is available with d=4 < 9.
+	bad := r
+	bad.Run(id(0, 0, 0), 0, 0, 1)
+	bad.Run(id(1, 0, 0), 0, 1, 2)
+	bad.Run(id(0, 0, 1), 0, 2, 3)
+	if err := bad.Trace().CheckGlobalEDF(1, cons); err == nil {
+		t.Fatal("post-availability inversion not detected")
+	}
+	// Correct order passes.
+	ok := NewRecorder(1)
+	ok.Job(JobInfo{ID: id(0, 0, 0), Release: 0, Deadline: 4, Demand: 1})
+	ok.Job(JobInfo{ID: id(0, 0, 1), Release: 0, Deadline: 4, Demand: 1})
+	ok.Job(JobInfo{ID: id(1, 0, 0), Release: 0, Deadline: 9, Demand: 1})
+	ok.Run(id(0, 0, 0), 0, 0, 1)
+	ok.Run(id(0, 0, 1), 0, 1, 2)
+	ok.Run(id(1, 0, 0), 0, 2, 3)
+	if err := ok.Trace().CheckGlobalEDF(1, cons); err != nil {
+		t.Fatalf("valid precedence-aware trace rejected: %v", err)
+	}
+}
+
+func TestCheckGlobalEDFRejectsBadM(t *testing.T) {
+	if err := validTwoJobTrace().CheckGlobalEDF(0, nil); err == nil {
+		t.Fatal("accepted m=0")
+	}
+}
