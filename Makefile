@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench fuzz experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz experiments experiments-quick examples clean
 
 all: build vet test
+
+# What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests.
+check: vet build test-race
 
 build:
 	$(GO) build ./...
@@ -18,6 +21,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -46,6 +46,33 @@ func runExperiment(b *testing.B, id string) {
 	}
 }
 
+// benchmarkSuite runs the whole E1–E21 quick suite once per iteration with
+// the sweep engine's worker pool bounded to par (0 = GOMAXPROCS).
+func benchmarkSuite(b *testing.B, par int) {
+	b.Helper()
+	cfg := exp.QuickConfig()
+	cfg.Par = par
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exp.Suite() {
+			if _, err := e.Run(cfg); err != nil {
+				b.Fatalf("%s: %v", e.ID, err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteQuick times the full quick suite with a single sweep worker —
+// the sequential reference for the parallel variant below.
+func BenchmarkSuiteQuick(b *testing.B) { benchmarkSuite(b, 1) }
+
+// BenchmarkSuiteQuickParallel times the full quick suite with the default
+// worker pool (GOMAXPROCS). Output tables are identical to the sequential
+// run; only wall clock may differ. results/timing_quick_suite.json records
+// a measured pair.
+func BenchmarkSuiteQuickParallel(b *testing.B) { benchmarkSuite(b, 0) }
+
 // BenchmarkE1Example1 regenerates the paper's Example 1 quantities
 // (len=6, vol=9, δ=9/16, u=9/20).
 func BenchmarkE1Example1(b *testing.B) { runExperiment(b, "E1") }

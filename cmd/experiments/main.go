@@ -1,10 +1,15 @@
-// Command experiments runs the full DESIGN.md experiment suite (E1–E12) and
+// Command experiments runs the full DESIGN.md experiment suite (E1–E21) and
 // prints the result tables as Markdown — the content recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
 //
-//	experiments [-quick] [-only E4,E6] [-csv dir] [-seed N] [-systems N]
+//	experiments [-quick] [-only E4,E6] [-csv dir] [-seed N] [-systems N] [-par N] [-q]
+//
+// Sweep experiments run on the shared parallel engine (internal/runner);
+// -par bounds its worker pool (default GOMAXPROCS). Tables are byte-identical
+// for every -par value: trial RNGs derive from (seed, experiment, point,
+// trial), never from execution order.
 package main
 
 import (
@@ -14,18 +19,61 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"fedsched/internal/exp"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// progressTracker throttles trial-completion updates to quarter marks and
+// remembers the final count per experiment for the wall-clock summary line.
+// Engine workers call Update concurrently; the mutex serializes the writer.
+type progressTracker struct {
+	w  io.Writer
+	mu sync.Mutex
+	// Experiments run one at a time; completed accumulates across the
+	// sub-sweeps of one experiment (e.g. E17's three populations).
+	id          string
+	completed   int
+	lastQuarter int
+}
+
+// Update implements exp.ProgressFunc.
+func (pt *progressTracker) Update(id string, done, total int) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if id != pt.id {
+		pt.id, pt.completed, pt.lastQuarter = id, 0, 0
+	}
+	pt.completed++
+	if q := 4 * done / total; q > pt.lastQuarter && done != total {
+		pt.lastQuarter = q
+		fmt.Fprintf(pt.w, "  %s: %d/%d trials\n", id, done, total)
+	}
+	if done == total {
+		pt.lastQuarter = 0 // next sub-sweep starts its own quarters
+	}
+}
+
+// Trials reports how many trials the named experiment completed (0 for
+// experiments that do not run on the engine).
+func (pt *progressTracker) Trials(id string) int {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if id != pt.id {
+		return 0
+	}
+	return pt.completed
+}
+
+func run(args []string, out, progress io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		quick   = fs.Bool("quick", false, "use the scaled-down configuration")
@@ -35,9 +83,14 @@ func run(args []string, out io.Writer) error {
 		outFile = fs.String("o", "", "also write the full Markdown report (with summary) to this file")
 		seed    = fs.Int64("seed", 0, "override the suite seed")
 		systems = fs.Int("systems", 0, "override systems per sweep point")
+		par     = fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for every value")
+		quiet   = fs.Bool("q", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *quiet {
+		progress = io.Discard
 	}
 	cfg := exp.DefaultConfig()
 	if *quick {
@@ -49,6 +102,9 @@ func run(args []string, out io.Writer) error {
 	if *systems != 0 {
 		cfg.SystemsPerPoint = *systems
 	}
+	cfg.Par = *par
+	tracker := &progressTracker{w: progress}
+	cfg.Progress = tracker.Update
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -65,10 +121,17 @@ func run(args []string, out io.Writer) error {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "running %s — %s...\n", e.ID, e.Name)
+		fmt.Fprintf(progress, "running %s — %s...\n", e.ID, e.Name)
+		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if trials := tracker.Trials(e.ID); trials > 0 {
+			fmt.Fprintf(progress, "%s done in %v (%d trials)\n", e.ID, elapsed, trials)
+		} else {
+			fmt.Fprintf(progress, "%s done in %v\n", e.ID, elapsed)
 		}
 		collected = append(collected, res)
 		fmt.Fprintln(out, res.Table.Markdown())

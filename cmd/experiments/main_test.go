@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-only", "E1", "-quick"}, &buf)
+	err := run([]string{"-only", "E1", "-quick"}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestCSVOutput(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "csv")
 	var buf bytes.Buffer
-	if err := run([]string{"-only", "E2", "-quick", "-csv", dir}, &buf); err != nil {
+	if err := run([]string{"-only", "E2", "-quick", "-csv", dir}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "e2.csv"))
@@ -40,17 +41,17 @@ func TestCSVOutput(t *testing.T) {
 
 func TestOverrides(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-only", "E1", "-systems", "2", "-seed", "99"}, &buf); err != nil {
+	if err := run([]string{"-only", "E1", "-systems", "2", "-seed", "99"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-systems", "-5"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-systems", "-5"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("accepted negative systems override")
 	}
 }
 
 func TestPlotFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-only", "E4", "-quick", "-plot"}, &buf); err != nil {
+	if err := run([]string{"-only", "E4", "-quick", "-plot"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -64,7 +65,7 @@ func TestPlotFlag(t *testing.T) {
 
 func TestOutputFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "report.md")
-	if err := run([]string{"-only", "E1,E2", "-quick", "-plot", "-o", path}, &bytes.Buffer{}); err != nil {
+	if err := run([]string{"-only", "E1,E2", "-quick", "-plot", "-o", path}, &bytes.Buffer{}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -76,5 +77,50 @@ func TestOutputFile(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report file missing %q", want)
 		}
+	}
+}
+
+// TestParDeterminism is the command-level check of the engine guarantee: the
+// rendered tables are byte-identical whatever -par says.
+func TestParDeterminism(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-only", "E4,E6", "-quick", "-par", "1"}, &seq, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-only", "E4,E6", "-quick", "-par", "8"}, &par, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("-par 1 and -par 8 outputs differ:\n--- par=1 ---\n%s\n--- par=8 ---\n%s", seq.String(), par.String())
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var out, progress bytes.Buffer
+	if err := run([]string{"-only", "E4", "-quick"}, &out, &progress); err != nil {
+		t.Fatal(err)
+	}
+	p := progress.String()
+	if !strings.Contains(p, "running E4") {
+		t.Errorf("progress missing experiment header:\n%s", p)
+	}
+	if !strings.Contains(p, "E4 done in") || !strings.Contains(p, "trials)") {
+		t.Errorf("progress missing wall-clock/trial summary:\n%s", p)
+	}
+	if strings.Contains(out.String(), "running E4") {
+		t.Error("progress lines leaked into the report writer")
+	}
+}
+
+func TestQuietFlag(t *testing.T) {
+	var out, progress bytes.Buffer
+	if err := run([]string{"-only", "E4", "-quick", "-q"}, &out, &progress); err != nil {
+		t.Fatal(err)
+	}
+	if progress.Len() != 0 {
+		t.Errorf("-q still wrote progress: %q", progress.String())
+	}
+	if !strings.Contains(out.String(), "E4 —") {
+		t.Error("-q suppressed the report itself")
 	}
 }

@@ -2,11 +2,11 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 
-	"fedsched/internal/baseline"
 	"fedsched/internal/core"
 	"fedsched/internal/gen"
-	"fedsched/internal/partition"
+	"fedsched/internal/runner"
 	"fedsched/internal/stats"
 )
 
@@ -22,21 +22,28 @@ var utilGrid = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 // U/m = 1/(3 − 1/m) ≈ 0.35.
 func E4AcceptanceVsUtil(cfg Config) (*Result, error) {
 	const m, n = 8, 10
-	r := cfg.rng(4)
+	fedcons := runner.MustLookup("fedcons")
 	tab := &stats.Table{
 		Title:   "E4 — FEDCONS acceptance ratio vs U_sum/m (m=8, n=10)",
 		Columns: []string{"U/m", "systems", "accepted", "ratio", "95% CI"},
 	}
 	res := &Result{ID: "E4", Title: "Acceptance ratio vs normalized utilization", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{3}}}
 	guarantee := 1 / (3 - 1.0/float64(m))
-	for _, normU := range utilGrid {
-		var c stats.Counter
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			sys, err := gen.System(r, sweepParams(n, m, normU))
+	outcomes, err := sweep(cfg, "E4", sweepID(4, 0), len(utilGrid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (bool, error) {
+			sys, err := gen.System(r, sweepParams(n, m, utilGrid[point]))
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			c.Add(core.Schedulable(sys, m, core.Options{}))
+			return fedcons.Schedulable(sys, m), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, normU := range utilGrid {
+		var c stats.Counter
+		for _, ok := range outcomes[p] {
+			c.Add(ok)
 		}
 		lo, hi := c.Wilson95()
 		tab.AddRow(normU, c.Total, c.Accepted, c.Ratio(), fmt.Sprintf("[%.3f, %.3f]", lo, hi))
@@ -55,26 +62,39 @@ func E4AcceptanceVsUtil(cfg Config) (*Result, error) {
 func E5AcceptanceVsDeadlineRatio(cfg Config) (*Result, error) {
 	const m, n = 8, 10
 	const normU = 0.5
-	r := cfg.rng(5)
+	betaGrid := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	fedcons := runner.MustLookup("fedcons")
 	tab := &stats.Table{
 		Title:   "E5 — acceptance vs deadline tightness β (m=8, n=10, U/m=0.5)",
 		Columns: []string{"β", "accepted ratio", "mean Σδ", "mean high-density tasks"},
 	}
 	res := &Result{ID: "E5", Title: "Acceptance ratio vs deadline tightness", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{1}}}
-	for _, beta := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
-		var c stats.Counter
-		var densSum, highCount float64
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
+	type trial struct {
+		OK   bool
+		Dens float64
+		High int
+	}
+	outcomes, err := sweep(cfg, "E5", sweepID(5, 0), len(betaGrid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
 			p := sweepParams(n, m, normU)
-			p.BetaMin, p.BetaMax = beta, beta
+			p.BetaMin, p.BetaMax = betaGrid[point], betaGrid[point]
 			sys, err := gen.System(r, p)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			c.Add(core.Schedulable(sys, m, core.Options{}))
-			densSum += sys.DensitySum()
 			high, _ := sys.SplitByDensity()
-			highCount += float64(len(high))
+			return trial{OK: fedcons.Schedulable(sys, m), Dens: sys.DensitySum(), High: len(high)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, beta := range betaGrid {
+		var c stats.Counter
+		var densSum, highCount float64
+		for _, tr := range outcomes[p] {
+			c.Add(tr.OK)
+			densSum += tr.Dens
+			highCount += float64(tr.High)
 		}
 		tab.AddRow(beta, c.Ratio(), densSum/float64(c.Total), highCount/float64(c.Total))
 	}
@@ -89,31 +109,39 @@ func E5AcceptanceVsDeadlineRatio(cfg Config) (*Result, error) {
 // algorithm) and the NECESSARY upper bound — the "who wins, where" table.
 func E6BaselineComparison(cfg Config) (*Result, error) {
 	const m, n = 8, 10
-	r := cfg.rng(6)
+	analyzers := lookupAll("necessary", "fedcons", "li-fed-d", "part-seq")
 	tab := &stats.Table{
 		Title:   "E6 — acceptance ratios: FEDCONS vs baselines (m=8, n=10)",
 		Columns: []string{"U/m", "NECESSARY (UB)", "FEDCONS", "LI-FED-D", "PART-SEQ"},
 	}
 	res := &Result{ID: "E6", Title: "Baseline comparison", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{1, 2, 3, 4}}}
-	orderViolations := 0
-	for _, normU := range utilGrid {
-		var nec, fed, li, seq stats.Counter
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			sys, err := gen.System(r, sweepParams(n, m, normU))
+	outcomes, err := sweep(cfg, "E6", sweepID(6, 0), len(utilGrid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) ([4]bool, error) {
+			sys, err := gen.System(r, sweepParams(n, m, utilGrid[point]))
 			if err != nil {
-				return nil, err
+				return [4]bool{}, err
 			}
-			f := core.Schedulable(sys, m, core.Options{})
-			nc := baseline.Necessary(sys, m)
-			fed.Add(f)
-			nec.Add(nc)
-			li.Add(baseline.LiFedD(sys, m))
-			seq.Add(baseline.PartSeq(sys, m))
-			if f && !nc {
+			var v [4]bool
+			for k, a := range analyzers {
+				v[k] = a.Schedulable(sys, m)
+			}
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	orderViolations := 0
+	for p, normU := range utilGrid {
+		var counters [4]stats.Counter
+		for _, v := range outcomes[p] {
+			for k := range counters {
+				counters[k].Add(v[k])
+			}
+			if v[1] && !v[0] { // FEDCONS accepted, NECESSARY rejected
 				orderViolations++
 			}
 		}
-		tab.AddRow(normU, nec.Ratio(), fed.Ratio(), li.Ratio(), seq.Ratio())
+		tab.AddRow(normU, counters[0].Ratio(), counters[1].Ratio(), counters[2].Ratio(), counters[3].Ratio())
 	}
 	if orderViolations > 0 {
 		res.Notes = append(res.Notes, fmt.Sprintf("UNEXPECTED: %d FEDCONS acceptances failed NECESSARY", orderViolations))
@@ -129,24 +157,26 @@ func E6BaselineComparison(cfg Config) (*Result, error) {
 // end-to-end acceptance.
 func E7MinprocsAblation(cfg Config) (*Result, error) {
 	const m, n = 8, 10
-	r := cfg.rng(7)
+	grid := []float64{0.3, 0.5, 0.7, 0.9}
+	scanA, anaA := runner.MustLookup("fedcons"), runner.MustLookup("fedcons-analytic")
 	tab := &stats.Table{
 		Title:   "E7 — MINPROCS ablation: LS scan vs analytic sizing (m=8, n=10)",
 		Columns: []string{"U/m", "accept (scan)", "accept (analytic)", "mean procs saved/high task", "max saved"},
 	}
 	res := &Result{ID: "E7", Title: "Ablation: MINPROCS LS scan vs analytic", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{1, 2}}}
-	for _, normU := range []float64{0.3, 0.5, 0.7, 0.9} {
-		var scan, ana stats.Counter
-		var saved []float64
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			p := sweepParams(n, m, normU)
+	type trial struct {
+		Scan, Ana bool
+		Saved     []float64
+	}
+	outcomes, err := sweep(cfg, "E7", sweepID(7, 0), len(grid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			p := sweepParams(n, m, grid[point])
 			p.BetaMin, p.BetaMax = 0.25, 0.6 // tighter deadlines → more high-density tasks
 			sys, err := gen.System(r, p)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			scan.Add(core.Schedulable(sys, m, core.Options{}))
-			ana.Add(core.Schedulable(sys, m, core.Options{Minprocs: core.Analytic}))
+			tr := trial{Scan: scanA.Schedulable(sys, m), Ana: anaA.Schedulable(sys, m)}
 			for _, tk := range sys {
 				if !tk.HighDensity() {
 					continue
@@ -154,9 +184,21 @@ func E7MinprocsAblation(cfg Config) (*Result, error) {
 				muS, _, okS := core.Minprocs(tk, 64, nil)
 				muA, _, okA := core.MinprocsAnalytic(tk, 64, nil)
 				if okS && okA {
-					saved = append(saved, float64(muA-muS))
+					tr.Saved = append(tr.Saved, float64(muA-muS))
 				}
 			}
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, normU := range grid {
+		var scan, ana stats.Counter
+		var saved []float64
+		for _, tr := range outcomes[p] {
+			scan.Add(tr.Scan)
+			ana.Add(tr.Ana)
+			saved = append(saved, tr.Saved...)
 		}
 		tab.AddRow(normU, scan.Ratio(), ana.Ratio(), stats.Mean(saved), stats.Max(saved))
 	}
@@ -171,43 +213,48 @@ func E7MinprocsAblation(cfg Config) (*Result, error) {
 // regime where Lemma 2 (the FEDCONS bottleneck) is the binding constraint.
 func E8PartitionAblation(cfg Config) (*Result, error) {
 	const m, n = 8, 16
-	r := cfg.rng(8)
+	grid := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	variants := lookupAll("part-seq-ff-dbf", "part-seq-bf-dbf", "part-seq-wf-dbf", "part-seq-ff-exact")
 	tab := &stats.Table{
 		Title:   "E8 — partition ablation on low-density systems (m=8, n=16)",
 		Columns: []string{"U/m", "FF+DBF*", "BF+DBF*", "WF+DBF*", "FF+exactEDF"},
 	}
 	res := &Result{ID: "E8", Title: "Ablation: partition heuristics and tests", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{1, 2, 3, 4}}}
-	variants := []partition.Options{
-		{Heuristic: partition.FirstFit},
-		{Heuristic: partition.BestFit},
-		{Heuristic: partition.WorstFit},
-		{Heuristic: partition.FirstFit, Test: partition.ExactEDF},
+	type trial struct {
+		Skip bool
+		OK   [4]bool
 	}
-	domViolations := 0
-	for _, normU := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
-		counters := make([]stats.Counter, len(variants))
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			p := sweepParams(n, m, normU)
+	outcomes, err := sweep(cfg, "E8", sweepID(8, 0), len(grid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			p := sweepParams(n, m, grid[point])
 			p.BetaMin = 0.5 // keep densities < 1 most of the time
 			sys, err := gen.System(r, p)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			if high, _ := sys.SplitByDensity(); len(high) > 0 {
-				continue // low-density-only regime
+				return trial{Skip: true}, nil // low-density-only regime
 			}
-			var ffOK, exOK bool
-			for v, opt := range variants {
-				_, err := partition.Partition(sys, m, opt)
-				counters[v].Add(err == nil)
-				switch v {
-				case 0:
-					ffOK = err == nil
-				case 3:
-					exOK = err == nil
-				}
+			var tr trial
+			for v, a := range variants {
+				tr.OK[v] = a.Schedulable(sys, m)
 			}
-			if ffOK && !exOK {
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	domViolations := 0
+	for p, normU := range grid {
+		counters := make([]stats.Counter, len(variants))
+		for _, tr := range outcomes[p] {
+			if tr.Skip {
+				continue
+			}
+			for v := range counters {
+				counters[v].Add(tr.OK[v])
+			}
+			if tr.OK[0] && !tr.OK[3] { // FF+DBF* accepted, FF+exact rejected
 				domViolations++
 			}
 		}
@@ -220,4 +267,13 @@ func E8PartitionAblation(cfg Config) (*Result, error) {
 		"The exact-EDF admission dominates DBF* (it accepts everything DBF* accepts); the paper uses DBF*",
 		"because only it carries the polynomial-time Lemma 2 speedup proof.")
 	return res, nil
+}
+
+// lookupAll fetches several registered analyzers at once.
+func lookupAll(names ...string) []runner.Analyzer {
+	out := make([]runner.Analyzer, len(names))
+	for i, name := range names {
+		out[i] = runner.MustLookup(name)
+	}
+	return out
 }

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepExperimentsDeterministicUnderParallelism is the load-bearing
+// guarantee of the engine migration: the rendered result tables (and notes)
+// of every engine-backed experiment are byte-identical whether the sweep ran
+// on one worker or many. Reproduction claims are tied to a seed, so worker
+// count must never leak into results.
+func TestSweepExperimentsDeterministicUnderParallelism(t *testing.T) {
+	experiments := map[string]func(Config) (*Result, error){
+		"E4":  E4AcceptanceVsUtil,
+		"E6":  E6BaselineComparison,
+		"E12": E12WeightedSchedVsM,
+		"E17": E17SustainabilityProbe,
+		"E21": E21GeneratorSensitivity,
+	}
+	for id, fn := range experiments {
+		id, fn := id, fn
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq := quick()
+			seq.Par = 1
+			par := quick()
+			par.Par = 8
+			rSeq, err := fn(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rPar, err := fn(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := rSeq.Table.Markdown(), rPar.Table.Markdown(); a != b {
+				t.Errorf("tables differ between par=1 and par=8:\n--- par=1 ---\n%s\n--- par=8 ---\n%s", a, b)
+			}
+			if a, b := strings.Join(rSeq.Notes, "\n"), strings.Join(rPar.Notes, "\n"); a != b {
+				t.Errorf("notes differ between par=1 and par=8:\n--- par=1 ---\n%s\n--- par=8 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestSweepExperimentsIgnoreTrialOrder re-runs one experiment twice at the
+// same parallelism and asserts identity — a flake detector for analyzers
+// with hidden mutable state.
+func TestSweepExperimentsIgnoreTrialOrder(t *testing.T) {
+	cfg := quick()
+	cfg.Par = 4
+	a, err := E4AcceptanceVsUtil(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E4AcceptanceVsUtil(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Markdown() != b.Table.Markdown() {
+		t.Error("same config, different tables across runs")
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"fedsched/internal/dag"
 	"fedsched/internal/gen"
 	"fedsched/internal/listsched"
-	"fedsched/internal/partition"
+	"fedsched/internal/runner"
 	"fedsched/internal/stats"
 	"fedsched/internal/task"
 )
@@ -21,30 +21,46 @@ import (
 // the empirical question.
 func E16SharedSchedulerAblation(cfg Config) (*Result, error) {
 	const m, n = 8, 16
-	r := cfg.rng(16)
+	grid := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	analyzers := lookupAll("fedcons", "fedcons-dm-rta", "fedcons-exact-edf")
 	tab := &stats.Table{
 		Title:   "E16 — shared-processor scheduler ablation (low-density systems, m=8, n=16)",
 		Columns: []string{"U/m", "EDF+DBF* (paper)", "DM+RTA", "EDF+exact"},
 	}
 	res := &Result{ID: "E16", Title: "Ablation: EDF vs deadline-monotonic shared processors", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{1, 2, 3}}}
-	for _, normU := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
-		var edf, dm, exact stats.Counter
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			p := sweepParams(n, m, normU)
+	type trial struct {
+		Skip bool
+		OK   [3]bool
+	}
+	outcomes, err := sweep(cfg, "E16", sweepID(16, 0), len(grid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			p := sweepParams(n, m, grid[point])
 			p.BetaMin = 0.5
 			sys, err := gen.System(r, p)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			if high, _ := sys.SplitByDensity(); len(high) > 0 {
+				return trial{Skip: true}, nil
+			}
+			var tr trial
+			for k, a := range analyzers {
+				tr.OK[k] = a.Schedulable(sys, m)
+			}
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, normU := range grid {
+		var edf, dm, exact stats.Counter
+		for _, tr := range outcomes[p] {
+			if tr.Skip {
 				continue
 			}
-			e := core.Schedulable(sys, m, core.Options{})
-			d := core.Schedulable(sys, m, core.Options{Partition: partition.Options{Test: partition.DMRta}})
-			x := core.Schedulable(sys, m, core.Options{Partition: partition.Options{Test: partition.ExactEDF}})
-			edf.Add(e)
-			dm.Add(d)
-			exact.Add(x)
+			edf.Add(tr.OK[0])
+			dm.Add(tr.OK[1])
+			exact.Add(tr.OK[2])
 		}
 		tab.AddRow(normU, edf.Ratio(), dm.Ratio(), exact.Ratio())
 	}
@@ -57,6 +73,16 @@ func E16SharedSchedulerAblation(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// muShift classifies how a WCET reduction moved the MINPROCS minimum.
+type muShift int
+
+const (
+	muDown muShift = iota
+	muSame
+	muUp
+	muSkip // probe invalid (no anomaly found, infeasible, …)
+)
+
 // E17SustainabilityProbe investigates a subtle consequence of Graham
 // anomalies inside MINPROCS: FEDCONS is not self-evidently sustainable with
 // respect to WCET reductions. Shrinking one vertex's WCET shrinks δ_i and
@@ -66,7 +92,7 @@ func E16SharedSchedulerAblation(cfg Config) (*Result, error) {
 // schedulable system to unschedulable. The probe searches random systems for
 // such reversals and reports how often WCET reduction changes each phase.
 func E17SustainabilityProbe(cfg Config) (*Result, error) {
-	r := cfg.rng(17)
+	fedcons := runner.MustLookup("fedcons")
 	tab := &stats.Table{
 		Title:   "E17 — sustainability probe: effect of reducing one vertex WCET by one tick",
 		Columns: []string{"population", "probes", "μ decreased", "μ unchanged", "μ increased", "schedulable→unschedulable"},
@@ -75,90 +101,74 @@ func E17SustainabilityProbe(cfg Config) (*Result, error) {
 	probes := cfg.SystemsPerPoint * 20
 
 	// Per-task view: how does MINPROCS's μ respond to a 1-tick reduction?
-	muDown, muSame, muUp := 0, 0, 0
-	flips := 0
-	tried := 0
-	for tried < probes {
-		g := randomProbeDAG(r)
-		if g.Volume() <= g.LongestChain()+1 {
-			continue
-		}
-		d := g.LongestChain() + 1 + task.Time(r.Intn(int(g.Volume()-g.LongestChain())))
-		tk := task.MustNew("p", g, d, d)
-		if !tk.HighDensity() {
-			continue
-		}
-		mu0, _, ok0 := core.Minprocs(tk, 64, nil)
-		if !ok0 {
-			continue
-		}
-		v := r.Intn(g.N())
-		if g.WCET(v) <= 1 {
-			continue
-		}
-		tried++
-		g2, err := g.WithWCET(v, g.WCET(v)-1)
-		if err != nil {
-			return nil, err
-		}
-		tk2 := task.MustNew("p", g2, d, d)
-		mu1, _, ok1 := core.Minprocs(tk2, 64, nil)
-		if !ok1 {
-			return nil, fmt.Errorf("reduction made task infeasible at unbounded budget")
-		}
-		switch {
-		case mu1 < mu0:
-			muDown++
-		case mu1 == mu0:
-			muSame++
-		default:
-			muUp++
-			// System-level flip: with exactly mu0 processors the original is
-			// schedulable and the reduced one is not.
-			if core.Schedulable(task.System{tk}, mu0, core.Options{}) &&
-				!core.Schedulable(task.System{tk2}, mu0, core.Options{}) {
-				flips++
+	// Each trial rejection-samples from its own stream until it lands on a
+	// valid probe (a feasible high-density task with a shrinkable vertex).
+	random, err := sweep(cfg, "E17", sweepID(17, 0), 1, probes,
+		func(_, _ int, r *rand.Rand) (muProbe, error) {
+			for {
+				g := randomProbeDAG(r)
+				if g.Volume() <= g.LongestChain()+1 {
+					continue
+				}
+				d := g.LongestChain() + 1 + task.Time(r.Intn(int(g.Volume()-g.LongestChain())))
+				tk := task.MustNew("p", g, d, d)
+				if !tk.HighDensity() {
+					continue
+				}
+				mu0, _, ok0 := core.Minprocs(tk, 64, nil)
+				if !ok0 {
+					continue
+				}
+				v := r.Intn(g.N())
+				if g.WCET(v) <= 1 {
+					continue
+				}
+				g2, err := g.WithWCET(v, g.WCET(v)-1)
+				if err != nil {
+					return muProbe{}, err
+				}
+				tk2 := task.MustNew("p", g2, d, d)
+				mu1, _, ok1 := core.Minprocs(tk2, 64, nil)
+				if !ok1 {
+					return muProbe{}, fmt.Errorf("reduction made task infeasible at unbounded budget")
+				}
+				return classifyShift(fedcons, tk, tk2, mu0, mu1), nil
 			}
-		}
+		})
+	if err != nil {
+		return nil, err
 	}
-	tab.AddRow("high-density tasks (random)", tried, muDown, muSame, muUp, flips)
+	down, same, up, flips := tallyProbes(random[0])
+	tab.AddRow("high-density tasks (random)", probes, down, same, up, flips)
 
 	// Targeted population: derive instances from known Graham anomalies
 	// (deadline = the nominal makespan), where the μ increase is by
 	// construction much more likely.
-	tMuDown, tMuSame, tMuUp, tFlips := 0, 0, 0, 0
-	targeted := 0
-	for targeted < 20 {
-		an := listsched.FindAnomaly(r, 50_000, nil)
-		if an == nil {
-			break
-		}
-		targeted++
-		d := an.Before
-		tk := task.MustNew("o", an.Original, d, d)
-		tk2 := task.MustNew("r", an.Reduced, d, d)
-		mu0, _, ok0 := core.Minprocs(tk, 64, nil)
-		mu1, _, ok1 := core.Minprocs(tk2, 64, nil)
-		if !ok0 || !ok1 {
-			continue
-		}
-		switch {
-		case mu1 < mu0:
-			tMuDown++
-		case mu1 == mu0:
-			tMuSame++
-		default:
-			tMuUp++
-			if core.Schedulable(task.System{tk}, mu0, core.Options{}) &&
-				!core.Schedulable(task.System{tk2}, mu0, core.Options{}) {
-				tFlips++
+	targetedOut, err := sweep(cfg, "E17", sweepID(17, 1), 1, 20,
+		func(_, _ int, r *rand.Rand) (muProbe, error) {
+			an := listsched.FindAnomaly(r, 50_000, nil)
+			if an == nil {
+				return muProbe{Shift: muSkip}, nil
 			}
-		}
+			d := an.Before
+			tk := task.MustNew("o", an.Original, d, d)
+			tk2 := task.MustNew("r", an.Reduced, d, d)
+			mu0, _, ok0 := core.Minprocs(tk, 64, nil)
+			mu1, _, ok1 := core.Minprocs(tk2, 64, nil)
+			if !ok0 || !ok1 {
+				return muProbe{Shift: muSkip}, nil
+			}
+			return classifyShift(fedcons, tk, tk2, mu0, mu1), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	tab.AddRow("anomaly-derived (targeted)", targeted, tMuDown, tMuSame, tMuUp, tFlips)
+	tDown, tSame, tUp, tFlips := tallyProbes(targetedOut[0])
+	targeted := tDown + tSame + tUp
+	tab.AddRow("anomaly-derived (targeted)", targeted, tDown, tSame, tUp, tFlips)
 	if tFlips > 0 || flips > 0 {
 		res.Notes = append(res.Notes,
-			fmt.Sprintf("Found %d tasks (random: %d) whose MINPROCS minimum *rose* after a WCET reduction,", tMuUp+muUp, muUp),
+			fmt.Sprintf("Found %d tasks (random: %d) whose MINPROCS minimum *rose* after a WCET reduction,", tUp+up, up),
 			fmt.Sprintf("%d of which flip a schedulable platform to unschedulable: FEDCONS with LS-scan sizing is NOT", tFlips+flips),
 			"sustainable w.r.t. execution-time reduction. This inherits directly from Graham's anomaly (E9) and",
 			"is avoided by the Analytic sizing mode, whose bound len + (vol−len)/μ is monotone in every WCET.",
@@ -169,23 +179,30 @@ func E17SustainabilityProbe(cfg Config) (*Result, error) {
 			"UNEXPECTED: no sustainability violation found even in the anomaly-derived population.")
 	}
 	// Control: the analytic mode is provably monotone; verify empirically.
+	controlOut, err := sweep(cfg, "E17", sweepID(17, 2), 1, probes/4,
+		func(_, _ int, r *rand.Rand) (bool, error) {
+			g := randomProbeDAG(r)
+			if g.Volume() <= g.LongestChain()+1 {
+				return false, nil
+			}
+			d := g.LongestChain() + 1 + task.Time(r.Intn(int(g.Volume()-g.LongestChain())))
+			tk := task.MustNew("p", g, d, d)
+			mu0, _, ok0 := core.MinprocsAnalytic(tk, 256, nil)
+			v := r.Intn(g.N())
+			if !ok0 || g.WCET(v) <= 1 {
+				return false, nil
+			}
+			g2, _ := g.WithWCET(v, g.WCET(v)-1)
+			tk2 := task.MustNew("p", g2, d, d)
+			mu1, _, ok1 := core.MinprocsAnalytic(tk2, 256, nil)
+			return ok1 && mu1 > mu0, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	violations := 0
-	for i := 0; i < probes/4; i++ {
-		g := randomProbeDAG(r)
-		if g.Volume() <= g.LongestChain()+1 {
-			continue
-		}
-		d := g.LongestChain() + 1 + task.Time(r.Intn(int(g.Volume()-g.LongestChain())))
-		tk := task.MustNew("p", g, d, d)
-		mu0, _, ok0 := core.MinprocsAnalytic(tk, 256, nil)
-		v := r.Intn(g.N())
-		if !ok0 || g.WCET(v) <= 1 {
-			continue
-		}
-		g2, _ := g.WithWCET(v, g.WCET(v)-1)
-		tk2 := task.MustNew("p", g2, d, d)
-		mu1, _, ok1 := core.MinprocsAnalytic(tk2, 256, nil)
-		if ok1 && mu1 > mu0 {
+	for _, rose := range controlOut[0] {
+		if rose {
 			violations++
 		}
 	}
@@ -194,6 +211,44 @@ func E17SustainabilityProbe(cfg Config) (*Result, error) {
 		res.Notes = append(res.Notes, fmt.Sprintf("UNEXPECTED: analytic sizing rose after reduction %d times", violations))
 	}
 	return res, nil
+}
+
+// muProbe is the outcome of one sustainability probe.
+type muProbe struct {
+	Shift muShift
+	Flip  bool
+}
+
+// classifyShift compares the MINPROCS minima before/after the reduction and,
+// when μ rose, checks whether the platform that sufficed before now fails.
+func classifyShift(a runner.Analyzer, tk, tk2 *task.DAGTask, mu0, mu1 int) (p muProbe) {
+	switch {
+	case mu1 < mu0:
+		p.Shift = muDown
+	case mu1 == mu0:
+		p.Shift = muSame
+	default:
+		p.Shift = muUp
+		p.Flip = a.Schedulable(task.System{tk}, mu0) && !a.Schedulable(task.System{tk2}, mu0)
+	}
+	return p
+}
+
+func tallyProbes(ps []muProbe) (down, same, up, flips int) {
+	for _, p := range ps {
+		switch p.Shift {
+		case muDown:
+			down++
+		case muSame:
+			same++
+		case muUp:
+			up++
+			if p.Flip {
+				flips++
+			}
+		}
+	}
+	return down, same, up, flips
 }
 
 func randomProbeDAG(r *rand.Rand) *dag.DAG {

@@ -2,11 +2,11 @@ package exp
 
 import (
 	"math"
+	"math/rand"
 
-	"fedsched/internal/baseline"
-	"fedsched/internal/core"
 	"fedsched/internal/dag"
 	"fedsched/internal/gen"
+	"fedsched/internal/runner"
 	"fedsched/internal/stats"
 	"fedsched/internal/task"
 )
@@ -27,7 +27,8 @@ import (
 // reduction can flip the LS scan (E17).
 func E19SpeedFactorSearch(cfg Config) (*Result, error) {
 	const m, n = 8, 10
-	r := cfg.rng(19)
+	normUGrid := []float64{0.5, 0.6, 0.7, 0.8}
+	fedcons, necessary := runner.MustLookup("fedcons"), runner.MustLookup("necessary")
 	tab := &stats.Table{
 		Title:   "E19 — speed factor FEDCONS needs on NECESSARY-feasible systems (m=8, n=10)",
 		Columns: []string{"U/m", "rejected@1", "resolved", "mean s", "p95 s", "max s", "bound 3−1/m", "non-monotone"},
@@ -35,43 +36,60 @@ func E19SpeedFactorSearch(cfg Config) (*Result, error) {
 	res := &Result{ID: "E19", Title: "Extension: empirical speed factors vs Theorem 1", Table: tab}
 	grid := speedGrid()
 	bound := 3 - 1.0/float64(m)
-	for _, normU := range []float64{0.5, 0.6, 0.7, 0.8} {
-		rejected, resolved, nonMono := 0, 0, 0
-		var factors []float64
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			sys, err := gen.System(r, sweepParams(n, m, normU))
+	type trial struct {
+		Skip      bool // fails NECESSARY: outside the reference set
+		Immediate bool // accepted at speed 1
+		First     float64
+		NonMono   bool
+	}
+	outcomes, err := sweep(cfg, "E19", sweepID(19, 0), len(normUGrid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			sys, err := gen.System(r, sweepParams(n, m, normUGrid[point]))
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			if !baseline.Necessary(sys, m) {
-				continue
+			if !necessary.Schedulable(sys, m) {
+				return trial{Skip: true}, nil
 			}
-			if core.Schedulable(sys, m, core.Options{}) {
-				factors = append(factors, 1)
-				continue
+			if fedcons.Schedulable(sys, m) {
+				return trial{Immediate: true}, nil
 			}
-			rejected++
 			// Scan the speed grid for the first acceptance, and check
 			// whether acceptance ever flips back off afterwards.
-			first := -1.0
-			flippedBack := false
+			tr := trial{First: -1}
 			accepted := false
 			for _, s := range grid {
-				ok := core.Schedulable(scaleSystem(sys, s), m, core.Options{})
-				if ok && first < 0 {
-					first = s
+				ok := fedcons.Schedulable(scaleSystem(sys, s), m)
+				if ok && tr.First < 0 {
+					tr.First = s
 					accepted = true
 				}
 				if !ok && accepted {
-					flippedBack = true
+					tr.NonMono = true
 				}
 			}
-			if flippedBack {
-				nonMono++
-			}
-			if first > 0 {
-				resolved++
-				factors = append(factors, first)
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, normU := range normUGrid {
+		rejected, resolved, nonMono := 0, 0, 0
+		var factors []float64
+		for _, tr := range outcomes[p] {
+			switch {
+			case tr.Skip:
+			case tr.Immediate:
+				factors = append(factors, 1)
+			default:
+				rejected++
+				if tr.NonMono {
+					nonMono++
+				}
+				if tr.First > 0 {
+					resolved++
+					factors = append(factors, tr.First)
+				}
 			}
 		}
 		tab.AddRow(normU, rejected, resolved, stats.Mean(factors),

@@ -2,11 +2,11 @@ package exp
 
 import (
 	"math/big"
+	"math/rand"
 
-	"fedsched/internal/baseline"
 	"fedsched/internal/binpack"
-	"fedsched/internal/core"
 	"fedsched/internal/gen"
+	"fedsched/internal/runner"
 	"fedsched/internal/stats"
 	"fedsched/internal/task"
 )
@@ -22,7 +22,8 @@ import (
 // near-optimal partitioner is known and Lemma 2's 3 − 1/m is the bottleneck.
 func E20PartitionOptimality(cfg Config) (*Result, error) {
 	const m, n = 8, 16
-	r := cfg.rng(20)
+	grid := []float64{0.6, 0.7, 0.8, 0.85, 0.9, 0.95}
+	fedcons, liFed := runner.MustLookup("fedcons"), runner.MustLookup("li-fed")
 	tab := &stats.Table{
 		Title:   "E20 — implicit-deadline partitioning vs the optimal packer (m=8, n=16, all u<1)",
 		Columns: []string{"U/m", "systems", "OPT packing", "FEDCONS (FF+DBF*)", "LI-FED (FF util)", "FF gap vs OPT"},
@@ -33,35 +34,34 @@ func E20PartitionOptimality(cfg Config) (*Result, error) {
 		Table: tab,
 		Plot:  &PlotSpec{XCol: 0, YCols: []int{2, 3, 4}},
 	}
-	subopt := 0
-	for _, normU := range []float64{0.6, 0.7, 0.8, 0.85, 0.9, 0.95} {
-		var opt, fed, li stats.Counter
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
+	type trial struct {
+		Skip         bool
+		Opt, Fed, Li bool
+		Subopt       bool
+	}
+	outcomes, err := sweep(cfg, "E20", sweepID(20, 0), len(grid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			normU := grid[point]
 			p := sweepParams(n, m, normU)
 			p.BetaMin, p.BetaMax = 1.0, 1.0 // implicit deadlines
 			// Packing regime: cap every task at u < 1 (UUniFastDiscard).
 			utils := gen.UUniFastDiscard(r, n, normU*float64(m), 0.99, 1000)
 			if utils == nil {
-				continue
+				return trial{Skip: true}, nil
 			}
 			sys := make(task.System, 0, n)
-			genFailed := false
 			for _, u := range utils {
 				if u < 1e-4 {
 					u = 1e-4
 				}
 				tk, err := gen.TaskFor(r, gen.Graph(r, p), u, p)
 				if err != nil {
-					genFailed = true
-					break
+					return trial{Skip: true}, nil
 				}
 				sys = append(sys, tk)
 			}
-			if genFailed {
-				continue
-			}
 			if high, _ := sys.SplitByUtilization(); len(high) > 0 {
-				continue // T got floored at len for some task: skip
+				return trial{Skip: true}, nil // T got floored at len for some task: skip
 			}
 			items := make([]*big.Rat, len(sys))
 			for j, tk := range sys {
@@ -69,15 +69,27 @@ func E20PartitionOptimality(cfg Config) (*Result, error) {
 			}
 			ok, conclusive := binpack.Feasible(items, m, 0)
 			if !conclusive {
+				return trial{Skip: true}, nil
+			}
+			tr := trial{Opt: ok, Fed: fedcons.Schedulable(sys, m), Li: liFed.Schedulable(sys, m)}
+			tr.Subopt = (tr.Fed || tr.Li) && !ok // heuristic accepted what OPT proves impossible: bug
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	subopt := 0
+	for p, normU := range grid {
+		var opt, fed, li stats.Counter
+		for _, tr := range outcomes[p] {
+			if tr.Skip {
 				continue
 			}
-			f := core.Schedulable(sys, m, core.Options{})
-			l := baseline.LiFed(sys, m)
-			opt.Add(ok)
-			fed.Add(f)
-			li.Add(l)
-			if (f || l) && !ok {
-				subopt++ // heuristic accepted what OPT proves impossible: bug
+			opt.Add(tr.Opt)
+			fed.Add(tr.Fed)
+			li.Add(tr.Li)
+			if tr.Subopt {
+				subopt++
 			}
 		}
 		gap := opt.Ratio() - fed.Ratio()

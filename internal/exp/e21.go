@@ -1,10 +1,31 @@
 package exp
 
 import (
-	"fedsched/internal/core"
+	"math/rand"
+
 	"fedsched/internal/gen"
+	"fedsched/internal/runner"
 	"fedsched/internal/stats"
 )
+
+// e21Variants are the orthogonal generator variations E21 sweeps; the order
+// is the table's row order and indexes the sweep-point grid.
+var e21Variants = []struct {
+	name   string
+	mutate func(p *gen.Params)
+}{
+	{"baseline (ER, n=10, |V| 20–50, e 1–100)", func(p *gen.Params) {}},
+	{"fork-join DAGs", func(p *gen.Params) { p.Shape = gen.ForkJoin }},
+	{"series-parallel DAGs", func(p *gen.Params) { p.Shape = gen.SeriesParallel }},
+	{"layered DAGs", func(p *gen.Params) { p.Shape = gen.Layered }},
+	{"dense ER (p=0.4)", func(p *gen.Params) { p.EdgeProb = 0.4 }},
+	{"few tasks (n=4)", func(p *gen.Params) { p.Tasks = 4 }},
+	{"many tasks (n=25)", func(p *gen.Params) { p.Tasks = 25 }},
+	{"small DAGs (|V| 5–10)", func(p *gen.Params) { p.MinVerts, p.MaxVerts = 5, 10 }},
+	{"large DAGs (|V| 100–200)", func(p *gen.Params) { p.MinVerts, p.MaxVerts = 100, 200 }},
+	{"uniform WCETs (e 50–50)", func(p *gen.Params) { p.WCETMin, p.WCETMax = 50, 50 }},
+	{"heavy-tailed WCETs (e 1–1000)", func(p *gen.Params) { p.WCETMax = 1000 }},
+}
 
 // E21GeneratorSensitivity answers the caveat the paper itself raises about
 // its schedulability experiments — "such results are necessarily deeply
@@ -16,49 +37,40 @@ import (
 // invariant across all of them; the curves shift, the shape does not.
 func E21GeneratorSensitivity(cfg Config) (*Result, error) {
 	const m = 8
-	r := cfg.rng(21)
 	grid := []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+	fedcons := runner.MustLookup("fedcons")
 	tab := &stats.Table{
 		Title:   "E21 — generator sensitivity: FEDCONS acceptance across workload ensembles (m=8)",
 		Columns: []string{"ensemble", "U/m=0.3", "0.4", "0.5", "0.6", "0.7"},
 	}
 	res := &Result{ID: "E21", Title: "Extension: generator-sensitivity of the acceptance curve", Table: tab}
-
-	variants := []struct {
-		name   string
-		mutate func(p *gen.Params)
-	}{
-		{"baseline (ER, n=10, |V| 20–50, e 1–100)", func(p *gen.Params) {}},
-		{"fork-join DAGs", func(p *gen.Params) { p.Shape = gen.ForkJoin }},
-		{"series-parallel DAGs", func(p *gen.Params) { p.Shape = gen.SeriesParallel }},
-		{"layered DAGs", func(p *gen.Params) { p.Shape = gen.Layered }},
-		{"dense ER (p=0.4)", func(p *gen.Params) { p.EdgeProb = 0.4 }},
-		{"few tasks (n=4)", func(p *gen.Params) { p.Tasks = 4 }},
-		{"many tasks (n=25)", func(p *gen.Params) { p.Tasks = 25 }},
-		{"small DAGs (|V| 5–10)", func(p *gen.Params) { p.MinVerts, p.MaxVerts = 5, 10 }},
-		{"large DAGs (|V| 100–200)", func(p *gen.Params) { p.MinVerts, p.MaxVerts = 100, 200 }},
-		{"uniform WCETs (e 50–50)", func(p *gen.Params) { p.WCETMin, p.WCETMax = 50, 50 }},
-		{"heavy-tailed WCETs (e 1–1000)", func(p *gen.Params) { p.WCETMax = 1000 }},
-	}
 	perPoint := cfg.SystemsPerPoint / 2
 	if perPoint < 5 {
 		perPoint = 5
 	}
+	// Point grid is (variant, U/m) flattened: point = vi*len(grid) + ui.
+	outcomes, err := sweep(cfg, "E21", sweepID(21, 0), len(e21Variants)*len(grid), perPoint,
+		func(point, _ int, r *rand.Rand) (bool, error) {
+			p := sweepParams(10, m, grid[point%len(grid)])
+			e21Variants[point/len(grid)].mutate(&p)
+			sys, err := gen.System(r, p)
+			if err != nil {
+				return false, err
+			}
+			return fedcons.Schedulable(sys, m), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	monotoneViolations := 0
-	for _, v := range variants {
+	for vi, v := range e21Variants {
 		row := make([]any, 0, len(grid)+1)
 		row = append(row, v.name)
 		prev := 1.1
-		for _, normU := range grid {
+		for ui := range grid {
 			var c stats.Counter
-			for i := 0; i < perPoint; i++ {
-				p := sweepParams(10, m, normU)
-				v.mutate(&p)
-				sys, err := gen.System(r, p)
-				if err != nil {
-					return nil, err
-				}
-				c.Add(core.Schedulable(sys, m, core.Options{}))
+			for _, ok := range outcomes[vi*len(grid)+ui] {
+				c.Add(ok)
 			}
 			// Allow small sampling noise in the monotonicity check.
 			if c.Ratio() > prev+0.15 {

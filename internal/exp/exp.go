@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"fedsched/internal/gen"
+	"fedsched/internal/runner"
 	"fedsched/internal/stats"
 	"fedsched/internal/task"
 )
@@ -30,7 +31,21 @@ type Config struct {
 	SystemsPerPoint int
 	// SimHorizon is the release horizon for simulation-based experiments.
 	SimHorizon Time
+	// Par bounds the worker pool of engine-backed sweep experiments;
+	// ≤ 0 means GOMAXPROCS. Results are byte-identical for every value —
+	// trial RNGs derive from (Seed, experiment, point, trial), never from
+	// execution order (see internal/runner).
+	Par int
+	// Progress, when non-nil, receives trial-completion updates from
+	// engine-backed experiments. It may be called concurrently with the
+	// experiment's own work but calls are serialized; done increases
+	// strictly to total.
+	Progress ProgressFunc
 }
+
+// ProgressFunc receives sweep progress: the experiment id and how many of
+// its trials have completed.
+type ProgressFunc func(id string, done, total int)
 
 // DefaultConfig is the full-size configuration used for EXPERIMENTS.md.
 func DefaultConfig() Config {
@@ -134,11 +149,30 @@ func All(cfg Config) ([]*Result, error) {
 	return out, nil
 }
 
-// rng derives a deterministic per-experiment random source so experiments
-// are independent of each other's sampling order.
+// rng derives a deterministic per-experiment random source for the
+// experiments that still run sequentially (worked examples, timing, and
+// simulation studies). Sweep experiments instead derive one source per
+// trial through the engine — see sweep.
 func (c Config) rng(experiment int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*1_000_003 + experiment))
 }
+
+// sweep runs points × trials independent trials of fn on the shared engine
+// (internal/runner) and returns the outcomes indexed [point][trial]. id is
+// the experiment id used for progress reporting; sweepID keys the RNG
+// derivation and must be unique per sweep (experiments with several
+// sub-sweeps use expID*100+k — see sweepID).
+func sweep[T any](cfg Config, id string, sweepID int64, points, trials int, fn func(point, trial int, r *rand.Rand) (T, error)) ([][]T, error) {
+	s := runner.Sweep{Seed: cfg.Seed, Exp: sweepID, Points: points, Trials: trials, Workers: cfg.Par}
+	if cfg.Progress != nil {
+		s.OnTrial = func(done, total int) { cfg.Progress(id, done, total) }
+	}
+	return runner.Run(s, fn)
+}
+
+// sweepID namespaces the RNG stream of sub-sweep k of experiment expNum.
+// Experiments with a single sweep use k = 0.
+func sweepID(expNum, k int64) int64 { return expNum*100 + k }
 
 // sweepParams builds the generator parameters shared by the acceptance
 // sweeps: n tasks on m processors at normalized utilization normU = U_sum/m.

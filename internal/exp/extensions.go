@@ -2,10 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 
-	"fedsched/internal/baseline"
-	"fedsched/internal/core"
 	"fedsched/internal/gen"
+	"fedsched/internal/runner"
 	"fedsched/internal/stats"
 	"fedsched/internal/task"
 )
@@ -20,37 +20,51 @@ import (
 // deadlines.
 func E13ArbitraryDeadlines(cfg Config) (*Result, error) {
 	const m, n = 8, 10
-	r := cfg.rng(13)
+	betaGrid := [][2]float64{{0.5, 1.0}, {0.75, 1.25}, {1.0, 1.5}, {1.0, 2.0}, {1.5, 2.5}}
+	fedcons := runner.MustLookup("fedcons")
 	tab := &stats.Table{
 		Title:   "E13 — arbitrary deadlines (extension): window-based FEDCONS vs full constrain-transform (m=8, n=10, U/m=0.75)",
 		Columns: []string{"β range", "share D>T tasks", "accept (window)", "accept (transform)"},
 	}
 	res := &Result{ID: "E13", Title: "Extension: arbitrary-deadline systems", Table: tab}
-	transformOnly, windowOnly := 0, 0
-	for _, betas := range [][2]float64{{0.5, 1.0}, {0.75, 1.25}, {1.0, 1.5}, {1.0, 2.0}, {1.5, 2.5}} {
-		var win, tra stats.Counter
-		arbTasks, total := 0, 0
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
+	type trial struct {
+		Arb, Total int
+		Win, Trans bool
+	}
+	outcomes, err := sweep(cfg, "E13", sweepID(13, 0), len(betaGrid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
 			p := sweepParams(n, m, 0.75)
-			p.BetaMin, p.BetaMax = betas[0], betas[1]
+			p.BetaMin, p.BetaMax = betaGrid[point][0], betaGrid[point][1]
 			sys, err := gen.System(r, p)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
+			tr := trial{Total: len(sys)}
 			for _, tk := range sys {
-				total++
 				if tk.D > tk.T {
-					arbTasks++
+					tr.Arb++
 				}
 			}
-			w := core.Schedulable(sys, m, core.Options{})
-			tr := core.Schedulable(constrainTransform(sys), m, core.Options{})
-			win.Add(w)
-			tra.Add(tr)
-			if tr && !w {
+			tr.Win = fedcons.Schedulable(sys, m)
+			tr.Trans = fedcons.Schedulable(constrainTransform(sys), m)
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	transformOnly, windowOnly := 0, 0
+	for p, betas := range betaGrid {
+		var win, tra stats.Counter
+		arbTasks, total := 0, 0
+		for _, tr := range outcomes[p] {
+			arbTasks += tr.Arb
+			total += tr.Total
+			win.Add(tr.Win)
+			tra.Add(tr.Trans)
+			if tr.Trans && !tr.Win {
 				transformOnly++
 			}
-			if w && !tr {
+			if tr.Win && !tr.Trans {
 				windowOnly++
 			}
 		}
@@ -89,30 +103,37 @@ func constrainTransform(sys task.System) task.System {
 // constrained-deadline machinery gives anything away on implicit workloads.
 func E14ImplicitDeadlineComparison(cfg Config) (*Result, error) {
 	const m, n = 8, 10
-	r := cfg.rng(14)
+	grid := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	fedconsA, liFedA := runner.MustLookup("fedcons"), runner.MustLookup("li-fed")
 	tab := &stats.Table{
 		Title:   "E14 — implicit-deadline systems: FEDCONS vs LI-FED [17] (m=8, n=10)",
 		Columns: []string{"U/m", "FEDCONS", "LI-FED", "FEDCONS-only", "LI-FED-only"},
 	}
 	res := &Result{ID: "E14", Title: "Extension: implicit-deadline comparison with LI-FED", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{1, 2}}}
-	for _, normU := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
-		var fed, li stats.Counter
-		fedOnly, liOnly := 0, 0
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			p := sweepParams(n, m, normU)
+	type trial struct{ Fed, Li bool }
+	outcomes, err := sweep(cfg, "E14", sweepID(14, 0), len(grid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			p := sweepParams(n, m, grid[point])
 			p.BetaMin, p.BetaMax = 1.0, 1.0 // implicit deadlines
 			sys, err := gen.System(r, p)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			f := core.Schedulable(sys, m, core.Options{})
-			l := baseline.LiFed(sys, m)
-			fed.Add(f)
-			li.Add(l)
-			if f && !l {
+			return trial{Fed: fedconsA.Schedulable(sys, m), Li: liFedA.Schedulable(sys, m)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, normU := range grid {
+		var fed, li stats.Counter
+		fedOnly, liOnly := 0, 0
+		for _, tr := range outcomes[p] {
+			fed.Add(tr.Fed)
+			li.Add(tr.Li)
+			if tr.Fed && !tr.Li {
 				fedOnly++
 			}
-			if l && !f {
+			if tr.Li && !tr.Fed {
 				liOnly++
 			}
 		}
@@ -137,32 +158,49 @@ func E14ImplicitDeadlineComparison(cfg Config) (*Result, error) {
 // is an upper bound on FEDCONS's effective resource augmentation on that
 // instance. Theorem 1 guarantees (in speed) no worse than 3 − 1/m.
 func E15EmpiricalSpeedup(cfg Config) (*Result, error) {
-	r := cfg.rng(15)
+	uGrid := []float64{1.5, 3, 6, 12}
+	fedconsA, necessaryA := runner.MustLookup("fedcons"), runner.MustLookup("necessary")
 	tab := &stats.Table{
 		Title:   "E15 — empirical platform inflation m*/m0 vs the 3 − 1/m guarantee",
 		Columns: []string{"U_sum target", "systems", "mean m*/m0", "p95", "max", "guarantee at mean m0"},
 	}
 	res := &Result{ID: "E15", Title: "Extension: empirical speedup-bound conservatism", Table: tab}
-	for _, uTarget := range []float64{1.5, 3, 6, 12} {
-		var ratios []float64
-		var m0sum int
-		for i := 0; i < cfg.SystemsPerPoint; i++ {
-			p := gen.DefaultParams(6, uTarget)
+	type trial struct {
+		Skip       bool
+		Ratio      float64
+		M0         int
+		Unexpected bool
+	}
+	outcomes, err := sweep(cfg, "E15", sweepID(15, 0), len(uGrid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			p := gen.DefaultParams(6, uGrid[point])
 			p.MinVerts, p.MaxVerts = 10, 30
 			sys, err := gen.System(r, p)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			m0 := minProcsWhere(64, func(m int) bool { return baseline.Necessary(sys, m) })
-			mStar := minProcsWhere(64, func(m int) bool { return core.Schedulable(sys, m, core.Options{}) })
+			m0 := minProcsWhere(64, func(m int) bool { return necessaryA.Schedulable(sys, m) })
+			mStar := minProcsWhere(64, func(m int) bool { return fedconsA.Schedulable(sys, m) })
 			if m0 == 0 || mStar == 0 {
+				return trial{Skip: true}, nil
+			}
+			return trial{Ratio: float64(mStar) / float64(m0), M0: m0, Unexpected: mStar < m0}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, uTarget := range uGrid {
+		var ratios []float64
+		var m0sum int
+		for _, tr := range outcomes[p] {
+			if tr.Skip {
 				continue
 			}
-			if mStar < m0 {
+			if tr.Unexpected {
 				res.Notes = append(res.Notes, "UNEXPECTED: FEDCONS beat the necessary lower bound")
 			}
-			ratios = append(ratios, float64(mStar)/float64(m0))
-			m0sum += m0
+			ratios = append(ratios, tr.Ratio)
+			m0sum += tr.M0
 		}
 		if len(ratios) == 0 {
 			continue

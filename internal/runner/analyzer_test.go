@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/baseline"
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/gen"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"fedcons", "fedcons-analytic", "part-seq", "li-fed", "li-fed-d", "necessary"} {
+		a, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if _, err := Lookup("no-such-analyzer"); err == nil {
+		t.Error("Lookup of unknown analyzer succeeded")
+	}
+	names := Names()
+	if len(names) < 10 {
+		t.Errorf("only %d built-in analyzers registered: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(NewFunc("fedcons", func(task.System, int) bool { return false }))
+}
+
+func TestRegisterRejectsEmptyName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty-name Register did not panic")
+		}
+	}()
+	Register(NewFunc("", func(task.System, int) bool { return false }))
+}
+
+// corpus is a fixed set of generated systems — plus the paper's Example 1 —
+// on which every registered analyzer must agree with the function it wraps.
+func corpus(t *testing.T) []task.System {
+	t.Helper()
+	example1 := task.System{task.MustNew("e1", dag.Example1(), dag.Example1D, dag.Example1T)}
+	out := []task.System{example1}
+	r := rand.New(rand.NewSource(42))
+	params := []gen.Params{
+		gen.DefaultParams(6, 3.5),
+		gen.DefaultParams(10, 6),
+		gen.DefaultParams(4, 2),
+	}
+	params[1].BetaMin, params[1].BetaMax = 0.2, 0.5 // density-heavy
+	params[2].BetaMin, params[2].BetaMax = 1, 1     // implicit deadlines
+	for _, p := range params {
+		for i := 0; i < 8; i++ {
+			sys, err := gen.System(r, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, sys)
+		}
+	}
+	return out
+}
+
+// TestBuiltinsAgreeWithWrappedFunctions pins every registry entry to the
+// underlying algorithm it adapts, over the fixed corpus and several platform
+// sizes. A disagreement means the adapter wired the wrong options.
+func TestBuiltinsAgreeWithWrappedFunctions(t *testing.T) {
+	direct := map[string]func(task.System, int) bool{
+		"fedcons": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{})
+		},
+		"fedcons-analytic": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Minprocs: core.Analytic})
+		},
+		"fedcons-bf": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Partition: partition.Options{Heuristic: partition.BestFit}})
+		},
+		"fedcons-wf": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Partition: partition.Options{Heuristic: partition.WorstFit}})
+		},
+		"fedcons-exact-edf": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Partition: partition.Options{Test: partition.ExactEDF}})
+		},
+		"fedcons-dm-rta": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Partition: partition.Options{Test: partition.DMRta}})
+		},
+		"part-seq": baseline.PartSeq,
+		"li-fed":   baseline.LiFed,
+		"li-fed-d": baseline.LiFedD,
+		"necessary": func(sys task.System, m int) bool {
+			return baseline.Necessary(sys, m)
+		},
+		"part-seq-ff-dbf": func(sys task.System, m int) bool {
+			_, err := partition.Partition(sys, m, partition.Options{})
+			return err == nil
+		},
+		"part-seq-bf-dbf": func(sys task.System, m int) bool {
+			_, err := partition.Partition(sys, m, partition.Options{Heuristic: partition.BestFit})
+			return err == nil
+		},
+		"part-seq-wf-dbf": func(sys task.System, m int) bool {
+			_, err := partition.Partition(sys, m, partition.Options{Heuristic: partition.WorstFit})
+			return err == nil
+		},
+		"part-seq-ff-exact": func(sys task.System, m int) bool {
+			_, err := partition.Partition(sys, m, partition.Options{Test: partition.ExactEDF})
+			return err == nil
+		},
+	}
+	systems := corpus(t)
+	for _, name := range Names() {
+		want, covered := direct[name]
+		if !covered {
+			t.Errorf("registered analyzer %q has no direct reference in this test — add one", name)
+			continue
+		}
+		a := MustLookup(name)
+		for si, sys := range systems {
+			for _, m := range []int{1, 2, 4, 8} {
+				if got, exp := a.Schedulable(sys, m), want(sys, m); got != exp {
+					t.Errorf("%s: system %d, m=%d: registry says %v, wrapped function says %v", name, si, m, got, exp)
+				}
+			}
+		}
+	}
+	// Example 1 sanity anchor: the paper schedules it on 2 processors with
+	// FEDCONS (δ = 9/16 < 1, so it is a low-density task packed by DBF*).
+	e1 := systems[0]
+	if !MustLookup("fedcons").Schedulable(e1, 2) {
+		t.Error("fedcons rejects Example 1 on m=2")
+	}
+	if MustLookup("fedcons").Schedulable(e1, 0) {
+		t.Error("fedcons accepts Example 1 on m=0")
+	}
+}

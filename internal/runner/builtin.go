@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"fedsched/internal/baseline"
+	"fedsched/internal/core"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+// Built-in analyzers: FEDCONS in both MINPROCS modes and its partition-phase
+// ablation variants, the baseline algorithms of package baseline, and the
+// pure-partition (no federation) variants used by the E8 ablation. The names
+// are the vocabulary the experiment tables use.
+func init() {
+	// FEDCONS, paper configuration: LS-scan MINPROCS, first-fit DBF*.
+	Register(fedcons("fedcons", core.Options{}))
+	// FEDCONS with the analytic closed-form MINPROCS (E7 ablation).
+	Register(fedcons("fedcons-analytic", core.Options{Minprocs: core.Analytic}))
+	// FEDCONS with alternative phase-2 packings and admission tests
+	// (E8/E16 ablations).
+	Register(fedcons("fedcons-bf", core.Options{Partition: partition.Options{Heuristic: partition.BestFit}}))
+	Register(fedcons("fedcons-wf", core.Options{Partition: partition.Options{Heuristic: partition.WorstFit}}))
+	Register(fedcons("fedcons-exact-edf", core.Options{Partition: partition.Options{Test: partition.ExactEDF}}))
+	Register(fedcons("fedcons-dm-rta", core.Options{Partition: partition.Options{Test: partition.DMRta}}))
+
+	// Baselines (package baseline documents each).
+	Register(NewFunc("part-seq", baseline.PartSeq))
+	Register(NewFunc("li-fed", baseline.LiFed))
+	Register(NewFunc("li-fed-d", baseline.LiFedD))
+	Register(NewFunc("necessary", baseline.Necessary))
+
+	// Pure partitioned scheduling of the collapsed sequential tasks under
+	// each heuristic/test combination — PART-SEQ is "part-seq-ff-dbf" by
+	// another name; the variants are what E8 sweeps.
+	Register(partSeq("part-seq-ff-dbf", partition.Options{}))
+	Register(partSeq("part-seq-bf-dbf", partition.Options{Heuristic: partition.BestFit}))
+	Register(partSeq("part-seq-wf-dbf", partition.Options{Heuristic: partition.WorstFit}))
+	Register(partSeq("part-seq-ff-exact", partition.Options{Test: partition.ExactEDF}))
+}
+
+func fedcons(name string, opt core.Options) Analyzer {
+	return NewFunc(name, func(sys task.System, m int) bool {
+		return core.Schedulable(sys, m, opt)
+	})
+}
+
+func partSeq(name string, opt partition.Options) Analyzer {
+	return NewFunc(name, func(sys task.System, m int) bool {
+		_, err := partition.Partition(sys, m, opt)
+		return err == nil
+	})
+}

@@ -1,0 +1,109 @@
+// Package runner is the shared execution engine of the experiment suite: a
+// registry of schedulability analyzers behind one interface, and a
+// deterministic parallel sweep runner.
+//
+// Before this package existed every sweep-style experiment hand-rolled the
+// same `for point { for trial { generate → analyze → count } }` loop over a
+// single sequential RNG stream, which made the suite impossible to
+// parallelize: any change in evaluation order changed which random system a
+// trial saw. The engine fixes that by deriving every trial's RNG
+// independently from the tuple (suite seed, experiment id, point index,
+// trial index) — see SeedFor — so the result of a sweep is a pure function
+// of its coordinates and is byte-identical regardless of worker count or
+// scheduling order. That determinism-under-parallelism is a load-bearing
+// property: the reproduction claims in EXPERIMENTS.md are tied to a seed,
+// and they must not depend on how many cores regenerated them.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fedsched/internal/task"
+)
+
+// Analyzer is a schedulability test: it decides whether a sporadic DAG task
+// system is accepted on m unit-speed processors. Implementations must be
+// safe for concurrent use — the sweep engine calls them from many
+// goroutines. All analyzers in this repository are pure functions of
+// (sys, m), which satisfies that trivially.
+type Analyzer interface {
+	// Name is the registry key (stable, lower-case, hyphenated).
+	Name() string
+	// Schedulable reports acceptance of sys on m processors.
+	Schedulable(sys task.System, m int) bool
+}
+
+// Func adapts a plain function to the Analyzer interface.
+type Func struct {
+	name string
+	fn   func(task.System, int) bool
+}
+
+// NewFunc wraps fn as a named Analyzer.
+func NewFunc(name string, fn func(task.System, int) bool) Func {
+	return Func{name: name, fn: fn}
+}
+
+// Name implements Analyzer.
+func (f Func) Name() string { return f.name }
+
+// Schedulable implements Analyzer.
+func (f Func) Schedulable(sys task.System, m int) bool { return f.fn(sys, m) }
+
+// registry is the process-wide analyzer table. Built-in analyzers are
+// registered at init time (builtin.go); extensions register at their own
+// init. Guarded for concurrent Lookup during parallel sweeps.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Analyzer{}
+)
+
+// Register adds a to the registry. It panics on an empty name or a duplicate
+// registration — both are programming errors, and a one-line Register call
+// in an init function is the intended extension point for new baselines.
+func Register(a Analyzer) {
+	name := a.Name()
+	if name == "" {
+		panic("runner: Register with empty analyzer name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("runner: duplicate analyzer %q", name))
+	}
+	registry[name] = a
+}
+
+// Lookup returns the registered analyzer, or an error naming the known set.
+func Lookup(name string) (Analyzer, error) {
+	registryMu.RLock()
+	a, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runner: unknown analyzer %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// MustLookup is Lookup for registry keys known at compile time.
+func MustLookup(name string) Analyzer {
+	a, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names lists the registered analyzers in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// SeedFor derives the RNG seed of one trial from its coordinates. Each of
+// the four inputs is folded into a splitmix64-style avalanche, so trials of
+// the same suite seed but different (experiment, point, trial) coordinates
+// receive decorrelated streams — unlike the previous shared-stream design,
+// where trial k's randomness depended on everything drawn by trials 0..k−1
+// across every point of the experiment.
+func SeedFor(suiteSeed, expID int64, point, trial int) int64 {
+	h := uint64(suiteSeed)
+	for _, v := range [...]uint64{uint64(expID), uint64(point), uint64(trial)} {
+		h = mix64(h + 0x9e3779b97f4a7c15 + v)
+	}
+	return int64(h)
+}
+
+// mix64 is the splitmix64 finalizer (Steele, Lea & Flood).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Sweep describes a points × trials grid of independent experiment trials.
+type Sweep struct {
+	// Seed is the suite seed (exp.Config.Seed).
+	Seed int64
+	// Exp identifies the experiment (sub-sweeps of one experiment use
+	// distinct ids so their streams never collide).
+	Exp int64
+	// Points is the number of sweep points (x-axis values).
+	Points int
+	// Trials is the number of trials evaluated at each point.
+	Trials int
+	// Workers bounds the worker pool; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnTrial, when non-nil, is called after each completed trial with the
+	// running completion count. Calls are serialized and done is strictly
+	// increasing up to Points×Trials.
+	OnTrial func(done, total int)
+}
+
+// Run evaluates fn at every (point, trial) coordinate of the sweep on a
+// bounded worker pool and returns the results indexed [point][trial].
+//
+// Each invocation receives its own *rand.Rand seeded by SeedFor, so the
+// returned slice is byte-for-byte deterministic in (Seed, Exp, Points,
+// Trials) — Workers only changes wall-clock time, never results. fn must not
+// share mutable state across calls; everything it needs beyond the trial
+// coordinates should be captured immutably.
+//
+// The first error stops dispatch of further trials and is returned after
+// in-flight trials drain.
+func Run[T any](s Sweep, fn func(point, trial int, r *rand.Rand) (T, error)) ([][]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("runner: nil trial function")
+	}
+	if s.Points < 0 || s.Trials < 0 {
+		return nil, fmt.Errorf("runner: negative sweep shape %d×%d", s.Points, s.Trials)
+	}
+	out := make([][]T, s.Points)
+	for p := range out {
+		out[p] = make([]T, s.Trials)
+	}
+	total := s.Points * s.Trials
+	if total == 0 {
+		return out, nil
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		jobs = make(chan int)
+		stop = make(chan struct{})
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				p, t := idx/s.Trials, idx%s.Trials
+				r := rand.New(rand.NewSource(SeedFor(s.Seed, s.Exp, p, t)))
+				v, err := fn(p, t, r)
+				if err != nil {
+					fail(fmt.Errorf("runner: point %d trial %d: %w", p, t, err))
+					continue
+				}
+				out[p][t] = v
+				mu.Lock()
+				done++
+				if s.OnTrial != nil && firstErr == nil {
+					s.OnTrial(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for idx := 0; idx < total; idx++ {
+		select {
+		case jobs <- idx:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out, firstErr
+}

@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSeedForDistinct checks the derived seeds are collision-free across a
+// realistic coordinate grid and sensitive to every coordinate.
+func TestSeedForDistinct(t *testing.T) {
+	seen := map[int64][4]int64{}
+	for _, suite := range []int64{0, 1, 2015, -7} {
+		for _, exp := range []int64{4, 21, 1700, 1702} {
+			for point := 0; point < 12; point++ {
+				for trial := 0; trial < 50; trial++ {
+					s := SeedFor(suite, exp, point, trial)
+					key := [4]int64{suite, exp, int64(point), int64(trial)}
+					if prev, dup := seen[s]; dup {
+						t.Fatalf("seed collision: %v and %v both derive %d", prev, key, s)
+					}
+					seen[s] = key
+				}
+			}
+		}
+	}
+}
+
+func TestSeedForDeterministic(t *testing.T) {
+	if SeedFor(2015, 4, 3, 17) != SeedFor(2015, 4, 3, 17) {
+		t.Fatal("SeedFor is not a pure function")
+	}
+}
+
+// trialID records the coordinates and first random draw of a trial, which is
+// enough to detect both misrouted results and order-dependent randomness.
+type trialID struct {
+	Point, Trial int
+	Draw         int64
+}
+
+func runGrid(t *testing.T, workers int) [][]trialID {
+	t.Helper()
+	out, err := Run(Sweep{Seed: 99, Exp: 7, Points: 5, Trials: 40, Workers: workers},
+		func(point, trial int, r *rand.Rand) (trialID, error) {
+			return trialID{Point: point, Trial: trial, Draw: r.Int63()}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the engine-level statement of
+// the suite's load-bearing guarantee: worker count never changes results.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	seq := runGrid(t, 1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		par := runGrid(t, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("results differ between 1 and %d workers", workers)
+		}
+	}
+	for p, row := range seq {
+		for tr, v := range row {
+			if v.Point != p || v.Trial != tr {
+				t.Fatalf("result for (%d,%d) landed at [%d][%d]", v.Point, v.Trial, p, tr)
+			}
+		}
+	}
+}
+
+func TestRunProgressMonotone(t *testing.T) {
+	var calls []int
+	_, err := Run(Sweep{Seed: 1, Exp: 1, Points: 3, Trials: 7, Workers: 4,
+		OnTrial: func(done, total int) {
+			if total != 21 {
+				t.Errorf("total = %d, want 21", total)
+			}
+			calls = append(calls, done)
+		}},
+		func(point, trial int, r *rand.Rand) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 21 {
+		t.Fatalf("%d progress calls, want 21", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress call %d reported done=%d", i, d)
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(Sweep{Seed: 1, Exp: 2, Points: 4, Trials: 25, Workers: 8},
+		func(point, trial int, r *rand.Rand) (int, error) {
+			if point == 2 && trial == 3 {
+				return 0, boom
+			}
+			return 1, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunEmptyAndInvalid(t *testing.T) {
+	out, err := Run(Sweep{Points: 0, Trials: 10}, func(p, tr int, r *rand.Rand) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty sweep: out=%v err=%v", out, err)
+	}
+	if _, err := Run(Sweep{Points: -1, Trials: 1}, func(p, tr int, r *rand.Rand) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative Points accepted")
+	}
+	if _, err := Run[int](Sweep{Points: 1, Trials: 1}, nil); err == nil {
+		t.Error("nil trial function accepted")
+	}
+}
