@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race experiments experiments-quick examples clean
 
 all: build vet test
 
-# What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests.
-check: vet build test-race
+# What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests,
+# the differential oracle under the race detector, and a fuzzing smoke pass.
+check: vet build test-race oracle-race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalJSON -fuzztime=30s ./internal/dag/
 	$(GO) test -fuzz=FuzzBuilder -fuzztime=30s ./internal/dag/
 	$(GO) test -fuzz=FuzzExactVsNaive -fuzztime=30s ./internal/dbf/
+	$(GO) test -fuzz=FuzzDBFStar -fuzztime=30s ./internal/dbf/
+	$(GO) test -fuzz=FuzzVerifyAllocation -fuzztime=30s ./internal/core/
+
+# CI smoke pass over the property fuzz targets (30 s each).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDBFStar -fuzztime=30s ./internal/dbf/
+	$(GO) test -fuzz=FuzzVerifyAllocation -fuzztime=30s ./internal/core/
+
+# The fast-vs-reference differential oracle under the race detector.
+oracle-race:
+	$(GO) test -race -run 'TestOracle' ./internal/sim/
 
 # Regenerate the EXPERIMENTS.md measurement body (full scale; several minutes).
 experiments:

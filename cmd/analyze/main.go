@@ -6,6 +6,8 @@
 // Usage:
 //
 //	analyze [-minm] [-dbf horizon] system.json
+//	analyze -example1              # the paper's Example 1 DAG task
+//	analyze -example2 n            # the paper's Example 2 family at size n
 package main
 
 import (
@@ -32,9 +34,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	var (
-		minm    = fs.Bool("minm", false, "search for the minimum platform size each method needs (up to 256)")
-		dbfH    = fs.Int64("dbf", 0, "if > 0, dump Σ DBF and Σ DBF* curves up to this horizon as CSV")
-		example bool
+		minm     = fs.Bool("minm", false, "search for the minimum platform size each method needs (up to 256)")
+		dbfH     = fs.Int64("dbf", 0, "if > 0, dump Σ DBF and Σ DBF* curves up to this horizon as CSV")
+		example  bool
+		example2 = fs.Int("example2", 0, "analyze the paper's Example 2 family at this size n instead of a file")
 	)
 	fs.BoolVar(&example, "example1", false, "analyze the paper's Example 1 system instead of a file")
 	if err := fs.Parse(args); err != nil {
@@ -42,14 +45,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var sf *task.SystemFile
-	if example {
+	switch {
+	case example && *example2 > 0:
+		return fmt.Errorf("-example1 and -example2 are mutually exclusive")
+	case example:
 		sf = &task.SystemFile{
 			Processors: 1,
 			Tasks:      task.System{task.MustNew("tau1", dag.Example1(), dag.Example1D, dag.Example1T)},
 		}
-	} else {
+	case *example2 > 0:
+		sf = example2System(*example2)
+	default:
 		if fs.NArg() != 1 {
-			return fmt.Errorf("expected exactly one input file (or -example1)")
+			return fmt.Errorf("expected exactly one input file (or -example1 / -example2 n)")
 		}
 		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
@@ -142,6 +150,19 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// example2System builds the paper's Example 2 family at size n: n singleton
+// tasks with C = 1, D = 1, T = n. Each has density 1 — high-density by the
+// paper's classification — so federated approaches dedicate one processor per
+// task even though total utilization is exactly 1. The platform is sized at n
+// so FEDCONS accepts and the capacity loss is visible in the -minm column.
+func example2System(n int) *task.SystemFile {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		sys = append(sys, task.MustNew(fmt.Sprintf("tau%d", i+1), dag.Singleton(1), 1, task.Time(n)))
+	}
+	return &task.SystemFile{Processors: n, Tasks: sys}
 }
 
 func class(tk *task.DAGTask) string {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,60 @@ import (
 	"fedsched/internal/dag"
 	"fedsched/internal/task"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestAnalyzeGoldenExample1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example1", "-minm", "-dbf", "60"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "analyze_example1", buf.String())
+}
+
+func TestAnalyzeGoldenExample2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example2", "4", "-minm"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "analyze_example2", buf.String())
+}
+
+func TestAnalyzeExample2Flags(t *testing.T) {
+	if err := run([]string{"-example1", "-example2", "3"}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted -example1 together with -example2")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-example2", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Example 2 tasks are density-1 HIGH tasks; with n = 2 both verdict rows
+	// and the two task rows must be present.
+	for _, want := range []string{"tau1", "tau2", "HIGH", "FEDCONS (paper)", "SCHEDULABLE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
 
 func TestAnalyzeExample1(t *testing.T) {
 	var buf bytes.Buffer

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	simulate [-horizon N] [-arrivals sporadic] [-exec uniform] [-global]
-//	         [-gantt N] [-audit] [-trace out.json] [-alloc alloc.json] system.json
+//	         [-engine fast|reference] [-gantt N] [-audit] [-trace out.json]
+//	         [-alloc alloc.json] system.json
+//
+// -engine selects the simulator implementation: "fast" (the event-calendar
+// engine, the default) or "reference" (the naive time-stepped oracle engine).
+// Both produce identical reports; reference exists for differential checking.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fedsched/internal/core"
 	"fedsched/internal/fp"
 	"fedsched/internal/sim"
+	"fedsched/internal/sim/reference"
 	"fedsched/internal/task"
 	"fedsched/internal/trace"
 )
@@ -42,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		traceOut = fs.String("trace", "", "write the full execution traces (JSON) to this file")
 		shared   = fs.String("shared", "edf", "shared-processor scheduler: edf (paper) or dm")
 		seed     = fs.Int64("seed", 1, "simulation seed")
+		engine   = fs.String("engine", "fast", "simulator engine: fast (event calendar) or reference (time-stepped oracle)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +81,18 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -shared %q", *shared)
 	}
+	// Both engines share types and random streams, so they are interchangeable
+	// behind these two function values.
+	fedTraced := sim.FederatedTraced
+	globalEDF := sim.GlobalEDF
+	switch *engine {
+	case "fast":
+	case "reference":
+		fedTraced = reference.FederatedTraced
+		globalEDF = reference.GlobalEDF
+	default:
+		return fmt.Errorf("unknown -engine %q (want fast or reference)", *engine)
+	}
 
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -101,7 +120,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("FEDCONS rejected the system, nothing to simulate: %w", err)
 		}
 	}
-	rep, pt, err := sim.FederatedTraced(sf.Tasks, alloc, cfg)
+	rep, pt, err := fedTraced(sf.Tasks, alloc, cfg)
 	if err != nil {
 		return err
 	}
@@ -137,7 +156,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *global {
-		grep, err := sim.GlobalEDF(sf.Tasks, sf.Processors, cfg)
+		grep, err := globalEDF(sf.Tasks, sf.Processors, cfg)
 		if err != nil {
 			return err
 		}

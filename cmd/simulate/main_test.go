@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,6 +16,109 @@ import (
 	"fedsched/internal/task"
 	"fedsched/internal/trace"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// writeSystem encodes a system file into a temp path for the CLI to read.
+func writeSystem(t *testing.T, sf *task.SystemFile) string {
+	t.Helper()
+	data, err := task.EncodeSystem(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// example1System is the paper's Example 1 DAG task (low-density: δ = 9/16)
+// on a single processor — exercises the partitioned-EDF side of the runtime.
+func example1System() *task.SystemFile {
+	return &task.SystemFile{
+		Processors: 1,
+		Tasks:      task.System{task.MustNew("tau1", dag.Example1(), dag.Example1D, dag.Example1T)},
+	}
+}
+
+// example2System is the paper's Example 2 family at n = 3: three singleton
+// tasks with C = 1, D = 1, T = 3, density 1 each — exercises template replay
+// on dedicated processors.
+func example2System() *task.SystemFile {
+	n := 3
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		sys = append(sys, task.MustNew(fmt.Sprintf("tau%d", i+1), dag.Singleton(1), 1, task.Time(n)))
+	}
+	return &task.SystemFile{Processors: n, Tasks: sys}
+}
+
+func TestSimulateGoldenExample1(t *testing.T) {
+	path := writeSystem(t, example1System())
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "200", "-seed", "1", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "simulate_example1", buf.String())
+}
+
+func TestSimulateGoldenExample2(t *testing.T) {
+	path := writeSystem(t, example2System())
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "200", "-seed", "1", "-gantt", "20", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "simulate_example2", buf.String())
+}
+
+// TestSimulateEngineFlag pins the two engines to the same golden output:
+// -engine=reference must reproduce the fast engine's report byte for byte,
+// including under sporadic arrivals and random execution times.
+func TestSimulateEngineFlag(t *testing.T) {
+	for _, sf := range []*task.SystemFile{example1System(), example2System()} {
+		path := writeSystem(t, sf)
+		for _, extra := range [][]string{
+			nil,
+			{"-arrivals", "sporadic", "-exec", "uniform", "-global"},
+		} {
+			base := append([]string{"-horizon", "300", "-seed", "42"}, extra...)
+			var fast, ref bytes.Buffer
+			if err := run(append(append([]string{}, base...), path), &fast); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(append(append([]string{"-engine", "reference"}, base...), path), &ref); err != nil {
+				t.Fatal(err)
+			}
+			if fast.String() != ref.String() {
+				t.Errorf("engines disagree for %v:\n--- fast ---\n%s--- reference ---\n%s", extra, fast.String(), ref.String())
+			}
+		}
+	}
+	if err := run([]string{"-engine", "weird", writeSystem(t, example1System())}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown engine")
+	}
+}
 
 func systemPath(t *testing.T) string {
 	t.Helper()

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// fuzzSystem builds a small random constrained-deadline system, biased so
+// the first task is often high-density (ensuring dedicated-group mutations
+// have something to corrupt).
+func fuzzSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		nv := 1 + r.Intn(6)
+		if i == 0 && r.Intn(2) == 0 {
+			nv = 4 + r.Intn(5)
+		}
+		b := dag.NewBuilder(nv)
+		for v := 0; v < nv; v++ {
+			b.AddJob(task.Time(1 + r.Intn(6)))
+		}
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		var d task.Time
+		if i == 0 {
+			d = g.LongestChain() + task.Time(r.Intn(3))
+		} else {
+			d = g.LongestChain() + task.Time(r.Intn(int(2*g.Volume())))
+		}
+		t := d + task.Time(r.Intn(40))
+		sys = append(sys, task.MustNew(fmt.Sprintf("t%d", i), g, d, t))
+	}
+	return sys
+}
+
+// FuzzVerifyAllocation checks the two faces of core.Verify on fuzz-chosen
+// systems: every allocation Schedule produces passes it unchanged, and no
+// single structural corruption — wrong platform size, dropped or duplicated
+// task, out-of-range or double-claimed processor, missing or inconsistent
+// template, discarded partition — slips through.
+func FuzzVerifyAllocation(f *testing.F) {
+	for seed := uint32(0); seed < 4; seed++ {
+		for mut := uint8(0); mut < 8; mut++ {
+			f.Add(seed, mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed uint32, mut uint8) {
+		r := rand.New(rand.NewSource(int64(seed)))
+		sys := fuzzSystem(r, 2+r.Intn(4))
+		var alloc *Allocation
+		var m int
+		for m = 2; m <= 8; m++ {
+			a, err := Schedule(sys, m, Options{})
+			if err == nil {
+				alloc = a
+				break
+			}
+		}
+		if alloc == nil {
+			t.Skip("system rejected on every platform size")
+		}
+		if err := Verify(sys, m, alloc); err != nil {
+			t.Fatalf("clean allocation failed Verify: %v", err)
+		}
+
+		mutated := cloneAlloc(alloc)
+		var desc string
+		switch mut % 8 {
+		case 0:
+			mutated.M++
+			desc = "wrong platform size"
+		case 1:
+			if len(mutated.LowIndices) > 0 {
+				mutated.LowIndices = mutated.LowIndices[:len(mutated.LowIndices)-1]
+				desc = "dropped low task"
+			} else {
+				mutated.High = mutated.High[:len(mutated.High)-1]
+				desc = "dropped high task"
+			}
+		case 2:
+			if len(mutated.LowIndices) > 0 {
+				mutated.LowIndices = append(mutated.LowIndices, mutated.LowIndices[0])
+				desc = "duplicated low task"
+			} else {
+				mutated.High = append(mutated.High, mutated.High[0])
+				desc = "duplicated high task"
+			}
+		case 3:
+			if len(mutated.SharedProcs) > 0 {
+				mutated.SharedProcs[0] = m
+			} else {
+				mutated.High[0].Procs[0] = -1
+			}
+			desc = "processor out of range"
+		case 4:
+			switch {
+			case len(mutated.High) > 0 && len(mutated.SharedProcs) > 0:
+				mutated.SharedProcs[0] = mutated.High[0].Procs[0]
+			case len(mutated.SharedProcs) >= 2:
+				mutated.SharedProcs[1] = mutated.SharedProcs[0]
+			case len(mutated.High) >= 1 && len(mutated.High[0].Procs) >= 2:
+				mutated.High[0].Procs[1] = mutated.High[0].Procs[0]
+			default:
+				t.Skip("no way to double-claim with one resource")
+			}
+			desc = "processor claimed twice"
+		case 5:
+			if len(mutated.High) == 0 {
+				t.Skip("no dedicated groups to corrupt")
+			}
+			mutated.High[0].Template = nil
+			desc = "missing template"
+		case 6:
+			if len(mutated.High) == 0 {
+				t.Skip("no dedicated groups to corrupt")
+			}
+			mutated.High[0].Template.Makespan++
+			desc = "inconsistent template makespan"
+		case 7:
+			mutated.Low = nil
+			desc = "discarded partition"
+		}
+		if err := Verify(sys, m, mutated); err == nil {
+			t.Fatalf("mutated allocation (%s) passed Verify; seed=%d", desc, seed)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"fedsched/internal/listsched"
 	"fedsched/internal/partition"
 	"fedsched/internal/task"
 )
@@ -143,13 +144,29 @@ func TestVerifyMoreTamperings(t *testing.T) {
 	}
 }
 
+// cloneAlloc deep-copies an allocation — including templates and the
+// partition — so mutating the clone cannot alias the original.
 func cloneAlloc(a *Allocation) *Allocation {
 	c := *a
 	c.High = append([]HighAssignment(nil), a.High...)
 	for i := range c.High {
 		c.High[i].Procs = append([]int(nil), a.High[i].Procs...)
+		if t := a.High[i].Template; t != nil {
+			c.High[i].Template = &listsched.Schedule{
+				M:         t.M,
+				Intervals: append([]listsched.Interval(nil), t.Intervals...),
+				Makespan:  t.Makespan,
+			}
+		}
 	}
 	c.SharedProcs = append([]int(nil), a.SharedProcs...)
 	c.LowIndices = append([]int(nil), a.LowIndices...)
+	if a.Low != nil {
+		low := &partition.Result{Assignment: make([][]int, len(a.Low.Assignment))}
+		for k, procTasks := range a.Low.Assignment {
+			low.Assignment[k] = append([]int(nil), procTasks...)
+		}
+		c.Low = low
+	}
 	return &c
 }

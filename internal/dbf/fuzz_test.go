@@ -1,10 +1,46 @@
 package dbf
 
 import (
+	"math/big"
 	"testing"
 
 	"fedsched/internal/task"
 )
+
+// FuzzDBFStar checks that Equation 1's linear approximation dominates the
+// exact demand bound function on arbitrary constrained-deadline 3-parameter
+// tasks: DBF*(τ, t) ≥ DBF(τ, t) for every window length t ≥ 0, with
+// equality at t = D (where both equal C). This is the pointwise fact behind
+// Theorem 2's speedup bound: DBF* admission is pessimistic, never unsafe.
+func FuzzDBFStar(f *testing.F) {
+	f.Add(uint16(3), uint16(5), uint16(8), uint32(20))
+	f.Add(uint16(1), uint16(1), uint16(1), uint32(0))
+	f.Add(uint16(999), uint16(40), uint16(1000), uint32(12345))
+	f.Add(uint16(7), uint16(7), uint16(7), uint32(6))
+	f.Fuzz(func(t *testing.T, cw, dw, tw uint16, win uint32) {
+		// Decode a valid constrained-deadline task: 1 ≤ C ≤ D ≤ T.
+		tt := task.Time(tw%1000) + 1
+		d := task.Time(dw)%tt + 1
+		c := task.Time(cw)%d + 1
+		s := task.Sporadic{C: c, D: d, T: tt}
+		at := task.Time(win % 100_000)
+
+		exact := DBF(s, at)
+		star := ApproxRat(s, at)
+		if star.Cmp(new(big.Rat).SetInt64(exact)) < 0 {
+			t.Fatalf("DBF*(%+v, %d) = %v < exact DBF = %d", s, at, star, exact)
+		}
+		if approx := Approx(s, at); approx < float64(exact)-1e-6 {
+			t.Fatalf("float DBF*(%+v, %d) = %v < exact DBF = %d", s, at, approx, exact)
+		}
+		if atD := ApproxRat(s, s.D); atD.Cmp(new(big.Rat).SetInt64(c)) != 0 {
+			t.Fatalf("DBF*(%+v, D) = %v, want exactly C = %d", s, atD, c)
+		}
+		if got := DBF(s, s.D); got != c {
+			t.Fatalf("DBF(%+v, D) = %d, want C = %d", s, got, c)
+		}
+	})
+}
 
 // FuzzExactVsNaive cross-checks the QPA-accelerated exact test against the
 // brute-force enumeration on fuzz-chosen small task sets.

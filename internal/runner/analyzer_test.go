@@ -9,6 +9,7 @@ import (
 	"fedsched/internal/dag"
 	"fedsched/internal/gen"
 	"fedsched/internal/partition"
+	"fedsched/internal/sim"
 	"fedsched/internal/task"
 )
 
@@ -124,6 +125,19 @@ func TestBuiltinsAgreeWithWrappedFunctions(t *testing.T) {
 		"part-seq-ff-exact": func(sys task.System, m int) bool {
 			_, err := partition.Partition(sys, m, partition.Options{Test: partition.ExactEDF})
 			return err == nil
+		},
+		"fedcons-sim": func(sys task.System, m int) bool {
+			alloc, err := core.Schedule(sys, m, core.Options{})
+			if err != nil {
+				return false
+			}
+			rep, err := sim.Federated(sys, alloc, sim.Config{
+				Horizon:  20_000,
+				Arrivals: sim.SporadicRandom,
+				Exec:     sim.UniformExec,
+				Seed:     1,
+			})
+			return err == nil && rep.TotalMissed() == 0
 		},
 	}
 	systems := corpus(t)

@@ -4,6 +4,7 @@ import (
 	"fedsched/internal/baseline"
 	"fedsched/internal/core"
 	"fedsched/internal/partition"
+	"fedsched/internal/sim"
 	"fedsched/internal/task"
 )
 
@@ -36,6 +37,35 @@ func init() {
 	Register(partSeq("part-seq-bf-dbf", partition.Options{Heuristic: partition.BestFit}))
 	Register(partSeq("part-seq-wf-dbf", partition.Options{Heuristic: partition.WorstFit}))
 	Register(partSeq("part-seq-ff-exact", partition.Options{Test: partition.ExactEDF}))
+
+	// Empirical cross-check: FEDCONS acceptance followed by a stress
+	// simulation (sporadic arrivals, random execution times) under the fast
+	// event-calendar engine, accepting only miss-free runs. An analytic
+	// accept/simulation miss disagreement in a sweep would expose a soundness
+	// bug, so experiments can diff this column against "fedcons".
+	Register(NewFunc("fedcons-sim", fedconsSim))
+}
+
+// simCheckConfig is the fixed stress scenario fedcons-sim replays. The
+// horizon is long enough to cover many hyperperiods of the generator's
+// period range while staying cheap under the event-calendar engine.
+var simCheckConfig = sim.Config{
+	Horizon:  20_000,
+	Arrivals: sim.SporadicRandom,
+	Exec:     sim.UniformExec,
+	Seed:     1,
+}
+
+func fedconsSim(sys task.System, m int) bool {
+	alloc, err := core.Schedule(sys, m, core.Options{})
+	if err != nil {
+		return false
+	}
+	rep, err := sim.Federated(sys, alloc, simCheckConfig)
+	if err != nil {
+		return false
+	}
+	return rep.TotalMissed() == 0
 }
 
 func fedcons(name string, opt core.Options) Analyzer {

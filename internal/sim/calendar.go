@@ -1,0 +1,112 @@
+package sim
+
+// This file holds the event calendar at the heart of the fast engine.
+//
+// Each processor group is simulated by jumping between the only instants at
+// which its schedule can change:
+//
+//   - release events — a dag-job (or, under global EDF, the batch of vertex
+//     jobs of an instance) enters the system. Each release event doubles as
+//     the preemption check: the newly available work is compared against the
+//     lowest-priority executing job and swapped in if it wins.
+//   - completion events — an executing job exhausts its remaining execution
+//     and vacates its processor, possibly unblocking DAG successors.
+//   - template-slot events — under TemplateReplay a vertex starts exactly at
+//     start + σ_i offset; because the offsets are a lookup table, the whole
+//     dag-job collapses to a single completion event at
+//     start + max_v(offset_v + actual_v) (see replayHigh).
+//
+// Between consecutive events nothing changes, so the engine advances the
+// clock directly from one event to the next: total cost is O(jobs · log)
+// and never depends on the horizon length.
+//
+// The calendar is a binary min-heap ordered by (time, kind, seq), with
+// completions sorted before releases at the same instant — the order the
+// reference engine implies (a processor freed at t is available to a job
+// released at t). Completion events are invalidated lazily: every job
+// carries a generation counter that is bumped whenever the job is preempted
+// (leaves the executing set), and a popped completion event whose generation
+// no longer matches its job is stale and discarded. This avoids paying for
+// heap deletion on every preemption.
+//
+// Degenerate forms of the same calendar appear in the other group
+// schedulers, where a full heap would be overhead with no benefit:
+//
+//   - uniprocEDF (edf.go): one processor means at most one outstanding
+//     completion event, so the calendar reduces to a two-way minimum between
+//     the running job's completion and the next release in the sorted
+//     release lane, plus the ready heap.
+//   - replayHigh (federated.go): template replay admits no preemption at
+//     all, so each dag-job is exactly one release event and one completion
+//     event, processed in release order.
+type calEvent struct {
+	at   Time
+	kind eventKind
+	gen  uint32 // matches job.gen when the completion event is still valid
+	job  *gJob  // nil for release events
+}
+
+type eventKind uint8
+
+const (
+	evCompletion eventKind = iota // sorted first at equal times
+	evRelease
+)
+
+// calendar is a binary min-heap of events by (at, kind, job seq).
+type calendar struct{ a []calEvent }
+
+func (c *calendar) len() int { return len(c.a) }
+
+func (c *calendar) less(x, y int) bool {
+	ex, ey := &c.a[x], &c.a[y]
+	if ex.at != ey.at {
+		return ex.at < ey.at
+	}
+	if ex.kind != ey.kind {
+		return ex.kind < ey.kind
+	}
+	if ex.job == nil || ey.job == nil {
+		// At most one release event is outstanding at a time, so two nil-job
+		// events never race; order is immaterial here.
+		return false
+	}
+	return ex.job.seq < ey.job.seq
+}
+
+func (c *calendar) push(e calEvent) {
+	c.a = append(c.a, e)
+	i := len(c.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !c.less(i, p) {
+			break
+		}
+		c.a[p], c.a[i] = c.a[i], c.a[p]
+		i = p
+	}
+}
+
+func (c *calendar) pop() calEvent {
+	top := c.a[0]
+	last := len(c.a) - 1
+	c.a[0] = c.a[last]
+	c.a[last] = calEvent{}
+	c.a = c.a[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < last && c.less(l, s) {
+			s = l
+		}
+		if r < last && c.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		c.a[i], c.a[s] = c.a[s], c.a[i]
+		i = s
+	}
+	return top
+}

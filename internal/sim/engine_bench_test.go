@@ -1,0 +1,93 @@
+package sim_test
+
+// Old-vs-new engine benchmarks at an experiment-scale horizon. The fast
+// engine's cost is O(jobs · log) while the reference engine additionally
+// pays per-vertex scans and per-arrival truncation, so the gap widens with
+// DAG width and horizon; results are recorded in
+// results/timing_sim_engine.json.
+
+import (
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/sim"
+	"fedsched/internal/sim/reference"
+	"fedsched/internal/task"
+)
+
+// benchPlatform is a realistic mixed platform: one wide high-density
+// fork-join task on a dedicated group plus six multi-vertex low-density
+// tasks partitioned onto the shared processors.
+func benchPlatform(tb testing.TB) (task.System, *core.Allocation, int) {
+	tb.Helper()
+	const m = 10
+	sys := task.System{
+		task.MustNew("high", dag.ForkJoin(2, 30, 8, 2), 60, 60),
+	}
+	for i := 0; i < 6; i++ {
+		sys = append(sys, task.MustNew("low", dag.Chain(2, 2, 2, 2, 2), 40, 80))
+	}
+	alloc, err := core.Schedule(sys, m, core.Options{})
+	if err != nil {
+		tb.Fatalf("benchmark platform rejected: %v", err)
+	}
+	return sys, alloc, m
+}
+
+func BenchmarkSimFederated(b *testing.B) {
+	sys, alloc, _ := benchPlatform(b)
+	cfg := sim.Config{Horizon: 100_000, Arrivals: sim.Periodic, Exec: sim.FullWCET, Seed: 7}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Federated(sys, alloc, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reference.Federated(sys, alloc, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSimFederatedSporadic(b *testing.B) {
+	sys, alloc, _ := benchPlatform(b)
+	cfg := sim.Config{Horizon: 100_000, Arrivals: sim.SporadicRandom, Exec: sim.UniformExec, Seed: 7}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Federated(sys, alloc, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reference.Federated(sys, alloc, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSimGlobalEDF(b *testing.B) {
+	sys, _, m := benchPlatform(b)
+	cfg := sim.Config{Horizon: 100_000, Arrivals: sim.Periodic, Exec: sim.FullWCET, Seed: 7}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.GlobalEDF(sys, m, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reference.GlobalEDF(sys, m, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

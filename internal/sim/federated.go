@@ -59,8 +59,8 @@ func FederatedTraced(sys task.System, alloc *core.Allocation, cfg Config) (*Repo
 }
 
 func federated(sys task.System, alloc *core.Allocation, cfg Config, mode ReplayMode, prio listsched.Priority, traced bool) (*Report, *PlatformTrace, error) {
-	if cfg.Horizon <= 0 {
-		return nil, nil, fmt.Errorf("sim: horizon must be positive, got %d", cfg.Horizon)
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
 	}
 	if alloc == nil {
 		return nil, nil, fmt.Errorf("sim: nil allocation")
@@ -74,10 +74,15 @@ func federated(sys task.System, alloc *core.Allocation, cfg Config, mode ReplayM
 		pt = &PlatformTrace{}
 	}
 
+	needsRand := cfg.needsRand()
+
 	// High-density tasks: isolated replay per dedicated group.
 	for _, h := range alloc.High {
 		tk := sys[h.TaskIndex]
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(h.TaskIndex)*7919))
+		var rng *rand.Rand
+		if needsRand {
+			rng = rand.New(rand.NewSource(cfg.Seed + int64(h.TaskIndex)*7919))
+		}
 		var rec *trace.Recorder
 		if traced {
 			rec = trace.NewRecorder(alloc.M)
@@ -105,6 +110,9 @@ func federated(sys task.System, alloc *core.Allocation, cfg Config, mode ReplayM
 			rec = trace.NewRecorder(alloc.M)
 		}
 		stats := uniprocEDF(group, cfg, func(j int) *rand.Rand {
+			if !needsRand {
+				return nil
+			}
 			return rand.New(rand.NewSource(cfg.Seed + int64(idxs[j])*7919))
 		}, rec, proc, idxs)
 		for j, i := range idxs {
@@ -121,60 +129,83 @@ func federated(sys task.System, alloc *core.Allocation, cfg Config, mode ReplayM
 // replayHigh simulates every dag-job of one high-density task on its
 // dedicated processor group. taskIdx and procs are used only for trace
 // recording (rec may be nil).
+//
+// Template replay admits no preemption, so the event calendar degenerates to
+// one (release, completion) event pair per dag-job: under full-WCET
+// execution every vertex ends exactly at its template-slot end and the
+// dag-job's completion event lands at start + max_v(End_v) — an O(1) lookup
+// per job. Under random execution times the completion instant is the
+// streamed maximum of the per-vertex end times, drawn in vertex order so the
+// random stream matches the reference engine draw for draw.
 func replayHigh(tk *task.DAGTask, taskIdx int, procs []int, tmpl *listsched.Schedule, cfg Config, mode ReplayMode, prio listsched.Priority, rng *rand.Rand, rec *trace.Recorder) (TaskStats, error) {
 	var st TaskStats
 	if tmpl == nil {
 		return st, fmt.Errorf("missing template schedule")
 	}
+	// The template-slot envelope: with full-WCET execution a dag-job
+	// released at r finishes exactly at r + maxEnd. Computed from the
+	// intervals rather than trusting tmpl.Makespan, so an inconsistent
+	// template cannot make the engines disagree.
+	maxEnd := Time(0)
+	for v := range tmpl.Intervals {
+		if tmpl.Intervals[v].End > maxEnd {
+			maxEnd = tmpl.Intervals[v].End
+		}
+	}
 	prevBusyUntil := Time(0) // when the group's previous dag-job fully vacated
-	for inst, rel := range arrivals(tk, cfg, rng) {
+	err := forEachArrival(tk, cfg, rng, func(inst int, rel Time) error {
 		start := rel
 		if rel < prevBusyUntil {
 			// Under TemplateReplay this cannot happen for a verified
 			// allocation: makespan ≤ D ≤ T ≤ separation. Violations indicate
 			// a broken allocation and are reported, not silently absorbed.
 			if mode == TemplateReplay {
-				return st, fmt.Errorf("dag-job released at %d while group busy until %d", rel, prevBusyUntil)
+				return fmt.Errorf("dag-job released at %d while group busy until %d", rel, prevBusyUntil)
 			}
 			// NaiveRerun can overrun past T (that is the anomaly the E9
 			// experiment demonstrates); model a dispatcher that starts the
 			// next dag-job as soon as the group is vacated.
 			start = prevBusyUntil
 		}
-		actual := make([]Time, tk.G.N())
-		for v := range actual {
-			actual[v] = execTime(tk.G.WCET(v), cfg, rng)
-		}
 		var finish Time
-		switch mode {
-		case NaiveRerun:
+		switch {
+		case mode == NaiveRerun:
+			actual := make([]Time, tk.G.N())
+			for v := range actual {
+				actual[v] = execTime(tk.G.WCET(v), cfg, rng)
+			}
 			reduced, err := dagWithActuals(tk.G, actual)
 			if err != nil {
-				return st, err
+				return err
 			}
 			s, err := listsched.Run(reduced, tmpl.M, prio)
 			if err != nil {
-				return st, err
+				return err
 			}
 			finish = start + s.Makespan
-		default: // TemplateReplay
-			for v := range actual {
+		case cfg.Exec == FullWCET && rec == nil:
+			// Fast path: no draws, no per-vertex scan — one completion event.
+			finish = start + maxEnd
+		default:
+			for v := 0; v < tk.G.N(); v++ {
+				a := execTime(tk.G.WCET(v), cfg, rng)
 				vs := start + tmpl.Intervals[v].Start
-				end := vs + actual[v]
+				end := vs + a
 				if end > finish {
 					finish = end
 				}
 				if rec != nil {
 					id := trace.JobID{Task: taskIdx, Inst: inst, Vertex: v}
-					rec.Job(trace.JobInfo{ID: id, Release: rel, Deadline: rel + tk.D, Demand: actual[v]})
+					rec.Job(trace.JobInfo{ID: id, Release: rel, Deadline: rel + tk.D, Demand: a})
 					rec.Run(id, procs[tmpl.Intervals[v].Proc], vs, end)
 				}
 			}
 		}
-		st.record(rel, finish, rel+tk.D)
+		st.Record(rel, finish, rel+tk.D)
 		prevBusyUntil = finish
-	}
-	return st, nil
+		return nil
+	})
+	return st, err
 }
 
 // dagWithActuals clones g with each vertex's WCET replaced by its actual

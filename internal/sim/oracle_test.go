@@ -1,0 +1,232 @@
+package sim_test
+
+// The differential oracle: the fast event-calendar engine (package sim) and
+// the original time-stepped engine (package sim/reference) are run on the
+// same (system, allocation, Config, seed) across the full policy matrix
+// {Periodic, SporadicRandom} × {FullWCET, UniformExec} × {EDF, DM} ×
+// {TemplateReplay, NaiveRerun}, and must agree exactly: identical per-task
+// statistics (releases, misses, response times, lateness) and byte-identical
+// canonical traces (trace.Trace.Dump). Both engines seed their per-task
+// random sources the same way and draw in the same order, so any divergence
+// is an engine bug, not noise.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/sim"
+	"fedsched/internal/sim/reference"
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+// oracleSystem builds a small random constrained-deadline system. The first
+// task is biased toward high density (large volume, tight deadline) so that
+// accepted systems regularly exercise the dedicated-group replay paths, not
+// just partitioned EDF.
+func oracleSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		nv := 1 + r.Intn(6)
+		if i == 0 && r.Intn(2) == 0 {
+			nv = 4 + r.Intn(5)
+		}
+		b := dag.NewBuilder(nv)
+		for v := 0; v < nv; v++ {
+			b.AddJob(task.Time(1 + r.Intn(6)))
+		}
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		var d task.Time
+		if i == 0 {
+			d = g.LongestChain() + task.Time(r.Intn(3))
+		} else {
+			d = g.LongestChain() + task.Time(r.Intn(int(2*g.Volume())))
+		}
+		t := d + task.Time(r.Intn(40))
+		sys = append(sys, task.MustNew(fmt.Sprintf("t%d", i), g, d, t))
+	}
+	return sys
+}
+
+// acceptedSystem draws random systems until FEDCONS accepts one on some
+// platform size, returning the system and its verified allocation.
+func acceptedSystem(r *rand.Rand) (task.System, *core.Allocation) {
+	for tries := 0; tries < 50; tries++ {
+		sys := oracleSystem(r, 2+r.Intn(4))
+		for m := 2; m <= 10; m++ {
+			alloc, err := core.Schedule(sys, m, core.Options{})
+			if err != nil {
+				continue
+			}
+			return sys, alloc
+		}
+	}
+	return nil, nil
+}
+
+func diffReports(t *testing.T, label string, fast, ref *sim.Report) {
+	t.Helper()
+	if !reflect.DeepEqual(fast.PerTask, ref.PerTask) {
+		for i := range fast.PerTask {
+			if fast.PerTask[i] != ref.PerTask[i] {
+				t.Errorf("%s: task %d stats diverge:\n fast %+v\n ref  %+v", label, i, fast.PerTask[i], ref.PerTask[i])
+			}
+		}
+		t.Fatalf("%s: reports diverge (fast misses=%d, ref misses=%d)", label, fast.TotalMissed(), ref.TotalMissed())
+	}
+}
+
+func diffTraces(t *testing.T, label string, fast, ref []*trace.Trace) {
+	t.Helper()
+	if len(fast) != len(ref) {
+		t.Fatalf("%s: trace count diverges: fast %d, ref %d", label, len(fast), len(ref))
+	}
+	for i := range fast {
+		fd, rd := fast[i].Dump(), ref[i].Dump()
+		if fd != rd {
+			t.Fatalf("%s: trace %d diverges\n--- fast ---\n%s--- reference ---\n%s", label, i, fd, rd)
+		}
+	}
+}
+
+var oracleMatrix = []struct {
+	arr    sim.ArrivalPolicy
+	exec   sim.ExecPolicy
+	shared sim.SharedPolicy
+	mode   sim.ReplayMode
+}{
+	{sim.Periodic, sim.FullWCET, sim.EDFPolicy, sim.TemplateReplay},
+	{sim.Periodic, sim.FullWCET, sim.EDFPolicy, sim.NaiveRerun},
+	{sim.Periodic, sim.FullWCET, sim.DMPolicy, sim.TemplateReplay},
+	{sim.Periodic, sim.FullWCET, sim.DMPolicy, sim.NaiveRerun},
+	{sim.Periodic, sim.UniformExec, sim.EDFPolicy, sim.TemplateReplay},
+	{sim.Periodic, sim.UniformExec, sim.EDFPolicy, sim.NaiveRerun},
+	{sim.Periodic, sim.UniformExec, sim.DMPolicy, sim.TemplateReplay},
+	{sim.Periodic, sim.UniformExec, sim.DMPolicy, sim.NaiveRerun},
+	{sim.SporadicRandom, sim.FullWCET, sim.EDFPolicy, sim.TemplateReplay},
+	{sim.SporadicRandom, sim.FullWCET, sim.EDFPolicy, sim.NaiveRerun},
+	{sim.SporadicRandom, sim.FullWCET, sim.DMPolicy, sim.TemplateReplay},
+	{sim.SporadicRandom, sim.FullWCET, sim.DMPolicy, sim.NaiveRerun},
+	{sim.SporadicRandom, sim.UniformExec, sim.EDFPolicy, sim.TemplateReplay},
+	{sim.SporadicRandom, sim.UniformExec, sim.EDFPolicy, sim.NaiveRerun},
+	{sim.SporadicRandom, sim.UniformExec, sim.DMPolicy, sim.TemplateReplay},
+	{sim.SporadicRandom, sim.UniformExec, sim.DMPolicy, sim.NaiveRerun},
+}
+
+// TestOracleFederated is the main differential-oracle suite: ≥ 200 seeded
+// trials of the federated simulator over the full policy matrix.
+func TestOracleFederated(t *testing.T) {
+	const wantSystems = 16 // × 16 matrix combinations = 256 trials ≥ 200
+	trials := 0
+	for seed := int64(0); seed < 60 && trials < wantSystems*len(oracleMatrix); seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		sys, alloc := acceptedSystem(r)
+		if sys == nil {
+			continue
+		}
+		for ci, combo := range oracleMatrix {
+			cfg := sim.Config{
+				Horizon:  1500,
+				Arrivals: combo.arr,
+				Exec:     combo.exec,
+				Shared:   combo.shared,
+				Seed:     seed*100 + int64(ci),
+			}
+			label := fmt.Sprintf("seed=%d arr=%v exec=%v shared=%v mode=%d", seed, combo.arr, combo.exec, combo.shared, combo.mode)
+			if combo.mode == sim.TemplateReplay {
+				fastRep, fastPT, ferr := sim.FederatedTraced(sys, alloc, cfg)
+				refRep, refPT, rerr := reference.FederatedTraced(sys, alloc, cfg)
+				if ferr != nil || rerr != nil {
+					t.Fatalf("%s: fast err=%v, ref err=%v", label, ferr, rerr)
+				}
+				diffReports(t, label, fastRep, refRep)
+				diffTraces(t, label+" high", fastPT.High, refPT.High)
+				diffTraces(t, label+" shared", fastPT.Shared, refPT.Shared)
+			} else {
+				fastRep, ferr := sim.FederatedMode(sys, alloc, cfg, combo.mode, nil)
+				refRep, rerr := reference.FederatedMode(sys, alloc, cfg, combo.mode, nil)
+				if ferr != nil || rerr != nil {
+					t.Fatalf("%s: fast err=%v, ref err=%v", label, ferr, rerr)
+				}
+				diffReports(t, label, fastRep, refRep)
+			}
+			trials++
+		}
+	}
+	if trials < 200 {
+		t.Fatalf("only %d oracle trials ran, want ≥ 200", trials)
+	}
+	t.Logf("federated oracle: %d trials", trials)
+}
+
+// TestOracleGlobalEDF differentials the global-EDF simulator, whose
+// event-calendar implementation (lazy completion invalidation, incremental
+// executing set) is the furthest from the reference's re-derive-every-step
+// loop.
+func TestOracleGlobalEDF(t *testing.T) {
+	trials := 0
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(2000 + seed))
+		sys := oracleSystem(r, 2+r.Intn(4))
+		m := 1 + r.Intn(4)
+		for ci, combo := range oracleMatrix[:8] { // mode/shared are irrelevant under global EDF
+			if combo.shared != sim.EDFPolicy || combo.mode != sim.TemplateReplay {
+				continue
+			}
+			cfg := sim.Config{Horizon: 1200, Arrivals: combo.arr, Exec: combo.exec, Seed: seed*10 + int64(ci)}
+			label := fmt.Sprintf("seed=%d m=%d arr=%v exec=%v", seed, m, combo.arr, combo.exec)
+			fastRep, fastTr, ferr := sim.GlobalEDFTraced(sys, m, cfg)
+			refRep, refTr, rerr := reference.GlobalEDFTraced(sys, m, cfg)
+			if ferr != nil || rerr != nil {
+				t.Fatalf("%s: fast err=%v, ref err=%v", label, ferr, rerr)
+			}
+			diffReports(t, label, fastRep, refRep)
+			diffTraces(t, label, []*trace.Trace{fastTr}, []*trace.Trace{refTr})
+			trials++
+		}
+	}
+	t.Logf("global EDF oracle: %d trials", trials)
+}
+
+// TestOracleSporadicUniformStress hammers the sporadic + uniform-execution
+// corner — the only mode in which both random streams (gaps and execution
+// times) are live — with more seeds at a longer horizon.
+func TestOracleSporadicUniformStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress oracle skipped in -short")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(3000 + seed))
+		sys, alloc := acceptedSystem(r)
+		if sys == nil {
+			continue
+		}
+		cfg := sim.Config{
+			Horizon:  10_000,
+			Arrivals: sim.SporadicRandom,
+			Exec:     sim.UniformExec,
+			Shared:   sim.EDFPolicy,
+			Seed:     seed,
+		}
+		fastRep, fastPT, ferr := sim.FederatedTraced(sys, alloc, cfg)
+		refRep, refPT, rerr := reference.FederatedTraced(sys, alloc, cfg)
+		if ferr != nil || rerr != nil {
+			t.Fatalf("seed=%d: fast err=%v, ref err=%v", seed, ferr, rerr)
+		}
+		label := fmt.Sprintf("stress seed=%d", seed)
+		diffReports(t, label, fastRep, refRep)
+		diffTraces(t, label+" high", fastPT.High, refPT.High)
+		diffTraces(t, label+" shared", fastPT.Shared, refPT.Shared)
+	}
+}

@@ -1,0 +1,545 @@
+// Package reference preserves the original time-stepped simulator engine
+// exactly as it was before the event-calendar rewrite of package sim. It is
+// deliberately naive — it re-derives the running set at every release and
+// truncates execution at every arrival — which makes it easy to audit
+// against the scheduling rules of the paper, and therefore the trusted side
+// of the differential oracle (internal/sim/oracle_test.go): both engines
+// consume identical random streams, so their reports must match field for
+// field and their traces must match slice for slice after canonical
+// normalization (trace.Trace.Dump).
+//
+// Do not optimize this package. Its value is that it stays simple enough to
+// be obviously correct; speed lives in package sim.
+package reference
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/fp"
+	"fedsched/internal/listsched"
+	"fedsched/internal/sim"
+	"fedsched/internal/task"
+	"fedsched/internal/trace"
+)
+
+// Time mirrors sim.Time for brevity.
+type Time = sim.Time
+
+// Federated simulates a FEDCONS allocation with the original engine, using
+// TemplateReplay for the high-density tasks.
+func Federated(sys task.System, alloc *core.Allocation, cfg sim.Config) (*sim.Report, error) {
+	return FederatedMode(sys, alloc, cfg, sim.TemplateReplay, nil)
+}
+
+// FederatedMode is Federated with an explicit replay mode and LS priority
+// (the priority is used only by NaiveRerun; nil = insertion order).
+func FederatedMode(sys task.System, alloc *core.Allocation, cfg sim.Config, mode sim.ReplayMode, prio listsched.Priority) (*sim.Report, error) {
+	rep, _, err := federated(sys, alloc, cfg, mode, prio, false)
+	return rep, err
+}
+
+// FederatedTraced is Federated plus full execution traces.
+func FederatedTraced(sys task.System, alloc *core.Allocation, cfg sim.Config) (*sim.Report, *sim.PlatformTrace, error) {
+	return federated(sys, alloc, cfg, sim.TemplateReplay, nil, true)
+}
+
+func federated(sys task.System, alloc *core.Allocation, cfg sim.Config, mode sim.ReplayMode, prio listsched.Priority, traced bool) (*sim.Report, *sim.PlatformTrace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if alloc == nil {
+		return nil, nil, fmt.Errorf("sim: nil allocation")
+	}
+	rep := &sim.Report{PerTask: make([]sim.TaskStats, len(sys))}
+	for i, tk := range sys {
+		rep.PerTask[i].Name = tk.Name
+	}
+	var pt *sim.PlatformTrace
+	if traced {
+		pt = &sim.PlatformTrace{}
+	}
+
+	// High-density tasks: isolated replay per dedicated group.
+	for _, h := range alloc.High {
+		tk := sys[h.TaskIndex]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(h.TaskIndex)*7919))
+		var rec *trace.Recorder
+		if traced {
+			rec = trace.NewRecorder(alloc.M)
+		}
+		st, err := replayHigh(tk, h.TaskIndex, h.Procs, h.Template, cfg, mode, prio, rng, rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: task %d (%q): %w", h.TaskIndex, tk.Name, err)
+		}
+		st.Name = tk.Name
+		rep.PerTask[h.TaskIndex] = st
+		if traced {
+			pt.High = append(pt.High, rec.Trace())
+		}
+	}
+
+	// Shared processors: independent uniprocessor EDF per processor.
+	for k, proc := range alloc.SharedProcs {
+		idxs := alloc.TasksOnShared(k)
+		group := make(task.System, len(idxs))
+		for j, i := range idxs {
+			group[j] = sys[i]
+		}
+		var rec *trace.Recorder
+		if traced {
+			rec = trace.NewRecorder(alloc.M)
+		}
+		stats := uniprocEDF(group, cfg, func(j int) *rand.Rand {
+			return rand.New(rand.NewSource(cfg.Seed + int64(idxs[j])*7919))
+		}, rec, proc, idxs)
+		for j, i := range idxs {
+			stats[j].Name = sys[i].Name
+			rep.PerTask[i] = stats[j]
+		}
+		if traced {
+			pt.Shared = append(pt.Shared, rec.Trace())
+		}
+	}
+	return rep, pt, nil
+}
+
+// replayHigh simulates every dag-job of one high-density task on its
+// dedicated processor group, scanning each vertex of each dag-job.
+func replayHigh(tk *task.DAGTask, taskIdx int, procs []int, tmpl *listsched.Schedule, cfg sim.Config, mode sim.ReplayMode, prio listsched.Priority, rng *rand.Rand, rec *trace.Recorder) (sim.TaskStats, error) {
+	var st sim.TaskStats
+	if tmpl == nil {
+		return st, fmt.Errorf("missing template schedule")
+	}
+	prevBusyUntil := Time(0) // when the group's previous dag-job fully vacated
+	for inst, rel := range sim.Arrivals(tk, cfg, rng) {
+		start := rel
+		if rel < prevBusyUntil {
+			if mode == sim.TemplateReplay {
+				return st, fmt.Errorf("dag-job released at %d while group busy until %d", rel, prevBusyUntil)
+			}
+			start = prevBusyUntil
+		}
+		actual := make([]Time, tk.G.N())
+		for v := range actual {
+			actual[v] = sim.ExecTime(tk.G.WCET(v), cfg, rng)
+		}
+		var finish Time
+		switch mode {
+		case sim.NaiveRerun:
+			reduced, err := dagWithActuals(tk.G, actual)
+			if err != nil {
+				return st, err
+			}
+			s, err := listsched.Run(reduced, tmpl.M, prio)
+			if err != nil {
+				return st, err
+			}
+			finish = start + s.Makespan
+		default: // TemplateReplay
+			for v := range actual {
+				vs := start + tmpl.Intervals[v].Start
+				end := vs + actual[v]
+				if end > finish {
+					finish = end
+				}
+				if rec != nil {
+					id := trace.JobID{Task: taskIdx, Inst: inst, Vertex: v}
+					rec.Job(trace.JobInfo{ID: id, Release: rel, Deadline: rel + tk.D, Demand: actual[v]})
+					rec.Run(id, procs[tmpl.Intervals[v].Proc], vs, end)
+				}
+			}
+		}
+		st.Record(rel, finish, rel+tk.D)
+		prevBusyUntil = finish
+	}
+	return st, nil
+}
+
+// dagWithActuals clones g with each vertex's WCET replaced by its actual
+// execution time (all positive).
+func dagWithActuals(g *dag.DAG, actual []Time) (*dag.DAG, error) {
+	b := dag.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		b.AddVertex(g.Vertex(v).Name, actual[v])
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// upJob is one dag-job collapsed to a sequential job on a shared processor.
+type upJob struct {
+	taskIdx   int  // index into the processor's task group
+	inst      int  // dag-job instance number within its task
+	seq       int  // global admission order, for deterministic tie-breaking
+	key       Time // scheduling priority: absolute deadline (EDF) or DM rank
+	release   Time
+	deadline  Time // absolute
+	remaining Time
+}
+
+// uniprocEDF simulates the preemptive uniprocessor scheduler of one shared
+// processor with the original arrival-by-arrival loop: it truncates the
+// running job at every release, whether or not that release preempts.
+func uniprocEDF(group task.System, cfg sim.Config, rngFor func(j int) *rand.Rand, rec *trace.Recorder, proc int, taskIDs []int) []sim.TaskStats {
+	stats := make([]sim.TaskStats, len(group))
+	// Fixed-priority rank per task (used when cfg.Shared == DMPolicy).
+	rank := make([]Time, len(group))
+	if cfg.Shared == sim.DMPolicy {
+		sps := make([]task.Sporadic, len(group))
+		for i, tk := range group {
+			sps[i] = tk.AsSporadic()
+		}
+		for r, i := range fp.DMOrder(sps) {
+			rank[i] = Time(r)
+		}
+	}
+	jobID := func(j upJob) trace.JobID {
+		id := trace.JobID{Task: j.taskIdx, Inst: j.inst}
+		if taskIDs != nil {
+			id.Task = taskIDs[j.taskIdx]
+		}
+		return id
+	}
+
+	// Generate all jobs up front.
+	var jobs []upJob
+	for j, tk := range group {
+		rng := rngFor(j)
+		for inst, rel := range sim.Arrivals(tk, cfg, rng) {
+			var exec Time
+			for v := 0; v < tk.G.N(); v++ {
+				exec += sim.ExecTime(tk.G.WCET(v), cfg, rng)
+			}
+			jb := upJob{
+				taskIdx:   j,
+				inst:      inst,
+				release:   rel,
+				deadline:  rel + tk.D,
+				remaining: exec,
+			}
+			if cfg.Shared == sim.DMPolicy {
+				jb.key = rank[j]
+			} else {
+				jb.key = jb.deadline
+			}
+			jobs = append(jobs, jb)
+			if rec != nil {
+				rec.Job(trace.JobInfo{ID: jobID(jb), Release: rel, Deadline: jb.deadline, Demand: exec})
+			}
+		}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].release < jobs[b].release })
+	for i := range jobs {
+		jobs[i].seq = i
+	}
+
+	// Event loop: advance between arrivals and completions.
+	pending := &edfHeap{}
+	now := Time(0)
+	next := 0 // next arrival index
+	for next < len(jobs) || pending.len() > 0 {
+		if pending.len() == 0 {
+			if jobs[next].release > now {
+				now = jobs[next].release
+			}
+		}
+		for next < len(jobs) && jobs[next].release <= now {
+			pending.push(jobs[next])
+			next++
+		}
+		if pending.len() == 0 {
+			continue
+		}
+		j := pending.peek()
+		finish := now + j.remaining
+		if next < len(jobs) && jobs[next].release < finish {
+			// Run until the next arrival, then re-evaluate priorities.
+			ran := jobs[next].release - now
+			if rec != nil {
+				rec.Run(jobID(j), proc, now, now+ran)
+			}
+			pending.a[0].remaining -= ran
+			now = jobs[next].release
+			continue
+		}
+		// Job completes before any new arrival.
+		pending.pop()
+		if rec != nil {
+			rec.Run(jobID(j), proc, now, finish)
+		}
+		now = finish
+		stats[j.taskIdx].Record(j.release, finish, j.deadline)
+	}
+	return stats
+}
+
+// edfHeap is a min-heap of jobs by (key, seq); key is the absolute deadline
+// under EDF and the DM rank under fixed priority.
+type edfHeap struct{ a []upJob }
+
+func (h *edfHeap) len() int    { return len(h.a) }
+func (h *edfHeap) peek() upJob { return h.a[0] }
+func (h *edfHeap) less(x, y int) bool {
+	if h.a[x].key != h.a[y].key {
+		return h.a[x].key < h.a[y].key
+	}
+	return h.a[x].seq < h.a[y].seq
+}
+
+func (h *edfHeap) push(j upJob) {
+	h.a = append(h.a, j)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *edfHeap) pop() upJob {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < last && h.less(l, s) {
+			s = l
+		}
+		if r < last && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}
+
+// gJob is one vertex job of one dag-job instance under global EDF.
+type gJob struct {
+	taskIdx   int
+	inst      int // global dag-job instance number
+	vertex    int
+	release   Time // dag-job release
+	deadline  Time // absolute dag-job deadline (the EDF priority)
+	seq       int  // deterministic tie-break
+	remaining Time
+	pendPreds int
+}
+
+// GlobalEDF simulates vertex-level preemptive global EDF with the original
+// step-by-step loop, re-selecting the m highest-priority available jobs at
+// every arrival and completion.
+func GlobalEDF(sys task.System, m int, cfg sim.Config) (*sim.Report, error) {
+	rep, _, err := globalEDF(sys, m, cfg, nil)
+	return rep, err
+}
+
+// GlobalEDFTraced is GlobalEDF plus the full execution trace.
+func GlobalEDFTraced(sys task.System, m int, cfg sim.Config) (*sim.Report, *trace.Trace, error) {
+	rec := trace.NewRecorder(m)
+	rep, _, err := globalEDF(sys, m, cfg, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, rec.Trace(), nil
+}
+
+func globalEDF(sys task.System, m int, cfg sim.Config, rec *trace.Recorder) (*sim.Report, *trace.Trace, error) {
+	if m < 1 {
+		return nil, nil, fmt.Errorf("sim: m must be ≥ 1, got %d", m)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &sim.Report{PerTask: make([]sim.TaskStats, len(sys))}
+	for i, tk := range sys {
+		rep.PerTask[i].Name = tk.Name
+	}
+
+	// Materialize all vertex jobs of all dag-job instances.
+	type instance struct {
+		taskIdx  int
+		release  Time
+		deadline Time
+		done     int // completed vertices
+		finish   Time
+	}
+	var instances []instance
+	var all []*gJob
+	jobsOf := make(map[int][]*gJob) // instance index → its vertex jobs
+	for i, tk := range sys {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		for _, rel := range sim.Arrivals(tk, cfg, rng) {
+			instIdx := len(instances)
+			instances = append(instances, instance{taskIdx: i, release: rel, deadline: rel + tk.D})
+			for v := 0; v < tk.G.N(); v++ {
+				j := &gJob{
+					taskIdx: i, inst: instIdx, vertex: v,
+					release: rel, deadline: rel + tk.D,
+					remaining: sim.ExecTime(tk.G.WCET(v), cfg, rng),
+					pendPreds: tk.G.InDegree(v),
+				}
+				all = append(all, j)
+				jobsOf[instIdx] = append(jobsOf[instIdx], j)
+				if rec != nil {
+					rec.Job(trace.JobInfo{
+						ID:       trace.JobID{Task: i, Inst: instIdx, Vertex: v},
+						Release:  rel,
+						Deadline: rel + tk.D,
+						Demand:   j.remaining,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].release < all[b].release })
+	for s, j := range all {
+		j.seq = s
+	}
+
+	// ready: available jobs; next: head of the release order.
+	ready := &gHeap{}
+	next := 0
+	now := Time(0)
+	remainingJobs := len(all)
+
+	releaseUpTo := func(t Time) {
+		for next < len(all) && all[next].release <= t {
+			if all[next].pendPreds == 0 {
+				ready.push(all[next])
+			}
+			next++
+		}
+	}
+
+	for remainingJobs > 0 {
+		releaseUpTo(now)
+		if ready.len() == 0 {
+			if next >= len(all) {
+				return nil, nil, fmt.Errorf("sim: global EDF stalled at t=%d with %d jobs left", now, remainingJobs)
+			}
+			now = all[next].release
+			continue
+		}
+		// Select the min(m, ready) highest-priority jobs.
+		running := ready.takeUpTo(m)
+		// Advance to the next event: earliest completion or next release.
+		step := running[0].remaining
+		for _, j := range running[1:] {
+			if j.remaining < step {
+				step = j.remaining
+			}
+		}
+		if next < len(all) && all[next].release > now && all[next].release-now < step {
+			step = all[next].release - now
+		}
+		if rec != nil {
+			for p, j := range running {
+				rec.Run(trace.JobID{Task: j.taskIdx, Inst: j.inst, Vertex: j.vertex}, p, now, now+step)
+			}
+		}
+		now += step
+		for _, j := range running {
+			j.remaining -= step
+			if j.remaining > 0 {
+				ready.push(j) // preempted or still running; reconsidered next event
+				continue
+			}
+			remainingJobs--
+			inst := &instances[j.inst]
+			inst.done++
+			if now > inst.finish {
+				inst.finish = now
+			}
+			if inst.done == len(jobsOf[j.inst]) {
+				rep.PerTask[inst.taskIdx].Record(inst.release, inst.finish, inst.deadline)
+			}
+			// Unblock successors.
+			tk := sys[j.taskIdx]
+			for _, w := range tk.G.Successors(j.vertex) {
+				for _, sj := range jobsOf[j.inst] {
+					if sj.vertex == w {
+						sj.pendPreds--
+						if sj.pendPreds == 0 && sj.release <= now {
+							ready.push(sj)
+						}
+					}
+				}
+			}
+		}
+	}
+	return rep, nil, nil
+}
+
+// gHeap is a min-heap of jobs by (deadline, seq).
+type gHeap struct{ a []*gJob }
+
+func (h *gHeap) len() int { return len(h.a) }
+func (h *gHeap) less(x, y int) bool {
+	if h.a[x].deadline != h.a[y].deadline {
+		return h.a[x].deadline < h.a[y].deadline
+	}
+	return h.a[x].seq < h.a[y].seq
+}
+
+func (h *gHeap) push(j *gJob) {
+	h.a = append(h.a, j)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *gHeap) pop() *gJob {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < last && h.less(l, s) {
+			s = l
+		}
+		if r < last && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}
+
+// takeUpTo pops up to k jobs in priority order.
+func (h *gHeap) takeUpTo(k int) []*gJob {
+	if k > h.len() {
+		k = h.len()
+	}
+	out := make([]*gJob, 0, k)
+	for len(out) < k {
+		out = append(out, h.pop())
+	}
+	return out
+}

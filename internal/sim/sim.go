@@ -22,6 +22,18 @@
 //
 // The package additionally implements vertex-level global EDF (preemptive,
 // migrating) as an empirical comparator scheduler.
+//
+// # Engines
+//
+// This package is the fast, event-calendar engine: each processor group is
+// driven by its event queue (release, completion, template-slot and
+// preemption-check events — see calendar.go), jumping directly from event to
+// event so simulation cost scales with the number of dag-jobs, never with
+// the horizon. The original engine is preserved verbatim in the
+// internal/sim/reference subpackage and acts as the differential oracle: both
+// engines consume identical random streams and must produce identical
+// per-job traces (trace.Trace.Dump) and statistics. oracle_test.go holds the
+// harness.
 package sim
 
 import (
@@ -45,6 +57,18 @@ const (
 	SporadicRandom
 )
 
+// String names the policy.
+func (p ArrivalPolicy) String() string {
+	switch p {
+	case Periodic:
+		return "periodic"
+	case SporadicRandom:
+		return "sporadic"
+	default:
+		return fmt.Sprintf("ArrivalPolicy(%d)", int(p))
+	}
+}
+
 // ExecPolicy selects per-job actual execution times.
 type ExecPolicy int
 
@@ -54,6 +78,18 @@ const (
 	// UniformExec runs each job for a uniform time in [1, WCET].
 	UniformExec
 )
+
+// String names the policy.
+func (p ExecPolicy) String() string {
+	switch p {
+	case FullWCET:
+		return "wcet"
+	case UniformExec:
+		return "uniform"
+	default:
+		return fmt.Sprintf("ExecPolicy(%d)", int(p))
+	}
+}
 
 // SharedPolicy selects the scheduler of the shared (partitioned)
 // processors.
@@ -67,6 +103,18 @@ const (
 	DMPolicy
 )
 
+// String names the policy.
+func (p SharedPolicy) String() string {
+	switch p {
+	case EDFPolicy:
+		return "edf"
+	case DMPolicy:
+		return "dm"
+	default:
+		return fmt.Sprintf("SharedPolicy(%d)", int(p))
+	}
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Horizon bounds release times: dag-jobs are released in [0, Horizon).
@@ -76,10 +124,44 @@ type Config struct {
 	Arrivals ArrivalPolicy
 	// Exec selects the execution-time model (default FullWCET).
 	Exec ExecPolicy
-	// Seed drives all randomness; runs are reproducible.
+	// Seed drives all randomness; runs are reproducible. Every int64 value
+	// is valid.
 	Seed int64
 	// Shared selects the shared-processor scheduler (default EDFPolicy).
 	Shared SharedPolicy
+}
+
+// Validate is the single validation point for simulation configs, shared by
+// every engine entry point (fast and reference) so the checks — and their
+// error messages — cannot drift apart.
+func (cfg Config) Validate() error {
+	if cfg.Horizon <= 0 {
+		return fmt.Errorf("sim: horizon must be positive, got %d", cfg.Horizon)
+	}
+	switch cfg.Arrivals {
+	case Periodic, SporadicRandom:
+	default:
+		return fmt.Errorf("sim: unknown arrival policy %v", cfg.Arrivals)
+	}
+	switch cfg.Exec {
+	case FullWCET, UniformExec:
+	default:
+		return fmt.Errorf("sim: unknown exec policy %v", cfg.Exec)
+	}
+	switch cfg.Shared {
+	case EDFPolicy, DMPolicy:
+	default:
+		return fmt.Errorf("sim: unknown shared policy %v", cfg.Shared)
+	}
+	return nil
+}
+
+// needsRand reports whether any random draw can occur under cfg. Engines
+// skip creating per-task sources when false: seeding a rand.Source costs
+// more than simulating a whole task under Periodic + FullWCET. arrivals and
+// execTime never touch their rng in that regime, so passing nil is safe.
+func (cfg Config) needsRand() bool {
+	return cfg.Arrivals == SporadicRandom || cfg.Exec == UniformExec
 }
 
 // TaskStats aggregates per-task outcomes.
@@ -128,7 +210,14 @@ func (r *Report) String() string {
 	return fmt.Sprintf("sim.Report{dagjobs=%d misses=%d}", r.TotalReleased(), r.TotalMissed())
 }
 
-// arrivals generates the release instants of one task under cfg.
+// Arrivals generates the release instants of one task under cfg. It is the
+// canonical release generator: both engines draw their sporadic gaps from it
+// so their random streams coincide (all gap draws of a task precede any of
+// its execution-time draws).
+func Arrivals(tk *task.DAGTask, cfg Config, rng *rand.Rand) []Time {
+	return arrivals(tk, cfg, rng)
+}
+
 func arrivals(tk *task.DAGTask, cfg Config, rng *rand.Rand) []Time {
 	var out []Time
 	for t := Time(0); t < cfg.Horizon; {
@@ -142,7 +231,37 @@ func arrivals(tk *task.DAGTask, cfg Config, rng *rand.Rand) []Time {
 	return out
 }
 
-// execTime draws the actual execution time of a job with the given WCET.
+// forEachArrival visits every dag-job release of tk in [0, Horizon) in
+// order, without materializing the release list when no randomness is
+// involved. Under SporadicRandom it delegates to Arrivals first so that all
+// gap draws precede any execution-time draws the callback makes — the draw
+// order the reference engine established and the differential oracle pins.
+func forEachArrival(tk *task.DAGTask, cfg Config, rng *rand.Rand, fn func(inst int, rel Time) error) error {
+	if cfg.Arrivals == Periodic {
+		inst := 0
+		for t := Time(0); t < cfg.Horizon; t += tk.T {
+			if err := fn(inst, t); err != nil {
+				return err
+			}
+			inst++
+		}
+		return nil
+	}
+	for inst, rel := range arrivals(tk, cfg, rng) {
+		if err := fn(inst, rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecTime draws the actual execution time of a job with the given WCET.
+// Exported for the reference engine, which must consume the identical random
+// stream.
+func ExecTime(wcet Time, cfg Config, rng *rand.Rand) Time {
+	return execTime(wcet, cfg, rng)
+}
+
 func execTime(wcet Time, cfg Config, rng *rand.Rand) Time {
 	if cfg.Exec == UniformExec {
 		return 1 + rng.Int63n(wcet)
@@ -150,8 +269,9 @@ func execTime(wcet Time, cfg Config, rng *rand.Rand) Time {
 	return wcet
 }
 
-// record folds one dag-job outcome into the stats.
-func (s *TaskStats) record(release, finish, deadline Time) {
+// Record folds one dag-job outcome into the stats. Exported so the reference
+// engine aggregates through the identical code path.
+func (s *TaskStats) Record(release, finish, deadline Time) {
 	s.Released++
 	resp := finish - release
 	if resp > s.MaxResponse {

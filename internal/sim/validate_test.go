@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+// TestConfigValidate pins the centralized validation: one cfg.Validate()
+// shared by every engine entry point, with stable error messages.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+	}{
+		{"defaults invalid horizon", Config{}, "sim: horizon must be positive, got 0"},
+		{"negative horizon", Config{Horizon: -7}, "sim: horizon must be positive, got -7"},
+		{"minimal valid", Config{Horizon: 1}, ""},
+		{"all policies set", Config{Horizon: 100, Arrivals: SporadicRandom, Exec: UniformExec, Shared: DMPolicy, Seed: -42}, ""},
+		{"bad arrival policy", Config{Horizon: 10, Arrivals: ArrivalPolicy(7)}, "sim: unknown arrival policy ArrivalPolicy(7)"},
+		{"bad exec policy", Config{Horizon: 10, Exec: ExecPolicy(-1)}, "sim: unknown exec policy ExecPolicy(-1)"},
+		{"bad shared policy", Config{Horizon: 10, Shared: SharedPolicy(3)}, "sim: unknown shared policy SharedPolicy(3)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("Validate() = %v, want nil", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("Validate() = nil, want %q", tc.wantErr)
+			case tc.wantErr != "" && err.Error() != tc.wantErr:
+				t.Fatalf("Validate() = %q, want %q", err.Error(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEnginesShareValidation checks that both federated and global entry
+// points reject through the same Validate, so messages cannot drift.
+func TestEnginesShareValidation(t *testing.T) {
+	sys := task.System{}
+	bad := Config{Horizon: 10, Exec: ExecPolicy(9)}
+	if _, err := GlobalEDF(sys, 1, bad); err == nil || err.Error() != "sim: unknown exec policy ExecPolicy(9)" {
+		t.Fatalf("GlobalEDF validation: got %v", err)
+	}
+	if _, err := FederatedMode(sys, nil, bad, TemplateReplay, nil); err == nil || err.Error() != "sim: unknown exec policy ExecPolicy(9)" {
+		t.Fatalf("Federated validation: got %v", err)
+	}
+}
+
+// TestPolicyStrings pins the String forms used in error messages and CLI
+// flag parsing.
+func TestPolicyStrings(t *testing.T) {
+	if Periodic.String() != "periodic" || SporadicRandom.String() != "sporadic" {
+		t.Errorf("arrival strings: %v %v", Periodic, SporadicRandom)
+	}
+	if FullWCET.String() != "wcet" || UniformExec.String() != "uniform" {
+		t.Errorf("exec strings: %v %v", FullWCET, UniformExec)
+	}
+	if EDFPolicy.String() != "edf" || DMPolicy.String() != "dm" {
+		t.Errorf("shared strings: %v %v", EDFPolicy, DMPolicy)
+	}
+}

@@ -357,6 +357,72 @@ func (t *Trace) Gantt(from, to, scale Time) string {
 	return sb.String()
 }
 
+// Normalize returns a copy of the trace in canonical form: jobs sorted by
+// id, slices coalesced (adjacent fragments of the same job on the same
+// processor merged) and sorted by (start, proc, job). Two traces describing
+// the same execution function — who runs where at every instant — normalize
+// identically regardless of how finely their recorders fragmented the
+// slices, which is exactly the equivalence the differential oracle between
+// the simulator engines needs.
+func (t *Trace) Normalize() *Trace {
+	out := &Trace{Procs: t.Procs}
+	out.Jobs = append([]JobInfo(nil), t.Jobs...)
+	sort.Slice(out.Jobs, func(i, j int) bool { return less(out.Jobs[i].ID, out.Jobs[j].ID) })
+
+	// Coalesce per (job, proc): sort fragments by start and merge contiguous
+	// runs. Overlaps are a trace bug Check reports; Normalize leaves them
+	// unmerged rather than hiding them.
+	type key struct {
+		job  JobID
+		proc int
+	}
+	frags := make(map[key][]Slice)
+	for _, s := range t.Slices {
+		k := key{s.Job, s.Proc}
+		frags[k] = append(frags[k], s)
+	}
+	for _, ss := range frags {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		merged := ss[:0]
+		for _, s := range ss {
+			if n := len(merged); n > 0 && merged[n-1].End == s.Start {
+				merged[n-1].End = s.End
+				continue
+			}
+			merged = append(merged, s)
+		}
+		out.Slices = append(out.Slices, merged...)
+	}
+	sort.Slice(out.Slices, func(i, j int) bool {
+		a, b := out.Slices[i], out.Slices[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return less(a.Job, b.Job)
+	})
+	return out
+}
+
+// Dump renders the normalized trace as deterministic text, one line per job
+// and per coalesced slice. Byte equality of two dumps certifies that the
+// traces record the same jobs with the same parameters and the same
+// execution function.
+func (t *Trace) Dump() string {
+	n := t.Normalize()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "procs %d\n", n.Procs)
+	for _, ji := range n.Jobs {
+		fmt.Fprintf(&sb, "job %v release %d deadline %d demand %d\n", ji.ID, ji.Release, ji.Deadline, ji.Demand)
+	}
+	for _, s := range n.Slices {
+		fmt.Fprintf(&sb, "slice %v proc %d [%d,%d)\n", s.Job, s.Proc, s.Start, s.End)
+	}
+	return sb.String()
+}
+
 // Utilization returns, per processor, the fraction of [from, to) spent
 // executing jobs. Slices are clipped to the window.
 func (t *Trace) Utilization(from, to Time) []float64 {
