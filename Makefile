@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race serve-smoke experiments experiments-quick examples clean
 
 all: build vet test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests,
-# the differential oracle under the race detector, and a fuzzing smoke pass.
-check: vet build test-race oracle-race fuzz-smoke
+# the differential oracle under the race detector, a fuzzing smoke pass, and
+# an end-to-end boot/admit/drain check of the fedschedd daemon.
+check: vet build test-race oracle-race fuzz-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzExactVsNaive -fuzztime=30s ./internal/dbf/
 	$(GO) test -fuzz=FuzzDBFStar -fuzztime=30s ./internal/dbf/
 	$(GO) test -fuzz=FuzzVerifyAllocation -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzTaskHash -fuzztime=30s ./internal/core/
 
 # CI smoke pass over the property fuzz targets (30 s each).
 fuzz-smoke:
@@ -49,6 +51,12 @@ fuzz-smoke:
 # The fast-vs-reference differential oracle under the race detector.
 oracle-race:
 	$(GO) test -race -run 'TestOracle' ./internal/sim/
+
+# End-to-end daemon smoke test: build fedschedd, boot it on a random port,
+# admit Example 1 (accepted) and a 3-wide high-density task (3-processor
+# Phase-1 grant), then SIGTERM and assert a clean drain.
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
 
 # Regenerate the EXPERIMENTS.md measurement body (full scale; several minutes).
 experiments:

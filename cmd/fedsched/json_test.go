@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/service"
+	"fedsched/internal/task"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestJSONGoldenExample1 pins the machine-readable verdict for the paper's
+// Example 1 task bit-for-bit. The golden file is the public contract of both
+// `fedsched -o json` and the daemon's GET /v1/allocation.
+func TestJSONGoldenExample1(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 3,
+		Tasks: task.System{
+			task.MustNew("example1", dag.Example1(), dag.Example1D, dag.Example1T),
+		},
+	})
+	var buf bytes.Buffer
+	if err := run([]string{"-o", "json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "example1_verdict.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("verdict drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONMatchesDaemon is the no-drift guarantee: for the same system, the
+// batch CLI's -o json bytes equal the daemon's GET /v1/allocation bytes after
+// admitting the same tasks in file order.
+func TestJSONMatchesDaemon(t *testing.T) {
+	sf := &task.SystemFile{
+		Processors: 6,
+		Tasks: task.System{
+			task.MustNew("high", dag.Independent(5, 5, 5, 5), 10, 10),
+			task.MustNew("ex1", dag.Example1(), dag.Example1D, dag.Example1T),
+			task.MustNew("low", dag.Singleton(2), 8, 16),
+		},
+	}
+	var cli bytes.Buffer
+	if err := run([]string{"-o", "json", writeSystem(t, sf)}, &cli); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := service.New(service.Config{M: sf.Processors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	for _, tk := range sf.Tasks {
+		body, err := json.Marshal(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/admit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("daemon rejected %s: %d", tk.Name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/allocation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var daemon bytes.Buffer
+	if _, err := daemon.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cli.Bytes(), daemon.Bytes()) {
+		t.Errorf("CLI and daemon verdicts differ:\nCLI:\n%s\ndaemon:\n%s", cli.Bytes(), daemon.Bytes())
+	}
+}
+
+// TestJSONUnschedulable checks that -o json still emits a verdict (with the
+// failure diagnosis) and signals the analysis outcome via the exit-code error.
+func TestJSONUnschedulable(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 1,
+		Tasks: task.System{
+			task.MustNew("big", dag.Independent(5, 5, 5, 5), 10, 10),
+		},
+	})
+	var buf bytes.Buffer
+	err := run([]string{"-o", "json", path}, &buf)
+	if !errors.Is(err, errUnschedulable) {
+		t.Fatalf("want errUnschedulable, got %v", err)
+	}
+	var v service.Verdict
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("output is not a Verdict: %v\n%s", err, buf.Bytes())
+	}
+	if v.Schedulable || v.Reason == "" {
+		t.Errorf("unschedulable verdict should carry a reason: %s", buf.Bytes())
+	}
+}
+
+func TestJSONFlagValidation(t *testing.T) {
+	path := schedulableFile(t)
+	if err := run([]string{"-o", "yaml", path}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted unknown output format")
+	}
+	if err := run([]string{"-o", "json", "-simulate", "100", path}, &bytes.Buffer{}); err == nil {
+		t.Error("accepted -o json with -simulate")
+	}
+}

@@ -24,8 +24,7 @@ import (
 	"os"
 
 	"fedsched/internal/core"
-	"fedsched/internal/listsched"
-	"fedsched/internal/partition"
+	"fedsched/internal/service"
 	"fedsched/internal/sim"
 	"fedsched/internal/task"
 )
@@ -53,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		heuristic = fs.String("partition", "first-fit", "partition heuristic: first-fit (paper), best-fit, worst-fit")
 		admission = fs.String("admission", "dbf-approx", "partition admission test: dbf-approx (paper), edf-exact or dm-rta")
 		verify    = fs.Bool("verify", true, "independently audit the allocation before printing")
+		output    = fs.String("o", "text", "output format: text or json (the service.Verdict encoding, byte-identical to the fedschedd daemon's answer)")
 		simulate  = fs.Int64("simulate", 0, "if > 0, simulate the allocation over this release horizon")
 		save      = fs.String("save", "", "write the allocation (with template schedules) to this JSON file")
 		seed      = fs.Int64("seed", 1, "simulation seed")
@@ -64,6 +64,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("expected exactly one input file, got %d args", fs.NArg())
 	}
 
+	if *output != "text" && *output != "json" {
+		return fmt.Errorf("unknown -o %q (want text or json)", *output)
+	}
+	if *output == "json" && *simulate > 0 {
+		return fmt.Errorf("-o json does not support -simulate")
+	}
 	opt, err := buildOptions(*minprocs, *prio, *heuristic, *admission)
 	if err != nil {
 		return err
@@ -78,31 +84,41 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "system: %d tasks on m=%d processors (U_sum=%.3f, Σδ=%.3f)\n",
-		len(sf.Tasks), sf.Processors, sf.Tasks.USum(), sf.Tasks.DensitySum())
-
-	alloc, err := core.Schedule(sf.Tasks, sf.Processors, opt)
-	if err != nil {
-		fmt.Fprintln(out, "verdict: UNSCHEDULABLE")
-		fmt.Fprintln(out, "reason: ", err)
-		return errUnschedulable
+	if *output == "text" {
+		fmt.Fprintf(out, "system: %d tasks on m=%d processors (U_sum=%.3f, Σδ=%.3f)\n",
+			len(sf.Tasks), sf.Processors, sf.Tasks.USum(), sf.Tasks.DensitySum())
 	}
-	if *verify {
+
+	alloc, schedErr := core.Schedule(sf.Tasks, sf.Processors, opt)
+	if schedErr == nil && *verify {
 		if err := core.Verify(sf.Tasks, sf.Processors, alloc); err != nil {
 			return fmt.Errorf("allocation failed verification: %w", err)
 		}
 	}
-	printAllocation(out, sf.Tasks, alloc)
-
-	if *save != "" {
-		data, err := core.EncodeAllocation(alloc)
+	if *output == "json" {
+		// The exact bytes fedschedd serves from GET /v1/allocation for the
+		// same system: one shared encoder, no drift between CLI and daemon.
+		body, err := service.NewVerdict(sf.Tasks, sf.Processors, alloc, schedErr).Encode()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*save, data, 0o644); err != nil {
+		if _, err := out.Write(body); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "allocation written to %s\n", *save)
+		if schedErr != nil {
+			return errUnschedulable
+		}
+		return saveAllocation(out, alloc, *save, true)
+	}
+	if schedErr != nil {
+		fmt.Fprintln(out, "verdict: UNSCHEDULABLE")
+		fmt.Fprintln(out, "reason: ", schedErr)
+		return errUnschedulable
+	}
+	printAllocation(out, sf.Tasks, alloc)
+
+	if err := saveAllocation(out, alloc, *save, false); err != nil {
+		return err
 	}
 
 	if *simulate > 0 {
@@ -125,47 +141,29 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// buildOptions delegates to the parser shared with cmd/fedschedd, so the
+// batch CLI and the daemon accept exactly the same variant vocabulary.
 func buildOptions(minprocs, prio, heuristic, admission string) (core.Options, error) {
-	var opt core.Options
-	switch minprocs {
-	case "ls-scan":
-		opt.Minprocs = core.LSScan
-	case "analytic":
-		opt.Minprocs = core.Analytic
-	default:
-		return opt, fmt.Errorf("unknown -minprocs %q", minprocs)
+	return service.ParseOptions(minprocs, prio, heuristic, admission)
+}
+
+// saveAllocation writes the allocation artifact when -save is set; quiet
+// suppresses the confirmation line so -o json emits pure JSON.
+func saveAllocation(out io.Writer, alloc *core.Allocation, path string, quiet bool) error {
+	if path == "" {
+		return nil
 	}
-	switch prio {
-	case "insertion":
-		opt.Priority = nil
-	case "longest-path":
-		opt.Priority = listsched.LongestPathFirst
-	case "largest-wcet":
-		opt.Priority = listsched.LargestWCETFirst
-	default:
-		return opt, fmt.Errorf("unknown -priority %q", prio)
+	data, err := core.EncodeAllocation(alloc)
+	if err != nil {
+		return err
 	}
-	switch heuristic {
-	case "first-fit":
-		opt.Partition.Heuristic = partition.FirstFit
-	case "best-fit":
-		opt.Partition.Heuristic = partition.BestFit
-	case "worst-fit":
-		opt.Partition.Heuristic = partition.WorstFit
-	default:
-		return opt, fmt.Errorf("unknown -partition %q", heuristic)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
 	}
-	switch admission {
-	case "dbf-approx":
-		opt.Partition.Test = partition.ApproxDBF
-	case "edf-exact":
-		opt.Partition.Test = partition.ExactEDF
-	case "dm-rta":
-		opt.Partition.Test = partition.DMRta
-	default:
-		return opt, fmt.Errorf("unknown -admission %q", admission)
+	if !quiet {
+		fmt.Fprintf(out, "allocation written to %s\n", path)
 	}
-	return opt, nil
+	return nil
 }
 
 func printAllocation(out io.Writer, sys task.System, alloc *core.Allocation) {

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fedsched/internal/gen"
+)
+
+// loadgenConfig parameterizes the closed-loop load generator.
+type loadgenConfig struct {
+	target   string
+	duration time.Duration
+	workers  int
+	seed     int64
+}
+
+// workerStats accumulates one worker's counters; they are summed at the end
+// so the hot loop never contends on shared state.
+type workerStats struct {
+	requests  int64
+	admits    int64
+	rejects   int64
+	shed      int64
+	timeouts  int64
+	others    int64
+	removes   int64
+	latencies []time.Duration
+}
+
+// runLoadgen drives a fedschedd instance with a reproducible stream of
+// generated DAG tasks. Each worker is a closed loop: it POSTs an admission,
+// waits for the verdict, and — to keep the platform churning rather than
+// saturating — removes one of its own admitted tasks whenever an admission
+// is rejected or its live set grows past a small bound. Throughput and
+// latency quantiles are reported at the end.
+func runLoadgen(ctx context.Context, out io.Writer, cfg loadgenConfig) error {
+	if cfg.target == "" {
+		return fmt.Errorf("-loadgen requires -target URL")
+	}
+	if cfg.workers < 1 {
+		return fmt.Errorf("-workers must be ≥ 1, got %d", cfg.workers)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	if _, err := getOK(client, cfg.target+"/v1/healthz"); err != nil {
+		return fmt.Errorf("target not healthy: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	stats := make([]workerStats, cfg.workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			driveWorker(ctx, client, cfg, w, &stats[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerStats
+	for i := range stats {
+		total.requests += stats[i].requests
+		total.admits += stats[i].admits
+		total.rejects += stats[i].rejects
+		total.shed += stats[i].shed
+		total.timeouts += stats[i].timeouts
+		total.others += stats[i].others
+		total.removes += stats[i].removes
+		total.latencies = append(total.latencies, stats[i].latencies...)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+	q := func(p float64) time.Duration {
+		if len(total.latencies) == 0 {
+			return 0
+		}
+		return total.latencies[int(p*float64(len(total.latencies)-1))]
+	}
+	fmt.Fprintf(out, "loadgen: %d workers against %s for %v\n", cfg.workers, cfg.target, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  admissions: %d requests (%.1f/s): %d admitted, %d rejected, %d shed, %d timed out, %d other\n",
+		total.requests, float64(total.requests)/elapsed.Seconds(),
+		total.admits, total.rejects, total.shed, total.timeouts, total.others)
+	fmt.Fprintf(out, "  removals:   %d\n", total.removes)
+	fmt.Fprintf(out, "  admit latency: p50=%v p99=%v\n", q(0.50), q(0.99))
+	return nil
+}
+
+// driveWorker is one closed-loop client.
+func driveWorker(ctx context.Context, client *http.Client, cfg loadgenConfig, w int, st *workerStats) {
+	r := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+	p := gen.DefaultParams(1, 1) // per-task generation; utilization drawn below
+	p.MinVerts, p.MaxVerts = 10, 30
+	var live []string
+	seq := 0
+	for ctx.Err() == nil {
+		seq++
+		g := gen.Graph(r, p)
+		u := 0.05 + r.Float64()*1.45 // spans low- and high-density tasks
+		tk, err := gen.TaskFor(r, g, u, p)
+		if err != nil {
+			continue
+		}
+		tk.Name = fmt.Sprintf("lg-w%d-%d", w, seq)
+
+		body, err := json.Marshal(tk)
+		if err != nil {
+			continue
+		}
+		t0 := time.Now()
+		status, err := post(ctx, client, cfg.target+"/v1/admit", body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			st.others++
+			continue
+		}
+		st.requests++
+		st.latencies = append(st.latencies, time.Since(t0))
+		overfull := false
+		switch status {
+		case http.StatusOK:
+			st.admits++
+			live = append(live, tk.Name)
+			overfull = len(live) > 8
+		case http.StatusConflict:
+			st.rejects++
+			overfull = len(live) > 0
+		case http.StatusTooManyRequests:
+			st.shed++
+			time.Sleep(10 * time.Millisecond)
+		case http.StatusGatewayTimeout:
+			st.timeouts++
+		default:
+			st.others++
+		}
+		// Churn: drop one of our tasks so the platform never wedges full.
+		if overfull && len(live) > 0 {
+			i := r.Intn(len(live))
+			name := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if status, err := del(ctx, client, cfg.target+"/v1/tasks/"+name); err == nil && status == http.StatusOK {
+				st.removes++
+			}
+		}
+	}
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func del(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func getOK(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return body, nil
+}

@@ -1,0 +1,137 @@
+// Command fedschedd is the online admission-control daemon for Algorithm
+// FEDCONS: a long-running HTTP service that holds a live constrained-deadline
+// DAG task system and trial-admits tasks with the full two-phase test,
+// backed by a content-addressed cache of Phase-1 MINPROCS analyses.
+//
+// Usage:
+//
+//	fedschedd [flags]                 # serve
+//	fedschedd -loadgen [flags]        # drive a running instance
+//
+// Endpoints:
+//
+//	POST   /v1/admit        trial-admit a DAG task (task JSON as produced by
+//	                        cmd/taskgen; 200 = installed, 409 = rejected)
+//	DELETE /v1/tasks/{name} remove an admitted task
+//	GET    /v1/allocation   current verdict + allocation (same bytes as
+//	                        `fedsched -o json` for the same system)
+//	GET    /v1/healthz      liveness
+//	GET    /debug/vars      metrics (admits, rejects, cache hit rate,
+//	                        admission latency p50/p99, queue depth)
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains in-flight
+// admissions, and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fedsched/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fedschedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fedschedd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrfile     = fs.String("addrfile", "", "write the resolved listen address to this file once bound")
+		m            = fs.Int("m", 8, "platform size (identical unit-speed processors)")
+		minprocs     = fs.String("minprocs", "ls-scan", "MINPROCS variant: ls-scan (paper) or analytic")
+		prio         = fs.String("priority", "insertion", "LS list order: insertion, longest-path, largest-wcet")
+		heuristic    = fs.String("partition", "first-fit", "partition heuristic: first-fit (paper), best-fit, worst-fit")
+		admission    = fs.String("admission", "dbf-approx", "partition admission test: dbf-approx (paper), edf-exact or dm-rta")
+		queue        = fs.Int("queue", 64, "admission queue bound; beyond it requests are shed with 429")
+		admitTimeout = fs.Duration("admit-timeout", 2*time.Second, "per-request admission deadline")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		loadgen      = fs.Bool("loadgen", false, "run as a closed-loop load generator against -target instead of serving")
+		target       = fs.String("target", "", "loadgen: base URL of the fedschedd instance to drive")
+		duration     = fs.Duration("duration", 5*time.Second, "loadgen: how long to drive the target")
+		workers      = fs.Int("workers", 4, "loadgen: concurrent closed-loop clients")
+		seed         = fs.Int64("seed", 1, "loadgen: task-stream seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	if *loadgen {
+		return runLoadgen(ctx, out, loadgenConfig{
+			target:   *target,
+			duration: *duration,
+			workers:  *workers,
+			seed:     *seed,
+		})
+	}
+
+	opt, err := service.ParseOptions(*minprocs, *prio, *heuristic, *admission)
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{
+		M:            *m,
+		Options:      opt,
+		QueueBound:   *queue,
+		AdmitTimeout: *admitTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	resolved := ln.Addr().String()
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(resolved), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(out, "fedschedd: m=%d %s/%s/%s/%s listening on http://%s\n",
+		*m, *minprocs, *prio, *heuristic, *admission, resolved)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "fedschedd: shutdown requested, draining in-flight admissions")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	svc.Close()
+	fmt.Fprintln(out, "fedschedd: drained, bye")
+	return nil
+}

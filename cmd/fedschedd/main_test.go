@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/service"
+	"fedsched/internal/task"
+)
+
+// syncBuffer lets the test read run's output while the daemon goroutine is
+// still writing to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitForAddr polls the addrfile written by -addrfile until the daemon binds.
+func waitForAddr(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("daemon never wrote its address file")
+	return ""
+}
+
+// TestServeLifecycle boots the daemon on an ephemeral port, exercises the API
+// over real HTTP, and checks that cancelling the signal context drains and
+// exits cleanly — the same path a SIGTERM takes in production.
+func TestServeLifecycle(t *testing.T) {
+	addrfile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addrfile", addrfile, "-m", "8"}, &out)
+	}()
+
+	base := "http://" + waitForAddr(t, addrfile)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if _, err := getOK(client, base+"/v1/healthz"); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	tk := task.MustNew("ex1", dag.Example1(), dag.Example1D, dag.Example1T)
+	body, err := json.Marshal(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := post(ctx, client, base+"/v1/admit", body)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("admit Example 1: status %d", status)
+	}
+
+	alloc, err := getOK(client, base+"/v1/allocation")
+	if err != nil {
+		t.Fatalf("allocation: %v", err)
+	}
+	var v service.Verdict
+	if err := json.Unmarshal(alloc, &v); err != nil {
+		t.Fatalf("allocation is not a Verdict: %v", err)
+	}
+	if !v.Schedulable || v.Tasks != 1 {
+		t.Fatalf("unexpected verdict after admit: %s", alloc)
+	}
+
+	cancel() // same as delivering SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after context cancel")
+	}
+	log := out.String()
+	for _, want := range []string{"listening on http://", "drained, bye"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("output missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestRunFlagErrors pins the CLI error surface.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-minprocs", "quantum"},         // unknown MINPROCS variant
+		{"-partition", "worst-first"},    // unknown heuristic
+		{"-m", "0"},                      // invalid platform
+		{"-loadgen"},                     // loadgen without -target
+		{"extra-positional"},             // stray argument
+		{"-addr", "256.0.0.1:bad:extra"}, // unparseable listen address
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestLoadgenSmoke drives an in-process server with the real load generator
+// for a fraction of a second and checks the report comes back.
+func TestLoadgenSmoke(t *testing.T) {
+	svc, err := service.New(service.Config{M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err = run(context.Background(), []string{
+		"-loadgen", "-target", ts.URL, "-duration", "300ms", "-workers", "2", "-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "admissions:") || !strings.Contains(report, "admit latency:") {
+		t.Fatalf("unexpected loadgen report:\n%s", report)
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"fedsched/internal/task"
+)
+
+// Hash is a content address for a DAG task: the SHA-256 of its canonical
+// analysis-relevant encoding (task.AppendCanonical).
+type Hash [sha256.Size]byte
+
+// String renders the hash as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns the first 12 hex digits, for logs and metrics.
+func (h Hash) Short() string { return h.String()[:12] }
+
+// TaskHash returns the content address of a task. Two tasks with equal
+// hashes present identical input to the FEDCONS analysis — same D, T, vertex
+// WCETs and precedence structure — regardless of vertex names, of the order
+// edges were enumerated when the DAG was built, or of the order structurally
+// interchangeable vertices were listed. It is the key of the admission
+// service's Phase-1 memo cache: MINPROCS is a deterministic function of
+// exactly the hashed content, so equal hash (guarded by
+// task.SameAnalysisInput against SHA collisions and residual canonicalization
+// ties) implies an identical (μ, template) result.
+func TaskHash(tk *task.DAGTask) Hash {
+	return sha256.Sum256(tk.AppendCanonical(nil))
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// rebuildShuffled reconstructs tk's graph with the edge list enumerated in a
+// random order (vertex labels unchanged) — the wire-level freedom a JSON
+// system file has in listing its "edges" array.
+func rebuildShuffled(r *rand.Rand, tk *task.DAGTask) *task.DAGTask {
+	g := tk.G
+	b := dag.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		b.AddVertex(g.Vertex(v).Name, g.WCET(v))
+	}
+	edges := g.Edges()
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T)
+}
+
+// relabel reconstructs tk's graph with vertices enumerated in the order
+// perm[0], perm[1], … and edges renumbered to match — the same labeled
+// structure listed in a different vertex order.
+func relabel(tk *task.DAGTask, perm []int) *task.DAGTask {
+	g := tk.G
+	rank := make([]int, g.N()) // rank[orig] = new index
+	b := dag.NewBuilder(g.N())
+	for k, v := range perm {
+		rank[v] = k
+		b.AddVertex(g.Vertex(v).Name, g.WCET(v))
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(rank[e[0]], rank[e[1]])
+	}
+	return task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T)
+}
+
+func TestTaskHashEnumerationInvariance(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, tk := range fuzzSystem(r, 3) {
+			h := TaskHash(tk)
+
+			// Edge enumeration order is irrelevant.
+			if got := TaskHash(rebuildShuffled(r, tk)); got != h {
+				t.Fatalf("seed %d: hash changed under edge-list reordering", seed)
+			}
+			// Vertex names are irrelevant.
+			renamed := task.MustNew("other", tk.G, tk.D, tk.T)
+			if got := TaskHash(renamed); got != h {
+				t.Fatalf("seed %d: hash depends on the task name", seed)
+			}
+			// Vertex enumeration order is irrelevant: relabeling the same
+			// structure hashes identically.
+			perm := r.Perm(tk.G.N())
+			if got := TaskHash(relabel(tk, perm)); got != h {
+				t.Fatalf("seed %d: hash changed under vertex reordering %v\ntask: %v", seed, perm, tk)
+			}
+			// Hashing is deterministic across calls.
+			if got := TaskHash(tk); got != h {
+				t.Fatalf("seed %d: hash not deterministic", seed)
+			}
+		}
+	}
+}
+
+func TestTaskHashSingleFieldSensitivity(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tk := fuzzSystem(r, 1)[0]
+		h := TaskHash(tk)
+		g := tk.G
+
+		change := func(desc string, mutated *task.DAGTask) {
+			t.Helper()
+			if TaskHash(mutated) == h {
+				t.Fatalf("seed %d: hash unchanged under %s", seed, desc)
+			}
+		}
+		change("D+1", task.MustNew(tk.Name, g, tk.D+1, tk.T))
+		change("T+1", task.MustNew(tk.Name, g, tk.D, tk.T+1))
+
+		v := r.Intn(g.N())
+		bumped, err := g.WithWCET(v, g.WCET(v)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		change("WCET+1", task.MustNew(tk.Name, bumped, tk.D, tk.T))
+
+		if edges := g.Edges(); len(edges) > 0 {
+			drop := r.Intn(len(edges))
+			b := dag.NewBuilder(g.N())
+			for w := 0; w < g.N(); w++ {
+				b.AddVertex(g.Vertex(w).Name, g.WCET(w))
+			}
+			for i, e := range edges {
+				if i != drop {
+					b.AddEdge(e[0], e[1])
+				}
+			}
+			change("edge removal", task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T))
+		}
+		if u, w, ok := missingEdge(g); ok {
+			b := dag.NewBuilder(g.N())
+			for x := 0; x < g.N(); x++ {
+				b.AddVertex(g.Vertex(x).Name, g.WCET(x))
+			}
+			for _, e := range g.Edges() {
+				b.AddEdge(e[0], e[1])
+			}
+			b.AddEdge(u, w)
+			change("edge addition", task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T))
+		}
+
+		b := dag.NewBuilder(g.N() + 1)
+		for x := 0; x < g.N(); x++ {
+			b.AddVertex(g.Vertex(x).Name, g.WCET(x))
+		}
+		b.AddJob(1)
+		for _, e := range g.Edges() {
+			b.AddEdge(e[0], e[1])
+		}
+		change("vertex addition", task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T))
+	}
+}
+
+// missingEdge finds a forward pair (u, w), u < w, not already an edge —
+// adding it keeps the graph acyclic.
+func missingEdge(g *dag.DAG) (int, int, bool) {
+	for u := 0; u < g.N(); u++ {
+		for w := u + 1; w < g.N(); w++ {
+			if !g.HasEdge(u, w) {
+				return u, w, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// FuzzTaskHash drives the two properties — enumeration invariance and
+// mutation sensitivity — from fuzz-chosen seeds, reusing the system builder
+// of FuzzVerifyAllocation.
+func FuzzTaskHash(f *testing.F) {
+	for seed := uint32(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint32) {
+		r := rand.New(rand.NewSource(int64(seed)))
+		tk := fuzzSystem(r, 1)[0]
+		h := TaskHash(tk)
+		if TaskHash(rebuildShuffled(r, tk)) != h {
+			t.Fatal("hash changed under edge-list reordering")
+		}
+		if TaskHash(relabel(tk, r.Perm(tk.G.N()))) != h {
+			t.Fatal("hash changed under vertex reordering")
+		}
+		if TaskHash(task.MustNew(tk.Name, tk.G, tk.D+1, tk.T)) == h {
+			t.Fatal("hash unchanged under D+1")
+		}
+		v := r.Intn(tk.G.N())
+		bumped, err := tk.G.WithWCET(v, tk.G.WCET(v)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if TaskHash(task.MustNew(tk.Name, bumped, tk.D, tk.T)) == h {
+			t.Fatal("hash unchanged under WCET+1")
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/gen"
+	"fedsched/internal/task"
+)
+
+// benchSystem draws the 50-task admission workload: tight constrained
+// deadlines (β ≤ 0.3 puts D near len, so nearly every task is high-density)
+// and DAGs large enough that Phase-1 MINPROCS list-scheduling scans dominate
+// a cold analysis — the regime the memo cache exists for.
+func benchSystem(b *testing.B) (task.System, int) {
+	b.Helper()
+	r := rand.New(rand.NewSource(42))
+	p := gen.DefaultParams(50, 50)
+	p.MinVerts, p.MaxVerts = 150, 250
+	p.BetaMin, p.BetaMax = 0.1, 0.3
+	sys, err := gen.System(r, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m := 8; m <= 4096; m *= 2 {
+		if _, err := core.Schedule(sys, m, core.Options{}); err == nil {
+			return sys, m
+		}
+	}
+	b.Fatal("benchmark system unschedulable at every platform size")
+	return nil, 0
+}
+
+// probe is the paper's Example 1 task, admitted and removed online.
+func probe() *task.DAGTask {
+	return task.MustNew("probe", dag.Example1(), dag.Example1D, dag.Example1T)
+}
+
+// BenchmarkAdmit quantifies the daemon's performance core — the
+// content-addressed Phase-1 memo — on single-task admission against a
+// 50-task system:
+//
+//   - cold-full-fedcons: what every admission would cost without the cache
+//     (one complete two-phase FEDCONS run over all 51 tasks);
+//   - warm-cache: one admit + one remove through the live server, all
+//     Phase-1 analyses served from the cache, Phase 2 recomputed twice.
+//
+// The acceptance bar (results/timing_admission.json) is warm ≥ 5× faster
+// than cold, even though the warm loop does two full Phase-2 partitions per
+// iteration and the cold loop only one.
+func BenchmarkAdmit(b *testing.B) {
+	sys, m := benchSystem(b)
+	full := append(sys.Clone(), probe())
+
+	b.Run("cold-full-fedcons", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Schedule(full, m, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm-cache", func(b *testing.B) {
+		svc, err := New(Config{M: m, QueueBound: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		ctx := context.Background()
+		for i, tk := range sys {
+			if status, body := svc.Admit(ctx, tk); status != http.StatusOK {
+				b.Fatalf("seed admit %d: %d %s", i, status, body)
+			}
+		}
+		// One warmup round caches the probe itself.
+		if status, _ := svc.Admit(ctx, probe()); status != http.StatusOK {
+			b.Fatal("probe warmup rejected")
+		}
+		if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
+			b.Fatal("probe warmup removal failed")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if status, body := svc.Admit(ctx, probe()); status != http.StatusOK {
+				b.Fatalf("warm admit: %d %s", status, body)
+			}
+			if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
+				b.Fatal("warm remove failed")
+			}
+		}
+	})
+}

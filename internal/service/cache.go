@@ -1,0 +1,142 @@
+// Package service implements the fedschedd online admission-control daemon:
+// a long-running HTTP server that holds a live constrained-deadline DAG task
+// system and answers trial-admission requests with the full two-phase
+// FEDCONS test. No constant speedup or capacity-augmentation bound exists
+// for constrained-deadline federated scheduling (paper Example 2), so an
+// online admission controller cannot substitute a cheap utilization
+// threshold — it must run the real analysis on every request. The package
+// therefore makes the real analysis cheap to re-run: Phase-1 MINPROCS
+// results are memoized in a content-addressed cache keyed by core.TaskHash,
+// so admitting or removing one task re-runs list scheduling only for DAGs
+// the server has never analyzed before, while the cheap Phase-2 partition is
+// always recomputed and every accepted state is audited with core.Verify
+// before it is installed.
+package service
+
+import (
+	"sync"
+
+	"fedsched/internal/core"
+	"fedsched/internal/listsched"
+	"fedsched/internal/task"
+)
+
+// phase1Result is the platform-independent outcome of MINPROCS for one task:
+// the minimum processor count μ* over an unbounded platform and its witness
+// template, or infeasibility at any processor count. Bounding by the
+// processors actually remaining happens at lookup time (μ* ≤ m_r), which is
+// exactly equivalent to the paper's bounded scan because the scan order does
+// not depend on m_r.
+type phase1Result struct {
+	feasible bool
+	mu       int
+	tmpl     *listsched.Schedule
+}
+
+// cacheEntry pairs a memoized result with the labeled task content it was
+// computed from. Lookups compare content with task.SameAnalysisInput, so a
+// hash collision (SHA or a residual canonicalization tie between isomorphic
+// relabelings) degrades to a chained miss, never to a wrong answer.
+type cacheEntry struct {
+	tk  *task.DAGTask
+	res phase1Result
+}
+
+// AnalysisCache is the content-addressed memo of Phase-1 analyses. It is
+// safe for concurrent use; in the daemon all writes come from the single
+// admission loop while reads may come from anywhere.
+type AnalysisCache struct {
+	mu      sync.Mutex
+	entries map[core.Hash][]cacheEntry
+	// hashes memoizes core.TaskHash per task object: the daemon re-analyzes
+	// the same installed *DAGTask pointers on every admission, and canonical
+	// hashing (WL refinement) is the dominant cost of a fully warm pass.
+	// DAGTask contents are immutable by repo convention, so identity keying
+	// is sound.
+	hashes map[*task.DAGTask]core.Hash
+	hits   int64
+	misses int64
+}
+
+// NewAnalysisCache returns an empty cache.
+func NewAnalysisCache() *AnalysisCache {
+	return &AnalysisCache{
+		entries: make(map[core.Hash][]cacheEntry),
+		hashes:  make(map[*task.DAGTask]core.Hash),
+	}
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *AnalysisCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of memoized analyses.
+func (c *AnalysisCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, chain := range c.entries {
+		n += len(chain)
+	}
+	return n
+}
+
+// lookup returns the memoized result for tk, if any.
+func (c *AnalysisCache) lookup(h core.Hash, tk *task.DAGTask) (phase1Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries[h] {
+		if task.SameAnalysisInput(e.tk, tk) {
+			c.hits++
+			return e.res, true
+		}
+	}
+	c.misses++
+	return phase1Result{}, false
+}
+
+// store memoizes a freshly computed result.
+func (c *AnalysisCache) store(h core.Hash, tk *task.DAGTask, res phase1Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[h] = append(c.entries[h], cacheEntry{tk: tk, res: res})
+}
+
+// minprocs returns the platform-independent MINPROCS outcome for tk under
+// opt, computing and memoizing it on first sight. For the LS scan the
+// platform bound passed to core.Minprocs is the DAG width: the scan caps
+// there anyway, and (when len ≤ min(D,T)) it is guaranteed to succeed by
+// μ = width, so the result is the true unbounded μ*. For the analytic rule
+// the closed form is independent of the platform, so any large bound works.
+// hashOf returns core.TaskHash(tk), memoized by task identity.
+func (c *AnalysisCache) hashOf(tk *task.DAGTask) core.Hash {
+	c.mu.Lock()
+	h, ok := c.hashes[tk]
+	c.mu.Unlock()
+	if ok {
+		return h
+	}
+	h = core.TaskHash(tk) // outside the lock: hashing large DAGs is the slow part
+	c.mu.Lock()
+	c.hashes[tk] = h
+	c.mu.Unlock()
+	return h
+}
+
+func (c *AnalysisCache) minprocs(tk *task.DAGTask, opt core.Options) phase1Result {
+	h := c.hashOf(tk)
+	if res, ok := c.lookup(h, tk); ok {
+		return res
+	}
+	var res phase1Result
+	if opt.Minprocs == core.Analytic {
+		res.mu, res.tmpl, res.feasible = core.MinprocsAnalytic(tk, int(^uint(0)>>1), opt.Priority)
+	} else {
+		res.mu, res.tmpl, res.feasible = core.Minprocs(tk, tk.G.Width(), opt.Priority)
+	}
+	c.store(h, tk, res)
+	return res
+}

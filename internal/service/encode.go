@@ -1,0 +1,96 @@
+package service
+
+import (
+	"encoding/json"
+
+	"fedsched/internal/core"
+	"fedsched/internal/task"
+)
+
+// Verdict is the machine-readable answer to "is this system schedulable by
+// FEDCONS on this platform, and how". It is the single response shape shared
+// by the daemon (POST /v1/admit, GET /v1/allocation) and by
+// `fedsched -o json`, so the CLI and the service produce byte-identical
+// answers for the same system.
+type Verdict struct {
+	Schedulable bool    `json:"schedulable"`
+	Processors  int     `json:"processors"`
+	Tasks       int     `json:"tasks"`
+	USum        float64 `json:"usum"`
+	DensitySum  float64 `json:"densitySum"`
+	// Dedicated and Shared count processors by role (schedulable only).
+	Dedicated int `json:"dedicated"`
+	Shared    int `json:"shared"`
+	// High lists the Phase-1 grants in input order (schedulable only).
+	High []HighGrant `json:"high,omitempty"`
+	// SharedProcs lists each Phase-2 processor and its tasks (schedulable only).
+	SharedProcs []SharedProc `json:"sharedProcs,omitempty"`
+	// Reason is the failure diagnosis (unschedulable only).
+	Reason string `json:"reason,omitempty"`
+}
+
+// HighGrant is one high-density task's dedicated-processor grant.
+type HighGrant struct {
+	Task     string    `json:"task"`
+	Density  float64   `json:"density"`
+	Procs    []int     `json:"procs"`
+	Makespan task.Time `json:"makespan"`
+	Deadline task.Time `json:"deadline"`
+}
+
+// SharedProc is one Phase-2 processor with the tasks partitioned onto it.
+type SharedProc struct {
+	Proc  int      `json:"proc"`
+	Tasks []string `json:"tasks"`
+}
+
+// NewVerdict builds the Verdict for a FEDCONS outcome: alloc on success, err
+// on failure (exactly one of the two should be set; a nil alloc with nil err
+// describes the empty system, trivially schedulable with every processor
+// shared and idle).
+func NewVerdict(sys task.System, m int, alloc *core.Allocation, err error) Verdict {
+	v := Verdict{
+		Processors: m,
+		Tasks:      len(sys),
+		USum:       sys.USum(),
+		DensitySum: sys.DensitySum(),
+	}
+	if err != nil {
+		v.Reason = err.Error()
+		return v
+	}
+	v.Schedulable = true
+	if alloc == nil {
+		v.Shared = m
+		return v
+	}
+	v.Dedicated, v.Shared = alloc.ProcessorsUsed()
+	for _, h := range alloc.High {
+		tk := sys[h.TaskIndex]
+		v.High = append(v.High, HighGrant{
+			Task:     tk.Name,
+			Density:  tk.Density(),
+			Procs:    h.Procs,
+			Makespan: h.Template.Makespan,
+			Deadline: tk.D,
+		})
+	}
+	for k, p := range alloc.SharedProcs {
+		sp := SharedProc{Proc: p, Tasks: []string{}}
+		for _, i := range alloc.TasksOnShared(k) {
+			sp.Tasks = append(sp.Tasks, sys[i].Name)
+		}
+		v.SharedProcs = append(v.SharedProcs, sp)
+	}
+	return v
+}
+
+// Encode renders the verdict as indented JSON with a trailing newline — the
+// exact bytes both the daemon endpoints and `fedsched -o json` emit.
+func (v Verdict) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"fedsched/internal/core"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+// Schedule runs FEDCONS(τ, m) with Phase-1 MINPROCS results drawn from the
+// memo cache. It is a drop-in replacement for core.Schedule: for any system,
+// platform and options it returns an identical allocation (same processor
+// numbering, same templates) or an identical *core.FailureError — the memo
+// only removes redundant list-scheduling work, never changes the answer.
+// The differential test in incremental_test.go pins this equivalence.
+func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("fedcons: m must be ≥ 1, got %d", m)
+	}
+
+	alloc := &core.Allocation{M: m}
+	nextProc := 0
+	mr := m
+
+	// Phase 1: size and place each high-density task (paper Fig. 2 lines
+	// 2–6), replaying μ* from the cache. μ* ≤ m_r reproduces the bounded
+	// scan: the scan visits μ = ⌈δ⌉, ⌈δ⌉+1, … in an order independent of
+	// m_r, so the bounded result is μ* exactly when μ* ≤ m_r and FAILURE
+	// otherwise.
+	var low task.System
+	for i, tk := range sys {
+		if !tk.HighDensity() {
+			low = append(low, tk)
+			alloc.LowIndices = append(alloc.LowIndices, i)
+			continue
+		}
+		res := c.minprocs(tk, opt)
+		if !res.feasible || res.mu > mr {
+			return nil, &core.FailureError{Phase: core.PhaseHighDensity, TaskIndex: i, TaskName: tk.Name, Remaining: mr}
+		}
+		procs := make([]int, res.mu)
+		for p := range procs {
+			procs[p] = nextProc
+			nextProc++
+		}
+		alloc.High = append(alloc.High, core.HighAssignment{TaskIndex: i, Procs: procs, Template: res.tmpl})
+		mr -= res.mu
+	}
+
+	// Phase 2: partition the low-density tasks (Fig. 2 line 7). This is the
+	// cheap phase; it is recomputed in full on every admission because the
+	// first-fit packing of any task depends on every other low task.
+	for p := 0; p < mr; p++ {
+		alloc.SharedProcs = append(alloc.SharedProcs, nextProc+p)
+	}
+	res, err := partition.Partition(low, mr, opt.Partition)
+	if err != nil {
+		fe := &core.FailureError{Phase: core.PhaseLowDensity, Remaining: mr, Err: err}
+		var pf *partition.FailureError
+		if errors.As(err, &pf) {
+			fe.TaskIndex = alloc.LowIndices[pf.TaskIndex]
+			fe.TaskName = pf.TaskName
+		}
+		return nil, fe
+	}
+	alloc.Low = res
+	return alloc, nil
+}

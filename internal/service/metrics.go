@@ -1,0 +1,91 @@
+package service
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow retains the most recent admission latencies for on-demand
+// quantile estimation. A fixed ring keeps the memory bound; 1024 samples is
+// plenty for p50/p99 of a live service.
+const latencyWindow = 1024
+
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [latencyWindow]time.Duration
+	n     int // total observations ever
+	count int // valid entries in buf
+}
+
+func (l *latencyRing) observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.n%latencyWindow] = d
+	l.n++
+	if l.count < latencyWindow {
+		l.count++
+	}
+}
+
+// quantiles returns the p50 and p99 of the retained window, in nanoseconds.
+func (l *latencyRing) quantiles() (p50, p99 int64) {
+	l.mu.Lock()
+	samples := make([]time.Duration, l.count)
+	copy(samples, l.buf[:l.count])
+	l.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := func(p float64) int {
+		i := int(p * float64(len(samples)-1))
+		return i
+	}
+	return int64(samples[idx(0.50)]), int64(samples[idx(0.99)])
+}
+
+// metrics holds the daemon's counters. Each Server owns its own expvar.Map
+// rather than publishing into the process-global expvar namespace, so tests
+// (and a -loadgen process driving itself) can hold many servers without
+// Publish collisions; /debug/vars renders the map.
+type metrics struct {
+	admits   expvar.Int // admissions accepted and installed
+	rejects  expvar.Int // admissions rejected by the FEDCONS analysis
+	removes  expvar.Int // tasks removed
+	shed     expvar.Int // requests dropped by queue-bound load shedding
+	timeouts expvar.Int // requests whose deadline expired before analysis
+	errors   expvar.Int // malformed requests (decode/validation failures)
+	latency  latencyRing
+}
+
+// vars assembles the /debug/vars map for a server.
+func (s *Server) vars() *expvar.Map {
+	m := new(expvar.Map).Init()
+	m.Set("admits_total", &s.met.admits)
+	m.Set("rejects_total", &s.met.rejects)
+	m.Set("removes_total", &s.met.removes)
+	m.Set("shed_total", &s.met.shed)
+	m.Set("timeouts_total", &s.met.timeouts)
+	m.Set("errors_total", &s.met.errors)
+	m.Set("queue_depth", expvar.Func(func() any { return len(s.reqs) }))
+	m.Set("queue_bound", expvar.Func(func() any { return cap(s.reqs) }))
+	m.Set("tasks", expvar.Func(func() any {
+		sys, _ := s.Snapshot()
+		return len(sys)
+	}))
+	m.Set("cache_entries", expvar.Func(func() any { return s.cache.Len() }))
+	m.Set("cache_hits", expvar.Func(func() any { h, _ := s.cache.Stats(); return h }))
+	m.Set("cache_misses", expvar.Func(func() any { _, mi := s.cache.Stats(); return mi }))
+	m.Set("cache_hit_rate", expvar.Func(func() any {
+		h, mi := s.cache.Stats()
+		if h+mi == 0 {
+			return 0.0
+		}
+		return float64(h) / float64(h+mi)
+	}))
+	m.Set("admit_latency_p50_ns", expvar.Func(func() any { p50, _ := s.met.latency.quantiles(); return p50 }))
+	m.Set("admit_latency_p99_ns", expvar.Func(func() any { _, p99 := s.met.latency.quantiles(); return p99 }))
+	return m
+}

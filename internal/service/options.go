@@ -1,0 +1,55 @@
+package service
+
+import (
+	"fmt"
+
+	"fedsched/internal/core"
+	"fedsched/internal/listsched"
+	"fedsched/internal/partition"
+)
+
+// ParseOptions maps the flag vocabulary shared by cmd/fedsched and
+// cmd/fedschedd onto core.Options, so the batch CLI and the daemon cannot
+// drift apart in what variants they accept.
+func ParseOptions(minprocs, prio, heuristic, admission string) (core.Options, error) {
+	var opt core.Options
+	switch minprocs {
+	case "ls-scan":
+		opt.Minprocs = core.LSScan
+	case "analytic":
+		opt.Minprocs = core.Analytic
+	default:
+		return opt, fmt.Errorf("unknown -minprocs %q", minprocs)
+	}
+	switch prio {
+	case "insertion":
+		opt.Priority = nil
+	case "longest-path":
+		opt.Priority = listsched.LongestPathFirst
+	case "largest-wcet":
+		opt.Priority = listsched.LargestWCETFirst
+	default:
+		return opt, fmt.Errorf("unknown -priority %q", prio)
+	}
+	switch heuristic {
+	case "first-fit":
+		opt.Partition.Heuristic = partition.FirstFit
+	case "best-fit":
+		opt.Partition.Heuristic = partition.BestFit
+	case "worst-fit":
+		opt.Partition.Heuristic = partition.WorstFit
+	default:
+		return opt, fmt.Errorf("unknown -partition %q", heuristic)
+	}
+	switch admission {
+	case "dbf-approx":
+		opt.Partition.Test = partition.ApproxDBF
+	case "edf-exact":
+		opt.Partition.Test = partition.ExactEDF
+	case "dm-rta":
+		opt.Partition.Test = partition.DMRta
+	default:
+		return opt, fmt.Errorf("unknown -admission %q", admission)
+	}
+	return opt, nil
+}

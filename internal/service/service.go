@@ -1,0 +1,356 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedsched/internal/core"
+	"fedsched/internal/task"
+)
+
+// Config parameterizes a Server. The zero value of a field selects its
+// default.
+type Config struct {
+	// M is the platform size (required, ≥ 1).
+	M int
+	// Options selects the FEDCONS variant (zero value = the paper's
+	// algorithm). All cached analyses are computed under these options.
+	Options core.Options
+	// QueueBound caps the admission queue; beyond it requests are shed with
+	// 429 + Retry-After. Default 64.
+	QueueBound int
+	// AdmitTimeout is the per-request context deadline applied to mutating
+	// requests. Default 2s.
+	AdmitTimeout time.Duration
+}
+
+// Server is the admission-control daemon state: a live task system, its
+// current FEDCONS allocation, and the content-addressed Phase-1 memo cache.
+//
+// Consistency model: all mutations (admit, remove) serialize through a
+// single-writer loop, so trial analyses always run against a quiescent
+// state; reads take an RWMutex read-lock on the installed snapshot and never
+// block behind an analysis in progress. Every state the server installs —
+// and therefore every state a reader can observe — has passed core.Verify.
+type Server struct {
+	cfg   Config
+	cache *AnalysisCache
+
+	mu    sync.RWMutex // guards sys and alloc (the installed snapshot)
+	sys   task.System
+	alloc *core.Allocation // nil iff sys is empty
+
+	reqs    chan *request
+	closing chan struct{}
+	closed  atomic.Bool
+	loop    sync.WaitGroup
+	once    sync.Once
+
+	met     metrics
+	varsMap http.Handler
+	started time.Time
+}
+
+// request is one queued mutation for the writer loop.
+type request struct {
+	ctx  context.Context
+	run  func() opResult
+	resp chan opResult // buffered: the loop never blocks on a gone client
+}
+
+// opResult is a finished operation: an HTTP status and a JSON body.
+type opResult struct {
+	status int
+	body   []byte
+}
+
+// New starts a Server (including its writer loop). Call Close to stop it.
+func New(cfg Config) (*Server, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("service: platform size must be ≥ 1, got %d", cfg.M)
+	}
+	if cfg.QueueBound == 0 {
+		cfg.QueueBound = 64
+	}
+	if cfg.QueueBound < 1 {
+		return nil, fmt.Errorf("service: queue bound must be ≥ 1, got %d", cfg.QueueBound)
+	}
+	if cfg.AdmitTimeout == 0 {
+		cfg.AdmitTimeout = 2 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewAnalysisCache(),
+		reqs:    make(chan *request, cfg.QueueBound),
+		closing: make(chan struct{}),
+		started: time.Now(),
+	}
+	s.varsMap = varsHandler(s.vars())
+	s.loop.Add(1)
+	go s.writerLoop()
+	return s, nil
+}
+
+// Close stops the writer loop after draining every queued request, so no
+// client is left waiting on an unanswered channel. It is idempotent.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		s.closed.Store(true)
+		close(s.closing)
+	})
+	s.loop.Wait()
+}
+
+// Cache exposes the analysis cache (read-only use: stats).
+func (s *Server) Cache() *AnalysisCache { return s.cache }
+
+// Snapshot returns the installed system and allocation. The system slice is
+// a copy; the allocation is shared and must be treated as immutable.
+func (s *Server) Snapshot() (task.System, *core.Allocation) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.Clone(), s.alloc
+}
+
+func (s *Server) writerLoop() {
+	defer s.loop.Done()
+	for {
+		select {
+		case req := <-s.reqs:
+			s.serve(req)
+		case <-s.closing:
+			for {
+				select {
+				case req := <-s.reqs:
+					s.serve(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) serve(req *request) {
+	if err := req.ctx.Err(); err != nil {
+		s.met.timeouts.Add(1)
+		req.resp <- errResult(http.StatusGatewayTimeout, "admission deadline expired while queued: "+err.Error())
+		return
+	}
+	req.resp <- req.run()
+}
+
+// submit routes a mutation through the writer loop, shedding load when the
+// queue is full and honoring the caller's context deadline.
+func (s *Server) submit(ctx context.Context, run func() opResult) opResult {
+	if s.closed.Load() {
+		return errResult(http.StatusServiceUnavailable, "server shutting down")
+	}
+	req := &request{ctx: ctx, run: run, resp: make(chan opResult, 1)}
+	select {
+	case s.reqs <- req:
+	default:
+		s.met.shed.Add(1)
+		return opResult{status: http.StatusTooManyRequests} // handler adds Retry-After
+	}
+	select {
+	case res := <-req.resp:
+		return res
+	case <-ctx.Done():
+		// The loop may still execute the request (it re-checks the context
+		// before starting, but cannot un-run an analysis already underway);
+		// the client should GET /v1/allocation to learn the outcome.
+		s.met.timeouts.Add(1)
+		return errResult(http.StatusGatewayTimeout, "admission deadline expired: "+ctx.Err().Error())
+	}
+}
+
+// Admit trial-admits tk: it runs the full two-phase FEDCONS test on the
+// current system plus tk, audits the resulting allocation with core.Verify,
+// and installs it only if both succeed. The returned status is the HTTP
+// status the daemon would serve: 200 installed, 409 rejected by the
+// analysis (body = Verdict with the failure reason) or duplicate name,
+// 429 shed, 504 deadline expired, 500 audit failure (state unchanged).
+func (s *Server) Admit(ctx context.Context, tk *task.DAGTask) (int, []byte) {
+	res := s.submit(ctx, func() opResult {
+		start := time.Now()
+		defer func() { s.met.latency.observe(time.Since(start)) }()
+		return s.doAdmit(tk)
+	})
+	return res.status, res.body
+}
+
+// Remove removes the named task, re-analyzes and installs the shrunken
+// system. Status: 200 removed, 404 unknown name, plus the same 429/504
+// envelope as Admit.
+func (s *Server) Remove(ctx context.Context, name string) (int, []byte) {
+	res := s.submit(ctx, func() opResult { return s.doRemove(name) })
+	return res.status, res.body
+}
+
+// doAdmit runs inside the writer loop: it is the only writer, so reading
+// s.sys without the lock is safe, and the lock is taken only to install.
+func (s *Server) doAdmit(tk *task.DAGTask) opResult {
+	for _, cur := range s.sys {
+		if cur.Name == tk.Name {
+			s.met.errors.Add(1)
+			return errResult(http.StatusConflict, fmt.Sprintf("task %q already admitted; remove it first", tk.Name))
+		}
+	}
+	trial := append(s.sys.Clone(), tk)
+	alloc, err := s.cache.Schedule(trial, s.cfg.M, s.cfg.Options)
+	if err != nil {
+		s.met.rejects.Add(1)
+		return verdictResult(http.StatusConflict, NewVerdict(trial, s.cfg.M, nil, err))
+	}
+	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
+		// The audit is the last line of defense: never install an
+		// allocation the independent checker rejects.
+		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
+	}
+	s.install(trial, alloc)
+	s.met.admits.Add(1)
+	return verdictResult(http.StatusOK, NewVerdict(trial, s.cfg.M, alloc, nil))
+}
+
+func (s *Server) doRemove(name string) opResult {
+	idx := -1
+	for i, cur := range s.sys {
+		if cur.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.met.errors.Add(1)
+		return errResult(http.StatusNotFound, fmt.Sprintf("no task named %q", name))
+	}
+	trial := make(task.System, 0, len(s.sys)-1)
+	trial = append(trial, s.sys[:idx]...)
+	trial = append(trial, s.sys[idx+1:]...)
+	if len(trial) == 0 {
+		s.install(nil, nil)
+		s.met.removes.Add(1)
+		return verdictResult(http.StatusOK, NewVerdict(nil, s.cfg.M, nil, nil))
+	}
+	alloc, err := s.cache.Schedule(trial, s.cfg.M, s.cfg.Options)
+	if err != nil {
+		// Removing a task can, in principle, perturb the deadline-ordered
+		// first-fit packing enough to fail; keep the (verified) old state
+		// rather than install nothing.
+		s.met.errors.Add(1)
+		return errResult(http.StatusConflict, fmt.Sprintf("system unschedulable after removing %q: %v", name, err))
+	}
+	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
+		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
+	}
+	s.install(trial, alloc)
+	s.met.removes.Add(1)
+	return verdictResult(http.StatusOK, NewVerdict(trial, s.cfg.M, alloc, nil))
+}
+
+func (s *Server) install(sys task.System, alloc *core.Allocation) {
+	s.mu.Lock()
+	s.sys, s.alloc = sys, alloc
+	s.mu.Unlock()
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/admit        trial-admit a DAG task (body: task JSON)
+//	DELETE /v1/tasks/{name} remove an admitted task
+//	GET    /v1/allocation   current verdict + allocation
+//	GET    /v1/healthz      liveness
+//	GET    /debug/vars      expvar metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
+	mux.HandleFunc("DELETE /v1/tasks/{name}", s.handleRemove)
+	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", s.varsMap)
+	return mux
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var tk task.DAGTask
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&tk); err != nil {
+		s.met.errors.Add(1)
+		writeJSON(w, errResult(http.StatusBadRequest, "decoding task: "+err.Error()))
+		return
+	}
+	if tk.Name == "" {
+		s.met.errors.Add(1)
+		writeJSON(w, errResult(http.StatusBadRequest, "task must carry a unique name"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
+	defer cancel()
+	status, respBody := s.Admit(ctx, &tk)
+	writeJSON(w, opResult{status: status, body: respBody})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
+	defer cancel()
+	status, body := s.Remove(ctx, r.PathValue("name"))
+	writeJSON(w, opResult{status: status, body: body})
+}
+
+func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	sys, alloc := s.sys, s.alloc
+	s.mu.RUnlock()
+	writeJSON(w, verdictResult(http.StatusOK, NewVerdict(sys, s.cfg.M, alloc, nil)))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.sys)
+	s.mu.RUnlock()
+	body, _ := json.Marshal(map[string]any{
+		"status":   "ok",
+		"tasks":    n,
+		"uptime_s": int64(time.Since(s.started).Seconds()),
+	})
+	writeJSON(w, opResult{status: http.StatusOK, body: append(body, '\n')})
+}
+
+func varsHandler(m fmt.Stringer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, m.String())
+	})
+}
+
+func writeJSON(w http.ResponseWriter, res opResult) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if res.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(1))
+		if res.body == nil {
+			res = errResult(http.StatusTooManyRequests, "admission queue full; retry later")
+		}
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func verdictResult(status int, v Verdict) opResult {
+	body, err := v.Encode()
+	if err != nil {
+		return errResult(http.StatusInternalServerError, "encoding verdict: "+err.Error())
+	}
+	return opResult{status: status, body: body}
+}
+
+func errResult(status int, msg string) opResult {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	return opResult{status: status, body: append(body, '\n')}
+}

@@ -1,0 +1,176 @@
+package task
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Canonical content encoding of a DAG task.
+//
+// AppendCanonical serializes exactly the analysis-relevant content of a task
+// — D, T, vertex WCETs and the precedence relation — into a byte string that
+// is a pure function of that content:
+//
+//   - vertex names are excluded (FEDCONS never reads them);
+//   - the order in which edges were added to the Builder or listed in a JSON
+//     file is irrelevant (the DAG already normalizes adjacency);
+//   - vertices are enumerated in a canonical order computed from the graph
+//     structure alone, so re-listing the same vertices in a different order
+//     (with edges renumbered accordingly) yields the same bytes.
+//
+// The canonical vertex order is found by iterated structural refinement
+// (1-WL colour refinement seeded with WCETs): each vertex starts with a
+// signature of its WCET, and each round folds in the sorted multisets of its
+// predecessors' and successors' signatures, until the partition into
+// signature classes stabilizes. Vertices are then sorted by signature.
+// Vertices left tied after refinement are structurally interchangeable in
+// every DAG family this repo generates (parallel identical branches and the
+// like), where any tie-break produces identical bytes; as a determinism
+// backstop, residual ties fall back to the original index.
+//
+// The encoding is injective on labeled content: two tasks with equal
+// canonical bytes have identical (D, T) and identical adjacency structure
+// over identically-WCET'd vertices, which is exactly the input FEDCONS's
+// analysis depends on. core.TaskHash hashes these bytes to produce the
+// content address used by the admission service's memo cache.
+func (tk *DAGTask) AppendCanonical(b []byte) []byte {
+	b = append(b, "fedsched/task/v1\x00"...)
+	b = binary.BigEndian.AppendUint64(b, uint64(tk.D))
+	b = binary.BigEndian.AppendUint64(b, uint64(tk.T))
+
+	g := tk.G
+	n := g.N()
+	b = binary.BigEndian.AppendUint64(b, uint64(n))
+	b = binary.BigEndian.AppendUint64(b, uint64(g.M()))
+
+	order := tk.CanonicalOrder() // order[k] = original index of canonical vertex k
+	rank := make([]int, n)       // rank[v] = canonical index of original vertex v
+	for k, v := range order {
+		rank[v] = k
+	}
+	for _, v := range order {
+		b = binary.BigEndian.AppendUint64(b, uint64(g.WCET(v)))
+	}
+	edges := make([][2]int, 0, g.M())
+	for v := 0; v < n; v++ {
+		for _, w := range g.Successors(v) {
+			edges = append(edges, [2]int{rank[v], rank[w]})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		b = binary.BigEndian.AppendUint64(b, uint64(e[0]))
+		b = binary.BigEndian.AppendUint64(b, uint64(e[1]))
+	}
+	return b
+}
+
+// CanonicalOrder returns a permutation of the task's vertex indices — the
+// canonical enumeration order used by AppendCanonical. order[k] is the
+// original index of the vertex placed at canonical position k.
+func (tk *DAGTask) CanonicalOrder() []int {
+	g := tk.G
+	n := g.N()
+	sig := make([]uint64, n)
+	next := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		sig[v] = mix(0x9e3779b97f4a7c15, uint64(g.WCET(v)))
+	}
+	// Refine until the number of distinct signatures stops growing. Each
+	// round propagates one more hop of structure; n rounds always suffice.
+	classes := distinct(sig)
+	for round := 0; round < n; round++ {
+		var scratch []uint64
+		for v := 0; v < n; v++ {
+			h := mix(sig[v], 0x517cc1b727220a95)
+			scratch = scratch[:0]
+			for _, p := range g.Predecessors(v) {
+				scratch = append(scratch, sig[p])
+			}
+			sortUint64(scratch)
+			for _, s := range scratch {
+				h = mix(h, s)
+			}
+			h = mix(h, 0xbf58476d1ce4e5b9) // separator: preds vs succs
+			scratch = scratch[:0]
+			for _, s := range g.Successors(v) {
+				scratch = append(scratch, sig[s])
+			}
+			sortUint64(scratch)
+			for _, s := range scratch {
+				h = mix(h, s)
+			}
+			next[v] = h
+		}
+		sig, next = next, sig
+		if c := distinct(sig); c == classes {
+			break
+		} else {
+			classes = c
+		}
+	}
+	order := make([]int, n)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if sig[a] != sig[b] {
+			return sig[a] < sig[b]
+		}
+		return a < b // determinism backstop for residual ties
+	})
+	return order
+}
+
+// mix is the splitmix64 finalizer applied to a ^ rotated b — a cheap,
+// well-distributed combiner for signature refinement.
+func mix(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func sortUint64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func distinct(sig []uint64) int {
+	seen := make(map[uint64]struct{}, len(sig))
+	for _, s := range sig {
+		seen[s] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SameAnalysisInput reports whether two tasks present identical input to the
+// schedulability analysis: equal D, T, and labeled graph structure (vertex
+// WCETs and adjacency under the same labeling; names are ignored). This is
+// the equality the admission cache uses to guard hash lookups, so a cache
+// hit implies a byte-identical Phase-1 analysis.
+func SameAnalysisInput(a, b *DAGTask) bool {
+	if a.D != b.D || a.T != b.T || a.G.N() != b.G.N() || a.G.M() != b.G.M() {
+		return false
+	}
+	for v := 0; v < a.G.N(); v++ {
+		if a.G.WCET(v) != b.G.WCET(v) {
+			return false
+		}
+		as, bs := a.G.Successors(v), b.G.Successors(v)
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+// Command servesmoke is the end-to-end smoke test for the fedschedd daemon,
+// run by `make serve-smoke` (and CI). It exercises the real binary over real
+// HTTP, not httptest:
+//
+//  1. builds ./cmd/fedschedd into a temp dir,
+//  2. starts it on an ephemeral port (-addr 127.0.0.1:0 -addrfile),
+//  3. waits for /v1/healthz,
+//  4. admits the paper's Example 1 task and asserts it is accepted,
+//  5. admits a 3-wide high-density task and asserts Phase 1 grants it
+//     exactly 3 dedicated processors (Example 1 itself is low-density —
+//     δ = 9/16 — so it can never receive a dedicated grant),
+//  6. sends SIGTERM and asserts a clean drain and exit code 0.
+//
+// Any failure exits non-zero with a diagnosis on stderr.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/service"
+	"fedsched/internal/task"
+)
+
+func main() {
+	if err := smoke(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: PASS")
+}
+
+func smoke() error {
+	tmp, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "fedschedd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fedschedd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building fedschedd: %w", err)
+	}
+
+	addrfile := filepath.Join(tmp, "addr")
+	var out bytes.Buffer
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-addrfile", addrfile, "-m", "8")
+	daemon.Stdout, daemon.Stderr = &out, &out
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting daemon: %w", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	defer daemon.Process.Kill()
+
+	base, err := waitForAddr(addrfile, exited, &out)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if err := get(client, base+"/v1/healthz"); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// The paper's Example 1 task: low-density (δ = 9/16), accepted into the
+	// shared partition.
+	ex1 := task.MustNew("example1", dag.Example1(), dag.Example1D, dag.Example1T)
+	v, err := admit(client, base, ex1)
+	if err != nil {
+		return fmt.Errorf("admit example1: %w", err)
+	}
+	if !v.Schedulable {
+		return fmt.Errorf("example1 rejected: %s", v.Reason)
+	}
+
+	// Three independent 5-unit jobs with D = T = 5: δ = 3, and MINPROCS needs
+	// all three processors — the asserted Phase-1 grant.
+	tri := task.MustNew("trijob", dag.Independent(5, 5, 5), 5, 5)
+	v, err = admit(client, base, tri)
+	if err != nil {
+		return fmt.Errorf("admit trijob: %w", err)
+	}
+	if !v.Schedulable {
+		return fmt.Errorf("trijob rejected: %s", v.Reason)
+	}
+	granted := -1
+	for _, h := range v.High {
+		if h.Task == "trijob" {
+			granted = len(h.Procs)
+		}
+	}
+	if granted != 3 {
+		return fmt.Errorf("trijob got %d dedicated processors, want 3; verdict: %+v", granted, v)
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("sending SIGTERM: %w", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited with %v; output:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("daemon did not exit within 15s of SIGTERM; output:\n%s", out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("drained, bye")) {
+		return fmt.Errorf("daemon did not report a clean drain; output:\n%s", out.String())
+	}
+	return nil
+}
+
+// waitForAddr polls the -addrfile until the daemon binds, failing fast if the
+// process dies first.
+func waitForAddr(path string, exited <-chan error, out *bytes.Buffer) (string, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			return "", fmt.Errorf("daemon exited before binding: %v; output:\n%s", err, out.String())
+		default:
+		}
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return "http://" + string(b), nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", fmt.Errorf("daemon never wrote %s; output:\n%s", path, out.String())
+}
+
+func get(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// admit POSTs tk and decodes the verdict (200 and 409 both carry one).
+func admit(client *http.Client, base string, tk *task.DAGTask) (service.Verdict, error) {
+	var v service.Verdict
+	body, err := json.Marshal(tk)
+	if err != nil {
+		return v, err
+	}
+	resp, err := client.Post(base+"/v1/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return v, fmt.Errorf("POST /v1/admit: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, fmt.Errorf("decoding verdict: %w", err)
+	}
+	return v, nil
+}
