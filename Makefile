@@ -3,14 +3,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race serve-smoke experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race serve-smoke obs-smoke experiments experiments-quick examples clean
 
 all: build vet test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests,
-# the differential oracle under the race detector, a fuzzing smoke pass, and
-# an end-to-end boot/admit/drain check of the fedschedd daemon.
-check: vet build test-race oracle-race fuzz-smoke serve-smoke
+# the differential oracle under the race detector, a fuzzing smoke pass, an
+# end-to-end boot/admit/drain check of the fedschedd daemon, and a smoke test
+# of its observability surface (/metrics, pprof, ?trace=1, audit log).
+check: vet build test-race oracle-race fuzz-smoke serve-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +58,12 @@ oracle-race:
 # Phase-1 grant), then SIGTERM and assert a clean drain.
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
+
+# Observability smoke test: boot fedschedd with -v/-audit/-debug-addr, scrape
+# the Prometheus exposition, admit with ?trace=1 asserting the inline decision
+# trace, pull a pprof profile from the debug listener, and check the audit log.
+obs-smoke:
+	$(GO) run ./scripts/obssmoke
 
 # Regenerate the EXPERIMENTS.md measurement body (full scale; several minutes).
 experiments:

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only E4,E6] [-csv dir] [-seed N] [-systems N] [-par N] [-q]
+//	experiments [-quick] [-only E4,E6] [-csv dir] [-seed N] [-systems N] [-par N] [-timing file] [-q]
 //
 // Sweep experiments run on the shared parallel engine (internal/runner);
 // -par bounds its worker pool (default GOMAXPROCS). Tables are byte-identical
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"fedsched/internal/exp"
+	"fedsched/internal/runner"
 )
 
 func main() {
@@ -84,10 +86,14 @@ func run(args []string, out, progress io.Writer) error {
 		seed    = fs.Int64("seed", 0, "override the suite seed")
 		systems = fs.Int("systems", 0, "override systems per sweep point")
 		par     = fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for every value")
+		timing  = fs.String("timing", "", "record per-analyzer latency histograms and write the JSON summary to this file ('-' = stderr)")
 		quiet   = fs.Bool("q", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timing != "" {
+		runner.EnableTiming()
 	}
 	if *quiet {
 		progress = io.Discard
@@ -168,6 +174,18 @@ func run(args []string, out, progress io.Writer) error {
 		if err := os.WriteFile(*outFile, []byte(sb.String()), 0o644); err != nil {
 			return err
 		}
+	}
+	if *timing != "" {
+		buf, err := json.MarshalIndent(runner.TimingSnapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if *timing == "-" {
+			_, err = progress.Write(buf)
+			return err
+		}
+		return os.WriteFile(*timing, buf, 0o644)
 	}
 	return nil
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// checkGolden compares got against the named golden file in testdata,
+// rewriting it under -update (shared flag in json_test.go).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestExplainGoldenExample1 pins the full -explain narrative for the paper's
+// Example 1 on m = 2 (schedulable: low-density, placed by phase 2).
+func TestExplainGoldenExample1(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 2,
+		Tasks: task.System{
+			task.MustNew("example1", dag.Example1(), dag.Example1D, dag.Example1T),
+		},
+	})
+	var buf bytes.Buffer
+	if err := run([]string{"-explain", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "explain_example1.txt", buf.Bytes())
+}
+
+// TestExplainGoldenPhase1Rejection pins the narrative for a high-density
+// rejection: four independent jobs of 6 with window 11 on m = 3 — the scan's
+// only candidate μ=3 has LS makespan 12 > 11.
+func TestExplainGoldenPhase1Rejection(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 3,
+		Tasks: task.System{
+			task.MustNew("hot", dag.Independent(6, 6, 6, 6), 11, 12),
+		},
+	})
+	var buf bytes.Buffer
+	if err := run([]string{"-explain", path}, &buf); !errors.Is(err, errUnschedulable) {
+		t.Fatalf("want errUnschedulable, got %v", err)
+	}
+	checkGolden(t, "explain_phase1_reject.txt", buf.Bytes())
+}
+
+// TestExplainGoldenPhase2Rejection pins the narrative for a partition
+// failure with the decisive DBF* inequality: two C=3 D=5 T=10 tasks on one
+// processor — the second demands 6 > 5 at its deadline.
+func TestExplainGoldenPhase2Rejection(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 1,
+		Tasks: task.System{
+			task.MustNew("a", dag.Singleton(3), 5, 10),
+			task.MustNew("b", dag.Singleton(3), 5, 10),
+		},
+	})
+	var buf bytes.Buffer
+	if err := run([]string{"-explain", path}, &buf); !errors.Is(err, errUnschedulable) {
+		t.Fatalf("want errUnschedulable, got %v", err)
+	}
+	checkGolden(t, "explain_phase2_reject.txt", buf.Bytes())
+}
+
+// TestTraceByteDeterminism runs -trace twice on the same input and demands
+// byte-identical JSONL — the acceptance criterion for trace export.
+func TestTraceByteDeterminism(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 4,
+		Tasks: task.System{
+			task.MustNew("high", dag.Independent(5, 5, 5, 5), 10, 10),
+			task.MustNew("low", dag.Singleton(2), 8, 16),
+		},
+	})
+	read := func(name string) []byte {
+		t.Helper()
+		tr := filepath.Join(t.TempDir(), name)
+		var buf bytes.Buffer
+		if err := run([]string{"-trace", tr, path}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := read("a.jsonl"), read("b.jsonl")
+	if len(a) == 0 {
+		t.Fatal("empty trace file")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("trace not byte-deterministic:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+	// Timings must be absent: their presence would break determinism.
+	if bytes.Contains(a, []byte("dur_ns")) {
+		t.Error("deterministic trace contains timing fields")
+	}
+}
+
+// TestTraceToStdout covers -trace - interleaved with text output.
+func TestTraceToStdout(t *testing.T) {
+	path := writeSystem(t, &task.SystemFile{
+		Processors: 2,
+		Tasks:      task.System{task.MustNew("low", dag.Singleton(2), 8, 16)},
+	})
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", "-", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"name":"fedcons"`)) {
+		t.Errorf("stdout trace missing fedcons root:\n%s", buf.String())
+	}
+}
+
+// TestExplainRejectsJSONOutput: -o json and -explain are mutually exclusive.
+func TestExplainRejectsJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-o", "json", "-explain", "x.json"}, &buf); err == nil {
+		t.Fatal("want error for -o json -explain")
+	}
+}

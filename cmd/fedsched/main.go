@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"fedsched/internal/core"
+	"fedsched/internal/obs"
 	"fedsched/internal/service"
 	"fedsched/internal/sim"
 	"fedsched/internal/task"
@@ -56,6 +57,8 @@ func run(args []string, out io.Writer) error {
 		simulate  = fs.Int64("simulate", 0, "if > 0, simulate the allocation over this release horizon")
 		save      = fs.String("save", "", "write the allocation (with template schedules) to this JSON file")
 		seed      = fs.Int64("seed", 1, "simulation seed")
+		explain   = fs.Bool("explain", false, "print a step-by-step explanation of the FEDCONS decision (which phase, which task, which inequality)")
+		traceOut  = fs.String("trace", "", "write the decision trace as JSONL to this file ('-' = stdout); byte-deterministic for fixed input and options")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,9 +73,17 @@ func run(args []string, out io.Writer) error {
 	if *output == "json" && *simulate > 0 {
 		return fmt.Errorf("-o json does not support -simulate")
 	}
+	if *output == "json" && *explain {
+		return fmt.Errorf("-o json does not support -explain (use the daemon's ?trace=1 for machine-readable traces)")
+	}
 	opt, err := buildOptions(*minprocs, *prio, *heuristic, *admission)
 	if err != nil {
 		return err
+	}
+	var rec *obs.Recorder
+	if *explain || *traceOut != "" {
+		rec = obs.New(obs.DefaultLimits)
+		opt.Trace = rec
 	}
 
 	data, err := os.ReadFile(fs.Arg(0))
@@ -95,6 +106,13 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("allocation failed verification: %w", err)
 		}
 	}
+	if *traceOut != "" {
+		// Timings off: the trace is a pure function of (input, options), so
+		// two runs produce byte-identical files — diffable evidence.
+		if err := writeTrace(out, rec, *traceOut); err != nil {
+			return err
+		}
+	}
 	if *output == "json" {
 		// The exact bytes fedschedd serves from GET /v1/allocation for the
 		// same system: one shared encoder, no drift between CLI and daemon.
@@ -113,9 +131,15 @@ func run(args []string, out io.Writer) error {
 	if schedErr != nil {
 		fmt.Fprintln(out, "verdict: UNSCHEDULABLE")
 		fmt.Fprintln(out, "reason: ", schedErr)
+		if *explain {
+			writeExplanation(out, rec)
+		}
 		return errUnschedulable
 	}
 	printAllocation(out, sf.Tasks, alloc)
+	if *explain {
+		writeExplanation(out, rec)
+	}
 
 	if err := saveAllocation(out, alloc, *save, false); err != nil {
 		return err

@@ -11,13 +11,19 @@
 // Endpoints:
 //
 //	POST   /v1/admit        trial-admit a DAG task (task JSON as produced by
-//	                        cmd/taskgen; 200 = installed, 409 = rejected)
+//	                        cmd/taskgen; 200 = installed, 409 = rejected;
+//	                        ?trace=1 embeds the FEDCONS decision trace)
 //	DELETE /v1/tasks/{name} remove an admitted task
 //	GET    /v1/allocation   current verdict + allocation (same bytes as
 //	                        `fedsched -o json` for the same system)
 //	GET    /v1/healthz      liveness
 //	GET    /debug/vars      metrics (admits, rejects, cache hit rate,
-//	                        admission latency p50/p99, queue depth)
+//	                        admission latency p50/p99/p999, queue depth)
+//	GET    /metrics         the same metrics in Prometheus text exposition
+//
+// Every mutating response carries an X-Trace-Id header; -v logs a one-line
+// summary per admission, -audit appends a JSONL audit trail, and -debug-addr
+// serves net/http/pprof on a separate listener.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains in-flight
 // admissions, and exits cleanly.
@@ -61,6 +67,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queue        = fs.Int("queue", 64, "admission queue bound; beyond it requests are shed with 429")
 		admitTimeout = fs.Duration("admit-timeout", 2*time.Second, "per-request admission deadline")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		verbose      = fs.Bool("v", false, "log a one-line summary of every admission (trace ID, verdict, latency, cache hit/miss)")
+		auditPath    = fs.String("audit", "", "append one JSON line per admission decision to this file")
+		debugAddr    = fs.String("debug-addr", "", "if set, serve net/http/pprof on this separate debug listener")
+		debugAddrf   = fs.String("debug-addrfile", "", "write the resolved debug listen address to this file once bound")
 		loadgen      = fs.Bool("loadgen", false, "run as a closed-loop load generator against -target instead of serving")
 		target       = fs.String("target", "", "loadgen: base URL of the fedschedd instance to drive")
 		duration     = fs.Duration("duration", 5*time.Second, "loadgen: how long to drive the target")
@@ -87,11 +97,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	observer, closeAudit, err := buildObserver(out, *verbose, *auditPath)
+	if err != nil {
+		return err
+	}
+	defer closeAudit()
 	svc, err := service.New(service.Config{
 		M:            *m,
 		Options:      opt,
 		QueueBound:   *queue,
 		AdmitTimeout: *admitTimeout,
+		Observer:     observer,
 	})
 	if err != nil {
 		return err
@@ -111,6 +127,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "fedschedd: m=%d %s/%s/%s/%s listening on http://%s\n",
 		*m, *minprocs, *prio, *heuristic, *admission, resolved)
+
+	stopDebug, err := startDebugServer(out, *debugAddr, *debugAddrf)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer stopDebug()
 
 	srv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"fedsched/internal/service"
+)
+
+// buildObserver assembles the daemon's admission observer from the -v and
+// -audit flags: a one-line human summary per operation, a JSONL audit trail,
+// both, or (the default) neither. The returned closer flushes and closes the
+// audit file; it is safe to call when no audit file is open.
+func buildObserver(out io.Writer, verbose bool, auditPath string) (func(service.AdmissionRecord), func(), error) {
+	var audit *os.File
+	if auditPath != "" {
+		f, err := os.OpenFile(auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening audit log: %w", err)
+		}
+		audit = f
+	}
+	closer := func() {
+		if audit != nil {
+			audit.Close()
+		}
+	}
+	if !verbose && audit == nil {
+		return nil, closer, nil
+	}
+	// The observer runs on the admission path (writer loop); serialize the
+	// two writers with one mutex so -v lines and audit records never shear.
+	var mu sync.Mutex
+	obs := func(r service.AdmissionRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		if verbose {
+			verdict := "rejected"
+			if r.Schedulable {
+				verdict = "installed"
+			}
+			cache := ""
+			if r.Op == "admit" {
+				cache = fmt.Sprintf(" cache=%dh/%dm", r.CacheHits, r.CacheMisses)
+			}
+			fmt.Fprintf(out, "fedschedd: %s %s task=%q status=%d %s latency=%s%s tasks=%d\n",
+				r.TraceID, r.Op, r.Task, r.Status, verdict,
+				time.Duration(r.LatencyNs).Round(time.Microsecond), cache, r.Tasks)
+		}
+		if audit != nil {
+			rec := struct {
+				Time string `json:"time"`
+				service.AdmissionRecord
+			}{Time: time.Now().UTC().Format(time.RFC3339Nano), AdmissionRecord: r}
+			if data, err := json.Marshal(rec); err == nil {
+				audit.Write(append(data, '\n'))
+			}
+		}
+	}
+	return obs, closer, nil
+}
+
+// startDebugServer serves net/http/pprof on its own listener, kept off the
+// public API address so profiling endpoints are never exposed by default.
+// Returns a stop function (no-op when -debug-addr is unset).
+func startDebugServer(out io.Writer, addr, addrfile string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	resolved := ln.Addr().String()
+	if addrfile != "" {
+		if err := os.WriteFile(addrfile, []byte(resolved), 0o644); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(out, "fedschedd: pprof debug listener on http://%s/debug/pprof/\n", resolved)
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}, nil
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"fedsched/internal/listsched"
+	"fedsched/internal/obs"
 	"fedsched/internal/partition"
 	"fedsched/internal/task"
 )
@@ -68,6 +69,13 @@ type Options struct {
 	Priority listsched.Priority
 	// Partition configures the phase-2 partitioner.
 	Partition partition.Options
+	// Trace, when non-nil, records the complete decision trace of a
+	// Schedule call: per-task density classification, every μ candidate
+	// MINPROCS tried with its LS makespan against the Lemma-1 bound, and
+	// every Phase-2 fit probe with its DBF* inequality. The nil default
+	// (obs.Noop) costs only pointer tests — the overhead guard in
+	// trace_test.go pins that it allocates nothing extra.
+	Trace *obs.Recorder
 }
 
 // HighAssignment is the phase-1 outcome for one high-density task.
@@ -184,8 +192,17 @@ func window(tk *task.DAGTask) Time {
 // false when no such μ exists (the paper's ∞ return). prio selects the LS
 // list order (nil = insertion order).
 func Minprocs(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int, tmpl *listsched.Schedule, ok bool) {
+	return MinprocsTrace(tk, mr, prio, nil)
+}
+
+// MinprocsTrace is Minprocs with an optional decision-trace span: when sp is
+// non-nil it records the scan window (scan_start, width, limit, remaining)
+// and one "mu" child per candidate tried, carrying the LS makespan and the
+// Lemma-1 bound len + (vol − len)/μ. A nil sp skips every trace computation.
+func MinprocsTrace(tk *task.DAGTask, mr int, prio listsched.Priority, sp *obs.Span) (mu int, tmpl *listsched.Schedule, ok bool) {
 	d := window(tk)
 	if tk.Len() > d {
+		sp.Str("reason", "critical-path-exceeds-window")
 		return 0, nil, false // no processor count can beat the critical path
 	}
 	start := ceilDensity(tk)
@@ -202,15 +219,25 @@ func Minprocs(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int, tmpl *
 	if w := tk.G.Width(); w < limit {
 		limit = w
 	}
+	if sp != nil {
+		sp.Int("scan_start", int64(start)).Int("width", int64(tk.G.Width())).
+			Int("limit", int64(limit)).Int("remaining", int64(mr))
+	}
 	for mu = start; mu <= limit; mu++ {
 		s, err := listsched.Run(tk.G, mu, prio)
 		if err != nil {
 			return 0, nil, false
 		}
+		if sp != nil {
+			sp.Child("mu").Int("mu", int64(mu)).Int("makespan", int64(s.Makespan)).
+				Float("lemma1_bound", listsched.GrahamBound(tk.G, mu)).
+				Bool("ok", s.Makespan <= d).Finish()
+		}
 		if s.Makespan <= d {
 			return mu, s, true
 		}
 	}
+	sp.Str("reason", "scan-exhausted")
 	return 0, nil, false
 }
 
@@ -221,13 +248,22 @@ func Minprocs(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int, tmpl *
 // guarantees the deadline. ok is false when len_i > D, or len_i == D with
 // parallel slack remaining, or μ exceeds mr.
 func MinprocsAnalytic(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int, tmpl *listsched.Schedule, ok bool) {
+	return MinprocsAnalyticTrace(tk, mr, prio, nil)
+}
+
+// MinprocsAnalyticTrace is MinprocsAnalytic with an optional decision-trace
+// span; the single closed-form candidate is recorded as one "mu" child,
+// mirroring the LS-scan trace shape.
+func MinprocsAnalyticTrace(tk *task.DAGTask, mr int, prio listsched.Priority, sp *obs.Span) (mu int, tmpl *listsched.Schedule, ok bool) {
 	vol, l, d := tk.Volume(), tk.Len(), window(tk)
 	switch {
 	case l > d:
+		sp.Str("reason", "critical-path-exceeds-window")
 		return 0, nil, false
 	case vol <= d:
 		mu = 1
 	case l == d:
+		sp.Str("reason", "no-slack-for-graham-bound")
 		return 0, nil, false // bound needs (vol−len)/(D−len) with D > len
 	default:
 		mu = int((vol - l + (d - l) - 1) / (d - l))
@@ -235,7 +271,11 @@ func MinprocsAnalytic(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int
 	if mu < 1 {
 		mu = 1
 	}
+	if sp != nil {
+		sp.Int("remaining", int64(mr))
+	}
 	if mu > mr {
+		sp.Str("reason", "analytic-mu-exceeds-remaining")
 		return 0, nil, false
 	}
 	s, err := listsched.Run(tk.G, mu, prio)
@@ -243,6 +283,11 @@ func MinprocsAnalytic(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int
 		// Graham's bound makes the deadline certain; reaching here would
 		// mean a bug in LS, so surface it as infeasible rather than panic.
 		return 0, nil, false
+	}
+	if sp != nil {
+		sp.Child("mu").Int("mu", int64(mu)).Int("makespan", int64(s.Makespan)).
+			Float("lemma1_bound", listsched.GrahamBound(tk.G, mu)).
+			Bool("ok", true).Finish()
 	}
 	return mu, s, true
 }
@@ -270,23 +315,42 @@ func Schedule(sys task.System, m int, opt Options) (*Allocation, error) {
 	nextProc := 0 // processors [0, nextProc) are spoken for
 	mr := m       // m_r: remaining processors (Fig. 2 line 1)
 
-	minprocs := Minprocs
+	minprocs := MinprocsTrace
 	if opt.Minprocs == Analytic {
-		minprocs = MinprocsAnalytic
+		minprocs = MinprocsAnalyticTrace
+	}
+
+	root := opt.Trace.Start("fedcons")
+	if root != nil {
+		root.Int("m", int64(m)).Int("tasks", int64(len(sys))).
+			Str("minprocs", opt.Minprocs.String())
 	}
 
 	// Phase 1: size and place each high-density task (Fig. 2 lines 2–6).
+	phase1 := root.Child("phase1")
 	var low task.System
 	for i, tk := range sys {
+		var tsp *obs.Span
+		if phase1 != nil {
+			vol, l, d := tk.Volume(), tk.Len(), window(tk)
+			tsp = phase1.Child("task").Str("task", tk.Name).Int("index", int64(i)).
+				Int("vol", int64(vol)).Int("len", int64(l)).Int("window", int64(d)).
+				Float("density", float64(vol)/float64(d)).Bool("high", tk.HighDensity())
+		}
 		if !tk.HighDensity() {
+			tsp.Finish()
 			low = append(low, tk)
 			alloc.LowIndices = append(alloc.LowIndices, i)
 			continue
 		}
-		mi, tmpl, ok := minprocs(tk, mr, opt.Priority)
+		mi, tmpl, ok := minprocs(tk, mr, opt.Priority, tsp)
 		if !ok {
+			tsp.Bool("failed", true).Finish()
+			phase1.Finish()
+			root.Bool("schedulable", false).Str("phase", PhaseHighDensity.String()).Finish()
 			return nil, &FailureError{Phase: PhaseHighDensity, TaskIndex: i, TaskName: tk.Name, Remaining: mr}
 		}
+		tsp.Int("mu", int64(mi)).Finish()
 		procs := make([]int, mi)
 		for p := range procs {
 			procs[p] = nextProc
@@ -295,12 +359,21 @@ func Schedule(sys task.System, m int, opt Options) (*Allocation, error) {
 		alloc.High = append(alloc.High, HighAssignment{TaskIndex: i, Procs: procs, Template: tmpl})
 		mr -= mi
 	}
+	phase1.Int("dedicated", int64(nextProc)).Int("remaining", int64(mr)).Finish()
 
 	// Phase 2: partition the low-density tasks (Fig. 2 line 7).
 	for p := 0; p < mr; p++ {
 		alloc.SharedProcs = append(alloc.SharedProcs, nextProc+p)
 	}
-	res, err := partition.Partition(low, mr, opt.Partition)
+	phase2 := root.Child("phase2")
+	if phase2 != nil {
+		phase2.Int("procs", int64(mr)).Int("low", int64(len(low))).
+			Str("heuristic", opt.Partition.Heuristic.String()).
+			Str("test", opt.Partition.Test.String())
+	}
+	popt := opt.Partition
+	popt.Trace = phase2
+	res, err := partition.Partition(low, mr, popt)
 	if err != nil {
 		fe := &FailureError{Phase: PhaseLowDensity, Remaining: mr, Err: err}
 		var pf *partition.FailureError
@@ -308,8 +381,12 @@ func Schedule(sys task.System, m int, opt Options) (*Allocation, error) {
 			fe.TaskIndex = alloc.LowIndices[pf.TaskIndex]
 			fe.TaskName = pf.TaskName
 		}
+		phase2.Bool("failed", true).Finish()
+		root.Bool("schedulable", false).Str("phase", PhaseLowDensity.String()).Finish()
 		return nil, fe
 	}
+	phase2.Finish()
+	root.Bool("schedulable", true).Finish()
 	alloc.Low = res
 	return alloc, nil
 }

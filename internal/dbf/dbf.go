@@ -20,6 +20,7 @@
 package dbf
 
 import (
+	"fmt"
 	"math/big"
 	"sort"
 
@@ -142,6 +143,55 @@ func FitsApprox(assigned []task.Sporadic, cand task.Sporadic) bool {
 	demand := TotalApproxRat(assigned, cand.D)
 	demand.Add(demand, new(big.Rat).SetInt64(cand.C))
 	return demand.Cmp(new(big.Rat).SetInt64(cand.D)) <= 0
+}
+
+// FitReport is the explained form of FitsApprox: both Baruah–Fisher
+// admission inequalities for one candidate against one processor, with the
+// quantities an engineer needs to see why a placement was refused. The
+// verdict fields come from exact rational comparisons; the float fields are
+// renderings for traces and diagnostics.
+type FitReport struct {
+	// Util is u(cand) + Σ u_j; UtilOK reports Util ≤ 1.
+	Util   float64
+	UtilOK bool
+	// Demand is vol(cand) + Σ DBF*(τ_j, D_cand); Capacity is D_cand;
+	// DemandOK reports Demand ≤ Capacity.
+	Demand   float64
+	Capacity Time
+	DemandOK bool
+}
+
+// OK reports whether both inequalities hold — identical to FitsApprox.
+func (r FitReport) OK() bool { return r.UtilOK && r.DemandOK }
+
+// Inequality renders the decisive inequality: the failing one (utilization
+// first, matching the evaluation order of FitsApprox), or the satisfied
+// demand inequality when the candidate fits.
+func (r FitReport) Inequality() string {
+	if !r.UtilOK {
+		return fmt.Sprintf("Σu = %.4g > 1", r.Util)
+	}
+	rel := "≤"
+	if !r.DemandOK {
+		rel = ">"
+	}
+	return fmt.Sprintf("C + ΣDBF*(D=%d) = %.4g %s %d", r.Capacity, r.Demand, rel, r.Capacity)
+}
+
+// ExplainFit evaluates both admission inequalities of FitsApprox and
+// returns them with their operands. Unlike FitsApprox it does not
+// short-circuit on the utilization test, so a trace always shows both
+// sides; it is therefore only called on traced (or diagnosing) paths.
+func ExplainFit(assigned []task.Sporadic, cand task.Sporadic) FitReport {
+	u := TotalUtilizationRat(assigned)
+	u.Add(u, cand.UtilizationRat())
+	demand := TotalApproxRat(assigned, cand.D)
+	demand.Add(demand, new(big.Rat).SetInt64(cand.C))
+	rep := FitReport{Capacity: cand.D, UtilOK: u.Cmp(one) <= 0}
+	rep.Util, _ = u.Float64()
+	rep.Demand, _ = demand.Float64()
+	rep.DemandOK = demand.Cmp(new(big.Rat).SetInt64(cand.D)) <= 0
+	return rep
 }
 
 // SlackApprox returns D − (vol(cand) + Σ DBF*(assigned, D_cand)) as a float,

@@ -246,6 +246,14 @@ func GrahamBoundScaled(g *dag.DAG, m int) Time {
 	return l*Time(m) + (vol - l)
 }
 
+// GrahamBound returns Graham's bound len + (vol − len)/m as a float64, the
+// human-facing rendering used by decision traces and `fedsched -explain`
+// (the exact comparisons use GrahamBoundScaled).
+func GrahamBound(g *dag.DAG, m int) float64 {
+	vol, l := g.Volume(), g.LongestChain()
+	return float64(l) + float64(vol-l)/float64(m)
+}
+
 // WithinGrahamBound reports whether the schedule's makespan respects
 // Graham's bound for graph g (it always must; exposed for tests and the E3
 // experiment).

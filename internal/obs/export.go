@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ExportOptions configures trace serialization.
+type ExportOptions struct {
+	// Timings includes each span's start_ns and dur_ns. Timings vary run to
+	// run, so exports meant to be byte-deterministic (fedsched -trace, the
+	// golden tests) leave this false; exports meant for latency analysis
+	// (the daemon's inline ?trace=1 payload) set it.
+	Timings bool
+}
+
+// WriteJSONL writes the trace as JSON Lines: one object per span, pre-order,
+// each carrying a 1-based id, its parent's id (0 for roots), the span name,
+// optional timings, the attributes in insertion order, and a dropped count
+// when the limits truncated the span's children. With opt.Timings false the
+// output is a pure function of the recorded structure.
+func (r *Recorder) WriteJSONL(w io.Writer, opt ExportOptions) error {
+	if r == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	r.encodeAll(&buf, opt, '\n')
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// JSON renders the trace as a JSON array of the same objects WriteJSONL
+// emits, for embedding in a response body (nil recorder: nil).
+func (r *Recorder) JSON(opt ExportOptions) json.RawMessage {
+	if r == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	r.encodeAll(&buf, opt, ',')
+	// Drop the trailing separator left by the last span, if any.
+	if b := buf.Bytes(); b[len(b)-1] == ',' {
+		buf.Truncate(len(b) - 1)
+	}
+	buf.WriteByte(']')
+	return buf.Bytes()
+}
+
+// encodeAll writes every span object followed by sep.
+func (r *Recorder) encodeAll(buf *bytes.Buffer, opt ExportOptions, sep byte) {
+	id := 0
+	ids := map[*Span]int{}
+	r.Walk(func(s, parent *Span) {
+		id++
+		ids[s] = id
+		encodeSpan(buf, s, id, ids[parent], opt)
+		buf.WriteByte(sep)
+	})
+}
+
+func encodeSpan(buf *bytes.Buffer, s *Span, id, parent int, opt ExportOptions) {
+	buf.WriteString(`{"id":`)
+	buf.WriteString(strconv.Itoa(id))
+	buf.WriteString(`,"parent":`)
+	buf.WriteString(strconv.Itoa(parent))
+	buf.WriteString(`,"name":`)
+	writeJSONString(buf, s.name)
+	if opt.Timings {
+		buf.WriteString(`,"start_ns":`)
+		buf.WriteString(strconv.FormatInt(s.start.Nanoseconds(), 10))
+		buf.WriteString(`,"dur_ns":`)
+		buf.WriteString(strconv.FormatInt(s.Duration().Nanoseconds(), 10))
+	}
+	if len(s.attrs) > 0 {
+		buf.WriteString(`,"attrs":{`)
+		for i, a := range s.attrs {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeJSONString(buf, a.Key)
+			buf.WriteByte(':')
+			switch a.Kind {
+			case KindInt:
+				buf.WriteString(strconv.FormatInt(a.IntV, 10))
+			case KindFloat:
+				writeJSONFloat(buf, a.FloatV)
+			case KindBool:
+				buf.WriteString(strconv.FormatBool(a.BoolV))
+			default:
+				writeJSONString(buf, a.StrV)
+			}
+		}
+		buf.WriteByte('}')
+	}
+	if s.dropped > 0 {
+		buf.WriteString(`,"dropped":`)
+		buf.WriteString(strconv.Itoa(s.dropped))
+	}
+	buf.WriteByte('}')
+}
+
+// writeJSONString appends a JSON-encoded string. encoding/json is the
+// reference escaper; its output for a string never fails.
+func writeJSONString(buf *bytes.Buffer, s string) {
+	b, _ := json.Marshal(s)
+	buf.Write(b)
+}
+
+// writeJSONFloat appends the shortest round-trip decimal form of f, the same
+// deterministic rendering for every run. Non-finite values (never produced
+// by the pipeline) encode as null to stay valid JSON.
+func writeJSONFloat(buf *bytes.Buffer, f float64) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		buf.WriteString("null")
+		return
+	}
+	buf.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count, safe for concurrent
+// use. The zero value is ready.
+type Counter struct{ n atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Inc increments the counter by one and returns the new value.
+func (c *Counter) Inc() int64 { return c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram is a log-bucketed latency histogram: an observation of v
+// nanoseconds lands in the bucket indexed by the bit length of v, so bucket
+// i covers [2^(i−1), 2^i) and the full int64 range needs 64 buckets. The
+// geometric resolution (upper/lower = 2) is coarse but cheap, bounded, and
+// sufficient for the p50/p99/p999 the daemon and the experiment runner
+// report; Max tightens the top quantiles to the true maximum.
+//
+// The zero value is an empty histogram, ready for use and safe for
+// concurrent observation.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	max     int64
+	buckets [65]int64
+}
+
+// bucketIndex returns the bucket of an observation (bit length of v).
+func bucketIndex(v int64) int {
+	i := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		i++
+	}
+	return i
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records a latency. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(d.Nanoseconds()) }
+
+// ObserveNs records a raw nanosecond value.
+func (h *Histogram) ObserveNs(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// SumNs returns the sum of all observations in nanoseconds.
+func (h *Histogram) SumNs() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// MaxNs returns the largest observation (0 when empty).
+func (h *Histogram) MaxNs() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// MeanNs returns the mean observation (0 when empty).
+func (h *Histogram) MeanNs() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// Quantile returns an upper bound on the q-quantile in nanoseconds, using
+// the ceil nearest-rank definition: the value returned is the upper bound of
+// the bucket holding the ⌈q·n⌉-th smallest observation (never the floor
+// rank, which under-reports tail quantiles on small windows — with n = 100,
+// floor(0.99·(n−1)) picks the 98th order statistic while ⌈0.99·n⌉ correctly
+// picks the 99th). The answer is clamped to the observed maximum and is 0
+// for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			if u := bucketUpper(i); u < h.max {
+				return u
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket: Count observations with values
+// ≤ UpperNs (per-bucket, not cumulative).
+type Bucket struct {
+	UpperNs int64
+	Count   int64
+}
+
+// Buckets returns the non-empty buckets in increasing value order, the raw
+// material for a Prometheus histogram exposition.
+func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Bucket
+	for i, n := range h.buckets {
+		if n > 0 {
+			out = append(out, Bucket{UpperNs: bucketUpper(i), Count: n})
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Add(5)
+	if got := c.Inc(); got != 6 {
+		t.Errorf("Inc = %d, want 6", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Inc() }()
+	}
+	wg.Wait()
+	if c.Value() != 14 {
+		t.Errorf("Value = %d, want 14", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(200 * time.Nanosecond)
+	h.ObserveNs(-5) // clamps to 0
+	if h.Count() != 3 || h.SumNs() != 300 || h.MaxNs() != 200 {
+		t.Errorf("count=%d sum=%d max=%d", h.Count(), h.SumNs(), h.MaxNs())
+	}
+	if h.MeanNs() != 100 {
+		t.Errorf("mean = %d", h.MeanNs())
+	}
+}
+
+// TestQuantileCeilNearestRank pins the rounding fix: with one large outlier
+// among n = 10 samples, ceil nearest-rank gives rank ⌈0.99·10⌉ = 10 — the
+// outlier — where the old floor(p·(n−1)) indexing picked the 9th order
+// statistic and under-reported p99 for every window smaller than 100.
+func TestQuantileCeilNearestRank(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 9; i++ {
+		h.ObserveNs(1000)
+	}
+	h.ObserveNs(1 << 20) // the single tail outlier; n = 10
+	p99 := h.Quantile(0.99)
+	if p99 < 1<<20 {
+		t.Fatalf("p99 = %d, want the outlier (≥ %d): floor-rank under-reporting", p99, 1<<20)
+	}
+	// p50 stays in the bulk bucket.
+	if p50 := h.Quantile(0.50); p50 >= 1<<20 || p50 < 1000 {
+		t.Errorf("p50 = %d, want within the 1000ns bucket bound", p50)
+	}
+	// Quantiles are clamped to the observed max, never a loose power of two.
+	if got := h.Quantile(1.0); got != 1<<20 {
+		t.Errorf("p100 = %d, want exact max %d", got, 1<<20)
+	}
+}
+
+func TestQuantileSmallWindows(t *testing.T) {
+	var h Histogram
+	h.ObserveNs(10)
+	// A single sample is every quantile.
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 10 {
+			t.Errorf("Quantile(%v) = %d, want 10", q, got)
+		}
+	}
+	h.ObserveNs(1000)
+	// n=2: ⌈0.99·2⌉ = 2 → the larger sample, even though floor(0.99·1) = 0
+	// would have picked the smaller.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 of {10, 1000} = %d, want 1000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.ObserveNs(0)
+	h.ObserveNs(1)
+	h.ObserveNs(2)
+	h.ObserveNs(3)
+	h.ObserveNs(1000)
+	buckets := h.Buckets()
+	want := []Bucket{{0, 1}, {1, 1}, {3, 2}, {1023, 1}}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", buckets, want)
+	}
+	for i, b := range buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, b, want[i])
+		}
+	}
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, count is %d", total, h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveNs(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v     int64
+		upper int64
+	}{
+		{0, 0}, {1, 1}, {2, 3}, {3, 3}, {4, 7}, {1023, 1023}, {1024, 2047},
+		{math.MaxInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := bucketUpper(bucketIndex(c.v)); got != c.upper {
+			t.Errorf("bucketUpper(bucketIndex(%d)) = %d, want %d", c.v, got, c.upper)
+		}
+		if c.v > bucketUpper(bucketIndex(c.v)) {
+			t.Errorf("value %d above its bucket upper bound", c.v)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	r := New(Limits{})
+	root := r.Start("fedcons").Int("m", 8).Str("mode", "ls-scan")
+	p1 := root.Child("phase1")
+	mu := p1.Child("mu").Int("mu", 3).Float("bound", 12.5).Bool("ok", false)
+	mu.Finish()
+	p1.Finish()
+	root.Finish()
+
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	roots := r.Roots()
+	if len(roots) != 1 || roots[0].Name() != "fedcons" {
+		t.Fatalf("roots = %v", roots)
+	}
+	if a, ok := roots[0].Lookup("m"); !ok || a.Int64() != 8 {
+		t.Errorf("attr m = %v %v", a, ok)
+	}
+	if a, ok := mu.Lookup("bound"); !ok || a.Float64() != 12.5 {
+		t.Errorf("attr bound = %v %v", a, ok)
+	}
+	if a, ok := mu.Lookup("ok"); !ok || a.Bool() {
+		t.Errorf("attr ok = %v %v", a, ok)
+	}
+	if _, ok := mu.Lookup("absent"); ok {
+		t.Error("Lookup of missing key succeeded")
+	}
+	if mu.Duration() < 0 {
+		t.Errorf("negative duration %v", mu.Duration())
+	}
+	if got := len(r.FindAll("mu")); got != 1 {
+		t.Errorf("FindAll(mu) = %d spans", got)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder // the Noop
+	sp := r.Start("x")
+	if sp != nil {
+		t.Fatal("nil recorder returned a live span")
+	}
+	// Every operation on the nil span must be a safe no-op.
+	sp.Child("c").Int("i", 1).Float("f", 2).Str("s", "v").Bool("b", true).Finish()
+	sp.Finish()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Roots() != nil {
+		t.Error("nil recorder accumulated state")
+	}
+	if err := r.WriteJSONL(&bytes.Buffer{}, ExportOptions{}); err != nil {
+		t.Errorf("WriteJSONL on nil recorder: %v", err)
+	}
+	if r.JSON(ExportOptions{}) != nil {
+		t.Error("JSON on nil recorder not nil")
+	}
+}
+
+// TestNoopZeroAlloc pins the disabled-tracing contract: recording through a
+// nil recorder/span allocates nothing, so the pipeline can call span
+// operations unconditionally.
+func TestNoopZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.Start("fedcons")
+		c := sp.Child("mu").Int("mu", 3).Float("bound", 12.5).Bool("ok", false)
+		c.Finish()
+		sp.Str("s", "x").Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder span ops allocate %v per run, want 0", allocs)
+	}
+}
+
+func TestLimitsBoundDepthAndSize(t *testing.T) {
+	r := New(Limits{MaxDepth: 2, MaxSpans: 4, MaxAttrs: 1})
+	root := r.Start("root").Int("a", 1).Int("b", 2) // b dropped by MaxAttrs
+	c1 := root.Child("c1")
+	tooDeep := c1.Child("grandchild") // depth 3 > 2: dropped
+	if tooDeep != nil {
+		t.Error("span beyond MaxDepth was recorded")
+	}
+	tooDeep.Child("x").Int("y", 1).Finish() // still safe to use
+	root.Child("c2")
+	root.Child("c3")
+	if extra := root.Child("c4"); extra != nil { // span 5 > MaxSpans
+		t.Error("span beyond MaxSpans was recorded")
+	}
+	if got := r.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+	if got := len(root.Attrs()); got != 1 {
+		t.Errorf("root has %d attrs, want 1 (MaxAttrs)", got)
+	}
+}
+
+func TestWriteJSONLDeterministicAndValid(t *testing.T) {
+	build := func() *Recorder {
+		r := New(Limits{})
+		root := r.Start("fedcons").Int("m", 8).Float("usum", 0.5625).Str("mode", `ls-"scan"`)
+		root.Child("phase1").Bool("ok", true).Finish()
+		root.Child("phase2").Finish()
+		root.Finish()
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSONL(&a, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // real time passes; bytes must not change
+	if err := build().WriteJSONL(&b, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("timing-free export not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), a.String())
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		if _, has := obj["dur_ns"]; has {
+			t.Errorf("timing field present without Timings: %q", line)
+		}
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["name"] != "fedcons" || first["parent"] != float64(0) || first["id"] != float64(1) {
+		t.Errorf("unexpected root line: %v", first)
+	}
+	attrs := first["attrs"].(map[string]any)
+	if attrs["usum"] != 0.5625 || attrs["mode"] != `ls-"scan"` {
+		t.Errorf("attrs did not round-trip: %v", attrs)
+	}
+}
+
+func TestExportWithTimings(t *testing.T) {
+	r := New(Limits{})
+	sp := r.Start("op")
+	time.Sleep(time.Millisecond)
+	sp.Finish()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, ExportOptions{Timings: true}); err != nil {
+		t.Fatal(err)
+	}
+	var obj struct {
+		DurNs int64 `json:"dur_ns"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj.DurNs < int64(time.Millisecond) {
+		t.Errorf("dur_ns = %d, want ≥ 1ms", obj.DurNs)
+	}
+}
+
+func TestJSONArray(t *testing.T) {
+	r := New(Limits{})
+	root := r.Start("a")
+	root.Child("b").Finish()
+	root.Finish()
+	raw := r.JSON(ExportOptions{})
+	var arr []map[string]any
+	if err := json.Unmarshal(raw, &arr); err != nil {
+		t.Fatalf("JSON() not a valid array: %v\n%s", err, raw)
+	}
+	if len(arr) != 2 || arr[1]["parent"] != float64(1) {
+		t.Errorf("unexpected array: %v", arr)
+	}
+	// Empty recorder renders the empty array, not invalid JSON.
+	if got := string(New(Limits{}).JSON(ExportOptions{})); got != "[]" {
+		t.Errorf("empty trace = %q, want []", got)
+	}
+}
+
+func TestDroppedRecordedInExport(t *testing.T) {
+	r := New(Limits{MaxSpans: 2})
+	root := r.Start("root")
+	root.Child("kept")
+	root.Child("dropped1")
+	root.Child("dropped2")
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dropped":2`) {
+		t.Errorf("export does not surface the drop count:\n%s", buf.String())
+	}
+}

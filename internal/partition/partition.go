@@ -22,6 +22,7 @@ import (
 
 	"fedsched/internal/dbf"
 	"fedsched/internal/fp"
+	"fedsched/internal/obs"
 	"fedsched/internal/task"
 )
 
@@ -90,6 +91,12 @@ func (a AdmissionTest) String() string {
 type Options struct {
 	Heuristic Heuristic
 	Test      AdmissionTest
+	// Trace, when non-nil, receives one "place" child span per candidate
+	// (in the non-decreasing-deadline offer order) with one "fit" span per
+	// processor probed, carrying the DBF* admission inequalities. Nil — the
+	// default, and every untraced caller — skips all trace work, including
+	// the extra inequality evaluation.
+	Trace *obs.Span
 }
 
 // Result is a successful partition: Assignment[k] lists the indices (into
@@ -147,10 +154,15 @@ func Partition(sys task.System, m int, opt Options) (*Result, error) {
 
 	for _, idx := range order {
 		cand := sys[idx].AsSporadic()
-		k, ok := choose(assigned, cand, opt)
+		sp := opt.Trace.Child("place").
+			Str("task", sys[idx].Name).Int("index", int64(idx)).
+			Int("C", int64(cand.C)).Int("D", int64(cand.D)).Int("T", int64(cand.T))
+		k, ok := choose(assigned, cand, opt, sp)
 		if !ok {
+			sp.Bool("failed", true).Finish()
 			return nil, &FailureError{TaskIndex: idx, TaskName: sys[idx].Name, M: m}
 		}
+		sp.Int("proc", int64(k)).Finish()
 		assigned[k] = append(assigned[k], cand)
 		res.Assignment[k] = append(res.Assignment[k], idx)
 	}
@@ -158,17 +170,36 @@ func Partition(sys task.System, m int, opt Options) (*Result, error) {
 }
 
 // choose returns the processor to receive cand, per the heuristic, or false
-// if no processor admits it.
-func choose(assigned [][]task.Sporadic, cand task.Sporadic, opt Options) (int, bool) {
+// if no processor admits it. sp, when non-nil, receives one "fit" span per
+// processor probed; for the paper's DBF* test the span carries both
+// admission inequalities (via dbf.ExplainFit), which is exactly the
+// evidence a Phase-2 rejection leaves behind.
+func choose(assigned [][]task.Sporadic, cand task.Sporadic, opt Options, sp *obs.Span) (int, bool) {
 	fits := func(k int) bool {
+		var fit *obs.Span
+		if sp != nil {
+			fit = sp.Child("fit").Int("proc", int64(k)).Str("test", opt.Test.String())
+			defer fit.Finish()
+		}
 		switch opt.Test {
 		case ExactEDF:
 			trial := append(append([]task.Sporadic(nil), assigned[k]...), cand)
-			return dbf.ExactFeasible(trial)
+			ok := dbf.ExactFeasible(trial)
+			fit.Bool("ok", ok)
+			return ok
 		case DMRta:
-			return fp.Fits(assigned[k], cand)
+			ok := fp.Fits(assigned[k], cand)
+			fit.Bool("ok", ok)
+			return ok
 		default:
-			return dbf.FitsApprox(assigned[k], cand)
+			if fit == nil {
+				return dbf.FitsApprox(assigned[k], cand)
+			}
+			rep := dbf.ExplainFit(assigned[k], cand)
+			fit.Float("util", rep.Util).Bool("util_ok", rep.UtilOK).
+				Float("demand", rep.Demand).Int("capacity", int64(rep.Capacity)).
+				Bool("demand_ok", rep.DemandOK).Bool("ok", rep.OK())
+			return rep.OK()
 		}
 	}
 	switch opt.Heuristic {

@@ -77,6 +77,9 @@ func Register(a Analyzer) {
 }
 
 // Lookup returns the registered analyzer, or an error naming the known set.
+// When analyzer timing is enabled (EnableTiming) the returned value is a
+// transparent wrapper that records each Schedulable call's latency into the
+// per-name histogram served by TimingSnapshot; Name() is unaffected.
 func Lookup(name string) (Analyzer, error) {
 	registryMu.RLock()
 	a, ok := registry[name]
@@ -84,7 +87,7 @@ func Lookup(name string) (Analyzer, error) {
 	if !ok {
 		return nil, fmt.Errorf("runner: unknown analyzer %q (have %v)", name, Names())
 	}
-	return a, nil
+	return maybeTimed(a), nil
 }
 
 // MustLookup is Lookup for registry keys known at compile time.

@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedsched/internal/obs"
+	"fedsched/internal/task"
+)
+
+// Per-analyzer timing: when enabled, every Analyzer handed out by Lookup is
+// wrapped so each Schedulable call is observed into a per-name latency
+// histogram (internal/obs). Off by default — the sweep engine's hot loops pay
+// only one atomic load — and intended for `experiments -timing` and ad-hoc
+// profiling of which analyzers dominate a sweep's wall-clock.
+var (
+	timingOn atomic.Bool
+
+	timingMu sync.Mutex
+	timings  = map[string]*obs.Histogram{}
+)
+
+// EnableTiming turns on per-analyzer latency recording for all analyzers
+// subsequently returned by Lookup/MustLookup.
+func EnableTiming() { timingOn.Store(true) }
+
+// TimingEnabled reports whether analyzer timing is on.
+func TimingEnabled() bool { return timingOn.Load() }
+
+// ResetTiming clears recorded timings and disables recording (tests).
+func ResetTiming() {
+	timingOn.Store(false)
+	timingMu.Lock()
+	timings = map[string]*obs.Histogram{}
+	timingMu.Unlock()
+}
+
+// histFor returns (creating if needed) the histogram for one analyzer name.
+func histFor(name string) *obs.Histogram {
+	timingMu.Lock()
+	defer timingMu.Unlock()
+	h, ok := timings[name]
+	if !ok {
+		h = &obs.Histogram{}
+		timings[name] = h
+	}
+	return h
+}
+
+// timed wraps an Analyzer so each Schedulable call lands in the shared
+// per-name histogram. Name is forwarded unchanged — the registry contract
+// Lookup(name).Name() == name survives wrapping.
+type timed struct {
+	inner Analyzer
+	hist  *obs.Histogram
+}
+
+func (t timed) Name() string { return t.inner.Name() }
+
+func (t timed) Schedulable(sys task.System, m int) bool {
+	start := time.Now()
+	ok := t.inner.Schedulable(sys, m)
+	t.hist.Observe(time.Since(start))
+	return ok
+}
+
+// maybeTimed wraps a in a timing recorder iff timing is enabled.
+func maybeTimed(a Analyzer) Analyzer {
+	if !timingOn.Load() {
+		return a
+	}
+	return timed{inner: a, hist: histFor(a.Name())}
+}
+
+// AnalyzerTiming is one analyzer's aggregate latency record.
+type AnalyzerTiming struct {
+	Name   string `json:"name"`
+	Count  int64  `json:"count"`
+	SumNs  int64  `json:"sum_ns"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	MaxNs  int64  `json:"max_ns"`
+}
+
+// TimingSnapshot returns the recorded per-analyzer timings, sorted by name;
+// analyzers never invoked (count 0) are omitted.
+func TimingSnapshot() []AnalyzerTiming {
+	timingMu.Lock()
+	names := make([]string, 0, len(timings))
+	hists := make([]*obs.Histogram, 0, len(timings))
+	for name, h := range timings {
+		names = append(names, name)
+		hists = append(hists, h)
+	}
+	timingMu.Unlock()
+	out := make([]AnalyzerTiming, 0, len(names))
+	for i, name := range names {
+		h := hists[i]
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, AnalyzerTiming{
+			Name:   name,
+			Count:  h.Count(),
+			SumNs:  h.SumNs(),
+			MeanNs: h.MeanNs(),
+			P50Ns:  h.Quantile(0.50),
+			P99Ns:  h.Quantile(0.99),
+			MaxNs:  h.MaxNs(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}

@@ -1,0 +1,56 @@
+package runner
+
+import (
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+func TestTimingDisabledByDefault(t *testing.T) {
+	ResetTiming()
+	a := MustLookup("fedcons")
+	if _, wrapped := a.(timed); wrapped {
+		t.Fatal("Lookup wraps analyzers while timing is disabled")
+	}
+	sys := task.System{task.MustNew("x", dag.Singleton(1), 2, 2)}
+	a.Schedulable(sys, 1)
+	if got := TimingSnapshot(); len(got) != 0 {
+		t.Errorf("snapshot = %v, want empty", got)
+	}
+}
+
+func TestTimingRecordsPerAnalyzer(t *testing.T) {
+	ResetTiming()
+	defer ResetTiming()
+	EnableTiming()
+	a := MustLookup("fedcons")
+	if a.Name() != "fedcons" {
+		t.Fatalf("wrapped Name = %q", a.Name())
+	}
+	sys := task.System{task.MustNew("x", dag.Singleton(1), 2, 2)}
+	for i := 0; i < 5; i++ {
+		if !a.Schedulable(sys, 1) {
+			t.Fatal("trivial system rejected")
+		}
+	}
+	// A second analyzer gets its own histogram.
+	b := MustLookup("necessary")
+	b.Schedulable(sys, 1)
+
+	snap := TimingSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2: %v", len(snap), snap)
+	}
+	// Sorted by name: fedcons before necessary.
+	if snap[0].Name != "fedcons" || snap[1].Name != "necessary" {
+		t.Fatalf("snapshot order %q, %q", snap[0].Name, snap[1].Name)
+	}
+	fc := snap[0]
+	if fc.Count != 5 {
+		t.Errorf("fedcons count = %d, want 5", fc.Count)
+	}
+	if fc.SumNs < fc.MaxNs || fc.P99Ns > fc.MaxNs || fc.MeanNs > fc.MaxNs {
+		t.Errorf("inconsistent aggregates: %+v", fc)
+	}
+}

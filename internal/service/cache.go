@@ -18,6 +18,7 @@ import (
 
 	"fedsched/internal/core"
 	"fedsched/internal/listsched"
+	"fedsched/internal/obs"
 	"fedsched/internal/task"
 )
 
@@ -127,16 +128,23 @@ func (c *AnalysisCache) hashOf(tk *task.DAGTask) core.Hash {
 }
 
 func (c *AnalysisCache) minprocs(tk *task.DAGTask, opt core.Options) phase1Result {
+	res, _ := c.minprocsTraced(tk, opt, nil)
+	return res
+}
+
+// minprocsTraced is minprocs with an optional decision-trace span (recorded
+// only on a miss, where the real scan runs) and a hit/miss report.
+func (c *AnalysisCache) minprocsTraced(tk *task.DAGTask, opt core.Options, sp *obs.Span) (phase1Result, bool) {
 	h := c.hashOf(tk)
 	if res, ok := c.lookup(h, tk); ok {
-		return res
+		return res, true
 	}
 	var res phase1Result
 	if opt.Minprocs == core.Analytic {
-		res.mu, res.tmpl, res.feasible = core.MinprocsAnalytic(tk, int(^uint(0)>>1), opt.Priority)
+		res.mu, res.tmpl, res.feasible = core.MinprocsAnalyticTrace(tk, int(^uint(0)>>1), opt.Priority, sp)
 	} else {
-		res.mu, res.tmpl, res.feasible = core.Minprocs(tk, tk.G.Width(), opt.Priority)
+		res.mu, res.tmpl, res.feasible = core.MinprocsTrace(tk, tk.G.Width(), opt.Priority, sp)
 	}
 	c.store(h, tk, res)
-	return res
+	return res, false
 }

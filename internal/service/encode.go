@@ -27,6 +27,10 @@ type Verdict struct {
 	SharedProcs []SharedProc `json:"sharedProcs,omitempty"`
 	// Reason is the failure diagnosis (unschedulable only).
 	Reason string `json:"reason,omitempty"`
+	// Trace is the FEDCONS decision trace (span array with timings), present
+	// only when the caller asked for one (daemon ?trace=1). omitempty keeps
+	// the untraced encoding byte-identical to `fedsched -o json`.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // HighGrant is one high-density task's dedicated-processor grant.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fedsched/internal/core"
+	"fedsched/internal/obs"
 	"fedsched/internal/partition"
 	"fedsched/internal/task"
 )
@@ -15,6 +16,12 @@ import (
 // numbering, same templates) or an identical *core.FailureError — the memo
 // only removes redundant list-scheduling work, never changes the answer.
 // The differential test in incremental_test.go pins this equivalence.
+//
+// When opt.Trace is set the same span taxonomy as core.Schedule is emitted
+// (fedcons → phase1 → per-task spans → phase2 → place/fit spans), with one
+// addition: each high-density task span carries a "cache" attr ("hit" or
+// "miss"); hits replay μ* without re-running LS, so a hit span has no "mu"
+// candidate children.
 func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -27,22 +34,48 @@ func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*cor
 	nextProc := 0
 	mr := m
 
+	root := opt.Trace.Start("fedcons")
+	if root != nil {
+		root.Int("m", int64(m)).Int("tasks", int64(len(sys))).
+			Str("minprocs", opt.Minprocs.String())
+	}
+
 	// Phase 1: size and place each high-density task (paper Fig. 2 lines
 	// 2–6), replaying μ* from the cache. μ* ≤ m_r reproduces the bounded
 	// scan: the scan visits μ = ⌈δ⌉, ⌈δ⌉+1, … in an order independent of
 	// m_r, so the bounded result is μ* exactly when μ* ≤ m_r and FAILURE
 	// otherwise.
+	phase1 := root.Child("phase1")
 	var low task.System
 	for i, tk := range sys {
+		var tsp *obs.Span
+		if phase1 != nil {
+			vol, l, d := tk.Volume(), tk.Len(), taskWindow(tk)
+			tsp = phase1.Child("task").Str("task", tk.Name).Int("index", int64(i)).
+				Int("vol", int64(vol)).Int("len", int64(l)).Int("window", int64(d)).
+				Float("density", float64(vol)/float64(d)).Bool("high", tk.HighDensity())
+		}
 		if !tk.HighDensity() {
+			tsp.Finish()
 			low = append(low, tk)
 			alloc.LowIndices = append(alloc.LowIndices, i)
 			continue
 		}
-		res := c.minprocs(tk, opt)
+		res, hit := c.minprocsTraced(tk, opt, tsp)
+		if tsp != nil {
+			if hit {
+				tsp.Str("cache", "hit")
+			} else {
+				tsp.Str("cache", "miss")
+			}
+		}
 		if !res.feasible || res.mu > mr {
+			tsp.Bool("failed", true).Finish()
+			phase1.Finish()
+			root.Bool("schedulable", false).Str("phase", core.PhaseHighDensity.String()).Finish()
 			return nil, &core.FailureError{Phase: core.PhaseHighDensity, TaskIndex: i, TaskName: tk.Name, Remaining: mr}
 		}
+		tsp.Int("mu", int64(res.mu)).Finish()
 		procs := make([]int, res.mu)
 		for p := range procs {
 			procs[p] = nextProc
@@ -51,6 +84,7 @@ func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*cor
 		alloc.High = append(alloc.High, core.HighAssignment{TaskIndex: i, Procs: procs, Template: res.tmpl})
 		mr -= res.mu
 	}
+	phase1.Int("dedicated", int64(nextProc)).Int("remaining", int64(mr)).Finish()
 
 	// Phase 2: partition the low-density tasks (Fig. 2 line 7). This is the
 	// cheap phase; it is recomputed in full on every admission because the
@@ -58,7 +92,15 @@ func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*cor
 	for p := 0; p < mr; p++ {
 		alloc.SharedProcs = append(alloc.SharedProcs, nextProc+p)
 	}
-	res, err := partition.Partition(low, mr, opt.Partition)
+	phase2 := root.Child("phase2")
+	if phase2 != nil {
+		phase2.Int("procs", int64(mr)).Int("low", int64(len(low))).
+			Str("heuristic", opt.Partition.Heuristic.String()).
+			Str("test", opt.Partition.Test.String())
+	}
+	popt := opt.Partition
+	popt.Trace = phase2
+	res, err := partition.Partition(low, mr, popt)
 	if err != nil {
 		fe := &core.FailureError{Phase: core.PhaseLowDensity, Remaining: mr, Err: err}
 		var pf *partition.FailureError
@@ -66,8 +108,20 @@ func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*cor
 			fe.TaskIndex = alloc.LowIndices[pf.TaskIndex]
 			fe.TaskName = pf.TaskName
 		}
+		phase2.Bool("failed", true).Finish()
+		root.Bool("schedulable", false).Str("phase", core.PhaseLowDensity.String()).Finish()
 		return nil, fe
 	}
+	phase2.Finish()
+	root.Bool("schedulable", true).Finish()
 	alloc.Low = res
 	return alloc, nil
+}
+
+// taskWindow mirrors core's min(D, T) dag-job scheduling window.
+func taskWindow(tk *task.DAGTask) task.Time {
+	if tk.T < tk.D {
+		return tk.T
+	}
+	return tk.D
 }

@@ -2,54 +2,20 @@ package service
 
 import (
 	"expvar"
-	"sort"
-	"sync"
-	"time"
+
+	"fedsched/internal/obs"
 )
-
-// latencyWindow retains the most recent admission latencies for on-demand
-// quantile estimation. A fixed ring keeps the memory bound; 1024 samples is
-// plenty for p50/p99 of a live service.
-const latencyWindow = 1024
-
-type latencyRing struct {
-	mu    sync.Mutex
-	buf   [latencyWindow]time.Duration
-	n     int // total observations ever
-	count int // valid entries in buf
-}
-
-func (l *latencyRing) observe(d time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.buf[l.n%latencyWindow] = d
-	l.n++
-	if l.count < latencyWindow {
-		l.count++
-	}
-}
-
-// quantiles returns the p50 and p99 of the retained window, in nanoseconds.
-func (l *latencyRing) quantiles() (p50, p99 int64) {
-	l.mu.Lock()
-	samples := make([]time.Duration, l.count)
-	copy(samples, l.buf[:l.count])
-	l.mu.Unlock()
-	if len(samples) == 0 {
-		return 0, 0
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	idx := func(p float64) int {
-		i := int(p * float64(len(samples)-1))
-		return i
-	}
-	return int64(samples[idx(0.50)]), int64(samples[idx(0.99)])
-}
 
 // metrics holds the daemon's counters. Each Server owns its own expvar.Map
 // rather than publishing into the process-global expvar namespace, so tests
 // (and a -loadgen process driving itself) can hold many servers without
 // Publish collisions; /debug/vars renders the map.
+//
+// Admission latency is an obs.Histogram — the same log-bucketed implementation
+// the rest of the pipeline uses — which replaced an earlier bespoke sample
+// ring whose quantile estimator used floor(p·(n−1)) indexing and so
+// under-reported tail quantiles on small windows (obs.Histogram.Quantile is
+// ceil nearest-rank).
 type metrics struct {
 	admits   expvar.Int // admissions accepted and installed
 	rejects  expvar.Int // admissions rejected by the FEDCONS analysis
@@ -57,7 +23,7 @@ type metrics struct {
 	shed     expvar.Int // requests dropped by queue-bound load shedding
 	timeouts expvar.Int // requests whose deadline expired before analysis
 	errors   expvar.Int // malformed requests (decode/validation failures)
-	latency  latencyRing
+	latency  obs.Histogram
 }
 
 // vars assembles the /debug/vars map for a server.
@@ -85,7 +51,8 @@ func (s *Server) vars() *expvar.Map {
 		}
 		return float64(h) / float64(h+mi)
 	}))
-	m.Set("admit_latency_p50_ns", expvar.Func(func() any { p50, _ := s.met.latency.quantiles(); return p50 }))
-	m.Set("admit_latency_p99_ns", expvar.Func(func() any { _, p99 := s.met.latency.quantiles(); return p99 }))
+	m.Set("admit_latency_p50_ns", expvar.Func(func() any { return s.met.latency.Quantile(0.50) }))
+	m.Set("admit_latency_p99_ns", expvar.Func(func() any { return s.met.latency.Quantile(0.99) }))
+	m.Set("admit_latency_p999_ns", expvar.Func(func() any { return s.met.latency.Quantile(0.999) }))
 	return m
 }

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"bytes"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fedsched/internal/obs"
+)
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "fedschedd"
+
+// promHandler renders the daemon's metrics in the Prometheus text exposition
+// format (version 0.0.4), derived from the same expvar map that backs
+// /debug/vars so the two views can never disagree. Keys ending in "_total"
+// are typed counter, everything else gauge; the admit_latency_p* expvar keys
+// are skipped in favor of the full fedschedd_admit_latency_seconds histogram
+// rendered from the underlying obs.Histogram. expvar.Map.Do iterates keys in
+// sorted order, so the exposition is deterministic.
+func (s *Server) promHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		s.promVars.Do(func(kv expvar.KeyValue) {
+			if strings.HasPrefix(kv.Key, "admit_latency_") {
+				return
+			}
+			val, ok := promValue(kv.Value)
+			if !ok {
+				return
+			}
+			name := promNamespace + "_" + kv.Key
+			typ := "gauge"
+			if strings.HasSuffix(kv.Key, "_total") {
+				typ = "counter"
+			}
+			fmt.Fprintf(&buf, "# TYPE %s %s\n%s %s\n", name, typ, name, val)
+		})
+		promHistogram(&buf, promNamespace+"_admit_latency_seconds", &s.met.latency)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}
+
+// promValue renders one expvar value as a Prometheus sample value.
+func promValue(v expvar.Var) (string, bool) {
+	switch x := v.(type) {
+	case *expvar.Int:
+		return strconv.FormatInt(x.Value(), 10), true
+	case *expvar.Float:
+		return strconv.FormatFloat(x.Value(), 'g', -1, 64), true
+	case expvar.Func:
+		switch n := x.Value().(type) {
+		case int:
+			return strconv.Itoa(n), true
+		case int64:
+			return strconv.FormatInt(n, 10), true
+		case float64:
+			return strconv.FormatFloat(n, 'g', -1, 64), true
+		}
+	}
+	return "", false
+}
+
+// promHistogram writes one obs.Histogram in Prometheus histogram form:
+// cumulative buckets keyed by upper bound in seconds, then _sum and _count.
+func promHistogram(buf *bytes.Buffer, name string, h *obs.Histogram) {
+	fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		le := strconv.FormatFloat(float64(b.UpperNs)/1e9, 'g', -1, 64)
+		fmt.Fprintf(buf, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(buf, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(buf, "%s_sum %s\n", name, strconv.FormatFloat(float64(h.SumNs())/1e9, 'g', -1, 64))
+	fmt.Fprintf(buf, "%s_count %d\n", name, h.Count())
+}

@@ -2,7 +2,10 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -11,6 +14,7 @@ import (
 	"time"
 
 	"fedsched/internal/core"
+	"fedsched/internal/obs"
 	"fedsched/internal/task"
 )
 
@@ -28,6 +32,25 @@ type Config struct {
 	// AdmitTimeout is the per-request context deadline applied to mutating
 	// requests. Default 2s.
 	AdmitTimeout time.Duration
+	// Observer, when non-nil, is called synchronously from the writer loop
+	// after every completed admit/remove with that operation's summary
+	// record. Single-writer execution makes the per-operation cache deltas
+	// well-defined. Keep it fast: it runs on the admission path. The daemon
+	// uses it for -v one-line summaries and the -audit JSONL log.
+	Observer func(AdmissionRecord)
+}
+
+// AdmissionRecord summarizes one completed mutation for Config.Observer.
+type AdmissionRecord struct {
+	TraceID     string `json:"trace_id"`
+	Op          string `json:"op"` // "admit" or "remove"
+	Task        string `json:"task"`
+	Status      int    `json:"status"`
+	Schedulable bool   `json:"schedulable"`
+	LatencyNs   int64  `json:"latency_ns"`
+	CacheHits   int64  `json:"cache_hits"`   // Phase-1 memo hits during this operation
+	CacheMisses int64  `json:"cache_misses"` // Phase-1 memo misses during this operation
+	Tasks       int    `json:"tasks"`        // installed system size after the operation
 }
 
 // Server is the admission-control daemon state: a live task system, its
@@ -52,16 +75,22 @@ type Server struct {
 	loop    sync.WaitGroup
 	once    sync.Once
 
-	met     metrics
-	varsMap http.Handler
-	started time.Time
+	met      metrics
+	varsMap  http.Handler
+	promVars *expvar.Map
+	started  time.Time
+
+	// tracePrefix + traceSeq mint per-request trace IDs like "a1b2c3d4-000007".
+	tracePrefix string
+	traceSeq    obs.Counter
 }
 
 // request is one queued mutation for the writer loop.
 type request struct {
-	ctx  context.Context
-	run  func() opResult
-	resp chan opResult // buffered: the loop never blocks on a gone client
+	ctx   context.Context
+	trace string // trace ID, echoed in queue-expiry error bodies
+	run   func() opResult
+	resp  chan opResult // buffered: the loop never blocks on a gone client
 }
 
 // opResult is a finished operation: an HTTP status and a JSON body.
@@ -85,13 +114,15 @@ func New(cfg Config) (*Server, error) {
 		cfg.AdmitTimeout = 2 * time.Second
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewAnalysisCache(),
-		reqs:    make(chan *request, cfg.QueueBound),
-		closing: make(chan struct{}),
-		started: time.Now(),
+		cfg:         cfg,
+		cache:       NewAnalysisCache(),
+		reqs:        make(chan *request, cfg.QueueBound),
+		closing:     make(chan struct{}),
+		started:     time.Now(),
+		tracePrefix: randomTracePrefix(),
 	}
-	s.varsMap = varsHandler(s.vars())
+	s.promVars = s.vars()
+	s.varsMap = varsHandler(s.promVars)
 	s.loop.Add(1)
 	go s.writerLoop()
 	return s, nil
@@ -140,24 +171,26 @@ func (s *Server) writerLoop() {
 func (s *Server) serve(req *request) {
 	if err := req.ctx.Err(); err != nil {
 		s.met.timeouts.Add(1)
-		req.resp <- errResult(http.StatusGatewayTimeout, "admission deadline expired while queued: "+err.Error())
+		req.resp <- errResultTrace(http.StatusGatewayTimeout, "admission deadline expired while queued: "+err.Error(), req.trace)
 		return
 	}
 	req.resp <- req.run()
 }
 
 // submit routes a mutation through the writer loop, shedding load when the
-// queue is full and honoring the caller's context deadline.
-func (s *Server) submit(ctx context.Context, run func() opResult) opResult {
+// queue is full and honoring the caller's context deadline. The trace ID is
+// echoed in every error body minted here (429/503/504), so a client that
+// never got a verdict still holds a handle the operator can grep for.
+func (s *Server) submit(ctx context.Context, traceID string, run func() opResult) opResult {
 	if s.closed.Load() {
-		return errResult(http.StatusServiceUnavailable, "server shutting down")
+		return errResultTrace(http.StatusServiceUnavailable, "server shutting down", traceID)
 	}
-	req := &request{ctx: ctx, run: run, resp: make(chan opResult, 1)}
+	req := &request{ctx: ctx, trace: traceID, run: run, resp: make(chan opResult, 1)}
 	select {
 	case s.reqs <- req:
 	default:
 		s.met.shed.Add(1)
-		return opResult{status: http.StatusTooManyRequests} // handler adds Retry-After
+		return errResultTrace(http.StatusTooManyRequests, "admission queue full; retry later", traceID)
 	}
 	select {
 	case res := <-req.resp:
@@ -167,8 +200,22 @@ func (s *Server) submit(ctx context.Context, run func() opResult) opResult {
 		// before starting, but cannot un-run an analysis already underway);
 		// the client should GET /v1/allocation to learn the outcome.
 		s.met.timeouts.Add(1)
-		return errResult(http.StatusGatewayTimeout, "admission deadline expired: "+ctx.Err().Error())
+		return errResultTrace(http.StatusGatewayTimeout, "admission deadline expired: "+ctx.Err().Error(), traceID)
 	}
+}
+
+// randomTracePrefix draws the per-server trace-ID prefix.
+func randomTracePrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// nextTraceID mints a server-unique request trace ID.
+func (s *Server) nextTraceID() string {
+	return fmt.Sprintf("%s-%06d", s.tracePrefix, s.traceSeq.Inc())
 }
 
 // Admit trial-admits tk: it runs the full two-phase FEDCONS test on the
@@ -178,10 +225,17 @@ func (s *Server) submit(ctx context.Context, run func() opResult) opResult {
 // analysis (body = Verdict with the failure reason) or duplicate name,
 // 429 shed, 504 deadline expired, 500 audit failure (state unchanged).
 func (s *Server) Admit(ctx context.Context, tk *task.DAGTask) (int, []byte) {
-	res := s.submit(ctx, func() opResult {
-		start := time.Now()
-		defer func() { s.met.latency.observe(time.Since(start)) }()
-		return s.doAdmit(tk)
+	return s.AdmitTrace(ctx, tk, s.nextTraceID(), nil)
+}
+
+// AdmitTrace is Admit with an explicit trace ID (echoed in shed/timeout error
+// bodies and the Observer record) and an optional obs.Recorder: when rec is
+// non-nil the full FEDCONS decision trace of the trial analysis is recorded
+// into it and embedded in the Verdict's "trace" field — the daemon's
+// ?trace=1 admit mode.
+func (s *Server) AdmitTrace(ctx context.Context, tk *task.DAGTask, traceID string, rec *obs.Recorder) (int, []byte) {
+	res := s.submit(ctx, traceID, func() opResult {
+		return s.observed(traceID, "admit", tk.Name, func() opResult { return s.doAdmit(tk, rec) })
 	})
 	return res.status, res.body
 }
@@ -190,13 +244,50 @@ func (s *Server) Admit(ctx context.Context, tk *task.DAGTask) (int, []byte) {
 // system. Status: 200 removed, 404 unknown name, plus the same 429/504
 // envelope as Admit.
 func (s *Server) Remove(ctx context.Context, name string) (int, []byte) {
-	res := s.submit(ctx, func() opResult { return s.doRemove(name) })
+	return s.RemoveTrace(ctx, name, s.nextTraceID())
+}
+
+// RemoveTrace is Remove with an explicit trace ID.
+func (s *Server) RemoveTrace(ctx context.Context, name, traceID string) (int, []byte) {
+	res := s.submit(ctx, traceID, func() opResult {
+		return s.observed(traceID, "remove", name, func() opResult { return s.doRemove(name) })
+	})
 	return res.status, res.body
+}
+
+// observed runs one mutation inside the writer loop, timing it into the
+// latency histogram and reporting the completed operation to Config.Observer.
+func (s *Server) observed(traceID, op, taskName string, run func() opResult) opResult {
+	start := time.Now()
+	var h0, m0 int64
+	if s.cfg.Observer != nil {
+		h0, m0 = s.cache.Stats()
+	}
+	res := run()
+	lat := time.Since(start)
+	if op == "admit" {
+		s.met.latency.Observe(lat)
+	}
+	if s.cfg.Observer != nil {
+		h1, m1 := s.cache.Stats()
+		s.cfg.Observer(AdmissionRecord{
+			TraceID:     traceID,
+			Op:          op,
+			Task:        taskName,
+			Status:      res.status,
+			Schedulable: res.status == http.StatusOK,
+			LatencyNs:   lat.Nanoseconds(),
+			CacheHits:   h1 - h0,
+			CacheMisses: m1 - m0,
+			Tasks:       len(s.sys), // safe: we are the writer loop
+		})
+	}
+	return res
 }
 
 // doAdmit runs inside the writer loop: it is the only writer, so reading
 // s.sys without the lock is safe, and the lock is taken only to install.
-func (s *Server) doAdmit(tk *task.DAGTask) opResult {
+func (s *Server) doAdmit(tk *task.DAGTask, rec *obs.Recorder) opResult {
 	for _, cur := range s.sys {
 		if cur.Name == tk.Name {
 			s.met.errors.Add(1)
@@ -204,10 +295,12 @@ func (s *Server) doAdmit(tk *task.DAGTask) opResult {
 		}
 	}
 	trial := append(s.sys.Clone(), tk)
-	alloc, err := s.cache.Schedule(trial, s.cfg.M, s.cfg.Options)
+	opt := s.cfg.Options
+	opt.Trace = rec
+	alloc, err := s.cache.Schedule(trial, s.cfg.M, opt)
 	if err != nil {
 		s.met.rejects.Add(1)
-		return verdictResult(http.StatusConflict, NewVerdict(trial, s.cfg.M, nil, err))
+		return verdictResult(http.StatusConflict, withTrace(NewVerdict(trial, s.cfg.M, nil, err), rec))
 	}
 	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
 		// The audit is the last line of defense: never install an
@@ -216,7 +309,15 @@ func (s *Server) doAdmit(tk *task.DAGTask) opResult {
 	}
 	s.install(trial, alloc)
 	s.met.admits.Add(1)
-	return verdictResult(http.StatusOK, NewVerdict(trial, s.cfg.M, alloc, nil))
+	return verdictResult(http.StatusOK, withTrace(NewVerdict(trial, s.cfg.M, alloc, nil), rec))
+}
+
+// withTrace embeds rec's spans (with phase-level timings) into the verdict.
+func withTrace(v Verdict, rec *obs.Recorder) Verdict {
+	if rec != nil {
+		v.Trace = rec.JSON(obs.ExportOptions{Timings: true})
+	}
+	return v
 }
 
 func (s *Server) doRemove(name string) opResult {
@@ -263,11 +364,16 @@ func (s *Server) install(sys task.System, alloc *core.Allocation) {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/admit        trial-admit a DAG task (body: task JSON)
+//	POST   /v1/admit        trial-admit a DAG task (body: task JSON; ?trace=1
+//	                        embeds the FEDCONS decision trace in the verdict)
 //	DELETE /v1/tasks/{name} remove an admitted task
 //	GET    /v1/allocation   current verdict + allocation
 //	GET    /v1/healthz      liveness
 //	GET    /debug/vars      expvar metrics
+//	GET    /metrics         Prometheus text exposition
+//
+// Every mutating response carries an X-Trace-Id header; shed and timed-out
+// requests additionally echo the ID in the error body.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
@@ -275,10 +381,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", s.varsMap)
+	mux.Handle("GET /metrics", s.promHandler())
 	return mux
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	traceID := s.nextTraceID()
+	w.Header().Set("X-Trace-Id", traceID)
 	var tk task.DAGTask
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&tk); err != nil {
@@ -291,16 +400,22 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, errResult(http.StatusBadRequest, "task must carry a unique name"))
 		return
 	}
+	var rec *obs.Recorder
+	if r.URL.Query().Get("trace") == "1" {
+		rec = obs.New(obs.DefaultLimits)
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
 	defer cancel()
-	status, respBody := s.Admit(ctx, &tk)
+	status, respBody := s.AdmitTrace(ctx, &tk, traceID, rec)
 	writeJSON(w, opResult{status: status, body: respBody})
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	traceID := s.nextTraceID()
+	w.Header().Set("X-Trace-Id", traceID)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
 	defer cancel()
-	status, body := s.Remove(ctx, r.PathValue("name"))
+	status, body := s.RemoveTrace(ctx, r.PathValue("name"), traceID)
 	writeJSON(w, opResult{status: status, body: body})
 }
 
@@ -352,5 +467,14 @@ func verdictResult(status int, v Verdict) opResult {
 
 func errResult(status int, msg string) opResult {
 	body, _ := json.Marshal(map[string]string{"error": msg})
+	return opResult{status: status, body: append(body, '\n')}
+}
+
+// errResultTrace is errResult with the request's trace ID in the body.
+func errResultTrace(status int, msg, traceID string) opResult {
+	if traceID == "" {
+		return errResult(status, msg)
+	}
+	body, _ := json.Marshal(map[string]string{"error": msg, "trace_id": traceID})
 	return opResult{status: status, body: append(body, '\n')}
 }
