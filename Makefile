@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race serve-smoke obs-smoke experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race serve-smoke obs-smoke experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -11,7 +11,7 @@ all: build vet test
 # the differential oracle under the race detector, a fuzzing smoke pass, an
 # end-to-end boot/admit/drain check of the fedschedd daemon, and a smoke test
 # of its observability surface (/metrics, pprof, ?trace=1, audit log).
-check: vet build test-race oracle-race fuzz-smoke serve-smoke obs-smoke
+check: vet build test-race oracle-race par-race fuzz-smoke serve-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,12 @@ fuzz-smoke:
 # The fast-vs-reference differential oracle under the race detector.
 oracle-race:
 	$(GO) test -race -run 'TestOracle' ./internal/sim/
+
+# The parallel Phase-1 engine's determinism pins under the race detector:
+# core's seed × worker-count differential matrix and the service-level
+# batch/incremental equivalence tests.
+par-race:
+	$(GO) test -race -run 'TestSchedulePar|TestAdmitBatchParMatchesSequential|TestIncrementalMatchesBatch' ./internal/core/ ./internal/service/
 
 # End-to-end daemon smoke test: build fedschedd, boot it on a random port,
 # admit Example 1 (accepted) and a 3-wide high-density task (3-processor

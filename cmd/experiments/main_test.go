@@ -124,3 +124,39 @@ func TestQuietFlag(t *testing.T) {
 		t.Error("-q suppressed the report itself")
 	}
 }
+
+// TestParFlagValidation: negative pool sizes are rejected (through
+// exp.Config.Validate); 0 (= GOMAXPROCS) and explicit sizes run, and the
+// engine's determinism makes their reports byte-identical.
+func TestParFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		par     string
+		wantErr string
+	}{
+		{"negative", "-1", "Par must be ≥ 0"},
+		{"gomaxprocs", "0", ""},
+		{"bounded", "2", ""},
+	}
+	var baseline string
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run([]string{"-only", "E2", "-quick", "-par", tc.par}, &buf, io.Discard)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("-par %s: err = %v, want %q", tc.par, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("-par %s: %v", tc.par, err)
+			}
+			if baseline == "" {
+				baseline = buf.String()
+			} else if buf.String() != baseline {
+				t.Errorf("-par %s report diverges:\n%s", tc.par, buf.String())
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"fedsched/internal/core"
 	"fedsched/internal/obs"
@@ -59,12 +60,16 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		explain   = fs.Bool("explain", false, "print a step-by-step explanation of the FEDCONS decision (which phase, which task, which inequality)")
 		traceOut  = fs.String("trace", "", "write the decision trace as JSONL to this file ('-' = stdout); byte-deterministic for fixed input and options")
+		par       = fs.Int("par", runtime.GOMAXPROCS(0), "Phase-1 analysis worker pool size; output (including -trace and -explain) is byte-identical for every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one input file, got %d args", fs.NArg())
+	}
+	if *par < 1 {
+		return fmt.Errorf("-par must be ≥ 1, got %d", *par)
 	}
 
 	if *output != "text" && *output != "json" {
@@ -80,6 +85,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	opt.Par = *par
 	var rec *obs.Recorder
 	if *explain || *traceOut != "" {
 		rec = obs.New(obs.DefaultLimits)

@@ -123,3 +123,46 @@ func TestBadFlagsAndFiles(t *testing.T) {
 		t.Error("accepted malformed JSON")
 	}
 }
+
+// TestParFlagValidation pins the -par contract: sizes below 1 are rejected
+// with a clear error before any file is read, and every accepted size
+// produces byte-identical output (the parallel engine's determinism
+// guarantee, observed at the CLI surface).
+func TestParFlagValidation(t *testing.T) {
+	path := schedulableFile(t)
+	cases := []struct {
+		name    string
+		par     string
+		wantErr string
+	}{
+		{"zero", "0", "-par must be ≥ 1"},
+		{"negative", "-3", "-par must be ≥ 1"},
+		{"sequential", "1", ""},
+		{"parallel", "4", ""},
+		{"oversubscribed", "64", ""},
+	}
+	var baseline string
+	if err := run([]string{"-explain", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run([]string{"-par", tc.par, "-explain", path}, &buf)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("-par %s: err = %v, want %q", tc.par, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("-par %s: %v", tc.par, err)
+			}
+			if baseline == "" {
+				baseline = buf.String()
+			} else if buf.String() != baseline {
+				t.Errorf("-par %s output diverges from -par 1:\n%s", tc.par, buf.String())
+			}
+		})
+	}
+}

@@ -13,6 +13,9 @@
 //	POST   /v1/admit        trial-admit a DAG task (task JSON as produced by
 //	                        cmd/taskgen; 200 = installed, 409 = rejected;
 //	                        ?trace=1 embeds the FEDCONS decision trace)
+//	POST   /v1/admit/batch  trial-admit {"tasks": [...]} atomically: all
+//	                        installed or none; cold Phase-1 analyses run on
+//	                        the -par worker pool
 //	DELETE /v1/tasks/{name} remove an admitted task
 //	GET    /v1/allocation   current verdict + allocation (same bytes as
 //	                        `fedsched -o json` for the same system)
@@ -39,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -65,6 +69,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		heuristic    = fs.String("partition", "first-fit", "partition heuristic: first-fit (paper), best-fit, worst-fit")
 		admission    = fs.String("admission", "dbf-approx", "partition admission test: dbf-approx (paper), edf-exact or dm-rta")
 		queue        = fs.Int("queue", 64, "admission queue bound; beyond it requests are shed with 429")
+		par          = fs.Int("par", runtime.GOMAXPROCS(0), "Phase-1 analysis worker pool size for cold (batch) admissions; verdicts are identical for every value")
 		admitTimeout = fs.Duration("admit-timeout", 2*time.Second, "per-request admission deadline")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 		verbose      = fs.Bool("v", false, "log a one-line summary of every admission (trace ID, verdict, latency, cache hit/miss)")
@@ -83,6 +88,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if *par < 1 {
+		return fmt.Errorf("-par must be ≥ 1, got %d", *par)
+	}
 
 	if *loadgen {
 		return runLoadgen(ctx, out, loadgenConfig{
@@ -97,6 +105,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	opt.Par = *par
 	observer, closeAudit, err := buildObserver(out, *verbose, *auditPath)
 	if err != nil {
 		return err

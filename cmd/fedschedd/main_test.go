@@ -154,3 +154,25 @@ func TestLoadgenSmoke(t *testing.T) {
 		t.Fatalf("unexpected loadgen report:\n%s", report)
 	}
 }
+
+// TestParFlagValidation: the daemon rejects worker-pool sizes below 1 with a
+// clear error instead of silently falling back to sequential analysis.
+func TestParFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"zero", []string{"-par", "0"}, "-par must be ≥ 1"},
+		{"negative", []string{"-par", "-2"}, "-par must be ≥ 1"},
+		{"unparseable", []string{"-par", "many"}, "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, &bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

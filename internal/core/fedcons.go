@@ -76,6 +76,15 @@ type Options struct {
 	// (obs.Noop) costs only pointer tests — the overhead guard in
 	// trace_test.go pins that it allocates nothing extra.
 	Trace *obs.Recorder
+	// Par bounds the Phase-1 worker pool: when > 1, the MINPROCS list-
+	// scheduling scans of the high-density tasks are precomputed across
+	// min(Par, #high-density) goroutines before the (sequential) merge loop
+	// runs. Because listsched.Run is a pure function of (G, μ, priority),
+	// precomputing it never changes what the merge loop observes, so every
+	// output — verdict, allocation, decision trace — is byte-identical at
+	// any Par value; the differential matrix in parallel_test.go pins this.
+	// 0 and 1 both mean fully sequential; negative values are rejected.
+	Par int
 }
 
 // HighAssignment is the phase-1 outcome for one high-density task.
@@ -185,6 +194,29 @@ func window(tk *task.DAGTask) Time {
 	return tk.D
 }
 
+// lsRunner produces the LS schedule of one task's DAG on mu processors. The
+// sequential path runs listsched.Run live; the parallel engine substitutes a
+// memo populated by the Phase-1 worker pool (see phase1Prefetch). Since
+// listsched.Run is a pure deterministic function of (G, mu, priority), the
+// substitution is observationally invisible.
+type lsRunner func(mu int) (*listsched.Schedule, error)
+
+// liveRunner is the default lsRunner: run list scheduling on demand.
+func liveRunner(tk *task.DAGTask, prio listsched.Priority) lsRunner {
+	return func(mu int) (*listsched.Schedule, error) {
+		return listsched.Run(tk.G, mu, prio)
+	}
+}
+
+// scanStart returns the first μ candidate of the Fig. 3 scan: max(⌈δ_i⌉, 1).
+func scanStart(tk *task.DAGTask) int {
+	start := ceilDensity(tk)
+	if start < 1 {
+		start = 1
+	}
+	return start
+}
+
 // Minprocs implements procedure MINPROCS(τ_i, m_r) of Fig. 3: the smallest
 // μ ∈ [⌈δ_i⌉, mr] for which LS schedules G_i with makespan ≤ min(D_i, T_i),
 // together with the witness schedule. For constrained deadlines the bound is
@@ -200,15 +232,18 @@ func Minprocs(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int, tmpl *
 // and one "mu" child per candidate tried, carrying the LS makespan and the
 // Lemma-1 bound len + (vol − len)/μ. A nil sp skips every trace computation.
 func MinprocsTrace(tk *task.DAGTask, mr int, prio listsched.Priority, sp *obs.Span) (mu int, tmpl *listsched.Schedule, ok bool) {
+	return minprocsTrace(tk, mr, sp, liveRunner(tk, prio))
+}
+
+// minprocsTrace is the scan body behind MinprocsTrace, with list scheduling
+// abstracted behind ls so the parallel engine can replay precomputed runs.
+func minprocsTrace(tk *task.DAGTask, mr int, sp *obs.Span, ls lsRunner) (mu int, tmpl *listsched.Schedule, ok bool) {
 	d := window(tk)
 	if tk.Len() > d {
 		sp.Str("reason", "critical-path-exceeds-window")
 		return 0, nil, false // no processor count can beat the critical path
 	}
-	start := ceilDensity(tk)
-	if start < 1 {
-		start = 1
-	}
+	start := scanStart(tk)
 	// Any set of simultaneously-running jobs is an antichain of G, so on
 	// Width(G) processors a work-conserving scheduler never delays an
 	// available job and the LS makespan equals len(G) ≤ d exactly. Scanning
@@ -224,7 +259,7 @@ func MinprocsTrace(tk *task.DAGTask, mr int, prio listsched.Priority, sp *obs.Sp
 			Int("limit", int64(limit)).Int("remaining", int64(mr))
 	}
 	for mu = start; mu <= limit; mu++ {
-		s, err := listsched.Run(tk.G, mu, prio)
+		s, err := ls(mu)
 		if err != nil {
 			return 0, nil, false
 		}
@@ -255,22 +290,39 @@ func MinprocsAnalytic(tk *task.DAGTask, mr int, prio listsched.Priority) (mu int
 // span; the single closed-form candidate is recorded as one "mu" child,
 // mirroring the LS-scan trace shape.
 func MinprocsAnalyticTrace(tk *task.DAGTask, mr int, prio listsched.Priority, sp *obs.Span) (mu int, tmpl *listsched.Schedule, ok bool) {
+	return minprocsAnalyticTrace(tk, mr, sp, liveRunner(tk, prio))
+}
+
+// analyticMu returns the closed-form Graham-bound processor count for tk, or
+// an infeasibility reason (the span attribute value MinprocsAnalyticTrace
+// records) when the bound cannot certify any count.
+func analyticMu(tk *task.DAGTask) (mu int, reason string) {
 	vol, l, d := tk.Volume(), tk.Len(), window(tk)
 	switch {
 	case l > d:
-		sp.Str("reason", "critical-path-exceeds-window")
-		return 0, nil, false
+		return 0, "critical-path-exceeds-window"
 	case vol <= d:
 		mu = 1
 	case l == d:
-		sp.Str("reason", "no-slack-for-graham-bound")
-		return 0, nil, false // bound needs (vol−len)/(D−len) with D > len
+		return 0, "no-slack-for-graham-bound" // bound needs (vol−len)/(D−len) with D > len
 	default:
 		mu = int((vol - l + (d - l) - 1) / (d - l))
 	}
 	if mu < 1 {
 		mu = 1
 	}
+	return mu, ""
+}
+
+// minprocsAnalyticTrace is the body behind MinprocsAnalyticTrace, with list
+// scheduling abstracted behind ls (see minprocsTrace).
+func minprocsAnalyticTrace(tk *task.DAGTask, mr int, sp *obs.Span, ls lsRunner) (mu int, tmpl *listsched.Schedule, ok bool) {
+	mu, reason := analyticMu(tk)
+	if reason != "" {
+		sp.Str("reason", reason)
+		return 0, nil, false
+	}
+	d := window(tk)
 	if sp != nil {
 		sp.Int("remaining", int64(mr))
 	}
@@ -278,7 +330,7 @@ func MinprocsAnalyticTrace(tk *task.DAGTask, mr int, prio listsched.Priority, sp
 		sp.Str("reason", "analytic-mu-exceeds-remaining")
 		return 0, nil, false
 	}
-	s, err := listsched.Run(tk.G, mu, prio)
+	s, err := ls(mu)
 	if err != nil || s.Makespan > d {
 		// Graham's bound makes the deadline certain; reaching here would
 		// mean a bug in LS, so surface it as infeasible rather than panic.
@@ -310,14 +362,28 @@ func Schedule(sys task.System, m int, opt Options) (*Allocation, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("fedcons: m must be ≥ 1, got %d", m)
 	}
+	if opt.Par < 0 {
+		return nil, fmt.Errorf("fedcons: par must be ≥ 0, got %d", opt.Par)
+	}
 
 	alloc := &Allocation{M: m}
 	nextProc := 0 // processors [0, nextProc) are spoken for
 	mr := m       // m_r: remaining processors (Fig. 2 line 1)
 
-	minprocs := MinprocsTrace
+	// With Par > 1 the expensive LS scans of Phase 1 are precomputed on a
+	// worker pool; the merge loop below then replays them from the memo in
+	// canonical (input) order, so every decision — and every trace byte —
+	// is made by exactly the same code as the sequential path.
+	memos := phase1Prefetch(sys, opt)
+	runnerFor := func(i int, tk *task.DAGTask) lsRunner {
+		if memos != nil && memos[i] != nil {
+			return memos[i]
+		}
+		return liveRunner(tk, opt.Priority)
+	}
+	minprocs := minprocsTrace
 	if opt.Minprocs == Analytic {
-		minprocs = MinprocsAnalyticTrace
+		minprocs = minprocsAnalyticTrace
 	}
 
 	root := opt.Trace.Start("fedcons")
@@ -343,7 +409,7 @@ func Schedule(sys task.System, m int, opt Options) (*Allocation, error) {
 			alloc.LowIndices = append(alloc.LowIndices, i)
 			continue
 		}
-		mi, tmpl, ok := minprocs(tk, mr, opt.Priority, tsp)
+		mi, tmpl, ok := minprocs(tk, mr, tsp, runnerFor(i, tk))
 		if !ok {
 			tsp.Bool("failed", true).Finish()
 			phase1.Finish()

@@ -144,9 +144,11 @@ func missingEdge(g *dag.DAG) (int, int, bool) {
 	return 0, 0, false
 }
 
-// FuzzTaskHash drives the two properties — enumeration invariance and
-// mutation sensitivity — from fuzz-chosen seeds, reusing the system builder
-// of FuzzVerifyAllocation.
+// FuzzTaskHash drives three properties from fuzz-chosen seeds, reusing the
+// system builder of FuzzVerifyAllocation: enumeration invariance, mutation
+// sensitivity, and the cache-soundness property the hash exists for —
+// MINPROCS of the canonical representative is an isomorphism invariant (raw
+// MINPROCS is not: Graham list scheduling is list-order sensitive).
 func FuzzTaskHash(f *testing.F) {
 	for seed := uint32(0); seed < 8; seed++ {
 		f.Add(seed)
@@ -160,6 +162,12 @@ func FuzzTaskHash(f *testing.F) {
 		}
 		if TaskHash(relabel(tk, r.Perm(tk.G.N()))) != h {
 			t.Fatal("hash changed under vertex reordering")
+		}
+		if got, want := minprocsOn(rebuildShuffled(r, tk), nil), minprocsOn(tk, nil); got != want {
+			t.Fatalf("MINPROCS changed under edge-list reordering: %+v vs %+v", got, want)
+		}
+		if got, want := minprocsOn(canonicalize(relabel(tk, r.Perm(tk.G.N()))), nil), minprocsOn(canonicalize(tk), nil); got != want {
+			t.Fatalf("canonical MINPROCS changed under vertex relabeling: %+v vs %+v", got, want)
 		}
 		if TaskHash(task.MustNew(tk.Name, tk.G, tk.D+1, tk.T)) == h {
 			t.Fatal("hash unchanged under D+1")

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/listsched"
+	"fedsched/internal/task"
+)
+
+// minprocsOutcome flattens a Minprocs run into the comparable triple the
+// metamorphic tests pin: feasibility, μ*, and the witness makespan.
+type minprocsOutcome struct {
+	ok       bool
+	mu       int
+	makespan task.Time
+}
+
+func minprocsOn(tk *task.DAGTask, prio listsched.Priority) minprocsOutcome {
+	mu, tmpl, ok := Minprocs(tk, tk.G.Width(), prio)
+	out := minprocsOutcome{ok: ok, mu: mu}
+	if tmpl != nil {
+		out.makespan = tmpl.Makespan
+	}
+	return out
+}
+
+// canonicalize relabels tk into its canonical vertex enumeration — the
+// representative AppendCanonical encodes and TaskHash fingerprints.
+func canonicalize(tk *task.DAGTask) *task.DAGTask {
+	return relabel(tk, tk.CanonicalOrder())
+}
+
+// TestMinprocsEdgeEnumerationInvariance: the order a wire file lists its
+// edges in carries no scheduling meaning, so MINPROCS (feasibility, μ*, and
+// the witness makespan) must not change when the edge list is shuffled. This
+// is the semantic counterpart of the TaskHash enumeration-invariance test:
+// the cache key and the cached analysis must be blind to the same freedoms.
+func TestMinprocsEdgeEnumerationInvariance(t *testing.T) {
+	prios := map[string]listsched.Priority{
+		"insertion":    nil,
+		"longest-path": listsched.LongestPathFirst,
+		"largest-wcet": listsched.LargestWCETFirst,
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, tk := range fuzzSystem(r, 3) {
+			shuffled := rebuildShuffled(r, tk)
+			for name, prio := range prios {
+				want, got := minprocsOn(tk, prio), minprocsOn(shuffled, prio)
+				if got != want {
+					t.Fatalf("seed %d prio %s: MINPROCS changed under edge-list reordering: %+v vs %+v",
+						seed, name, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestMinprocsCanonicalRepresentativeInvariance: raw MINPROCS is NOT
+// invariant under vertex relabeling — Graham list scheduling is sensitive to
+// list order (jobs {2,2,3} on 2 processors finish at 5 or 4 depending on
+// which order the ties arrive), and that anomaly is exactly why the analysis
+// cache must key on a canonical representative. The metamorphic property
+// that IS required: relabeling a task arbitrarily and then canonicalizing
+// recovers the same labeled structure, so MINPROCS of the canonical
+// representative is a true isomorphism invariant. This is the soundness
+// argument for serving a cache hit computed from a differently-labeled
+// submission of the same DAG.
+func TestMinprocsCanonicalRepresentativeInvariance(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, tk := range fuzzSystem(r, 3) {
+			canon := canonicalize(tk)
+			for trial := 0; trial < 4; trial++ {
+				perm := r.Perm(tk.G.N())
+				recanon := canonicalize(relabel(tk, perm))
+				if !task.SameAnalysisInput(canon, recanon) {
+					t.Fatalf("seed %d perm %v: canonical representatives differ as labeled structures",
+						seed, perm)
+				}
+				for _, prio := range []listsched.Priority{nil, listsched.LongestPathFirst, listsched.LargestWCETFirst} {
+					want, got := minprocsOn(canon, prio), minprocsOn(recanon, prio)
+					if got != want {
+						t.Fatalf("seed %d perm %v: canonical MINPROCS diverged: %+v vs %+v",
+							seed, perm, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMinprocsAnalyticRelabelingInvariance: the analytic sizing rule depends
+// only on (vol, len, window), all isomorphism invariants, so unlike the LS
+// scan it must be invariant under raw relabeling with no canonicalization
+// step (the witness makespan may differ; μ and feasibility may not).
+func TestMinprocsAnalyticRelabelingInvariance(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, tk := range fuzzSystem(r, 3) {
+			mu, _, ok := MinprocsAnalytic(tk, tk.G.Width(), nil)
+			rl := relabel(tk, r.Perm(tk.G.N()))
+			rmu, _, rok := MinprocsAnalytic(rl, rl.G.Width(), nil)
+			if mu != rmu || ok != rok {
+				t.Fatalf("seed %d: analytic μ changed under relabeling: (%d,%v) vs (%d,%v)",
+					seed, mu, ok, rmu, rok)
+			}
+		}
+	}
+}

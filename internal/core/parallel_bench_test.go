@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/gen"
+	"fedsched/internal/task"
+)
+
+// benchParSystem draws the workload BenchmarkSchedulePar measures: a batch of
+// large DAGs with tight constrained deadlines, so nearly every task is
+// high-density and Phase-1 LS scans dominate — the regime the worker pool
+// exists for.
+func benchParSystem(b *testing.B) (task.System, int) {
+	b.Helper()
+	r := rand.New(rand.NewSource(42))
+	p := gen.DefaultParams(16, 16)
+	p.MinVerts, p.MaxVerts = 150, 250
+	p.BetaMin, p.BetaMax = 0.1, 0.3
+	sys, err := gen.System(r, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m := 8; m <= 4096; m *= 2 {
+		if _, err := Schedule(sys, m, Options{}); err == nil {
+			return sys, m
+		}
+	}
+	b.Fatal("benchmark system unschedulable at every platform size")
+	return nil, 0
+}
+
+// BenchmarkSchedulePar measures the Phase-1 worker pool's speedup on a cold
+// full FEDCONS run. par=1 is the sequential engine (the pool is bypassed);
+// the output is byte-identical at every size (TestSchedulePar), so the only
+// difference between sub-benchmarks is wall-clock. Recorded in
+// results/timing_parallel_phase1.json.
+func BenchmarkSchedulePar(b *testing.B) {
+	sys, m := benchParSystem(b)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Schedule(sys, m, Options{Par: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+	"fedsched/internal/obs"
+	"fedsched/internal/task"
+)
+
+// parallelSystem draws a system where roughly half the tasks are
+// high-density, so the Phase-1 pool has real fan-out and the m sweep below
+// exercises success, high-density failure (scan cut by m_r) and low-density
+// failure.
+func parallelSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		nv := 3 + r.Intn(8)
+		b := dag.NewBuilder(nv)
+		for v := 0; v < nv; v++ {
+			b.AddJob(task.Time(1 + r.Intn(6)))
+		}
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		var d task.Time
+		if r.Intn(2) == 0 {
+			d = g.LongestChain() + task.Time(r.Intn(3)) // tight: high-density
+		} else {
+			d = g.Volume() + task.Time(1+r.Intn(20)) // slack: low-density
+		}
+		t := d + task.Time(r.Intn(40))
+		sys = append(sys, task.MustNew(fmt.Sprintf("t%d", i), g, d, t))
+	}
+	return sys
+}
+
+// scheduleFingerprint runs Schedule under opt and reduces every observable
+// output to bytes: the verdict (error string or ""), the encoded allocation,
+// and the exported decision trace with timings off.
+func scheduleFingerprint(t *testing.T, sys task.System, m int, opt Options) (verdict string, alloc, trace []byte) {
+	t.Helper()
+	rec := obs.New(obs.Limits{})
+	opt.Trace = rec
+	a, err := Schedule(sys, m, opt)
+	if err != nil {
+		verdict = err.Error()
+	} else {
+		enc, encErr := EncodeAllocation(a)
+		if encErr != nil {
+			t.Fatalf("encoding allocation: %v", encErr)
+		}
+		alloc = enc
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf, obs.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return verdict, alloc, buf.Bytes()
+}
+
+// TestSchedulePar is the differential matrix the parallel engine is pinned
+// by: 20 seeds × worker counts {1, 2, 4, 8} (plus Par=0, the sequential zero
+// value) × both MINPROCS modes × a platform sweep, asserting the parallel
+// output — verdict, allocation bytes, trace bytes — equals the sequential
+// oracle exactly. Run under -race by `make test-race` and the CI race job.
+func TestSchedulePar(t *testing.T) {
+	t.Parallel()
+	modes := []MinprocsMode{LSScan, Analytic}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sys := parallelSystem(r, 4+r.Intn(5))
+		for _, mode := range modes {
+			for _, m := range []int{2, 4, 8, 16, 32} {
+				base := Options{Minprocs: mode}
+				wantVerdict, wantAlloc, wantTrace := scheduleFingerprint(t, sys, m, base)
+				for _, par := range []int{0, 2, 4, 8} {
+					opt := base
+					opt.Par = par
+					gotVerdict, gotAlloc, gotTrace := scheduleFingerprint(t, sys, m, opt)
+					ctx := fmt.Sprintf("seed=%d mode=%v m=%d par=%d", seed, mode, m, par)
+					if gotVerdict != wantVerdict {
+						t.Fatalf("%s: verdict %q, sequential %q", ctx, gotVerdict, wantVerdict)
+					}
+					if !bytes.Equal(gotAlloc, wantAlloc) {
+						t.Fatalf("%s: allocation bytes diverge from sequential", ctx)
+					}
+					if !bytes.Equal(gotTrace, wantTrace) {
+						t.Fatalf("%s: trace bytes diverge from sequential\npar:\n%s\nseq:\n%s", ctx, gotTrace, wantTrace)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleParPriority extends the matrix to the non-default LS
+// priorities, where the scan visits different schedules but must stay just as
+// deterministic.
+func TestScheduleParPriority(t *testing.T) {
+	t.Parallel()
+	prios := map[string]listsched.Priority{
+		"longest-path": listsched.LongestPathFirst,
+		"largest-wcet": listsched.LargestWCETFirst,
+	}
+	for name, prio := range prios {
+		for seed := int64(0); seed < 8; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			sys := parallelSystem(r, 5)
+			for _, m := range []int{4, 12} {
+				base := Options{Priority: prio}
+				wantVerdict, wantAlloc, wantTrace := scheduleFingerprint(t, sys, m, base)
+				opt := base
+				opt.Par = 4
+				gotVerdict, gotAlloc, gotTrace := scheduleFingerprint(t, sys, m, opt)
+				if gotVerdict != wantVerdict || !bytes.Equal(gotAlloc, wantAlloc) || !bytes.Equal(gotTrace, wantTrace) {
+					t.Fatalf("priority=%s seed=%d m=%d: parallel output diverges from sequential", name, seed, m)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleParValidation pins the Options.Par contract: negative values
+// are rejected up front, 0 and 1 are the sequential paths.
+func TestScheduleParValidation(t *testing.T) {
+	t.Parallel()
+	sys := parallelSystem(rand.New(rand.NewSource(1)), 3)
+	if _, err := Schedule(sys, 8, Options{Par: -1}); err == nil {
+		t.Fatal("Schedule accepted Par = -1")
+	}
+	for _, par := range []int{0, 1} {
+		if _, err := Schedule(sys, 32, Options{Par: par}); err != nil {
+			t.Fatalf("Par=%d: %v", par, err)
+		}
+	}
+}

@@ -16,7 +16,18 @@ package dag
 // set of simultaneously-running jobs is an antichain, so on Width(G)
 // processors a work-conserving scheduler never makes a job wait, and the LS
 // makespan collapses to len(G). MINPROCS uses this to bound its scan.
+//
+// The result is memoized on first call (the DAG is immutable after Build);
+// Width is safe to call concurrently.
 func (g *DAG) Width() int {
+	if g.wmemo == nil { // zero-value DAG (never produced by Build)
+		return g.computeWidth()
+	}
+	g.wmemo.once.Do(func() { g.wmemo.width = g.computeWidth() })
+	return g.wmemo.width
+}
+
+func (g *DAG) computeWidth() int {
 	n := g.N()
 	if n == 0 {
 		return 0

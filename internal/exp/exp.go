@@ -32,9 +32,10 @@ type Config struct {
 	// SimHorizon is the release horizon for simulation-based experiments.
 	SimHorizon Time
 	// Par bounds the worker pool of engine-backed sweep experiments;
-	// ≤ 0 means GOMAXPROCS. Results are byte-identical for every value —
-	// trial RNGs derive from (Seed, experiment, point, trial), never from
-	// execution order (see internal/runner).
+	// 0 means GOMAXPROCS and negative values are rejected by Validate.
+	// Results are byte-identical for every value — trial RNGs derive from
+	// (Seed, experiment, point, trial), never from execution order (see
+	// internal/runner).
 	Par int
 	// Progress, when non-nil, receives trial-completion updates from
 	// engine-backed experiments. It may be called concurrently with the
@@ -64,6 +65,9 @@ func (c Config) Validate() error {
 	}
 	if c.SimHorizon < 1 {
 		return fmt.Errorf("exp: SimHorizon must be ≥ 1, got %d", c.SimHorizon)
+	}
+	if c.Par < 0 {
+		return fmt.Errorf("exp: Par must be ≥ 0 (0 = GOMAXPROCS), got %d", c.Par)
 	}
 	return nil
 }

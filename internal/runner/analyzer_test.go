@@ -2,6 +2,7 @@ package runner
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"fedsched/internal/baseline"
@@ -92,6 +93,9 @@ func TestBuiltinsAgreeWithWrappedFunctions(t *testing.T) {
 		"fedcons-analytic": func(sys task.System, m int) bool {
 			return core.Schedulable(sys, m, core.Options{Minprocs: core.Analytic})
 		},
+		"fedcons-par": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Par: runtime.GOMAXPROCS(0)})
+		},
 		"fedcons-bf": func(sys task.System, m int) bool {
 			return core.Schedulable(sys, m, core.Options{Partition: partition.Options{Heuristic: partition.BestFit}})
 		},
@@ -164,5 +168,28 @@ func TestBuiltinsAgreeWithWrappedFunctions(t *testing.T) {
 	}
 	if MustLookup("fedcons").Schedulable(e1, 0) {
 		t.Error("fedcons accepts Example 1 on m=0")
+	}
+}
+
+// TestFedconsParEquivalence diffs the fedcons-par analyzer against fedcons
+// over the whole corpus and a platform sweep: the worker pool must never
+// change a verdict (core's parallel engine is byte-deterministic; this pins
+// the registry wiring end to end).
+func TestFedconsParEquivalence(t *testing.T) {
+	seq, err := Lookup("fedcons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Lookup("fedcons-par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sys := range corpus(t) {
+		for m := 1; m <= 64; m *= 2 {
+			want, got := seq.Schedulable(sys, m), par.Schedulable(sys, m)
+			if got != want {
+				t.Errorf("corpus[%d] m=%d: fedcons-par=%v, fedcons=%v", i, m, got, want)
+			}
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"runtime"
+
 	"fedsched/internal/baseline"
 	"fedsched/internal/core"
 	"fedsched/internal/partition"
@@ -15,6 +17,11 @@ import (
 func init() {
 	// FEDCONS, paper configuration: LS-scan MINPROCS, first-fit DBF*.
 	Register(fedcons("fedcons", core.Options{}))
+	// The same analysis with Phase-1 MINPROCS scans fanned out across a
+	// GOMAXPROCS worker pool — byte-identical verdicts (core's differential
+	// matrix pins this; TestFedconsParEquivalence diffs the analyzers), so
+	// sweeps may substitute it freely for wall-clock.
+	Register(fedcons("fedcons-par", core.Options{Par: runtime.GOMAXPROCS(0)}))
 	// FEDCONS with the analytic closed-form MINPROCS (E7 ablation).
 	Register(fedcons("fedcons-analytic", core.Options{Minprocs: core.Analytic}))
 	// FEDCONS with alternative phase-2 packings and admission tests

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"testing"
 
 	"fedsched/internal/core"
@@ -90,6 +91,48 @@ func BenchmarkAdmit(b *testing.B) {
 			}
 			if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
 				b.Fatal("warm remove failed")
+			}
+		}
+	})
+}
+
+// BenchmarkAdmitBatch measures the analysis core of POST /v1/admit/batch — a
+// full FEDCONS run through the AnalysisCache, exactly what doAdmitBatch
+// executes inside the writer loop — in the three regimes that matter:
+//
+//   - cold-seq: empty cache, sequential Phase 1 (Par = 1);
+//   - cold-par: empty cache, Phase-1 scans fanned out on the worker pool —
+//     the batch endpoint's cold path;
+//   - warm: every Phase-1 analysis served from the content-addressed memo.
+//
+// Verdicts are identical across all three (TestAdmitBatchParMatchesSequential);
+// the deltas are recorded in results/timing_parallel_phase1.json.
+func BenchmarkAdmitBatch(b *testing.B) {
+	sys, m := benchSystem(b)
+
+	cold := func(par int) func(*testing.B) {
+		return func(b *testing.B) {
+			opt := core.Options{Par: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := NewAnalysisCache().Schedule(sys, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("cold-seq", cold(1))
+	b.Run("cold-par", cold(runtime.GOMAXPROCS(0)))
+
+	b.Run("warm", func(b *testing.B) {
+		c := NewAnalysisCache()
+		opt := core.Options{Par: runtime.GOMAXPROCS(0)}
+		if _, err := c.Schedule(sys, m, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Schedule(sys, m, opt); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

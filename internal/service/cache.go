@@ -132,6 +132,87 @@ func (c *AnalysisCache) minprocs(tk *task.DAGTask, opt core.Options) phase1Resul
 	return res
 }
 
+// prewarmed is one task's Phase-1 outcome as computed by prewarmPhase1,
+// together with whether the memo already held it.
+type prewarmed struct {
+	res phase1Result
+	hit bool
+}
+
+// prewarmPhase1 runs the Phase-1 memo lookups — and, on misses, the MINPROCS
+// analyses — of sys's high-density tasks on a bounded worker pool, so a cold
+// batch admission pays for its list-scheduling scans concurrently instead of
+// one task at a time. Canonical hashing (the dominant cost of a warm pass) is
+// parallelized too. Tasks are grouped by content hash and each group is
+// processed in order by one worker, so duplicate-content tasks produce the
+// same one-miss-then-hits accounting as the sequential path; only the
+// interleaving of counter increments differs, never the totals. Returns nil
+// (caller falls back to the sequential per-task path) when fewer than two
+// tasks are high-density or par < 2.
+func (c *AnalysisCache) prewarmPhase1(sys task.System, opt core.Options, par int) map[*task.DAGTask]prewarmed {
+	var high []*task.DAGTask
+	for _, tk := range sys {
+		if tk.HighDensity() {
+			high = append(high, tk)
+		}
+	}
+	if len(high) < 2 || par < 2 {
+		return nil
+	}
+	if par > len(high) {
+		par = len(high)
+	}
+
+	// Pass 1: warm the per-object hash memo in parallel.
+	runPool(par, len(high), func(i int) { c.hashOf(high[i]) })
+
+	// Pass 2: group by content hash (first-seen order) and analyze each
+	// group sequentially on its own worker.
+	groups := make(map[core.Hash][]*task.DAGTask, len(high))
+	var order []core.Hash
+	for _, tk := range high {
+		h := c.hashOf(tk)
+		if _, seen := groups[h]; !seen {
+			order = append(order, h)
+		}
+		groups[h] = append(groups[h], tk)
+	}
+	var mu sync.Mutex
+	out := make(map[*task.DAGTask]prewarmed, len(high))
+	runPool(par, len(order), func(i int) {
+		for _, tk := range groups[order[i]] {
+			res, hit := c.minprocsTraced(tk, opt, nil)
+			mu.Lock()
+			out[tk] = prewarmed{res: res, hit: hit}
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+// runPool executes fn(0..n-1) on a pool of `workers` goroutines.
+func runPool(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // minprocsTraced is minprocs with an optional decision-trace span (recorded
 // only on a miss, where the real scan runs) and a hit/miss report.
 func (c *AnalysisCache) minprocsTraced(tk *task.DAGTask, opt core.Options, sp *obs.Span) (phase1Result, bool) {

@@ -22,12 +22,25 @@ import (
 // addition: each high-density task span carries a "cache" attr ("hit" or
 // "miss"); hits replay μ* without re-running LS, so a hit span has no "mu"
 // candidate children.
+//
+// When opt.Par > 1 the Phase-1 analyses of cache-missing high-density tasks
+// run on a worker pool (prewarmPhase1) before the merge loop; allocation,
+// verdict and hit/miss accounting are identical to the sequential path (the
+// batch differential test pins this), with one trace caveat: a miss analyzed
+// in the pool records no per-μ "mu" children, because the scan ran off-trace.
 func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
 	if m < 1 {
 		return nil, fmt.Errorf("fedcons: m must be ≥ 1, got %d", m)
+	}
+	if opt.Par < 0 {
+		return nil, fmt.Errorf("fedcons: par must be ≥ 0, got %d", opt.Par)
+	}
+	var pre map[*task.DAGTask]prewarmed
+	if opt.Par > 1 {
+		pre = c.prewarmPhase1(sys, opt, opt.Par)
 	}
 
 	alloc := &core.Allocation{M: m}
@@ -61,7 +74,12 @@ func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*cor
 			alloc.LowIndices = append(alloc.LowIndices, i)
 			continue
 		}
-		res, hit := c.minprocsTraced(tk, opt, tsp)
+		res, hit := phase1Result{}, false
+		if p, warmed := pre[tk]; warmed {
+			res, hit = p.res, p.hit
+		} else {
+			res, hit = c.minprocsTraced(tk, opt, tsp)
+		}
 		if tsp != nil {
 			if hit {
 				tsp.Str("cache", "hit")

@@ -17,7 +17,8 @@ import (
 // under-reported tail quantiles on small windows (obs.Histogram.Quantile is
 // ceil nearest-rank).
 type metrics struct {
-	admits   expvar.Int // admissions accepted and installed
+	admits   expvar.Int // tasks accepted and installed (batch members count singly)
+	batches  expvar.Int // batch admissions accepted atomically
 	rejects  expvar.Int // admissions rejected by the FEDCONS analysis
 	removes  expvar.Int // tasks removed
 	shed     expvar.Int // requests dropped by queue-bound load shedding
@@ -30,6 +31,7 @@ type metrics struct {
 func (s *Server) vars() *expvar.Map {
 	m := new(expvar.Map).Init()
 	m.Set("admits_total", &s.met.admits)
+	m.Set("batch_admits_total", &s.met.batches)
 	m.Set("rejects_total", &s.met.rejects)
 	m.Set("removes_total", &s.met.removes)
 	m.Set("shed_total", &s.met.shed)

@@ -23,6 +23,8 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	}
 	const want = `# TYPE fedschedd_admits_total counter
 fedschedd_admits_total 0
+# TYPE fedschedd_batch_admits_total counter
+fedschedd_batch_admits_total 0
 # TYPE fedschedd_cache_entries gauge
 fedschedd_cache_entries 0
 # TYPE fedschedd_cache_hit_rate gauge

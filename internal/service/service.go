@@ -104,6 +104,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.M < 1 {
 		return nil, fmt.Errorf("service: platform size must be ≥ 1, got %d", cfg.M)
 	}
+	if cfg.Options.Par < 0 {
+		return nil, fmt.Errorf("service: analysis worker pool size must be ≥ 0, got %d", cfg.Options.Par)
+	}
 	if cfg.QueueBound == 0 {
 		cfg.QueueBound = 64
 	}
@@ -265,7 +268,7 @@ func (s *Server) observed(traceID, op, taskName string, run func() opResult) opR
 	}
 	res := run()
 	lat := time.Since(start)
-	if op == "admit" {
+	if op == "admit" || op == "admit-batch" {
 		s.met.latency.Observe(lat)
 	}
 	if s.cfg.Observer != nil {
@@ -366,6 +369,9 @@ func (s *Server) install(sys task.System, alloc *core.Allocation) {
 //
 //	POST   /v1/admit        trial-admit a DAG task (body: task JSON; ?trace=1
 //	                        embeds the FEDCONS decision trace in the verdict)
+//	POST   /v1/admit/batch  trial-admit a task list all-or-nothing (body:
+//	                        {"tasks": [...]}; cold Phase-1 analyses run on
+//	                        the Options.Par worker pool)
 //	DELETE /v1/tasks/{name} remove an admitted task
 //	GET    /v1/allocation   current verdict + allocation
 //	GET    /v1/healthz      liveness
@@ -377,6 +383,7 @@ func (s *Server) install(sys task.System, alloc *core.Allocation) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
+	mux.HandleFunc("POST /v1/admit/batch", s.handleAdmitBatch)
 	mux.HandleFunc("DELETE /v1/tasks/{name}", s.handleRemove)
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)

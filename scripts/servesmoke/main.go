@@ -9,7 +9,12 @@
 //  5. admits a 3-wide high-density task and asserts Phase 1 grants it
 //     exactly 3 dedicated processors (Example 1 itself is low-density —
 //     δ = 9/16 — so it can never receive a dedicated grant),
-//  6. sends SIGTERM and asserts a clean drain and exit code 0.
+//  6. batch-admits two further low-density tasks atomically via
+//     POST /v1/admit/batch and asserts both are installed,
+//  7. batch-admits an infeasible pair (two more 3-wide tasks against the
+//     5 remaining processors) and asserts the 409 leaves the installed
+//     system untouched — the all-or-nothing contract,
+//  8. sends SIGTERM and asserts a clean drain and exit code 0.
 //
 // Any failure exits non-zero with a diagnosis on stderr.
 package main
@@ -104,6 +109,38 @@ func smoke() error {
 		return fmt.Errorf("trijob got %d dedicated processors, want 3; verdict: %+v", granted, v)
 	}
 
+	// Batch admission: two more low-density tasks, all-or-nothing. Both fit
+	// on the shared partition next to example1.
+	v, status, err := admitBatch(client, base,
+		task.MustNew("batch-a", dag.Example1(), dag.Example1D, dag.Example1T),
+		task.MustNew("batch-b", dag.Example1(), dag.Example1D, dag.Example1T))
+	if err != nil {
+		return fmt.Errorf("batch admit: %w", err)
+	}
+	if status != http.StatusOK || !v.Schedulable || v.Tasks != 4 {
+		return fmt.Errorf("batch admit: status %d, verdict %+v; want 200 with 4 tasks", status, v)
+	}
+
+	// Atomic rejection: two more 3-wide tasks need 6 dedicated processors
+	// but only 5 remain, so the whole batch must bounce with 409 and leave
+	// the 4 installed tasks untouched.
+	v, status, err = admitBatch(client, base,
+		task.MustNew("trijob2", dag.Independent(5, 5, 5), 5, 5),
+		task.MustNew("trijob3", dag.Independent(5, 5, 5), 5, 5))
+	if err != nil {
+		return fmt.Errorf("infeasible batch: %w", err)
+	}
+	if status != http.StatusConflict || v.Schedulable {
+		return fmt.Errorf("infeasible batch: status %d, verdict %+v; want 409 unschedulable", status, v)
+	}
+	var after service.Verdict
+	if err := getJSON(client, base+"/v1/allocation", &after); err != nil {
+		return fmt.Errorf("allocation after batch reject: %w", err)
+	}
+	if !after.Schedulable || after.Tasks != 4 {
+		return fmt.Errorf("batch rejection mutated the system: %+v", after)
+	}
+
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("sending SIGTERM: %w", err)
 	}
@@ -149,6 +186,41 @@ func get(client *http.Client, url string) error {
 		return fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
 	return nil
+}
+
+// admitBatch POSTs tks to /v1/admit/batch and decodes the verdict (200 and
+// 409 both carry one), reporting the status for the caller to assert on.
+func admitBatch(client *http.Client, base string, tks ...*task.DAGTask) (service.Verdict, int, error) {
+	var v service.Verdict
+	body, err := json.Marshal(service.BatchRequest{Tasks: tks})
+	if err != nil {
+		return v, 0, err
+	}
+	resp, err := client.Post(base+"/v1/admit/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return v, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return v, resp.StatusCode, fmt.Errorf("POST /v1/admit/batch: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, resp.StatusCode, fmt.Errorf("decoding batch verdict: %w", err)
+	}
+	return v, resp.StatusCode, nil
+}
+
+// getJSON GETs url and decodes the body into out.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // admit POSTs tk and decodes the verdict (200 and 409 both carry one).
