@@ -3,15 +3,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race serve-smoke obs-smoke experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race serve-smoke obs-smoke shard-bench experiments experiments-quick examples clean
 
 all: build vet test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests,
-# the differential oracle under the race detector, a fuzzing smoke pass, an
-# end-to-end boot/admit/drain check of the fedschedd daemon, and a smoke test
-# of its observability surface (/metrics, pprof, ?trace=1, audit log).
-check: vet build test-race oracle-race par-race fuzz-smoke serve-smoke obs-smoke
+# the differential oracle under the race detector, a fuzzing smoke pass, the
+# shard/durability suite under the race detector, an end-to-end
+# boot/admit/drain check of the fedschedd daemon, and a smoke test of its
+# observability surface (/metrics, pprof, ?trace=1, audit log).
+check: vet build test-race oracle-race par-race shard-race fuzz-smoke serve-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -59,11 +60,26 @@ oracle-race:
 par-race:
 	$(GO) test -race -run 'TestSchedulePar|TestAdmitBatchParMatchesSequential|TestIncrementalMatchesBatch' ./internal/core/ ./internal/service/
 
+# The sharded-router and WAL/snapshot durability suite under the race
+# detector: pre-refactor golden differentials through the router, kill/restart
+# recovery byte-identity, torn-write WAL sweeps, multi-shard isolation.
+shard-race:
+	$(GO) test -race -run 'TestRouter|TestGoldenDifferential|TestShard|TestMultiShard|TestFleet|TestHashRing|TestRecovery' ./internal/service/
+	$(GO) test -race ./internal/store/
+
 # End-to-end daemon smoke test: build fedschedd, boot it on a random port,
 # admit Example 1 (accepted) and a 3-wide high-density task (3-processor
-# Phase-1 grant), then SIGTERM and assert a clean drain.
+# Phase-1 grant), then SIGTERM and assert a clean drain. Followed by the
+# crash-recovery smoke: admit with -wal-dir, kill -9, restart on the same
+# directory, assert a byte-identical allocation and a prewarmed Phase-1 cache.
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
+
+# Shared-nothing scaling sweep: boot fedschedd at -shards 1, 4 and 8, drive
+# each with the built-in cross-cluster load generator, and record
+# admissions/sec + latency quantiles into results/timing_shards.json.
+shard-bench:
+	$(GO) run ./scripts/shardbench
 
 # Observability smoke test: boot fedschedd with -v/-audit/-debug-addr, scrape
 # the Prometheus exposition, admit with ?trace=1 asserting the inline decision

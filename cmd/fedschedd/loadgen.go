@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -21,6 +22,29 @@ type loadgenConfig struct {
 	duration time.Duration
 	workers  int
 	seed     int64
+	clusters int    // distinct cluster names; 1 = legacy unclustered requests
+	jsonPath string // if set, append the summary as one JSON line
+}
+
+// loadgenSummary is the machine-readable run report (-json), consumed by
+// scripts/shardbench to build results/timing_shards.json.
+type loadgenSummary struct {
+	Target      string  `json:"target"`
+	Workers     int     `json:"workers"`
+	Clusters    int     `json:"clusters"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	RequestsPS  float64 `json:"requests_per_s"`
+	Admits      int64   `json:"admits"`
+	AdmitsPS    float64 `json:"admits_per_s"`
+	Rejects     int64   `json:"rejects"`
+	Shed        int64   `json:"shed"`
+	Timeouts    int64   `json:"timeouts"`
+	Others      int64   `json:"others"`
+	Removes     int64   `json:"removes"`
+	AdmitP50Ns  int64   `json:"admit_p50_ns"`
+	AdmitP99Ns  int64   `json:"admit_p99_ns"`
+	AdmitP999Ns int64   `json:"admit_p999_ns"`
 }
 
 // workerStats accumulates one worker's counters; they are summed at the end
@@ -88,18 +112,76 @@ func runLoadgen(ctx context.Context, out io.Writer, cfg loadgenConfig) error {
 		}
 		return total.latencies[int(p*float64(len(total.latencies)-1))]
 	}
-	fmt.Fprintf(out, "loadgen: %d workers against %s for %v\n", cfg.workers, cfg.target, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "loadgen: %d workers over %d cluster(s) against %s for %v\n",
+		cfg.workers, cfg.clusterCount(), cfg.target, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  admissions: %d requests (%.1f/s): %d admitted, %d rejected, %d shed, %d timed out, %d other\n",
 		total.requests, float64(total.requests)/elapsed.Seconds(),
 		total.admits, total.rejects, total.shed, total.timeouts, total.others)
 	fmt.Fprintf(out, "  removals:   %d\n", total.removes)
 	fmt.Fprintf(out, "  admit latency: p50=%v p99=%v\n", q(0.50), q(0.99))
+
+	if cfg.jsonPath != "" {
+		sum := loadgenSummary{
+			Target:      cfg.target,
+			Workers:     cfg.workers,
+			Clusters:    cfg.clusterCount(),
+			DurationS:   elapsed.Seconds(),
+			Requests:    total.requests,
+			RequestsPS:  float64(total.requests) / elapsed.Seconds(),
+			Admits:      total.admits,
+			AdmitsPS:    float64(total.admits) / elapsed.Seconds(),
+			Rejects:     total.rejects,
+			Shed:        total.shed,
+			Timeouts:    total.timeouts,
+			Others:      total.others,
+			Removes:     total.removes,
+			AdmitP50Ns:  q(0.50).Nanoseconds(),
+			AdmitP99Ns:  q(0.99).Nanoseconds(),
+			AdmitP999Ns: q(0.999).Nanoseconds(),
+		}
+		data, err := json.Marshal(sum)
+		if err != nil {
+			return err
+		}
+		f, err := os.OpenFile(cfg.jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -json file: %w", err)
+		}
+		if _, err := f.Write(append(data, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// clusterCount normalizes the cluster knob (0 from a zero-value config
+// behaves like the flag default of 1).
+func (cfg loadgenConfig) clusterCount() int {
+	if cfg.clusters < 1 {
+		return 1
+	}
+	return cfg.clusters
+}
+
+// clusterFor assigns worker w its cluster. Workers are striped across
+// clusters so every cluster is driven and a worker's removals always target
+// the shard that admitted its tasks. With one cluster no header is sent,
+// preserving the legacy unclustered request shape.
+func (cfg loadgenConfig) clusterFor(w int) string {
+	if cfg.clusterCount() == 1 {
+		return ""
+	}
+	return fmt.Sprintf("lgc-%d", w%cfg.clusterCount())
 }
 
 // driveWorker is one closed-loop client.
 func driveWorker(ctx context.Context, client *http.Client, cfg loadgenConfig, w int, st *workerStats) {
 	r := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+	cluster := cfg.clusterFor(w)
 	p := gen.DefaultParams(1, 1) // per-task generation; utilization drawn below
 	p.MinVerts, p.MaxVerts = 10, 30
 	var live []string
@@ -119,7 +201,7 @@ func driveWorker(ctx context.Context, client *http.Client, cfg loadgenConfig, w 
 			continue
 		}
 		t0 := time.Now()
-		status, err := post(ctx, client, cfg.target+"/v1/admit", body)
+		status, err := post(ctx, client, cfg.target+"/v1/admit", cluster, body)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -151,19 +233,22 @@ func driveWorker(ctx context.Context, client *http.Client, cfg loadgenConfig, w 
 			i := r.Intn(len(live))
 			name := live[i]
 			live = append(live[:i], live[i+1:]...)
-			if status, err := del(ctx, client, cfg.target+"/v1/tasks/"+name); err == nil && status == http.StatusOK {
+			if status, err := del(ctx, client, cfg.target+"/v1/tasks/"+name, cluster); err == nil && status == http.StatusOK {
 				st.removes++
 			}
 		}
 	}
 }
 
-func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+func post(ctx context.Context, client *http.Client, url, cluster string, body []byte) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if cluster != "" {
+		req.Header.Set("X-Cluster", cluster)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
@@ -173,10 +258,13 @@ func post(ctx context.Context, client *http.Client, url string, body []byte) (in
 	return resp.StatusCode, nil
 }
 
-func del(ctx context.Context, client *http.Client, url string) (int, error) {
+func del(ctx context.Context, client *http.Client, url, cluster string) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
 	if err != nil {
 		return 0, err
+	}
+	if cluster != "" {
+		req.Header.Set("X-Cluster", cluster)
 	}
 	resp, err := client.Do(req)
 	if err != nil {

@@ -43,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +70,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		heuristic    = fs.String("partition", "first-fit", "partition heuristic: first-fit (paper), best-fit, worst-fit")
 		admission    = fs.String("admission", "dbf-approx", "partition admission test: dbf-approx (paper), edf-exact or dm-rta")
 		queue        = fs.Int("queue", 64, "admission queue bound; beyond it requests are shed with 429")
+		shards       = fs.Int("shards", 1, "independent admission domains (clusters route to shards by consistent hashing)")
+		walDir       = fs.String("wal-dir", "", "if set, make shards durable: WAL + snapshots under this directory, replayed on restart")
+		snapEvery    = fs.Int("snapshot-every", 0, "mutations between per-shard snapshots (0 = default cadence; requires -wal-dir)")
+		fleet        = fs.String("fleet", "", "comma-separated base URLs of every fleet member; foreign-owned clusters answer 307 to their owner")
+		fleetSelf    = fs.Int("fleet-self", 0, "this process's index into -fleet")
 		par          = fs.Int("par", runtime.GOMAXPROCS(0), "Phase-1 analysis worker pool size for cold (batch) admissions; verdicts are identical for every value")
 		admitTimeout = fs.Duration("admit-timeout", 2*time.Second, "per-request admission deadline")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
@@ -81,6 +87,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		duration     = fs.Duration("duration", 5*time.Second, "loadgen: how long to drive the target")
 		workers      = fs.Int("workers", 4, "loadgen: concurrent closed-loop clients")
 		seed         = fs.Int64("seed", 1, "loadgen: task-stream seed")
+		clusters     = fs.Int("clusters", 1, "loadgen: distinct cluster names to spread admissions over (1 = legacy unclustered)")
+		jsonOut      = fs.String("json", "", "loadgen: also append the run's summary as one JSON line to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,13 +99,42 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *par < 1 {
 		return fmt.Errorf("-par must be ≥ 1, got %d", *par)
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be ≥ 1, got %d", *shards)
+	}
+	if *snapEvery < 0 {
+		return fmt.Errorf("-snapshot-every must be ≥ 0, got %d", *snapEvery)
+	}
+	if *snapEvery > 0 && *walDir == "" {
+		return fmt.Errorf("-snapshot-every requires -wal-dir")
+	}
+	var fleetURLs []string
+	if *fleet != "" {
+		for _, u := range strings.Split(*fleet, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				return fmt.Errorf("-fleet has an empty member in %q", *fleet)
+			}
+			fleetURLs = append(fleetURLs, u)
+		}
+		if *fleetSelf < 0 || *fleetSelf >= len(fleetURLs) {
+			return fmt.Errorf("-fleet-self %d out of range for a %d-member fleet", *fleetSelf, len(fleetURLs))
+		}
+	} else if *fleetSelf != 0 {
+		return fmt.Errorf("-fleet-self requires -fleet")
+	}
 
 	if *loadgen {
+		if *clusters < 1 {
+			return fmt.Errorf("-clusters must be ≥ 1, got %d", *clusters)
+		}
 		return runLoadgen(ctx, out, loadgenConfig{
 			target:   *target,
 			duration: *duration,
 			workers:  *workers,
 			seed:     *seed,
+			clusters: *clusters,
+			jsonPath: *jsonOut,
 		})
 	}
 
@@ -112,11 +149,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer closeAudit()
 	svc, err := service.New(service.Config{
-		M:            *m,
-		Options:      opt,
-		QueueBound:   *queue,
-		AdmitTimeout: *admitTimeout,
-		Observer:     observer,
+		M:             *m,
+		Options:       opt,
+		QueueBound:    *queue,
+		AdmitTimeout:  *admitTimeout,
+		Observer:      observer,
+		Shards:        *shards,
+		WALDir:        *walDir,
+		SnapshotEvery: *snapEvery,
+		Fleet:         fleetURLs,
+		Self:          *fleetSelf,
 	})
 	if err != nil {
 		return err
@@ -134,8 +176,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "fedschedd: m=%d %s/%s/%s/%s listening on http://%s\n",
-		*m, *minprocs, *prio, *heuristic, *admission, resolved)
+	durable := ""
+	if *walDir != "" {
+		durable = " wal-dir=" + *walDir
+	}
+	fmt.Fprintf(out, "fedschedd: m=%d shards=%d %s/%s/%s/%s%s listening on http://%s\n",
+		*m, *shards, *minprocs, *prio, *heuristic, *admission, durable, resolved)
 
 	stopDebug, err := startDebugServer(out, *debugAddr, *debugAddrf)
 	if err != nil {

@@ -77,7 +77,7 @@ func TestServeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	status, err := post(ctx, client, base+"/v1/admit", body)
+	status, err := post(ctx, client, base+"/v1/admit", "", body)
 	if err != nil {
 		t.Fatalf("admit: %v", err)
 	}
@@ -174,5 +174,125 @@ func TestParFlagValidation(t *testing.T) {
 				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestShardFlagValidation mirrors TestParFlagValidation for the sharding and
+// durability flags: each bad value is refused before the daemon binds a port.
+func TestShardFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"shards-zero", []string{"-shards", "0"}, "-shards must be ≥ 1"},
+		{"shards-negative", []string{"-shards", "-4"}, "-shards must be ≥ 1"},
+		{"shards-unparseable", []string{"-shards", "lots"}, "invalid value"},
+		{"snapshot-negative", []string{"-snapshot-every", "-1"}, "-snapshot-every must be ≥ 0"},
+		{"snapshot-without-wal", []string{"-snapshot-every", "64"}, "-snapshot-every requires -wal-dir"},
+		{"snapshot-unparseable", []string{"-snapshot-every", "often"}, "invalid value"},
+		{"fleet-empty-member", []string{"-fleet", "http://a:8080,,http://b:8080"}, "empty member"},
+		{"fleet-self-out-of-range", []string{"-fleet", "http://a:8080,http://b:8080", "-fleet-self", "2"}, "out of range"},
+		{"fleet-self-without-fleet", []string{"-fleet-self", "1"}, "-fleet-self requires -fleet"},
+		{"clusters-zero", []string{"-loadgen", "-target", "http://x", "-clusters", "0"}, "-clusters must be ≥ 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, &bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestShardedServeLifecycle boots a multi-shard durable daemon, admits into
+// two clusters, and checks the banner names the topology.
+func TestShardedServeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addrfile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addrfile", addrfile,
+			"-m", "8", "-shards", "4", "-wal-dir", filepath.Join(dir, "wal"), "-snapshot-every", "2"}, &out)
+	}()
+
+	base := "http://" + waitForAddr(t, addrfile)
+	client := &http.Client{Timeout: 5 * time.Second}
+	tk := task.MustNew("ex1", dag.Example1(), dag.Example1D, dag.Example1T)
+	body, err := json.Marshal(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cluster := range []string{"alpha", "beta"} {
+		status, err := post(ctx, client, base+"/v1/clusters/"+cluster+"/admit", "", body)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("admit into %s: status %d, err %v", cluster, status, err)
+		}
+	}
+	if _, err := getOK(client, base+"/v1/healthz"); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if log := out.String(); !strings.Contains(log, "shards=4") || !strings.Contains(log, "wal-dir=") {
+		t.Errorf("banner does not name the topology:\n%s", log)
+	}
+	// The durable layout exists: at least the shards that saw mutations have
+	// WALs on disk.
+	matches, err := filepath.Glob(filepath.Join(dir, "wal", "shard-*", "wal.log"))
+	if err != nil || len(matches) == 0 {
+		t.Errorf("no per-shard WALs under -wal-dir: %v (%v)", matches, err)
+	}
+}
+
+// TestLoadgenClustersAndJSON drives a multi-shard in-process server across
+// clusters and checks the -json summary line parses with sane counters.
+func TestLoadgenClustersAndJSON(t *testing.T) {
+	svc, err := service.New(service.Config{M: 16, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "loadgen.jsonl")
+	var out bytes.Buffer
+	err = run(context.Background(), []string{
+		"-loadgen", "-target", ts.URL, "-duration", "300ms", "-workers", "4",
+		"-seed", "7", "-clusters", "4", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if !strings.Contains(out.String(), "over 4 cluster(s)") {
+		t.Errorf("report does not name the cluster count:\n%s", out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum loadgenSummary
+	if err := json.Unmarshal(bytes.TrimSpace(data), &sum); err != nil {
+		t.Fatalf("-json line not JSON: %v\n%s", err, data)
+	}
+	if sum.Clusters != 4 || sum.Workers != 4 || sum.Requests < 1 || sum.RequestsPS <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.Admits+sum.Rejects+sum.Shed+sum.Timeouts+sum.Others != sum.Requests {
+		t.Errorf("status counts do not sum to requests: %+v", sum)
 	}
 }

@@ -27,13 +27,13 @@ type BatchRequest struct {
 // mirror Admit: 200 installed, 409 rejected (duplicate name or analysis
 // failure; the body carries the Verdict for the trial system), 429 shed,
 // 504 deadline expired, 500 audit failure (state unchanged).
-func (s *Server) AdmitBatch(ctx context.Context, tks []*task.DAGTask) (int, []byte) {
+func (s *Shard) AdmitBatch(ctx context.Context, tks []*task.DAGTask) (int, []byte) {
 	return s.AdmitBatchTrace(ctx, tks, s.nextTraceID(), nil)
 }
 
 // AdmitBatchTrace is AdmitBatch with an explicit trace ID and an optional
 // obs.Recorder for the trial analysis's decision trace (?trace=1).
-func (s *Server) AdmitBatchTrace(ctx context.Context, tks []*task.DAGTask, traceID string, rec *obs.Recorder) (int, []byte) {
+func (s *Shard) AdmitBatchTrace(ctx context.Context, tks []*task.DAGTask, traceID string, rec *obs.Recorder) (int, []byte) {
 	names := make([]string, len(tks))
 	for i, tk := range tks {
 		names[i] = tk.Name
@@ -47,7 +47,7 @@ func (s *Server) AdmitBatchTrace(ctx context.Context, tks []*task.DAGTask, trace
 
 // doAdmitBatch runs inside the writer loop (single writer: lock-free reads of
 // s.sys are safe; see doAdmit).
-func (s *Server) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
+func (s *Shard) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
 	installed := make(map[string]bool, len(s.sys))
 	for _, cur := range s.sys {
 		installed[cur.Name] = true
@@ -78,15 +78,24 @@ func (s *Server) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
 	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
 		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
 	}
-	s.install(trial, alloc)
+	hashes := make([]string, len(tks))
+	for i, tk := range tks {
+		hashes[i] = s.cache.hashOf(tk).String()
+	}
+	// One WAL record for the whole batch: replay is as atomic as admission.
+	if res := s.persistAdmit(tks, hashes); res != nil {
+		return *res
+	}
+	s.install(trial, alloc, append(append([]string(nil), s.sysHashes...), hashes...))
 	s.met.admits.Add(int64(len(tks)))
 	s.met.batches.Add(1)
+	s.maybeSnapshot()
 	return verdictResult(http.StatusOK, withTrace(NewVerdict(trial, s.cfg.M, alloc, nil), rec))
 }
 
 // handleAdmitBatch decodes and validates the batch body; name-collision and
 // schedulability checks run in the writer loop against a quiescent state.
-func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Shard) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 	traceID := s.nextTraceID()
 	w.Header().Set("X-Trace-Id", traceID)
 	var req BatchRequest

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the router differential goldens")
+
+// goldenStep is one request in the fixed endpoint scenario. The scenario was
+// captured against the pre-refactor single-server service; re-running it
+// through the sharded router with N=1 must reproduce the committed bytes
+// exactly (after normalizing the per-server random trace-ID prefix, span
+// timings, and healthz uptime).
+type goldenStep struct {
+	name   string
+	method string
+	path   string // appended to the server base URL
+	body   func(t *testing.T) []byte
+}
+
+func rawBody(s string) func(t *testing.T) []byte {
+	return func(*testing.T) []byte { return []byte(s) }
+}
+
+func taskBody(tk *task.DAGTask) func(t *testing.T) []byte {
+	return func(t *testing.T) []byte { return admitBody(t, tk) }
+}
+
+func batchStepBody(tks ...*task.DAGTask) func(t *testing.T) []byte {
+	return func(t *testing.T) []byte { return batchBody(t, tks...) }
+}
+
+// goldenScenario is the fixed request sequence: every pre-refactor endpoint
+// and error family (admit, traced admit, duplicate 409, analysis 409, batch
+// accept, atomic batch 409, duplicate-in-batch 409, 400s, allocation, remove,
+// 404) against an M=8 platform.
+func goldenScenario() []goldenStep {
+	return []goldenStep{
+		{"healthz", http.MethodGet, "/v1/healthz", nil},
+		{"admit_ex1", http.MethodPost, "/v1/admit", taskBody(example1Task("ex1"))},
+		{"admit_duplicate", http.MethodPost, "/v1/admit", taskBody(example1Task("ex1"))},
+		{"admit_tri", http.MethodPost, "/v1/admit", taskBody(trijob("tri"))},
+		{"admit_traced", http.MethodPost, "/v1/admit?trace=1", taskBody(example1Task("traced"))},
+		{"batch_accept", http.MethodPost, "/v1/admit/batch", batchStepBody(example1Task("b1"), example1Task("b2"))},
+		{"batch_atomic_reject", http.MethodPost, "/v1/admit/batch", batchStepBody(trijob("tri2"), trijob("tri3"))},
+		{"batch_duplicate_installed", http.MethodPost, "/v1/admit/batch", batchStepBody(example1Task("b1"))},
+		{"batch_duplicate_within", http.MethodPost, "/v1/admit/batch", batchStepBody(example1Task("x"), example1Task("x"))},
+		{"batch_empty", http.MethodPost, "/v1/admit/batch", rawBody(`{"tasks":[]}`)},
+		{"admit_malformed", http.MethodPost, "/v1/admit", rawBody("{")},
+		{"admit_anonymous", http.MethodPost, "/v1/admit", rawBody(`{"deadline":5,"period":5,"dag":{"vertices":[{"wcet":1}],"edges":[]}}`)},
+		{"allocation", http.MethodGet, "/v1/allocation", nil},
+		{"remove_tri", http.MethodDelete, "/v1/tasks/tri", nil},
+		{"remove_unknown", http.MethodDelete, "/v1/tasks/nope", nil},
+		{"remove_b1", http.MethodDelete, "/v1/tasks/b1", nil},
+		{"allocation_final", http.MethodGet, "/v1/allocation", nil},
+	}
+}
+
+var (
+	traceIDRe = regexp.MustCompile(`[0-9a-f]{8}-[0-9]{6}`)
+	spanNsRe  = regexp.MustCompile(`"(start_ns|dur_ns)": ?[0-9]+`)
+	uptimeRe  = regexp.MustCompile(`"uptime_s":[0-9]+`)
+)
+
+// normalizeGolden strips the run-dependent bytes: trace IDs (random per-server
+// prefix), span timings inside ?trace=1 verdicts, and healthz uptime.
+func normalizeGolden(b []byte) []byte {
+	b = traceIDRe.ReplaceAll(b, []byte("TRACEID"))
+	b = spanNsRe.ReplaceAll(b, []byte(`"$1":0`))
+	b = uptimeRe.ReplaceAll(b, []byte(`"uptime_s":0`))
+	return b
+}
+
+// renderResponse renders one response as the golden text: status line, the
+// deterministic headers, then the normalized body.
+func renderResponse(status int, hdr http.Header, body []byte) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "status: %d\n", status)
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := hdr.Get(k); v != "" {
+			fmt.Fprintf(&buf, "%s: %s\n", k, v)
+		}
+	}
+	if v := hdr.Get("X-Trace-Id"); v != "" {
+		fmt.Fprintf(&buf, "X-Trace-Id: %s\n", string(normalizeGolden([]byte(v))))
+	}
+	buf.WriteString("\n")
+	buf.Write(normalizeGolden(body))
+	return buf.Bytes()
+}
+
+// runGoldenScenario drives the scenario against a fresh server and returns
+// the rendered response per step. mutate, when non-nil, edits every request
+// before it is sent (the router variants set a cluster header or rewrite the
+// path); responses must be identical regardless.
+func runGoldenScenario(t *testing.T, cfg Config, mutate func(*http.Request)) map[string][]byte {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	out := make(map[string][]byte)
+	for _, step := range goldenScenario() {
+		var body []byte
+		if step.body != nil {
+			body = step.body(t)
+		}
+		req, err := http.NewRequest(step.method, ts.URL+step.path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(req)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		data := readAll(t, resp)
+		out[step.name] = renderResponse(resp.StatusCode, resp.Header, data)
+	}
+	return out
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRouterGoldenDifferential pins the single-shard service byte-for-byte:
+// the committed goldens were captured against the pre-refactor single-server
+// implementation, and the default (N=1) configuration must keep reproducing
+// them exactly — bodies and deterministic headers — through the router path.
+func TestRouterGoldenDifferential(t *testing.T) {
+	got := runGoldenScenario(t, Config{M: 8}, nil)
+	dir := filepath.Join("testdata", "router")
+	if *updateGoldens {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, step := range goldenScenario() {
+		path := filepath.Join(dir, step.name+".golden")
+		if *updateGoldens {
+			if err := os.WriteFile(path, got[step.name], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden for %s (run with -update): %v", step.name, err)
+		}
+		if !bytes.Equal(got[step.name], want) {
+			t.Errorf("%s: response differs from pre-refactor golden:\n--- got ---\n%s\n--- want ---\n%s",
+				step.name, got[step.name], want)
+		}
+	}
+	if *updateGoldens {
+		t.Log("goldens updated; re-run without -update")
+	}
+}
+
+// TestGoldenScenarioDeterministic guards the harness itself: two fresh
+// servers produce identical normalized responses, so any golden mismatch is a
+// real behavior change, not noise the normalizer missed.
+func TestGoldenScenarioDeterministic(t *testing.T) {
+	a := runGoldenScenario(t, Config{M: 8}, nil)
+	b := runGoldenScenario(t, Config{M: 8}, nil)
+	for _, step := range goldenScenario() {
+		if !bytes.Equal(a[step.name], b[step.name]) {
+			t.Errorf("%s: nondeterministic after normalization:\n%s\nvs\n%s", step.name, a[step.name], b[step.name])
+		}
+	}
+	if !strings.Contains(string(a["admit_traced"]), `"trace"`) {
+		t.Error("traced admit verdict lacks an embedded trace")
+	}
+}

@@ -6,10 +6,10 @@ import (
 	"fedsched/internal/obs"
 )
 
-// metrics holds the daemon's counters. Each Server owns its own expvar.Map
+// metrics holds one shard's counters. Each Shard owns its own expvar.Map
 // rather than publishing into the process-global expvar namespace, so tests
 // (and a -loadgen process driving itself) can hold many servers without
-// Publish collisions; /debug/vars renders the map.
+// Publish collisions; /debug/vars renders the map(s).
 //
 // Admission latency is an obs.Histogram — the same log-bucketed implementation
 // the rest of the pipeline uses — which replaced an earlier bespoke sample
@@ -17,18 +17,22 @@ import (
 // under-reported tail quantiles on small windows (obs.Histogram.Quantile is
 // ceil nearest-rank).
 type metrics struct {
-	admits   expvar.Int // tasks accepted and installed (batch members count singly)
-	batches  expvar.Int // batch admissions accepted atomically
-	rejects  expvar.Int // admissions rejected by the FEDCONS analysis
-	removes  expvar.Int // tasks removed
-	shed     expvar.Int // requests dropped by queue-bound load shedding
-	timeouts expvar.Int // requests whose deadline expired before analysis
-	errors   expvar.Int // malformed requests (decode/validation failures)
-	latency  obs.Histogram
+	admits     expvar.Int // tasks accepted and installed (batch members count singly)
+	batches    expvar.Int // batch admissions accepted atomically
+	rejects    expvar.Int // admissions rejected by the FEDCONS analysis
+	removes    expvar.Int // tasks removed
+	shed       expvar.Int // requests dropped by queue-bound load shedding
+	timeouts   expvar.Int // requests whose deadline expired before analysis
+	errors     expvar.Int // malformed requests (decode/validation failures)
+	walAppends expvar.Int // mutation records fsynced to the write-ahead log
+	snapshots  expvar.Int // snapshots written (each truncates the WAL)
+	latency    obs.Histogram
 }
 
-// vars assembles the /debug/vars map for a server.
-func (s *Server) vars() *expvar.Map {
+// vars assembles the /debug/vars map for a shard. The WAL keys appear only
+// on durable shards, so a non-durable single-shard server exposes exactly
+// the pre-shard key set.
+func (s *Shard) vars() *expvar.Map {
 	m := new(expvar.Map).Init()
 	m.Set("admits_total", &s.met.admits)
 	m.Set("batch_admits_total", &s.met.batches)
@@ -53,6 +57,11 @@ func (s *Server) vars() *expvar.Map {
 		}
 		return float64(h) / float64(h+mi)
 	}))
+	if s.store != nil {
+		m.Set("wal_appends_total", &s.met.walAppends)
+		m.Set("wal_snapshots_total", &s.met.snapshots)
+		m.Set("wal_seq", expvar.Func(func() any { return int64(s.store.Seq()) }))
+	}
 	m.Set("admit_latency_p50_ns", expvar.Func(func() any { return s.met.latency.Quantile(0.50) }))
 	m.Set("admit_latency_p99_ns", expvar.Func(func() any { return s.met.latency.Quantile(0.99) }))
 	m.Set("admit_latency_p999_ns", expvar.Func(func() any { return s.met.latency.Quantile(0.999) }))

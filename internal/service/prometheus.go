@@ -15,34 +15,69 @@ import (
 const promNamespace = "fedschedd"
 
 // promHandler renders the daemon's metrics in the Prometheus text exposition
-// format (version 0.0.4), derived from the same expvar map that backs
+// format (version 0.0.4), derived from the same expvar maps that back
 // /debug/vars so the two views can never disagree. Keys ending in "_total"
 // are typed counter, everything else gauge; the admit_latency_p* expvar keys
 // are skipped in favor of the full fedschedd_admit_latency_seconds histogram
 // rendered from the underlying obs.Histogram. expvar.Map.Do iterates keys in
 // sorted order, so the exposition is deterministic.
+//
+// A single-shard server renders exactly the pre-shard exposition (no labels);
+// a multi-shard server emits one # TYPE line per metric followed by one
+// sample per shard labeled {shard="<i>"}.
 func (s *Server) promHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		var buf bytes.Buffer
-		s.promVars.Do(func(kv expvar.KeyValue) {
-			if strings.HasPrefix(kv.Key, "admit_latency_") {
-				return
+		if len(s.shards) == 1 {
+			sh := s.shards[0]
+			sh.promVars.Do(func(kv expvar.KeyValue) {
+				if strings.HasPrefix(kv.Key, "admit_latency_") {
+					return
+				}
+				val, ok := promValue(kv.Value)
+				if !ok {
+					return
+				}
+				name := promNamespace + "_" + kv.Key
+				fmt.Fprintf(&buf, "# TYPE %s %s\n%s %s\n", name, promType(kv.Key), name, val)
+			})
+			promHistogram(&buf, promNamespace+"_admit_latency_seconds", "", &sh.met.latency)
+		} else {
+			// Shard 0's sorted key iteration drives the layout; every shard
+			// has the same key set (all shards share one Config).
+			s.shards[0].promVars.Do(func(kv expvar.KeyValue) {
+				if strings.HasPrefix(kv.Key, "admit_latency_") {
+					return
+				}
+				if _, ok := promValue(kv.Value); !ok {
+					return
+				}
+				name := promNamespace + "_" + kv.Key
+				fmt.Fprintf(&buf, "# TYPE %s %s\n", name, promType(kv.Key))
+				for _, sh := range s.shards {
+					val, ok := promValue(sh.promVars.Get(kv.Key))
+					if !ok {
+						continue
+					}
+					fmt.Fprintf(&buf, "%s{shard=%q} %s\n", name, strconv.Itoa(sh.id), val)
+				}
+			})
+			for _, sh := range s.shards {
+				promHistogram(&buf, promNamespace+"_admit_latency_seconds",
+					fmt.Sprintf("shard=%q,", strconv.Itoa(sh.id)), &sh.met.latency)
 			}
-			val, ok := promValue(kv.Value)
-			if !ok {
-				return
-			}
-			name := promNamespace + "_" + kv.Key
-			typ := "gauge"
-			if strings.HasSuffix(kv.Key, "_total") {
-				typ = "counter"
-			}
-			fmt.Fprintf(&buf, "# TYPE %s %s\n%s %s\n", name, typ, name, val)
-		})
-		promHistogram(&buf, promNamespace+"_admit_latency_seconds", &s.met.latency)
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Write(buf.Bytes())
 	})
+}
+
+// promType maps an expvar key to its Prometheus metric type.
+func promType(key string) string {
+	if strings.HasSuffix(key, "_total") {
+		return "counter"
+	}
+	return "gauge"
 }
 
 // promValue renders one expvar value as a Prometheus sample value.
@@ -67,15 +102,26 @@ func promValue(v expvar.Var) (string, bool) {
 
 // promHistogram writes one obs.Histogram in Prometheus histogram form:
 // cumulative buckets keyed by upper bound in seconds, then _sum and _count.
-func promHistogram(buf *bytes.Buffer, name string, h *obs.Histogram) {
-	fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
+// extraLabels, when non-empty, is prepended inside each bucket's label set
+// and appended (braced) to _sum/_count; it must end with a comma.
+func promHistogram(buf *bytes.Buffer, name, extraLabels string, h *obs.Histogram) {
+	if extraLabels == "" {
+		fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
+	} else if strings.Contains(extraLabels, `shard="0"`) {
+		// One # TYPE line for the whole labeled family.
+		fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
+	}
 	var cum int64
 	for _, b := range h.Buckets() {
 		cum += b.Count
 		le := strconv.FormatFloat(float64(b.UpperNs)/1e9, 'g', -1, 64)
-		fmt.Fprintf(buf, "%s_bucket{le=%q} %d\n", name, le, cum)
+		fmt.Fprintf(buf, "%s_bucket{%sle=%q} %d\n", name, extraLabels, le, cum)
 	}
-	fmt.Fprintf(buf, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-	fmt.Fprintf(buf, "%s_sum %s\n", name, strconv.FormatFloat(float64(h.SumNs())/1e9, 'g', -1, 64))
-	fmt.Fprintf(buf, "%s_count %d\n", name, h.Count())
+	fmt.Fprintf(buf, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extraLabels, h.Count())
+	suffix := ""
+	if extraLabels != "" {
+		suffix = "{" + strings.TrimSuffix(extraLabels, ",") + "}"
+	}
+	fmt.Fprintf(buf, "%s_sum%s %s\n", name, suffix, strconv.FormatFloat(float64(h.SumNs())/1e9, 'g', -1, 64))
+	fmt.Fprintf(buf, "%s_count%s %d\n", name, suffix, h.Count())
 }

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHashRingProperties checks the consistent-hash ring is deterministic,
+// covers every slot, and keeps most placements stable when a slot is added.
+func TestHashRingProperties(t *testing.T) {
+	a, b := newHashRing(8), newHashRing(8)
+	hit := make(map[int]int)
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("cluster-%d", i)
+		if a.owner(name) != b.owner(name) {
+			t.Fatalf("ring placement nondeterministic for %q", name)
+		}
+		hit[a.owner(name)]++
+	}
+	for slot := 0; slot < 8; slot++ {
+		if hit[slot] == 0 {
+			t.Errorf("slot %d owns no cluster out of 4096", slot)
+		}
+	}
+	// Growing 8 → 9 slots must move only keys the new slot captures.
+	grown := newHashRing(9)
+	moved := 0
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("cluster-%d", i)
+		if was, now := a.owner(name), grown.owner(name); was != now {
+			moved++
+			if now != 8 {
+				t.Fatalf("%q moved from slot %d to old slot %d on grow", name, was, now)
+			}
+		}
+	}
+	if moved == 0 || moved > 4096/4 {
+		t.Errorf("grow moved %d/4096 keys; want a small non-zero fraction", moved)
+	}
+}
+
+// TestGoldenDifferentialWithClusterHeader re-runs the pre-refactor golden
+// scenario with an X-Cluster header on every request: at N=1 every cluster
+// maps to the one shard, so all responses must stay byte-identical.
+func TestGoldenDifferentialWithClusterHeader(t *testing.T) {
+	base := runGoldenScenario(t, Config{M: 8}, nil)
+	withHdr := runGoldenScenario(t, Config{M: 8}, func(r *http.Request) {
+		r.Header.Set(clusterHeader, "payments")
+	})
+	for _, step := range goldenScenario() {
+		if !bytes.Equal(base[step.name], withHdr[step.name]) {
+			t.Errorf("%s: X-Cluster header changed a single-shard response:\n%s\nvs\n%s",
+				step.name, base[step.name], withHdr[step.name])
+		}
+	}
+}
+
+// TestGoldenDifferentialThroughClusterPaths rewrites every legacy data path
+// to its /v1/clusters/{cluster}/... twin and asserts byte-identical responses
+// at N=1. healthz has no cluster form and is left alone.
+func TestGoldenDifferentialThroughClusterPaths(t *testing.T) {
+	base := runGoldenScenario(t, Config{M: 8}, nil)
+	viaPath := runGoldenScenario(t, Config{M: 8}, func(r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/healthz") {
+			return
+		}
+		r.URL.Path = "/v1/clusters/default" + strings.TrimPrefix(r.URL.Path, "/v1")
+	})
+	for _, step := range goldenScenario() {
+		if !bytes.Equal(base[step.name], viaPath[step.name]) {
+			t.Errorf("%s: cluster-path response differs from legacy path:\n%s\nvs\n%s",
+				step.name, base[step.name], viaPath[step.name])
+		}
+	}
+}
+
+// distinctClusters finds cluster names owned by different shards of svc.
+func distinctClusters(t *testing.T, svc *Server, want int) []string {
+	t.Helper()
+	seen := map[int]string{}
+	for i := 0; len(seen) < want && i < 65536; i++ {
+		name := fmt.Sprintf("c%d", i)
+		slot := svc.ring.owner(name)
+		if _, ok := seen[slot]; !ok {
+			seen[slot] = name
+		}
+	}
+	if len(seen) < want {
+		t.Fatalf("could not find %d clusters on distinct shards", want)
+	}
+	out := make([]string, 0, want)
+	for _, name := range seen {
+		out = append(out, name)
+	}
+	return out[:want]
+}
+
+// TestShardsAreIndependentDomains: with N>1, the same task name admits into
+// two different clusters without a duplicate conflict, and each cluster's
+// allocation sees only its own task.
+func TestShardsAreIndependentDomains(t *testing.T) {
+	svc, ts := newTestServer(t, Config{M: 4, Shards: 4})
+	clusters := distinctClusters(t, svc, 2)
+	c := ts.Client()
+	for _, cl := range clusters {
+		status, body, _ := doJSON(t, c, http.MethodPost,
+			ts.URL+"/v1/clusters/"+cl+"/admit", admitBody(t, example1Task("same-name")))
+		if status != http.StatusOK {
+			t.Fatalf("admit into %s = %d: %s", cl, status, body)
+		}
+	}
+	for _, cl := range clusters {
+		_, body, _ := doJSON(t, c, http.MethodGet, ts.URL+"/v1/clusters/"+cl+"/allocation", nil)
+		var v struct {
+			Tasks int `json:"tasks"`
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Tasks != 1 {
+			t.Errorf("cluster %s sees %d tasks, want exactly its own 1", cl, v.Tasks)
+		}
+	}
+	// Header and path addressing agree: a duplicate via the header form now
+	// conflicts on the same shard.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/admit",
+		bytes.NewReader(admitBody(t, example1Task("same-name"))))
+	req.Header.Set(clusterHeader, clusters[0])
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("header-addressed duplicate = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestFleetRedirect: a cluster owned by another fleet member is answered
+// with a 307 preserving the request URI, so the client can replay the POST
+// against the owner.
+func TestFleetRedirect(t *testing.T) {
+	fleet := []string{"http://self.example", "http://peer.example"}
+	svc, ts := newTestServer(t, Config{M: 4, Fleet: fleet, Self: 0})
+	// Find one cluster per member.
+	var mine, theirs string
+	for i := 0; (mine == "" || theirs == "") && i < 65536; i++ {
+		name := fmt.Sprintf("c%d", i)
+		if svc.fleet.owner(name) == 0 {
+			if mine == "" {
+				mine = name
+			}
+		} else if theirs == "" {
+			theirs = name
+		}
+	}
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	status, _, _ := doJSON(t, client, http.MethodPost,
+		ts.URL+"/v1/clusters/"+mine+"/admit", admitBody(t, example1Task("local")))
+	if status != http.StatusOK {
+		t.Fatalf("locally owned cluster not served: %d", status)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/clusters/"+theirs+"/admit?trace=1",
+		bytes.NewReader(admitBody(t, example1Task("remote"))))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("foreign cluster = %d, want 307", resp.StatusCode)
+	}
+	want := "http://peer.example/v1/clusters/" + theirs + "/admit?trace=1"
+	if loc := resp.Header.Get("Location"); loc != want {
+		t.Errorf("Location = %q, want %q", loc, want)
+	}
+	// Process-level endpoints are never redirected.
+	if status, _, _ := doJSON(t, client, http.MethodGet, ts.URL+"/v1/healthz", nil); status != http.StatusOK {
+		t.Errorf("healthz redirected or failed: %d", status)
+	}
+}
+
+// TestMultiShardMetricsLabeled: N>1 switches /metrics to one sample per
+// shard with a shard label, while keeping one # TYPE line per family.
+func TestMultiShardMetricsLabeled(t *testing.T) {
+	svc, ts := newTestServer(t, Config{M: 4, Shards: 2})
+	cl := distinctClusters(t, svc, 2)
+	c := ts.Client()
+	if status, body, _ := doJSON(t, c, http.MethodPost,
+		ts.URL+"/v1/clusters/"+cl[0]+"/admit", admitBody(t, example1Task("e1"))); status != http.StatusOK {
+		t.Fatalf("admit = %d: %s", status, body)
+	}
+	_, body, _ := doJSON(t, c, http.MethodGet, ts.URL+"/metrics", nil)
+	text := string(body)
+	for _, want := range []string{
+		`fedschedd_admits_total{shard="0"}`,
+		`fedschedd_admits_total{shard="1"}`,
+		`fedschedd_admit_latency_seconds_bucket{shard="0",le="+Inf"}`,
+		`fedschedd_admit_latency_seconds_count{shard="1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("multi-shard exposition missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE fedschedd_admits_total counter"); n != 1 {
+		t.Errorf("admits_total declared %d times, want once", n)
+	}
+	// Exactly one shard observed the admission.
+	if !strings.Contains(text, `fedschedd_admits_total{shard="0"} 1`) &&
+		!strings.Contains(text, `fedschedd_admits_total{shard="1"} 1`) {
+		t.Errorf("no shard recorded the admission:\n%s", text)
+	}
+}
+
+// TestMultiShardVarsComposite: /debug/vars at N>1 nests each shard's map.
+func TestMultiShardVarsComposite(t *testing.T) {
+	_, ts := newTestServer(t, Config{M: 4, Shards: 3})
+	_, body, _ := doJSON(t, ts.Client(), http.MethodGet, ts.URL+"/debug/vars", nil)
+	var v map[string]map[string]any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("composite vars not JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"shard_0", "shard_1", "shard_2"} {
+		m, ok := v[key]
+		if !ok {
+			t.Fatalf("vars missing %s:\n%s", key, body)
+		}
+		if _, ok := m["admits_total"]; !ok {
+			t.Errorf("%s map lacks admits_total", key)
+		}
+	}
+}
+
+// TestMultiShardHealthz: N>1 healthz reports the shard count and the
+// aggregate task total across shards.
+func TestMultiShardHealthz(t *testing.T) {
+	svc, ts := newTestServer(t, Config{M: 4, Shards: 4})
+	cl := distinctClusters(t, svc, 2)
+	c := ts.Client()
+	for i, name := range cl {
+		if status, _, _ := doJSON(t, c, http.MethodPost,
+			ts.URL+"/v1/clusters/"+name+"/admit", admitBody(t, example1Task(fmt.Sprintf("t%d", i)))); status != http.StatusOK {
+			t.Fatal("admit failed")
+		}
+	}
+	_, body, _ := doJSON(t, c, http.MethodGet, ts.URL+"/v1/healthz", nil)
+	var v struct {
+		Status string `json:"status"`
+		Shards int    `json:"shards"`
+		Tasks  int    `json:"tasks"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != "ok" || v.Shards != 4 || v.Tasks != 2 {
+		t.Errorf("healthz = %+v, want ok/4 shards/2 tasks", v)
+	}
+}
+
+// TestShardConfigValidation mirrors the -par flag validation style for the
+// new sharding and durability knobs.
+func TestShardConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default-one-shard", Config{M: 4}, true},
+		{"explicit-shards", Config{M: 4, Shards: 8}, true},
+		{"negative-shards", Config{M: 4, Shards: -1}, false},
+		{"snapshot-without-wal", Config{M: 4, SnapshotEvery: 16}, false},
+		{"negative-snapshot", Config{M: 4, WALDir: t.TempDir(), SnapshotEvery: -1}, false},
+		{"fleet-self-out-of-range", Config{M: 4, Fleet: []string{"http://a", "http://b"}, Self: 2}, false},
+		{"fleet-self-negative", Config{M: 4, Fleet: []string{"http://a"}, Self: -1}, false},
+		{"fleet-ok", Config{M: 4, Fleet: []string{"http://a", "http://b"}, Self: 1}, true},
+	}
+	for _, tc := range cases {
+		svc, err := New(tc.cfg)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+		if svc != nil {
+			svc.Close()
+		}
+	}
+}

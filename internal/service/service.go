@@ -1,105 +1,95 @@
 package service
 
 import (
-	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"fedsched/internal/core"
-	"fedsched/internal/obs"
-	"fedsched/internal/task"
 )
 
 // Config parameterizes a Server. The zero value of a field selects its
 // default.
 type Config struct {
-	// M is the platform size (required, ≥ 1).
+	// M is the platform size (required, ≥ 1). Each shard admits against its
+	// own M-processor platform.
 	M int
 	// Options selects the FEDCONS variant (zero value = the paper's
 	// algorithm). All cached analyses are computed under these options.
 	Options core.Options
-	// QueueBound caps the admission queue; beyond it requests are shed with
-	// 429 + Retry-After. Default 64.
+	// QueueBound caps each shard's admission queue; beyond it requests are
+	// shed with 429 + Retry-After. Default 64.
 	QueueBound int
 	// AdmitTimeout is the per-request context deadline applied to mutating
 	// requests. Default 2s.
 	AdmitTimeout time.Duration
-	// Observer, when non-nil, is called synchronously from the writer loop
-	// after every completed admit/remove with that operation's summary
+	// Observer, when non-nil, is called synchronously from a shard's writer
+	// loop after every completed admit/remove with that operation's summary
 	// record. Single-writer execution makes the per-operation cache deltas
 	// well-defined. Keep it fast: it runs on the admission path. The daemon
-	// uses it for -v one-line summaries and the -audit JSONL log.
+	// uses it for -v one-line summaries and the -audit JSONL log. With
+	// multiple shards the Observer is shared and may be called concurrently
+	// from different shards; the record's Shard field says which.
 	Observer func(AdmissionRecord)
+
+	// Shards is the number of independent admission domains the server runs
+	// (default 1). Requests carry a cluster name — via the X-Cluster header
+	// or a /v1/clusters/{cluster}/... path — and are routed to the shard
+	// owning that cluster on a consistent-hash ring. Requests with no
+	// cluster name all land on the shard owning "".
+	Shards int
+	// WALDir, when non-empty, makes every shard durable: shard i keeps an
+	// append-only WAL and periodic snapshots under WALDir/shard-i, replayed
+	// (and re-verified with core.Verify) on restart.
+	WALDir string
+	// SnapshotEvery is the per-shard mutation count between snapshots
+	// (default store.DefaultSnapshotEvery). Requires WALDir.
+	SnapshotEvery int
+
+	// Fleet lists the base URLs of every fedschedd process sharing the
+	// cluster space, in a fixed order all members agree on; Self is this
+	// process's index into it. A cluster first hashes to a fleet member —
+	// requests for clusters owned elsewhere are answered with a 307 redirect
+	// to that member — and only then to one of the member's local shards.
+	// An empty Fleet (the default) means this process owns every cluster.
+	Fleet []string
+	Self  int
 }
 
 // AdmissionRecord summarizes one completed mutation for Config.Observer.
 type AdmissionRecord struct {
 	TraceID     string `json:"trace_id"`
-	Op          string `json:"op"` // "admit" or "remove"
+	Shard       int    `json:"shard"` // which shard executed the mutation
+	Op          string `json:"op"`    // "admit", "admit-batch" or "remove"
 	Task        string `json:"task"`
 	Status      int    `json:"status"`
 	Schedulable bool   `json:"schedulable"`
 	LatencyNs   int64  `json:"latency_ns"`
 	CacheHits   int64  `json:"cache_hits"`   // Phase-1 memo hits during this operation
 	CacheMisses int64  `json:"cache_misses"` // Phase-1 memo misses during this operation
-	Tasks       int    `json:"tasks"`        // installed system size after the operation
+	Tasks       int    `json:"tasks"`        // installed shard system size after the operation
 }
 
-// Server is the admission-control daemon state: a live task system, its
-// current FEDCONS allocation, and the content-addressed Phase-1 memo cache.
-//
-// Consistency model: all mutations (admit, remove) serialize through a
-// single-writer loop, so trial analyses always run against a quiescent
-// state; reads take an RWMutex read-lock on the installed snapshot and never
-// block behind an analysis in progress. Every state the server installs —
-// and therefore every state a reader can observe — has passed core.Verify.
+// Server is the admission-control front end: a stateless consistent-hash
+// router over Config.Shards shared-nothing Shard instances. The shard that
+// owns the empty cluster name is embedded as the default, so the single-shard
+// Server behaves — method for method and byte for byte — like the pre-shard
+// implementation: Admit, Remove, AdmitBatch, Snapshot and Cache all promote
+// from it.
 type Server struct {
-	cfg   Config
-	cache *AnalysisCache
+	*Shard // the default shard: owner of cluster ""
 
-	mu    sync.RWMutex // guards sys and alloc (the installed snapshot)
-	sys   task.System
-	alloc *core.Allocation // nil iff sys is empty
-
-	reqs    chan *request
-	closing chan struct{}
-	closed  atomic.Bool
-	loop    sync.WaitGroup
-	once    sync.Once
-
-	met      metrics
-	varsMap  http.Handler
-	promVars *expvar.Map
-	started  time.Time
-
-	// tracePrefix + traceSeq mint per-request trace IDs like "a1b2c3d4-000007".
-	tracePrefix string
-	traceSeq    obs.Counter
+	cfg     Config
+	shards  []*Shard
+	ring    *hashRing // cluster → local shard
+	fleet   *hashRing // cluster → fleet member (nil without Config.Fleet)
+	started time.Time
 }
 
-// request is one queued mutation for the writer loop.
-type request struct {
-	ctx   context.Context
-	trace string // trace ID, echoed in queue-expiry error bodies
-	run   func() opResult
-	resp  chan opResult // buffered: the loop never blocks on a gone client
-}
-
-// opResult is a finished operation: an HTTP status and a JSON body.
-type opResult struct {
-	status int
-	body   []byte
-}
-
-// New starts a Server (including its writer loop). Call Close to stop it.
+// New starts a Server and its shards (including their writer loops and, with
+// Config.WALDir, their snapshot+WAL recovery). Call Close to stop it.
 func New(cfg Config) (*Server, error) {
 	if cfg.M < 1 {
 		return nil, fmt.Errorf("service: platform size must be ≥ 1, got %d", cfg.M)
@@ -116,340 +106,75 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AdmitTimeout == 0 {
 		cfg.AdmitTimeout = 2 * time.Second
 	}
-	s := &Server{
-		cfg:         cfg,
-		cache:       NewAnalysisCache(),
-		reqs:        make(chan *request, cfg.QueueBound),
-		closing:     make(chan struct{}),
-		started:     time.Now(),
-		tracePrefix: randomTracePrefix(),
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
 	}
-	s.promVars = s.vars()
-	s.varsMap = varsHandler(s.promVars)
-	s.loop.Add(1)
-	go s.writerLoop()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("service: shard count must be ≥ 1, got %d", cfg.Shards)
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("service: snapshot cadence must be ≥ 0, got %d", cfg.SnapshotEvery)
+	}
+	if cfg.SnapshotEvery > 0 && cfg.WALDir == "" {
+		return nil, fmt.Errorf("service: snapshot cadence requires a WAL directory")
+	}
+	if len(cfg.Fleet) > 0 && (cfg.Self < 0 || cfg.Self >= len(cfg.Fleet)) {
+		return nil, fmt.Errorf("service: fleet self index %d out of range for %d members", cfg.Self, len(cfg.Fleet))
+	}
+	s := &Server{
+		cfg:     cfg,
+		ring:    newHashRing(cfg.Shards),
+		started: time.Now(),
+	}
+	if len(cfg.Fleet) > 1 {
+		s.fleet = newHashRing(len(cfg.Fleet))
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, cfg)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.Shard = s.shards[s.ring.owner("")]
 	return s, nil
 }
 
-// Close stops the writer loop after draining every queued request, so no
-// client is left waiting on an unanswered channel. It is idempotent.
+// Close stops every shard. It is idempotent.
 func (s *Server) Close() {
-	s.once.Do(func() {
-		s.closed.Store(true)
-		close(s.closing)
-	})
-	s.loop.Wait()
-}
-
-// Cache exposes the analysis cache (read-only use: stats).
-func (s *Server) Cache() *AnalysisCache { return s.cache }
-
-// Snapshot returns the installed system and allocation. The system slice is
-// a copy; the allocation is shared and must be treated as immutable.
-func (s *Server) Snapshot() (task.System, *core.Allocation) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sys.Clone(), s.alloc
-}
-
-func (s *Server) writerLoop() {
-	defer s.loop.Done()
-	for {
-		select {
-		case req := <-s.reqs:
-			s.serve(req)
-		case <-s.closing:
-			for {
-				select {
-				case req := <-s.reqs:
-					s.serve(req)
-				default:
-					return
-				}
-			}
-		}
+	for _, sh := range s.shards {
+		sh.Close()
 	}
 }
 
-func (s *Server) serve(req *request) {
-	if err := req.ctx.Err(); err != nil {
-		s.met.timeouts.Add(1)
-		req.resp <- errResultTrace(http.StatusGatewayTimeout, "admission deadline expired while queued: "+err.Error(), req.trace)
-		return
-	}
-	req.resp <- req.run()
-}
+// Shards returns the server's shards in index order.
+func (s *Server) Shards() []*Shard { return s.shards }
 
-// submit routes a mutation through the writer loop, shedding load when the
-// queue is full and honoring the caller's context deadline. The trace ID is
-// echoed in every error body minted here (429/503/504), so a client that
-// never got a verdict still holds a handle the operator can grep for.
-func (s *Server) submit(ctx context.Context, traceID string, run func() opResult) opResult {
-	if s.closed.Load() {
-		return errResultTrace(http.StatusServiceUnavailable, "server shutting down", traceID)
-	}
-	req := &request{ctx: ctx, trace: traceID, run: run, resp: make(chan opResult, 1)}
-	select {
-	case s.reqs <- req:
-	default:
-		s.met.shed.Add(1)
-		return errResultTrace(http.StatusTooManyRequests, "admission queue full; retry later", traceID)
-	}
-	select {
-	case res := <-req.resp:
-		return res
-	case <-ctx.Done():
-		// The loop may still execute the request (it re-checks the context
-		// before starting, but cannot un-run an analysis already underway);
-		// the client should GET /v1/allocation to learn the outcome.
-		s.met.timeouts.Add(1)
-		return errResultTrace(http.StatusGatewayTimeout, "admission deadline expired: "+ctx.Err().Error(), traceID)
-	}
-}
-
-// randomTracePrefix draws the per-server trace-ID prefix.
-func randomTracePrefix() string {
-	var b [4]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "trace"
-	}
-	return hex.EncodeToString(b[:])
-}
-
-// nextTraceID mints a server-unique request trace ID.
-func (s *Server) nextTraceID() string {
-	return fmt.Sprintf("%s-%06d", s.tracePrefix, s.traceSeq.Inc())
-}
-
-// Admit trial-admits tk: it runs the full two-phase FEDCONS test on the
-// current system plus tk, audits the resulting allocation with core.Verify,
-// and installs it only if both succeed. The returned status is the HTTP
-// status the daemon would serve: 200 installed, 409 rejected by the
-// analysis (body = Verdict with the failure reason) or duplicate name,
-// 429 shed, 504 deadline expired, 500 audit failure (state unchanged).
-func (s *Server) Admit(ctx context.Context, tk *task.DAGTask) (int, []byte) {
-	return s.AdmitTrace(ctx, tk, s.nextTraceID(), nil)
-}
-
-// AdmitTrace is Admit with an explicit trace ID (echoed in shed/timeout error
-// bodies and the Observer record) and an optional obs.Recorder: when rec is
-// non-nil the full FEDCONS decision trace of the trial analysis is recorded
-// into it and embedded in the Verdict's "trace" field — the daemon's
-// ?trace=1 admit mode.
-func (s *Server) AdmitTrace(ctx context.Context, tk *task.DAGTask, traceID string, rec *obs.Recorder) (int, []byte) {
-	res := s.submit(ctx, traceID, func() opResult {
-		return s.observed(traceID, "admit", tk.Name, func() opResult { return s.doAdmit(tk, rec) })
-	})
-	return res.status, res.body
-}
-
-// Remove removes the named task, re-analyzes and installs the shrunken
-// system. Status: 200 removed, 404 unknown name, plus the same 429/504
-// envelope as Admit.
-func (s *Server) Remove(ctx context.Context, name string) (int, []byte) {
-	return s.RemoveTrace(ctx, name, s.nextTraceID())
-}
-
-// RemoveTrace is Remove with an explicit trace ID.
-func (s *Server) RemoveTrace(ctx context.Context, name, traceID string) (int, []byte) {
-	res := s.submit(ctx, traceID, func() opResult {
-		return s.observed(traceID, "remove", name, func() opResult { return s.doRemove(name) })
-	})
-	return res.status, res.body
-}
-
-// observed runs one mutation inside the writer loop, timing it into the
-// latency histogram and reporting the completed operation to Config.Observer.
-func (s *Server) observed(traceID, op, taskName string, run func() opResult) opResult {
-	start := time.Now()
-	var h0, m0 int64
-	if s.cfg.Observer != nil {
-		h0, m0 = s.cache.Stats()
-	}
-	res := run()
-	lat := time.Since(start)
-	if op == "admit" || op == "admit-batch" {
-		s.met.latency.Observe(lat)
-	}
-	if s.cfg.Observer != nil {
-		h1, m1 := s.cache.Stats()
-		s.cfg.Observer(AdmissionRecord{
-			TraceID:     traceID,
-			Op:          op,
-			Task:        taskName,
-			Status:      res.status,
-			Schedulable: res.status == http.StatusOK,
-			LatencyNs:   lat.Nanoseconds(),
-			CacheHits:   h1 - h0,
-			CacheMisses: m1 - m0,
-			Tasks:       len(s.sys), // safe: we are the writer loop
-		})
-	}
-	return res
-}
-
-// doAdmit runs inside the writer loop: it is the only writer, so reading
-// s.sys without the lock is safe, and the lock is taken only to install.
-func (s *Server) doAdmit(tk *task.DAGTask, rec *obs.Recorder) opResult {
-	for _, cur := range s.sys {
-		if cur.Name == tk.Name {
-			s.met.errors.Add(1)
-			return errResult(http.StatusConflict, fmt.Sprintf("task %q already admitted; remove it first", tk.Name))
-		}
-	}
-	trial := append(s.sys.Clone(), tk)
-	opt := s.cfg.Options
-	opt.Trace = rec
-	alloc, err := s.cache.Schedule(trial, s.cfg.M, opt)
-	if err != nil {
-		s.met.rejects.Add(1)
-		return verdictResult(http.StatusConflict, withTrace(NewVerdict(trial, s.cfg.M, nil, err), rec))
-	}
-	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
-		// The audit is the last line of defense: never install an
-		// allocation the independent checker rejects.
-		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
-	}
-	s.install(trial, alloc)
-	s.met.admits.Add(1)
-	return verdictResult(http.StatusOK, withTrace(NewVerdict(trial, s.cfg.M, alloc, nil), rec))
-}
-
-// withTrace embeds rec's spans (with phase-level timings) into the verdict.
-func withTrace(v Verdict, rec *obs.Recorder) Verdict {
-	if rec != nil {
-		v.Trace = rec.JSON(obs.ExportOptions{Timings: true})
-	}
-	return v
-}
-
-func (s *Server) doRemove(name string) opResult {
-	idx := -1
-	for i, cur := range s.sys {
-		if cur.Name == name {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		s.met.errors.Add(1)
-		return errResult(http.StatusNotFound, fmt.Sprintf("no task named %q", name))
-	}
-	trial := make(task.System, 0, len(s.sys)-1)
-	trial = append(trial, s.sys[:idx]...)
-	trial = append(trial, s.sys[idx+1:]...)
-	if len(trial) == 0 {
-		s.install(nil, nil)
-		s.met.removes.Add(1)
-		return verdictResult(http.StatusOK, NewVerdict(nil, s.cfg.M, nil, nil))
-	}
-	alloc, err := s.cache.Schedule(trial, s.cfg.M, s.cfg.Options)
-	if err != nil {
-		// Removing a task can, in principle, perturb the deadline-ordered
-		// first-fit packing enough to fail; keep the (verified) old state
-		// rather than install nothing.
-		s.met.errors.Add(1)
-		return errResult(http.StatusConflict, fmt.Sprintf("system unschedulable after removing %q: %v", name, err))
-	}
-	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
-		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
-	}
-	s.install(trial, alloc)
-	s.met.removes.Add(1)
-	return verdictResult(http.StatusOK, NewVerdict(trial, s.cfg.M, alloc, nil))
-}
-
-func (s *Server) install(sys task.System, alloc *core.Allocation) {
-	s.mu.Lock()
-	s.sys, s.alloc = sys, alloc
-	s.mu.Unlock()
-}
-
-// Handler returns the daemon's HTTP API:
-//
-//	POST   /v1/admit        trial-admit a DAG task (body: task JSON; ?trace=1
-//	                        embeds the FEDCONS decision trace in the verdict)
-//	POST   /v1/admit/batch  trial-admit a task list all-or-nothing (body:
-//	                        {"tasks": [...]}; cold Phase-1 analyses run on
-//	                        the Options.Par worker pool)
-//	DELETE /v1/tasks/{name} remove an admitted task
-//	GET    /v1/allocation   current verdict + allocation
-//	GET    /v1/healthz      liveness
-//	GET    /debug/vars      expvar metrics
-//	GET    /metrics         Prometheus text exposition
-//
-// Every mutating response carries an X-Trace-Id header; shed and timed-out
-// requests additionally echo the ID in the error body.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
-	mux.HandleFunc("POST /v1/admit/batch", s.handleAdmitBatch)
-	mux.HandleFunc("DELETE /v1/tasks/{name}", s.handleRemove)
-	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.Handle("GET /debug/vars", s.varsMap)
-	mux.Handle("GET /metrics", s.promHandler())
-	return mux
-}
-
-func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
-	traceID := s.nextTraceID()
-	w.Header().Set("X-Trace-Id", traceID)
-	var tk task.DAGTask
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
-	if err := json.NewDecoder(body).Decode(&tk); err != nil {
-		s.met.errors.Add(1)
-		writeJSON(w, errResult(http.StatusBadRequest, "decoding task: "+err.Error()))
-		return
-	}
-	if tk.Name == "" {
-		s.met.errors.Add(1)
-		writeJSON(w, errResult(http.StatusBadRequest, "task must carry a unique name"))
-		return
-	}
-	var rec *obs.Recorder
-	if r.URL.Query().Get("trace") == "1" {
-		rec = obs.New(obs.DefaultLimits)
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
-	defer cancel()
-	status, respBody := s.AdmitTrace(ctx, &tk, traceID, rec)
-	writeJSON(w, opResult{status: status, body: respBody})
-}
-
-func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	traceID := s.nextTraceID()
-	w.Header().Set("X-Trace-Id", traceID)
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
-	defer cancel()
-	status, body := s.RemoveTrace(ctx, r.PathValue("name"), traceID)
-	writeJSON(w, opResult{status: status, body: body})
-}
-
-func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	sys, alloc := s.sys, s.alloc
-	s.mu.RUnlock()
-	writeJSON(w, verdictResult(http.StatusOK, NewVerdict(sys, s.cfg.M, alloc, nil)))
+// ShardFor returns the shard owning the given cluster name.
+func (s *Server) ShardFor(cluster string) *Shard {
+	return s.shards[s.ring.owner(cluster)]
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	n := len(s.sys)
-	s.mu.RUnlock()
-	body, _ := json.Marshal(map[string]any{
+	tasks := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		tasks += len(sh.sys)
+		sh.mu.RUnlock()
+	}
+	resp := map[string]any{
 		"status":   "ok",
-		"tasks":    n,
+		"tasks":    tasks,
 		"uptime_s": int64(time.Since(s.started).Seconds()),
-	})
+	}
+	if len(s.shards) > 1 {
+		resp["shards"] = len(s.shards)
+	}
+	body, _ := json.Marshal(resp)
 	writeJSON(w, opResult{status: http.StatusOK, body: append(body, '\n')})
-}
-
-func varsHandler(m fmt.Stringer) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		fmt.Fprintln(w, m.String())
-	})
 }
 
 func writeJSON(w http.ResponseWriter, res opResult) {

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the snapshot golden")
+
+func hashOf(tk *task.DAGTask) string { return core.TaskHash(tk).String() }
+
+func openStore(t *testing.T, dir string, every int) (*Store, *Recovery) {
+	t.Helper()
+	st, rec, err := Open(dir, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, rec
+}
+
+func TestStoreRecoversLoggedMutations(t *testing.T) {
+	dir := t.TempDir()
+	a, b, c := testTask(t, "a"), testTask(t, "b"), testTask(t, "c")
+
+	st, rec := openStore(t, dir, 0)
+	if len(rec.Tasks) != 0 || rec.Seq != 0 {
+		t.Fatalf("fresh store recovered %+v", rec)
+	}
+	if err := st.LogAdmit([]*task.DAGTask{a}, []string{hashOf(a)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogAdmit([]*task.DAGTask{b, c}, []string{hashOf(b), hashOf(c)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogRemove("b"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close() // crash-equivalent: no snapshot written
+
+	_, rec = openStore(t, dir, 0)
+	if rec.Seq != 3 {
+		t.Fatalf("recovered seq %d, want 3", rec.Seq)
+	}
+	names := []string{}
+	for _, tk := range rec.Tasks {
+		names = append(names, tk.Name)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+		t.Fatalf("recovered tasks %v, want [a c] in installation order", names)
+	}
+	if rec.Hashes[0] != hashOf(a) || rec.Hashes[1] != hashOf(c) {
+		t.Fatalf("recovered hashes misaligned: %v", rec.Hashes)
+	}
+	if rec.M != 0 {
+		t.Fatalf("no snapshot yet, M should be 0, got %d", rec.M)
+	}
+}
+
+func TestStoreSnapshotCadence(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, 2)
+	var sys task.System
+	var keys []string
+	for _, name := range []string{"a", "b", "c"} {
+		tk := testTask(t, name)
+		sys = append(sys, tk)
+		keys = append(keys, hashOf(tk))
+		if err := st.LogAdmit([]*task.DAGTask{tk}, []string{hashOf(tk)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.MaybeSnapshot(sys, keys, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// every=2: the second mutation snapshotted and truncated the WAL, the
+	// third sits in the WAL on top of it.
+	snap, err := readSnapshot(dir)
+	if err != nil || snap == nil {
+		t.Fatalf("no snapshot after 3 mutations at every=2: %v", err)
+	}
+	if snap.Seq != 2 || len(snap.Tasks) != 2 || snap.M != 8 {
+		t.Fatalf("snapshot %+v, want seq=2 with 2 tasks on m=8", snap)
+	}
+	_, recs, err := OpenWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 3 {
+		t.Fatalf("wal after snapshot: %d records, want just seq 3", len(recs))
+	}
+	st.Close()
+
+	_, rec := openStore(t, dir, 2)
+	if rec.Seq != 3 || len(rec.Tasks) != 3 || rec.M != 8 {
+		t.Fatalf("snapshot+wal recovery: seq=%d tasks=%d m=%d", rec.Seq, len(rec.Tasks), rec.M)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if rec.Tasks[i].Name != name {
+			t.Fatalf("task %d = %q, want %q", i, rec.Tasks[i].Name, name)
+		}
+	}
+}
+
+// TestStoreSnapshotCrashBeforeWALReset covers the one crash window the
+// snapshot protocol leaves: snapshot installed, WAL not yet truncated. The
+// stale records at or before the snapshot's seq must be skipped, not
+// reapplied.
+func TestStoreSnapshotCrashBeforeWALReset(t *testing.T) {
+	dir := t.TempDir()
+	a, b := testTask(t, "a"), testTask(t, "b")
+	st, _ := openStore(t, dir, 1000) // never auto-snapshot
+	if err := st.LogAdmit([]*task.DAGTask{a}, []string{hashOf(a)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogAdmit([]*task.DAGTask{b}, []string{hashOf(b)}); err != nil {
+		t.Fatal(err)
+	}
+	// Write the snapshot by hand without resetting the WAL — exactly the
+	// state a crash between writeSnapshot and wal.Reset leaves behind.
+	snap := &Snapshot{Format: snapshotFormat, Seq: 2, M: 4,
+		Tasks: task.System{a, b}, CacheKeys: []string{hashOf(a), hashOf(b)}}
+	if err := writeSnapshot(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	_, rec := openStore(t, dir, 0)
+	if rec.Seq != 2 || len(rec.Tasks) != 2 {
+		t.Fatalf("recovery reapplied stale wal records: seq=%d tasks=%d", rec.Seq, len(rec.Tasks))
+	}
+}
+
+func TestReplayRejectsInconsistentLog(t *testing.T) {
+	a := testTask(t, "a")
+	cases := []struct {
+		name string
+		snap *Snapshot
+		recs []Record
+	}{
+		{"gap", nil, []Record{{Seq: 2, Op: OpAdmit, Tasks: []*task.DAGTask{a}, Hashes: []string{"h"}}}},
+		{"dup-admit", nil, []Record{
+			{Seq: 1, Op: OpAdmit, Tasks: []*task.DAGTask{a}, Hashes: []string{"h"}},
+			{Seq: 2, Op: OpAdmit, Tasks: []*task.DAGTask{testTask(t, "a")}, Hashes: []string{"h"}},
+		}},
+		{"remove-unknown", nil, []Record{{Seq: 1, Op: OpRemove, Name: "ghost"}}},
+		{"bad-op", nil, []Record{{Seq: 1, Op: "compact"}}},
+		{"hash-misalign", nil, []Record{{Seq: 1, Op: OpAdmit, Tasks: []*task.DAGTask{a}}}},
+	}
+	for _, tc := range cases {
+		if _, err := replay(tc.snap, tc.recs); err == nil {
+			t.Errorf("%s: replay accepted an inconsistent log", tc.name)
+		}
+	}
+}
+
+// TestSnapshotGolden pins the snapshot file format byte for byte. If this
+// breaks, recovery of existing -wal-dir state breaks: bump snapshotFormat
+// and add migration instead of editing the golden.
+func TestSnapshotGolden(t *testing.T) {
+	ex := testTask(t, "example1")
+	two := task.MustNew("pair", dag.Independent(3, 4), 6, 9)
+	snap := &Snapshot{
+		Format:    snapshotFormat,
+		Seq:       7,
+		M:         8,
+		Tasks:     task.System{ex, two},
+		CacheKeys: []string{hashOf(ex), hashOf(two)},
+	}
+	got, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("snapshot encoding drifted from the on-disk format:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	back, err := DecodeSnapshot(want)
+	if err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if back.Seq != 7 || back.M != 8 || len(back.Tasks) != 2 || back.Tasks[1].Name != "pair" {
+		t.Fatalf("golden decoded to %+v", back)
+	}
+}
+
+func TestDecodeSnapshotRejects(t *testing.T) {
+	cases := map[string]string{
+		"not-json":     "{",
+		"bad-format":   `{"format":99,"seq":0,"m":4,"tasks":[],"cacheKeys":[]}`,
+		"bad-m":        `{"format":1,"seq":0,"m":0,"tasks":[],"cacheKeys":[]}`,
+		"key-mismatch": `{"format":1,"seq":0,"m":4,"tasks":[],"cacheKeys":["x"]}`,
+	}
+	for name, data := range cases {
+		if _, err := DecodeSnapshot([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -16,6 +16,12 @@
 //     system untouched — the all-or-nothing contract,
 //  8. sends SIGTERM and asserts a clean drain and exit code 0.
 //
+// It then runs the crash-recovery smoke: boots the daemon with -wal-dir,
+// admits a mixed system, captures /v1/allocation, SIGKILLs the process (no
+// drain, no snapshot), restarts it on the same -wal-dir, and asserts the
+// recovered allocation is byte-identical and the Phase-1 cache came back
+// warm (cache_hits > 0 before any new request).
+//
 // Any failure exits non-zero with a diagnosis on stderr.
 package main
 
@@ -41,6 +47,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("serve-smoke: PASS")
+	if err := crashRecoverySmoke(); err != nil {
+		fmt.Fprintln(os.Stderr, "crash-recovery-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("crash-recovery-smoke: PASS")
 }
 
 func smoke() error {
@@ -156,6 +167,139 @@ func smoke() error {
 		return fmt.Errorf("daemon did not report a clean drain; output:\n%s", out.String())
 	}
 	return nil
+}
+
+// crashRecoverySmoke is the kill -9 durability check: a daemon with -wal-dir
+// must restart into the exact pre-crash state with a warm Phase-1 cache.
+func crashRecoverySmoke() error {
+	tmp, err := os.MkdirTemp("", "crashsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "fedschedd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fedschedd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building fedschedd: %w", err)
+	}
+	walDir := filepath.Join(tmp, "wal")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	boot := func(tag string) (*exec.Cmd, chan error, string, *bytes.Buffer, error) {
+		addrfile := filepath.Join(tmp, "addr-"+tag)
+		var out bytes.Buffer
+		daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-addrfile", addrfile,
+			"-m", "8", "-wal-dir", walDir, "-snapshot-every", "2")
+		daemon.Stdout, daemon.Stderr = &out, &out
+		if err := daemon.Start(); err != nil {
+			return nil, nil, "", nil, fmt.Errorf("starting daemon (%s): %w", tag, err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- daemon.Wait() }()
+		base, err := waitForAddr(addrfile, exited, &out)
+		if err != nil {
+			daemon.Process.Kill()
+			return nil, nil, "", nil, err
+		}
+		return daemon, exited, base, &out, nil
+	}
+
+	daemon, exited, base, out, err := boot("pre-crash")
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	// A mixed durable system: a low-density task plus two content-identical
+	// high-density tasks, so recovery both re-partitions and re-runs Phase-1
+	// MINPROCS (the second trijob is the recovery cache hit we assert below).
+	for _, tk := range []*task.DAGTask{
+		task.MustNew("example1", dag.Example1(), dag.Example1D, dag.Example1T),
+		task.MustNew("tri-a", dag.Independent(5, 5, 5), 5, 5),
+		task.MustNew("tri-b", dag.Independent(5, 5, 5), 5, 5),
+		task.MustNew("doomed", dag.Example1(), dag.Example1D, dag.Example1T),
+	} {
+		if v, err := admit(client, base, tk); err != nil || !v.Schedulable {
+			return fmt.Errorf("admit %s: err=%v verdict=%+v", tk.Name, err, v)
+		}
+	}
+	// A removal too, so replay covers both record kinds.
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/tasks/doomed", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("remove doomed: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remove doomed: %s", resp.Status)
+	}
+	before, err := getBody(client, base+"/v1/allocation")
+	if err != nil {
+		return err
+	}
+
+	// kill -9: no drain, no snapshot flush — recovery must come purely from
+	// the fsynced WAL (plus any snapshot the cadence already wrote).
+	if err := daemon.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	<-exited
+
+	daemon2, _, base2, out2, err := boot("post-crash")
+	if err != nil {
+		return fmt.Errorf("restart after crash: %w (first boot output:\n%s)", err, out.String())
+	}
+	defer daemon2.Process.Kill()
+
+	after, err := getBody(client, base2+"/v1/allocation")
+	if err != nil {
+		return fmt.Errorf("allocation after restart: %w (output:\n%s)", err, out2.String())
+	}
+	if !bytes.Equal(before, after) {
+		return fmt.Errorf("allocation changed across kill -9 + restart:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+
+	// The recovery replay re-analyzed tri-a and tri-b (identical content):
+	// the second one must have hit the memo the first one warmed, before any
+	// client traffic.
+	var vars struct {
+		CacheHits    int64 `json:"cache_hits"`
+		CacheEntries int64 `json:"cache_entries"`
+		WALSeq       int64 `json:"wal_seq"`
+	}
+	if err := getJSON(client, base2+"/debug/vars", &vars); err != nil {
+		return fmt.Errorf("vars after restart: %w", err)
+	}
+	if vars.CacheHits < 1 || vars.CacheEntries < 1 {
+		return fmt.Errorf("recovery did not prewarm the Phase-1 cache: hits=%d entries=%d", vars.CacheHits, vars.CacheEntries)
+	}
+	if vars.WALSeq != 5 {
+		return fmt.Errorf("recovered wal_seq = %d, want 5 (4 admits + 1 remove)", vars.WALSeq)
+	}
+	daemon2.Process.Kill()
+	return nil
+}
+
+// getBody GETs url and returns the raw body on 200.
+func getBody(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // waitForAddr polls the -addrfile until the daemon binds, failing fast if the

@@ -1,0 +1,224 @@
+// Command shardbench measures the sharded fedschedd's shared-nothing scaling,
+// run by `make shard-bench`. For each shard count N in its sweep it:
+//
+//  1. builds ./cmd/fedschedd once into a temp dir,
+//  2. boots it with -shards N on an ephemeral port,
+//  3. drives it with the daemon's own closed-loop load generator
+//     (-loadgen -clusters 2N, so every shard owns live clusters) and
+//     collects the generator's -json summary,
+//  4. SIGTERMs the daemon and asserts a clean drain,
+//
+// then writes all runs to results/timing_shards.json: admissions/sec,
+// requests/sec and admit-latency quantiles per shard count. Because shards
+// are shared-nothing — each with its own writer loop, queue and cache —
+// admissions/sec should grow with N until the client side or the machine
+// saturates.
+//
+// Flags: -duration per run (default 3s), -workers per run (default
+// 2×GOMAXPROCS, split across clusters), -shards comma list (default 1,4,8),
+// -o output path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// runResult is one sweep point in results/timing_shards.json.
+type runResult struct {
+	Shards      int     `json:"shards"`
+	Clusters    int     `json:"clusters"`
+	Workers     int     `json:"workers"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	RequestsPS  float64 `json:"requests_per_s"`
+	Admits      int64   `json:"admits"`
+	AdmitsPS    float64 `json:"admits_per_s"`
+	Rejects     int64   `json:"rejects"`
+	Shed        int64   `json:"shed"`
+	Timeouts    int64   `json:"timeouts"`
+	AdmitP50Ns  int64   `json:"admit_p50_ns"`
+	AdmitP99Ns  int64   `json:"admit_p99_ns"`
+	AdmitP999Ns int64   `json:"admit_p999_ns"`
+}
+
+// loadgenSummary mirrors the -json line cmd/fedschedd's load generator emits.
+type loadgenSummary struct {
+	Workers     int     `json:"workers"`
+	Clusters    int     `json:"clusters"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	RequestsPS  float64 `json:"requests_per_s"`
+	Admits      int64   `json:"admits"`
+	AdmitsPS    float64 `json:"admits_per_s"`
+	Rejects     int64   `json:"rejects"`
+	Shed        int64   `json:"shed"`
+	Timeouts    int64   `json:"timeouts"`
+	AdmitP50Ns  int64   `json:"admit_p50_ns"`
+	AdmitP99Ns  int64   `json:"admit_p99_ns"`
+	AdmitP999Ns int64   `json:"admit_p999_ns"`
+}
+
+func main() {
+	duration := flag.Duration("duration", 3*time.Second, "load duration per shard count")
+	workers := flag.Int("workers", 2*runtime.GOMAXPROCS(0), "closed-loop clients per run")
+	shardList := flag.String("shards", "1,4,8", "comma-separated shard counts to sweep")
+	out := flag.String("o", filepath.Join("results", "timing_shards.json"), "output path")
+	flag.Parse()
+
+	if err := bench(*duration, *workers, *shardList, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "shard-bench: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("shard-bench: PASS")
+}
+
+func bench(duration time.Duration, workers int, shardList, outPath string) error {
+	var sweep []int
+	for _, s := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", s)
+		}
+		sweep = append(sweep, n)
+	}
+
+	tmp, err := os.MkdirTemp("", "shardbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "fedschedd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fedschedd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building fedschedd: %w", err)
+	}
+
+	var results []runResult
+	for _, n := range sweep {
+		res, err := runOne(bin, tmp, n, workers, duration)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", n, err)
+		}
+		results = append(results, res)
+		fmt.Printf("shards=%d clusters=%d: %.1f req/s, %.1f admits/s, p50=%v p99=%v\n",
+			res.Shards, res.Clusters, res.RequestsPS, res.AdmitsPS,
+			time.Duration(res.AdmitP50Ns), time.Duration(res.AdmitP99Ns))
+	}
+
+	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// runOne boots a daemon with n shards, drives it, drains it, and returns the
+// measured point.
+func runOne(bin, tmp string, n, workers int, duration time.Duration) (runResult, error) {
+	var zero runResult
+	addrfile := filepath.Join(tmp, fmt.Sprintf("addr-%d", n))
+	var out bytes.Buffer
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-addrfile", addrfile,
+		"-m", "16", "-shards", strconv.Itoa(n))
+	daemon.Stdout, daemon.Stderr = &out, &out
+	if err := daemon.Start(); err != nil {
+		return zero, fmt.Errorf("starting daemon: %w", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	defer daemon.Process.Kill()
+
+	base, err := waitForAddr(addrfile, exited, &out)
+	if err != nil {
+		return zero, err
+	}
+
+	clusters := 2 * n
+	if workers < clusters {
+		workers = clusters // every cluster gets at least one worker
+	}
+	jsonPath := filepath.Join(tmp, fmt.Sprintf("loadgen-%d.jsonl", n))
+	lg := exec.Command(bin, "-loadgen", "-target", base,
+		"-duration", duration.String(), "-workers", strconv.Itoa(workers),
+		"-clusters", strconv.Itoa(clusters), "-seed", "1", "-json", jsonPath)
+	var lgOut bytes.Buffer
+	lg.Stdout, lg.Stderr = &lgOut, &lgOut
+	if err := lg.Run(); err != nil {
+		return zero, fmt.Errorf("loadgen: %w\n%s", err, lgOut.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		return zero, fmt.Errorf("loadgen wrote no summary: %w", err)
+	}
+	var sum loadgenSummary
+	if err := json.Unmarshal(bytes.TrimSpace(data), &sum); err != nil {
+		return zero, fmt.Errorf("decoding loadgen summary: %w\n%s", err, data)
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return zero, fmt.Errorf("SIGTERM: %w", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			return zero, fmt.Errorf("daemon exited with %v; output:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		return zero, fmt.Errorf("daemon did not drain; output:\n%s", out.String())
+	}
+
+	return runResult{
+		Shards:      n,
+		Clusters:    sum.Clusters,
+		Workers:     sum.Workers,
+		DurationS:   sum.DurationS,
+		Requests:    sum.Requests,
+		RequestsPS:  sum.RequestsPS,
+		Admits:      sum.Admits,
+		AdmitsPS:    sum.AdmitsPS,
+		Rejects:     sum.Rejects,
+		Shed:        sum.Shed,
+		Timeouts:    sum.Timeouts,
+		AdmitP50Ns:  sum.AdmitP50Ns,
+		AdmitP99Ns:  sum.AdmitP99Ns,
+		AdmitP999Ns: sum.AdmitP999Ns,
+	}, nil
+}
+
+// waitForAddr polls the -addrfile until the daemon binds, failing fast if the
+// process dies first.
+func waitForAddr(path string, exited <-chan error, out *bytes.Buffer) (string, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			return "", fmt.Errorf("daemon exited before binding: %v; output:\n%s", err, out.String())
+		default:
+		}
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return "http://" + string(b), nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", fmt.Errorf("daemon never wrote %s; output:\n%s", path, out.String())
+}
