@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race serve-smoke obs-smoke shard-bench experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race partition-race serve-smoke obs-smoke shard-bench experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ all: build vet test
 # shard/durability suite under the race detector, an end-to-end
 # boot/admit/drain check of the fedschedd daemon, and a smoke test of its
 # observability surface (/metrics, pprof, ?trace=1, audit log).
-check: vet build test-race oracle-race par-race shard-race fuzz-smoke serve-smoke obs-smoke
+check: vet build test-race oracle-race par-race shard-race partition-race fuzz-smoke serve-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzDBFStar -fuzztime=30s ./internal/dbf/
 	$(GO) test -fuzz=FuzzVerifyAllocation -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzTaskHash -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzPartitionState -fuzztime=30s ./internal/partition/
 
 # CI smoke pass over the property fuzz targets (30 s each).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDBFStar -fuzztime=30s ./internal/dbf/
 	$(GO) test -fuzz=FuzzVerifyAllocation -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzPartitionState -fuzztime=30s ./internal/partition/
 
 # The fast-vs-reference differential oracle under the race detector.
 oracle-race:
@@ -66,6 +68,15 @@ par-race:
 shard-race:
 	$(GO) test -race -run 'TestRouter|TestGoldenDifferential|TestShard|TestMultiShard|TestFleet|TestHashRing|TestRecovery' ./internal/service/
 	$(GO) test -race ./internal/store/
+
+# The incremental Phase-2 partition state's byte-identity harness under the
+# race detector: the seed × heuristic × admission-test differential matrix,
+# the Admit∘Remove inverse property, the core AdmitLow/RemoveLow/VerifyDelta
+# differentials, and the service twin-server walks (warm vs FullRepartition).
+partition-race:
+	$(GO) test -race -run 'TestPartitionState|TestState' ./internal/partition/
+	$(GO) test -race -run 'TestAdmitRemoveLow|TestRemoveLow|TestVerifyDelta' ./internal/core/
+	$(GO) test -race -run 'TestWarmPath|TestServiceStateRandomWalk|TestEncodeFast' ./internal/service/
 
 # End-to-end daemon smoke test: build fedschedd, boot it on a random port,
 # admit Example 1 (accepted) and a 3-wide high-density task (3-processor

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fedsched/internal/dbf"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+// This file is the incremental FEDCONS entry point: the warm-path composition
+// of the (already memoized) Phase-1 outcome with an incremental Phase-2
+// partition.State. A single low-density admission or removal leaves every
+// Phase-1 decision untouched — high-density assignments, processor numbering
+// and the shared-processor set are all functions of the high-density tasks
+// only — so the new allocation is the old one with the low-density fields
+// replaced by the State's replayed partition. The results are byte-identical
+// to a from-scratch Schedule on the mutated system (pinned by the
+// differential harnesses in internal/partition and internal/service); traced
+// analyses never come here, so -trace/-explain output is produced by exactly
+// the same batch code as before.
+
+// AdmitLow returns the Allocation Schedule would produce for the system
+// base system + tk appended, where tk is low-density and base is the current
+// verified allocation whose Phase-2 partition st mirrors. st is mutated on
+// success; on failure (the identical *FailureError Schedule would return) it
+// is unchanged. base is not mutated: unchanged fields are shared.
+func AdmitLow(base *Allocation, st *partition.State, tk *task.DAGTask) (*Allocation, error) {
+	newIdx := len(base.High) + len(base.LowIndices) // tk's input index
+	if err := st.Admit(tk.AsSporadic()); err != nil {
+		return nil, liftPartitionError(err, base.LowIndices, newIdx, len(base.SharedProcs))
+	}
+	li := make([]int, len(base.LowIndices)+1)
+	copy(li, base.LowIndices)
+	li[len(li)-1] = newIdx
+	return &Allocation{
+		M:           base.M,
+		High:        base.High,
+		SharedProcs: base.SharedProcs,
+		LowIndices:  li,
+		Low:         st.Result(),
+	}, nil
+}
+
+// RemoveLow returns the Allocation Schedule would produce after deleting the
+// low-density task at input index sysIdx from the base system (the remaining
+// tasks keep their relative order, so indices above sysIdx shift down by
+// one). Removal can fail — deadline-ordered bin packing is not monotone under
+// removal — and then the returned error is the identical *FailureError
+// Schedule would produce for the shrunken system, with st unchanged.
+func RemoveLow(base *Allocation, st *partition.State, sysIdx int) (*Allocation, error) {
+	pos := -1
+	for i, li := range base.LowIndices {
+		if li == sysIdx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("fedcons: input index %d is not a low-density task of the base allocation", sysIdx)
+	}
+	// The shrunken system's low indices: drop position pos, shift the rest.
+	// Schedule builds these slices by append, so an empty set is nil — keep
+	// that encoding for byte-identical results.
+	var li []int
+	for i, v := range base.LowIndices {
+		if i == pos {
+			continue
+		}
+		if v > sysIdx {
+			v--
+		}
+		li = append(li, v)
+	}
+	if err := st.Remove(pos); err != nil {
+		return nil, liftPartitionError(err, li, -1, len(base.SharedProcs))
+	}
+	var high []HighAssignment
+	if len(base.High) > 0 {
+		high = make([]HighAssignment, len(base.High))
+		copy(high, base.High)
+		for i := range high {
+			if high[i].TaskIndex > sysIdx {
+				high[i].TaskIndex--
+			}
+		}
+	}
+	return &Allocation{
+		M:           base.M,
+		High:        high,
+		SharedProcs: base.SharedProcs,
+		LowIndices:  li,
+		Low:         st.Result(),
+	}, nil
+}
+
+// liftPartitionError wraps a State failure into the *FailureError Schedule
+// builds for a Phase-2 rejection, mapping the partition's low-order task
+// index through the mutated system's LowIndices. newIdx is the input index
+// of a task being admitted (one past lowIndices), or -1 for a removal.
+func liftPartitionError(err error, lowIndices []int, newIdx, remaining int) error {
+	fe := &FailureError{Phase: PhaseLowDensity, Remaining: remaining, Err: err}
+	var pf *partition.FailureError
+	if errors.As(err, &pf) {
+		if pf.TaskIndex == len(lowIndices) && newIdx >= 0 {
+			fe.TaskIndex = newIdx
+		} else {
+			fe.TaskIndex = lowIndices[pf.TaskIndex]
+		}
+		fe.TaskName = pf.TaskName
+	}
+	return fe
+}
+
+// VerifyDelta audits an allocation produced by AdmitLow/RemoveLow against the
+// mutated system, assuming Verify(baseSys, m, base) == nil for the state it
+// was derived from. It performs every structural check Verify performs —
+// coverage, density classes, processor ownership, template shape and
+// makespan-window bounds, partition coverage — in full, and elides only the
+// two expensive semantic re-checks where the audited object is pointer-
+// identical to its already-verified counterpart in base: a high-density
+// template validation is skipped when the (task, template, processors) triple
+// is unchanged, and a shared processor's exact EDF feasibility test is
+// skipped when the identical task pointers sit on it in the identical order.
+// Anything not provably unchanged is re-verified; callers needing an
+// unconditional audit use Verify.
+func VerifyDelta(sys task.System, m int, a *Allocation, baseSys task.System, base *Allocation) error {
+	if a == nil || base == nil {
+		return fmt.Errorf("fedcons: nil allocation")
+	}
+	if a.M != m || base.M != m {
+		return fmt.Errorf("fedcons: allocation for m=%d (base m=%d), want %d", a.M, base.M, m)
+	}
+	if len(a.High) != len(base.High) {
+		return fmt.Errorf("fedcons: delta audit across a high-density change (%d → %d tasks); use Verify", len(base.High), len(a.High))
+	}
+	owned := make([]int, m) // 0 = unused, 1 = dedicated, 2 = shared
+	covered := make([]bool, len(sys))
+
+	for i, h := range a.High {
+		if h.TaskIndex < 0 || h.TaskIndex >= len(sys) {
+			return fmt.Errorf("fedcons: high assignment index %d out of range", h.TaskIndex)
+		}
+		tk := sys[h.TaskIndex]
+		if covered[h.TaskIndex] {
+			return fmt.Errorf("fedcons: task %d assigned twice", h.TaskIndex)
+		}
+		covered[h.TaskIndex] = true
+		if !tk.HighDensity() {
+			return fmt.Errorf("fedcons: task %d (δ=%.3f) is low-density but got dedicated processors", h.TaskIndex, tk.Density())
+		}
+		if len(h.Procs) == 0 {
+			return fmt.Errorf("fedcons: task %d granted zero processors", h.TaskIndex)
+		}
+		for _, p := range h.Procs {
+			if p < 0 || p >= m {
+				return fmt.Errorf("fedcons: processor %d out of range", p)
+			}
+			if owned[p] != 0 {
+				return fmt.Errorf("fedcons: processor %d claimed twice", p)
+			}
+			owned[p] = 1
+		}
+		if h.Template == nil {
+			return fmt.Errorf("fedcons: task %d has no template schedule", h.TaskIndex)
+		}
+		if h.Template.M != len(h.Procs) {
+			return fmt.Errorf("fedcons: task %d template uses %d processors, granted %d", h.TaskIndex, h.Template.M, len(h.Procs))
+		}
+		b := base.High[i]
+		unchanged := h.Template == b.Template && tk == baseSys[b.TaskIndex] && equalInts(h.Procs, b.Procs)
+		if !unchanged {
+			if err := h.Template.Validate(tk.G); err != nil {
+				return fmt.Errorf("fedcons: task %d template invalid: %w", h.TaskIndex, err)
+			}
+		}
+		if w := window(tk); h.Template.Makespan > w {
+			return fmt.Errorf("fedcons: task %d template makespan %d exceeds window min(D,T)=%d", h.TaskIndex, h.Template.Makespan, w)
+		}
+	}
+
+	for _, p := range a.SharedProcs {
+		if p < 0 || p >= m {
+			return fmt.Errorf("fedcons: shared processor %d out of range", p)
+		}
+		if owned[p] != 0 {
+			return fmt.Errorf("fedcons: shared processor %d also dedicated", p)
+		}
+		owned[p] = 2
+	}
+
+	for _, i := range a.LowIndices {
+		if i < 0 || i >= len(sys) {
+			return fmt.Errorf("fedcons: low index %d out of range", i)
+		}
+		if covered[i] {
+			return fmt.Errorf("fedcons: task %d assigned twice", i)
+		}
+		covered[i] = true
+		if sys[i].HighDensity() {
+			return fmt.Errorf("fedcons: task %d (δ=%.3f) is high-density but was partitioned", i, sys[i].Density())
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			return fmt.Errorf("fedcons: task %d unassigned", i)
+		}
+	}
+
+	if a.Low == nil {
+		return fmt.Errorf("fedcons: nil partition result")
+	}
+	if len(a.Low.Assignment) != len(a.SharedProcs) {
+		return fmt.Errorf("fedcons: partition: result covers %d processors, want %d", len(a.Low.Assignment), len(a.SharedProcs))
+	}
+	seen := make([]bool, len(a.LowIndices))
+	sameShared := base.Low != nil && len(base.Low.Assignment) == len(a.Low.Assignment) && equalInts(a.SharedProcs, base.SharedProcs)
+	for k := range a.Low.Assignment {
+		for _, pos := range a.Low.Assignment[k] {
+			if pos < 0 || pos >= len(a.LowIndices) {
+				return fmt.Errorf("fedcons: partition: index %d out of range", pos)
+			}
+			if seen[pos] {
+				return fmt.Errorf("fedcons: partition: task %d assigned twice", pos)
+			}
+			seen[pos] = true
+		}
+		if sameShared && sameProcTasks(sys, a, baseSys, base, k) {
+			continue // identical already-audited task set on this processor
+		}
+		set := make([]task.Sporadic, 0, len(a.Low.Assignment[k]))
+		for _, pos := range a.Low.Assignment[k] {
+			set = append(set, sys[a.LowIndices[pos]].AsSporadic())
+		}
+		if !dbf.ExactFeasible(set) {
+			return fmt.Errorf("fedcons: partition: processor %d not EDF-schedulable: %v", k, set)
+		}
+	}
+	for pos, ok := range seen {
+		if !ok {
+			return fmt.Errorf("fedcons: partition: task %d unassigned", pos)
+		}
+	}
+	return nil
+}
+
+// sameProcTasks reports whether shared processor k carries pointer-identical
+// tasks, in identical order, in a and base — the condition under which base's
+// exact-EDF audit of that processor transfers to a.
+func sameProcTasks(sys task.System, a *Allocation, baseSys task.System, base *Allocation, k int) bool {
+	ap, bp := a.Low.Assignment[k], base.Low.Assignment[k]
+	if len(ap) != len(bp) {
+		return false
+	}
+	for j := range ap {
+		if sys[a.LowIndices[ap[j]]] != baseSys[base.LowIndices[bp[j]]] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

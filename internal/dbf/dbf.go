@@ -275,16 +275,25 @@ func ExactFeasible(set []task.Sporadic) bool {
 	if len(set) == 0 {
 		return true
 	}
-	cmp := TotalUtilizationRat(set).Cmp(one)
+	// Integer fast paths with big.Rat fallbacks: same exact comparisons, and
+	// the fast interval bound only ever over-approximates L_a, under which
+	// the QPA verdict is invariant.
+	cmp, fast := utilizationCmpOne(set)
+	if !fast {
+		cmp = TotalUtilizationRat(set).Cmp(one)
+	}
 	if cmp > 0 {
 		return false
 	}
 	if cmp == 0 {
 		return exactFeasibleFullUtil(set)
 	}
-	bound, ok := exactTestBound(set)
+	bound, ok := exactBoundFast(set)
 	if !ok {
-		return false
+		bound, ok = exactTestBound(set)
+		if !ok {
+			return false
+		}
 	}
 	return qpa(set, bound)
 }

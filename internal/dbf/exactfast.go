@@ -1,0 +1,111 @@
+package dbf
+
+import (
+	"math/bits"
+
+	"fedsched/internal/task"
+)
+
+// This file holds the overflow-checked integer companions to the big.Rat
+// arithmetic in ExactFeasible. Both are exact; whenever an intermediate value
+// would overflow, the caller falls back to the rational path, so the test's
+// boolean outcome never depends on the fast path applying.
+
+// utilizationCmpOne three-way compares Σ C_i/T_i against 1 in integer
+// arithmetic. ok is false on overflow (fall back to TotalUtilizationRat).
+func utilizationCmpOne(set []task.Sporadic) (cmp int, ok bool) {
+	var whole uint64
+	var frac fracSum
+	frac.init()
+	for _, s := range set {
+		c, t := uint64(s.C), uint64(s.T)
+		q, r := c/t, c%t
+		var carry uint64
+		whole, carry = bits.Add64(whole, q, 0)
+		if carry != 0 {
+			return 0, false
+		}
+		if !frac.add(r, t) {
+			return 0, false
+		}
+	}
+	switch {
+	case whole > 1:
+		return 1, true
+	case whole == 1:
+		if frac.isZero() {
+			return 0, true
+		}
+		return 1, true
+	default:
+		return frac.cmp(1), true
+	}
+}
+
+// exactBoundFast returns an interval bound valid for the QPA iteration,
+// requiring Σ u_i < 1 (established by the caller). It over-approximates the
+// exact L_a of exactTestBound — QPA's verdict is identical under any upper
+// bound ≥ L_a, since Σ DBF(t) ≤ t holds for every t ≥ L_a — trading a
+// slightly larger starting deadline for allocation-free arithmetic:
+//
+//	L_a = Σ (T_i − D_i)·u_i / (1 − U) ≤ (Σ ⌊(T_i−D_i)·C_i/T_i⌋ + n) / (1 − U)
+//
+// (each of the n per-task floors discards a fractional part < 1).
+func exactBoundFast(set []task.Sporadic) (Time, bool) {
+	// U = numU/denU as a proper fraction (whole part must be 0 since U < 1).
+	var wholeU uint64
+	var fu fracSum
+	fu.init()
+	var dmax Time
+	var wholeN uint64
+	for _, s := range set {
+		if s.D > dmax {
+			dmax = s.D
+		}
+		c, t := uint64(s.C), uint64(s.T)
+		q, r := c/t, c%t
+		var carry uint64
+		wholeU, carry = bits.Add64(wholeU, q, 0)
+		if carry != 0 || wholeU > 0 {
+			return 0, false
+		}
+		if !fu.add(r, t) {
+			return 0, false
+		}
+		// ⌊(T−D)·C/T⌋ via 128-by-64 division.
+		hi, lo := bits.Mul64(uint64(s.T-s.D), c)
+		if hi >= t {
+			return 0, false
+		}
+		nq, _ := bits.Div64(hi, lo, t)
+		wholeN, carry = bits.Add64(wholeN, nq, 0)
+		if carry != 0 {
+			return 0, false
+		}
+	}
+	if fu.numHi != 0 || fu.numLo >= fu.den {
+		return 0, false // U ≥ 1 or unreduced overflow: not our precondition
+	}
+	// ⌈(wholeN + n)·denU / (denU − numU)⌉, overflow-checked.
+	num, carry := bits.Add64(wholeN, uint64(len(set)), 0)
+	if carry != 0 {
+		return 0, false
+	}
+	d := fu.den - fu.numLo
+	hi, lo := bits.Mul64(num, fu.den)
+	if hi >= d {
+		return 0, false
+	}
+	q, rem := bits.Div64(hi, lo, d)
+	if rem > 0 {
+		q++
+	}
+	if q > uint64(1)<<62 {
+		return 0, false
+	}
+	bound := Time(q)
+	if bound < dmax {
+		bound = dmax
+	}
+	return bound, true
+}

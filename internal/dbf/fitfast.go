@@ -1,0 +1,222 @@
+package dbf
+
+import (
+	"math/bits"
+
+	"fedsched/internal/task"
+)
+
+// FitsApproxFast is FitsApprox computed in overflow-checked integer
+// arithmetic instead of math/big.Rat. Both evaluate the same two exact
+// rational inequalities
+//
+//	u(cand) + Σ u_j ≤ 1
+//	vol(cand) + Σ DBF*(τ_j, D_cand) ≤ D_cand
+//
+// so the boolean outcome is identical by construction; the integer path just
+// never allocates, which is what the incremental partition.State needs on the
+// warm admission path. Whenever an intermediate quantity would overflow the
+// 128-bit accumulators, the function falls back to the big.Rat
+// implementation — correctness never depends on the fast path applying.
+func FitsApproxFast(assigned []task.Sporadic, cand task.Sporadic) bool {
+	ok, fits := fitsApproxInt(assigned, cand)
+	if !ok {
+		return FitsApprox(assigned, cand)
+	}
+	return fits
+}
+
+// fitsApproxInt evaluates both FitsApprox inequalities exactly in integer
+// arithmetic. ok is false when an intermediate value overflowed and the
+// caller must fall back to the rational path; otherwise fits is the verdict.
+func fitsApproxInt(assigned []task.Sporadic, cand task.Sporadic) (ok, fits bool) {
+	// Utilization: Σ C_j/T_j + C_cand/T_cand ≤ 1, split into integer parts
+	// plus a sum of proper fractions over a common denominator.
+	var whole uint64
+	var frac fracSum
+	frac.init()
+	addUtil := func(s task.Sporadic) bool {
+		c, t := uint64(s.C), uint64(s.T)
+		q, r := c/t, c%t
+		var carry uint64
+		whole, carry = bits.Add64(whole, q, 0)
+		if carry != 0 {
+			return false
+		}
+		return frac.add(r, t)
+	}
+	if !addUtil(cand) {
+		return false, false
+	}
+	for _, s := range assigned {
+		if !addUtil(s) {
+			return false, false
+		}
+	}
+	switch {
+	case whole > 1:
+		return true, false
+	case whole == 1:
+		if !frac.isZero() {
+			return true, false
+		}
+	default: // whole == 0: need frac ≤ 1, i.e. num ≤ den
+		if frac.exceeds(1) {
+			return true, false
+		}
+	}
+
+	// Demand: C_cand + Σ_{D_j ≤ D_cand} (C_j + C_j·(D_cand − D_j)/T_j) ≤ D_cand,
+	// again split into an integer part and proper fractions.
+	whole = uint64(cand.C)
+	frac.init()
+	for _, s := range assigned {
+		if cand.D < s.D {
+			continue // DBF*(s, D_cand) = 0 before s's deadline
+		}
+		hi, lo := bits.Mul64(uint64(s.C), uint64(cand.D-s.D))
+		if hi != 0 {
+			return false, false
+		}
+		t := uint64(s.T)
+		q, r := lo/t, lo%t
+		var carry uint64
+		whole, carry = bits.Add64(whole, uint64(s.C), 0)
+		if carry == 0 {
+			whole, carry = bits.Add64(whole, q, 0)
+		}
+		if carry != 0 {
+			return false, false
+		}
+		if !frac.add(r, t) {
+			return false, false
+		}
+	}
+	if whole > uint64(cand.D) {
+		return true, false
+	}
+	return true, !frac.exceeds(uint64(cand.D) - whole)
+}
+
+// fracSum accumulates Σ r_i/t_i (0 ≤ r_i < t_i) exactly as num/den with a
+// 128-bit numerator and a 64-bit common denominator.
+type fracSum struct {
+	numHi, numLo uint64
+	den          uint64
+}
+
+func (f *fracSum) init() { f.numHi, f.numLo, f.den = 0, 0, 1 }
+
+// add folds r/t into the sum; false on overflow. The term is reduced to
+// lowest form first, and on overflow the accumulated sum is reduced by its
+// own gcd and the fold retried — the denominator shrinks strictly each
+// retry, so the loop terminates.
+func (f *fracSum) add(r, t uint64) bool {
+	if r == 0 {
+		return true
+	}
+	if g := gcd64(r, t); g > 1 {
+		r /= g
+		t /= g
+	}
+	for {
+		if f.tryAdd(r, t) {
+			return true
+		}
+		if !f.reduce() {
+			return false
+		}
+	}
+}
+
+// tryAdd folds r/t into the sum; false on overflow.
+func (f *fracSum) tryAdd(r, t uint64) bool {
+	g := gcd64(f.den, t)
+	mult := t / g // den' = den·mult = lcm(den, t)
+	hi, den := bits.Mul64(f.den, mult)
+	if hi != 0 {
+		return false
+	}
+	// num' = num·mult + r·(den'/t)
+	hh, hl := bits.Mul64(f.numHi, mult)
+	lh, ll := bits.Mul64(f.numLo, mult)
+	if hh != 0 {
+		return false
+	}
+	numHi, carry := bits.Add64(hl, lh, 0)
+	if carry != 0 {
+		return false
+	}
+	rh, rl := bits.Mul64(r, den/t)
+	numLo, c := bits.Add64(ll, rl, 0)
+	numHi, carry = bits.Add64(numHi, rh, c)
+	if carry != 0 {
+		return false
+	}
+	f.numHi, f.numLo, f.den = numHi, numLo, den
+	return true
+}
+
+// reduce divides num/den by their gcd; false when the fraction is already in
+// lowest form (or num is too large to take mod den), i.e. no progress.
+func (f *fracSum) reduce() bool {
+	if f.den == 1 {
+		return false
+	}
+	var mod uint64
+	switch {
+	case f.numHi == 0:
+		mod = f.numLo % f.den
+	case f.numHi < f.den:
+		_, mod = bits.Div64(f.numHi, f.numLo, f.den)
+	default:
+		return false
+	}
+	g := gcd64(f.den, mod)
+	if g == 1 {
+		return false
+	}
+	// g divides den and num mod den, hence num: the 128-by-64 division below
+	// is exact (remainder 0 by construction).
+	hiQ, hiR := f.numHi/g, f.numHi%g
+	loQ, _ := bits.Div64(hiR, f.numLo, g)
+	f.numHi, f.numLo, f.den = hiQ, loQ, f.den/g
+	return true
+}
+
+func (f *fracSum) isZero() bool { return f.numHi == 0 && f.numLo == 0 }
+
+// exceeds reports num/den > s, i.e. num > s·den, in 128-bit arithmetic.
+func (f *fracSum) exceeds(s uint64) bool {
+	hi, lo := bits.Mul64(s, f.den)
+	if f.numHi != hi {
+		return f.numHi > hi
+	}
+	return f.numLo > lo
+}
+
+// cmp three-way compares num/den against the integer s.
+func (f *fracSum) cmp(s uint64) int {
+	hi, lo := bits.Mul64(s, f.den)
+	switch {
+	case f.numHi != hi:
+		if f.numHi > hi {
+			return 1
+		}
+		return -1
+	case f.numLo != lo:
+		if f.numLo > lo {
+			return 1
+		}
+		return -1
+	default:
+		return 0
+	}
+}
+
+func gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

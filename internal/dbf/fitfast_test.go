@@ -1,0 +1,73 @@
+package dbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+// TestFitsApproxFastMatchesRat is the differential pin: the integer fast path
+// and the big.Rat reference decide the same exact inequalities, so they must
+// agree on every input — small parameters (dense tie cases around Σu == 1 and
+// demand == capacity) and huge ones (forcing the 128-bit accumulators and,
+// past them, the overflow fallback).
+func TestFitsApproxFastMatchesRat(t *testing.T) {
+	draw := func(r *rand.Rand, huge bool) task.Sporadic {
+		if huge {
+			c := r.Int63n(1 << 40)
+			return task.Sporadic{C: c + 1, D: c + 1 + r.Int63n(1<<41), T: c + 1 + r.Int63n(1<<42)}
+		}
+		c := int64(1 + r.Intn(8))
+		d := c + int64(r.Intn(16))
+		return task.Sporadic{C: c, D: d, T: d + int64(r.Intn(16))}
+	}
+	for _, huge := range []bool{false, true} {
+		r := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 20000; trial++ {
+			n := r.Intn(6)
+			assigned := make([]task.Sporadic, n)
+			for i := range assigned {
+				assigned[i] = draw(r, huge)
+			}
+			cand := draw(r, huge)
+			if got, want := FitsApproxFast(assigned, cand), FitsApprox(assigned, cand); got != want {
+				t.Fatalf("huge=%v: FitsApproxFast=%v FitsApprox=%v\nassigned=%v\ncand=%v", huge, got, want, assigned, cand)
+			}
+		}
+	}
+}
+
+// TestFitsApproxFastTies hits the exact boundary cases explicitly: full
+// utilization, demand exactly at capacity, and a candidate with C > D.
+func TestFitsApproxFastTies(t *testing.T) {
+	cases := []struct {
+		name     string
+		assigned []task.Sporadic
+		cand     task.Sporadic
+	}{
+		{"util-exactly-one", []task.Sporadic{{C: 1, D: 2, T: 2}}, task.Sporadic{C: 1, D: 2, T: 2}},
+		{"util-just-over", []task.Sporadic{{C: 1, D: 2, T: 2}}, task.Sporadic{C: 2, D: 3, T: 3}},
+		{"demand-exactly-capacity", []task.Sporadic{{C: 2, D: 4, T: 8}}, task.Sporadic{C: 2, D: 4, T: 16}},
+		{"demand-fractional-tie", []task.Sporadic{{C: 1, D: 3, T: 3}, {C: 1, D: 4, T: 6}}, task.Sporadic{C: 1, D: 7, T: 12}},
+		{"cand-exceeds-own-deadline", nil, task.Sporadic{C: 5, D: 3, T: 10}},
+		{"empty-proc", nil, task.Sporadic{C: 3, D: 7, T: 9}},
+	}
+	for _, tc := range cases {
+		if got, want := FitsApproxFast(tc.assigned, tc.cand), FitsApprox(tc.assigned, tc.cand); got != want {
+			t.Errorf("%s: fast=%v rat=%v", tc.name, got, want)
+		}
+	}
+}
+
+// TestFitsApproxFastZeroAlloc pins the warm-path contract: within 64-bit
+// range the integer evaluation allocates nothing.
+func TestFitsApproxFastZeroAlloc(t *testing.T) {
+	assigned := []task.Sporadic{
+		{C: 2, D: 9, T: 12}, {C: 1, D: 11, T: 13}, {C: 3, D: 17, T: 21}, {C: 2, D: 23, T: 40},
+	}
+	cand := task.Sporadic{C: 2, D: 25, T: 33}
+	if allocs := testing.AllocsPerRun(200, func() { FitsApproxFast(assigned, cand) }); allocs != 0 {
+		t.Errorf("FitsApproxFast allocated %.1f times, want 0", allocs)
+	}
+}

@@ -112,19 +112,30 @@ func (h *Histogram) MeanNs() int64 {
 // rank, which under-reports tail quantiles on small windows — with n = 100,
 // floor(0.99·(n−1)) picks the 98th order statistic while ⌈0.99·n⌉ correctly
 // picks the 99th). The answer is clamped to the observed maximum and is 0
-// for an empty histogram.
+// for an empty histogram. q outside [0, 1] — including NaN — is clamped to
+// the nearest valid rank before the float-to-int conversion: converting a
+// NaN or out-of-range float to int64 is implementation-defined in Go, so the
+// clamping must happen in float space to be portable.
 func (h *Histogram) Quantile(q float64) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(h.count)))
-	if rank < 1 {
+	var rank int64
+	switch {
+	case !(q > 0): // q ≤ 0 and NaN: the minimum, rank 1
 		rank = 1
-	}
-	if rank > h.count {
+	case q >= 1:
 		rank = h.count
+	default:
+		rank = int64(math.Ceil(q * float64(h.count)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > h.count {
+			rank = h.count
+		}
 	}
 	var cum int64
 	for i, n := range h.buckets {

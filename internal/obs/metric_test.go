@@ -84,6 +84,52 @@ func TestQuantileSmallWindows(t *testing.T) {
 	}
 }
 
+// TestQuantileDegenerateInputs is the table-driven regression for the rank
+// clamping: q values at and beyond the [0, 1] edges — including NaN, whose
+// float→int64 conversion is implementation-defined and must never reach
+// one — map to the nearest valid rank on both single- and multi-sample
+// windows.
+func TestQuantileDegenerateInputs(t *testing.T) {
+	single := &Histogram{}
+	single.ObserveNs(10)
+	multi := &Histogram{}
+	for _, v := range []int64{10, 20, 1 << 20} {
+		multi.ObserveNs(v)
+	}
+	cases := []struct {
+		name   string
+		h      *Histogram
+		q      float64
+		want   int64
+		wantLE int64 // when > 0, assert want ≤ got ≤ wantLE instead
+	}{
+		{name: "zero-single-sample", h: single, q: 0, want: 10},
+		{name: "negative-single-sample", h: single, q: -1, want: 10},
+		{name: "nan-single-sample", h: single, q: math.NaN(), want: 10},
+		{name: "above-one-single-sample", h: single, q: 1.5, want: 10},
+		{name: "inf-single-sample", h: single, q: math.Inf(1), want: 10},
+		{name: "zero-multi", h: multi, q: 0, want: 10, wantLE: 16}, // bucket upper bound of the minimum
+		{name: "nan-multi", h: multi, q: math.NaN(), want: 10, wantLE: 16},
+		{name: "neg-inf-multi", h: multi, q: math.Inf(-1), want: 10, wantLE: 16},
+		{name: "one-multi", h: multi, q: 1, want: 1 << 20},
+		{name: "above-one-multi", h: multi, q: 42, want: 1 << 20},
+	}
+	for _, tc := range cases {
+		got := tc.h.Quantile(tc.q)
+		if tc.wantLE > 0 {
+			if got < tc.want || got > tc.wantLE {
+				t.Errorf("%s: Quantile(%v) = %d, want in [%d, %d]", tc.name, tc.q, got, tc.want, tc.wantLE)
+			}
+		} else if got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+	var empty Histogram
+	if got := empty.Quantile(math.NaN()); got != 0 {
+		t.Errorf("empty NaN quantile = %d, want 0", got)
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	var h Histogram
 	h.ObserveNs(0)

@@ -169,6 +169,23 @@ func Partition(sys task.System, m int, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// fitsOn is the untraced admission probe shared by Partition's choose and the
+// incremental State replay: can cand join the set already assigned to one
+// processor, under the configured test? For the paper's DBF* test it runs the
+// allocation-free integer evaluation (dbf.FitsApproxFast), which decides the
+// identical exact inequalities as dbf.FitsApprox.
+func fitsOn(assigned []task.Sporadic, cand task.Sporadic, test AdmissionTest) bool {
+	switch test {
+	case ExactEDF:
+		trial := append(append([]task.Sporadic(nil), assigned...), cand)
+		return dbf.ExactFeasible(trial)
+	case DMRta:
+		return fp.Fits(assigned, cand)
+	default:
+		return dbf.FitsApproxFast(assigned, cand)
+	}
+}
+
 // choose returns the processor to receive cand, per the heuristic, or false
 // if no processor admits it. sp, when non-nil, receives one "fit" span per
 // processor probed; for the paper's DBF* test the span carries both
@@ -176,25 +193,17 @@ func Partition(sys task.System, m int, opt Options) (*Result, error) {
 // evidence a Phase-2 rejection leaves behind.
 func choose(assigned [][]task.Sporadic, cand task.Sporadic, opt Options, sp *obs.Span) (int, bool) {
 	fits := func(k int) bool {
-		var fit *obs.Span
-		if sp != nil {
-			fit = sp.Child("fit").Int("proc", int64(k)).Str("test", opt.Test.String())
-			defer fit.Finish()
+		if sp == nil {
+			return fitsOn(assigned[k], cand, opt.Test)
 		}
+		fit := sp.Child("fit").Int("proc", int64(k)).Str("test", opt.Test.String())
+		defer fit.Finish()
 		switch opt.Test {
-		case ExactEDF:
-			trial := append(append([]task.Sporadic(nil), assigned[k]...), cand)
-			ok := dbf.ExactFeasible(trial)
-			fit.Bool("ok", ok)
-			return ok
-		case DMRta:
-			ok := fp.Fits(assigned[k], cand)
+		case ExactEDF, DMRta:
+			ok := fitsOn(assigned[k], cand, opt.Test)
 			fit.Bool("ok", ok)
 			return ok
 		default:
-			if fit == nil {
-				return dbf.FitsApprox(assigned[k], cand)
-			}
 			rep := dbf.ExplainFit(assigned[k], cand)
 			fit.Float("util", rep.Util).Bool("util_ok", rep.UtilOK).
 				Float("demand", rep.Demand).Int("capacity", int64(rep.Capacity)).

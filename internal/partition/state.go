@@ -1,0 +1,295 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"fedsched/internal/task"
+)
+
+// State is the live, incremental form of Partition: it retains the
+// per-processor assignment sets (and through them each processor's DBF* load
+// curve) of a partitioned low-density system, so that admitting or removing
+// one task does not re-partition the whole system from scratch.
+//
+// Correctness model — memoized replay. Partition offers tasks in
+// non-decreasing deadline order and probes processors with a pure admission
+// test of (processor set, candidate). State keeps the entries in exactly that
+// offer order and, on every mutation, replays the batch algorithm over it,
+// skipping any probe whose outcome is already known: tasks ordered before the
+// insertion/removal point see byte-for-byte the processor sets the batch run
+// would build, and a suffix task whose own processor (and every lower-indexed
+// processor the batch run would have probed first) is untouched by the
+// mutation keeps its placement with zero probes. Probes are only re-run
+// against "dirty" processors — those whose set differs from the previous
+// run — so the replay commits the identical assignment the batch algorithm
+// would compute, for every heuristic and admission test, without any
+// monotonicity assumption. The differential matrix, fuzzer and random-walk
+// tests in state_test.go pin this equivalence after every operation.
+//
+// The warm first-fit/DBF* path performs no heap allocations in steady state
+// (scratch buffers are retained across operations; see
+// TestStateZeroAllocWarmOps). State is not safe for concurrent use: like the
+// batch partitioner it belongs to a single writer.
+type State struct {
+	m   int
+	opt Options // Trace forced nil: replay probes are never traced
+
+	// entries holds the live tasks in the batch offer order: non-decreasing
+	// deadline, ties broken by input index (Partition's stable sort).
+	entries []stateEntry
+
+	// Scratch reused across operations.
+	sets    [][]task.Sporadic // per-processor sets rebuilt during replay
+	dirty   []bool            // processors whose set differs from last run
+	newProc []int             // replayed placement per entry position
+}
+
+// stateEntry is one live task: its index in the input (admission) order, its
+// sporadic collapse, and the processor it is assigned to.
+type stateEntry struct {
+	idx  int
+	sp   task.Sporadic
+	proc int
+}
+
+// NewState returns an empty State over m shared processors. opt.Trace is
+// ignored — incremental replays are never traced; traced analyses take the
+// batch path.
+func NewState(m int, opt Options) (*State, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("partition: negative processor count %d", m)
+	}
+	opt.Trace = nil
+	return &State{m: m, opt: opt, sets: make([][]task.Sporadic, m)}, nil
+}
+
+// Rebuild constructs the State mirroring an existing batch partition of sys
+// over m processors: the state Partition(sys, m, opt) would leave behind.
+// res must be that call's Result (it is validated for exactly-once coverage,
+// not re-checked for schedulability — the caller owns having verified it).
+func Rebuild(sys task.System, m int, res *Result, opt Options) (*State, error) {
+	s, err := NewState(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(sys) == 0 {
+		return s, nil
+	}
+	if res == nil || len(res.Assignment) != m {
+		return nil, fmt.Errorf("partition: rebuild result covers %d processors, want %d", resLen(res), m)
+	}
+	procOf := make([]int, len(sys))
+	for i := range procOf {
+		procOf[i] = -1
+	}
+	for k := range res.Assignment {
+		for _, i := range res.Assignment[k] {
+			if i < 0 || i >= len(sys) {
+				return nil, fmt.Errorf("partition: rebuild index %d out of range", i)
+			}
+			if procOf[i] != -1 {
+				return nil, fmt.Errorf("partition: rebuild task %d assigned twice", i)
+			}
+			procOf[i] = k
+		}
+	}
+	order := make([]int, len(sys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sys[order[a]].D < sys[order[b]].D })
+	s.entries = make([]stateEntry, 0, len(sys))
+	for _, i := range order {
+		if procOf[i] == -1 {
+			return nil, fmt.Errorf("partition: rebuild task %d unassigned", i)
+		}
+		s.entries = append(s.entries, stateEntry{idx: i, sp: sys[i].AsSporadic(), proc: procOf[i]})
+	}
+	return s, nil
+}
+
+func resLen(res *Result) int {
+	if res == nil {
+		return 0
+	}
+	return len(res.Assignment)
+}
+
+// Len returns the number of tasks currently partitioned.
+func (s *State) Len() int { return len(s.entries) }
+
+// M returns the number of shared processors.
+func (s *State) M() int { return s.m }
+
+// Result materializes the current assignment in the batch encoding:
+// Assignment[k] lists input indices in placement (offer) order, exactly as
+// Partition would have produced for the same input. The result is freshly
+// allocated and safe to retain.
+func (s *State) Result() *Result {
+	res := &Result{Assignment: make([][]int, s.m)}
+	for _, e := range s.entries {
+		res.Assignment[e.proc] = append(res.Assignment[e.proc], e.idx)
+	}
+	return res
+}
+
+// Admit places one new task, appended at the end of the input order, and
+// commits the resulting assignment. On failure the error is the identical
+// *FailureError the batch Partition would return for the grown system (with
+// TaskIndex in input order), and the State is left unchanged.
+func (s *State) Admit(sp task.Sporadic) error {
+	idx := len(s.entries)
+	if s.m == 0 {
+		// Partition fails on the first task in *input* order when m == 0;
+		// incrementally the state is necessarily empty here, so the new task
+		// is that first task.
+		return &FailureError{TaskIndex: idx, TaskName: sp.Name, M: 0}
+	}
+	// The new task carries the largest input index, so the stable sort places
+	// it after every entry with D ≤ sp.D.
+	pos := sort.Search(len(s.entries), func(q int) bool { return s.entries[q].sp.D > sp.D })
+	s.reset()
+	for q := 0; q < pos; q++ {
+		e := &s.entries[q]
+		s.sets[e.proc] = append(s.sets[e.proc], e.sp)
+	}
+	// The new task has no prior placement: full probe, exactly as in batch.
+	candProc, ok := choose(s.sets, sp, s.opt, nil)
+	if !ok {
+		return &FailureError{TaskIndex: idx, TaskName: sp.Name, M: s.m}
+	}
+	s.dirty[candProc] = true
+	s.sets[candProc] = append(s.sets[candProc], sp)
+	if err := s.replaySuffix(pos); err != nil {
+		return err
+	}
+	// Commit: shift the suffix up one slot, applying its replayed placements.
+	s.entries = append(s.entries, stateEntry{})
+	copy(s.entries[pos+1:], s.entries[pos:])
+	for q := pos + 1; q < len(s.entries); q++ {
+		s.entries[q].proc = s.newProc[q-1]
+	}
+	s.entries[pos] = stateEntry{idx: idx, sp: sp, proc: candProc}
+	return nil
+}
+
+// Remove deletes the task at input index idx and commits the re-packed
+// assignment; remaining input indices above idx shift down by one, matching
+// how the caller's input slice shrinks. Removal can fail — deadline-ordered
+// bin packing is not monotone under task removal — and then the error is the
+// identical *FailureError batch Partition would return for the shrunken
+// system, with the State left unchanged (mirroring a service that keeps the
+// old verified system installed).
+func (s *State) Remove(idx int) error {
+	pos := -1
+	for q := range s.entries {
+		if s.entries[q].idx == idx {
+			pos = q
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("partition: no task with input index %d in state", idx)
+	}
+	s.reset()
+	for q := 0; q < pos; q++ {
+		e := &s.entries[q]
+		s.sets[e.proc] = append(s.sets[e.proc], e.sp)
+	}
+	s.dirty[s.entries[pos].proc] = true
+	if err := s.replaySuffix(pos + 1); err != nil {
+		// The batch oracle partitions the shrunken input, where indices
+		// above the removed one have shifted down; report the failing task
+		// by its post-removal index.
+		if fe, ok := err.(*FailureError); ok && fe.TaskIndex > idx {
+			fe.TaskIndex--
+		}
+		return err
+	}
+	// Commit: shift the suffix down over the removed slot.
+	for q := pos + 1; q < len(s.entries); q++ {
+		s.entries[q-1] = s.entries[q]
+		s.entries[q-1].proc = s.newProc[q]
+	}
+	s.entries = s.entries[:len(s.entries)-1]
+	for q := range s.entries {
+		if s.entries[q].idx > idx {
+			s.entries[q].idx--
+		}
+	}
+	return nil
+}
+
+// replaySuffix replays the batch placement of entries[from:] against the
+// prefix already bucketed into s.sets, recording tentative placements in
+// s.newProc. On failure the error is the batch FailureError (in input-order
+// indices) for the first suffix task that no longer fits; the caller then
+// abandons the uncommitted replay.
+func (s *State) replaySuffix(from int) error {
+	for q := from; q < len(s.entries); q++ {
+		e := &s.entries[q]
+		k, ok := s.replayOne(e)
+		if !ok {
+			// TaskIndex is the pre-mutation input index; Remove shifts it to
+			// the post-removal numbering before surfacing the error.
+			return &FailureError{TaskIndex: e.idx, TaskName: e.sp.Name, M: s.m}
+		}
+		s.newProc[q] = k
+		if k != e.proc {
+			s.dirty[e.proc] = true
+			s.dirty[k] = true
+		}
+		s.sets[k] = append(s.sets[k], e.sp)
+	}
+	return nil
+}
+
+// replayOne decides where one suffix task lands in the replay. For first-fit
+// it skips every probe whose outcome carries over from the previous run:
+// clean processors below the old placement are known rejections, and a clean
+// old placement is a known acceptance — only dirty processors (and, after a
+// displacement, the untouched tail) are actually probed. Best-fit/worst-fit
+// compare slack across all fitting processors, so any dirty processor can
+// steal the choice and the full selection is re-run.
+func (s *State) replayOne(e *stateEntry) (int, bool) {
+	if s.opt.Heuristic != FirstFit {
+		return choose(s.sets, e.sp, s.opt, nil)
+	}
+	old := e.proc
+	for k := 0; k < old; k++ {
+		if s.dirty[k] && fitsOn(s.sets[k], e.sp, s.opt.Test) {
+			return k, true
+		}
+	}
+	if !s.dirty[old] {
+		return old, true
+	}
+	if fitsOn(s.sets[old], e.sp, s.opt.Test) {
+		return old, true
+	}
+	for k := old + 1; k < s.m; k++ {
+		if fitsOn(s.sets[k], e.sp, s.opt.Test) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// reset prepares the scratch buffers for one replay, retaining capacity.
+func (s *State) reset() {
+	for k := range s.sets {
+		s.sets[k] = s.sets[k][:0]
+	}
+	if cap(s.dirty) < s.m {
+		s.dirty = make([]bool, s.m)
+	}
+	s.dirty = s.dirty[:s.m]
+	for k := range s.dirty {
+		s.dirty[k] = false
+	}
+	if cap(s.newProc) < len(s.entries)+1 {
+		s.newProc = make([]int, len(s.entries)+1)
+	}
+	s.newProc = s.newProc[:len(s.entries)+1]
+}

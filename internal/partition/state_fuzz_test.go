@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+// FuzzPartitionState mutates an (options, op-sequence) encoding and cross-
+// checks every incremental operation against the batch oracle: identical
+// Result on success, identical FailureError string on rejection, state
+// untouched after any failure. The byte format is: data[0] → m, data[1] →
+// heuristic/test, then one 4-byte record per operation (op selector, C, D, T
+// deltas). The committed corpus in testdata/fuzz/FuzzPartitionState seeds
+// every heuristic × test pair plus admit/remove/failure interleavings.
+func FuzzPartitionState(f *testing.F) {
+	// One seed per heuristic × test pair over a mixed op tape, plus shapes
+	// that force rejections (huge C) and removal re-packs.
+	tape := []byte{
+		0x02, 0x11, 0x21, 0x31, // admits of varied sizes
+		0x01, 0x05, 0x10, 0x22, // remove, then more admits
+		0x03, 0xff, 0x01, 0x01, // an admit that cannot fit anywhere
+		0x01, 0x30, 0x08, 0x04,
+	}
+	for hb := byte(0); hb < 3; hb++ {
+		for tb := byte(0); tb < 3; tb++ {
+			f.Add(append([]byte{2, hb + 4*tb}, tape...))
+		}
+	}
+	f.Add([]byte{0, 0, 0x02, 0x01, 0x01, 0x01})          // m = 1, minimal admit
+	f.Add([]byte{3, 1, 0x02, 0x04, 0x00, 0x00, 0x01, 0}) // short trailing record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		m := int(data[0] % 4) // 0..3: include the m=0 edge
+		opt := Options{
+			Heuristic: Heuristic(int(data[1]) % 3),
+			Test:      AdmissionTest(int(data[1]/4) % 3),
+		}
+		st, err := NewState(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sys task.System
+		next := 0
+		ops := data[2:]
+		for len(ops) >= 4 && next < 24 {
+			op, c, d, dt := ops[0], ops[1], ops[2], ops[3]
+			ops = ops[4:]
+			if op%2 == 0 || len(sys) == 0 {
+				C := task.Time(c)%64 + 1
+				D := C + task.Time(d)%64
+				T := D + task.Time(dt)%64
+				tk := lowTask(fmt.Sprintf("t%d", next), C, D, T)
+				next++
+				trial := append(sys.Clone(), tk)
+				stErr := st.Admit(tk.AsSporadic())
+				_, batchErr := Partition(trial, m, opt)
+				if (stErr == nil) != (batchErr == nil) {
+					t.Fatalf("admit: state err %v, batch err %v", stErr, batchErr)
+				}
+				if stErr != nil {
+					if stErr.Error() != batchErr.Error() {
+						t.Fatalf("admit errors differ:\nstate: %v\nbatch: %v", stErr, batchErr)
+					}
+					continue
+				}
+				sys = trial
+			} else {
+				idx := int(c) % len(sys)
+				trial := append(append(task.System{}, sys[:idx]...), sys[idx+1:]...)
+				stErr := st.Remove(idx)
+				_, batchErr := Partition(trial, m, opt)
+				if (stErr == nil) != (batchErr == nil) {
+					t.Fatalf("remove(%d): state err %v, batch err %v", idx, stErr, batchErr)
+				}
+				if stErr != nil {
+					if stErr.Error() != batchErr.Error() {
+						t.Fatalf("remove errors differ:\nstate: %v\nbatch: %v", stErr, batchErr)
+					}
+					continue
+				}
+				sys = trial
+			}
+			want, err := Partition(sys, m, opt)
+			if err != nil {
+				t.Fatalf("batch oracle rejects a system the state committed: %v", err)
+			}
+			if got := st.Result(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("state diverged from batch:\nstate: %v\nbatch: %v", got.Assignment, want.Assignment)
+			}
+		}
+	})
+}

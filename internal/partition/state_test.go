@@ -1,0 +1,258 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fedsched/internal/task"
+)
+
+// randLowTask draws a sporadic-collapsible task with moderate parameters, so
+// that random systems mix comfortable fits, tight fits and rejections.
+func randLowTask(r *rand.Rand, name string) *task.DAGTask {
+	c := task.Time(1 + r.Intn(6))
+	d := c + task.Time(r.Intn(20))
+	t := d + task.Time(r.Intn(20))
+	return lowTask(name, c, d, t)
+}
+
+// stateOptions is the full heuristic × admission-test matrix the incremental
+// replay must stay byte-identical to batch under.
+func stateOptions() []Options {
+	var opts []Options
+	for _, h := range []Heuristic{FirstFit, BestFit, WorstFit} {
+		for _, a := range []AdmissionTest{ApproxDBF, ExactEDF, DMRta} {
+			opts = append(opts, Options{Heuristic: h, Test: a})
+		}
+	}
+	return opts
+}
+
+// checkAgainstBatch asserts the State's committed assignment equals the batch
+// partition of the same input, including identical placement order.
+func checkAgainstBatch(t *testing.T, st *State, sys task.System, m int, opt Options, step string) {
+	t.Helper()
+	want, err := Partition(sys, m, opt)
+	if err != nil {
+		t.Fatalf("%s: batch oracle failed on a system the state holds: %v", step, err)
+	}
+	if got := st.Result(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: state diverged from batch:\nstate: %v\nbatch: %v", step, got.Assignment, want.Assignment)
+	}
+}
+
+// TestPartitionStateDifferential is the 20-seed × heuristic × admission-test
+// differential matrix: a randomized interleaving of admits and removes, where
+// after every operation the incremental State must match a from-scratch batch
+// Partition exactly — same assignment encoding on success, same FailureError
+// string on rejection, and an untouched state after any failed operation.
+func TestPartitionStateDifferential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, opt := range stateOptions() {
+			opt := opt
+			t.Run(fmt.Sprintf("seed=%d/%v/%v", seed, opt.Heuristic, opt.Test), func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed))
+				m := 2 + r.Intn(4)
+				st, err := NewState(m, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sys task.System
+				next := 0
+				for step := 0; step < 60; step++ {
+					if len(sys) == 0 || r.Float64() < 0.6 {
+						tk := randLowTask(r, fmt.Sprintf("t%d", next))
+						next++
+						trial := append(sys.Clone(), tk)
+						stErr := st.Admit(tk.AsSporadic())
+						_, batchErr := Partition(trial, m, opt)
+						if (stErr == nil) != (batchErr == nil) {
+							t.Fatalf("step %d admit: state err %v, batch err %v", step, stErr, batchErr)
+						}
+						if stErr != nil {
+							if stErr.Error() != batchErr.Error() {
+								t.Fatalf("step %d admit errors differ:\nstate: %v\nbatch: %v", step, stErr, batchErr)
+							}
+							checkAgainstBatch(t, st, sys, m, opt, fmt.Sprintf("step %d post-failed-admit", step))
+							continue
+						}
+						sys = trial
+					} else {
+						idx := r.Intn(len(sys))
+						trial := append(append(task.System{}, sys[:idx]...), sys[idx+1:]...)
+						stErr := st.Remove(idx)
+						_, batchErr := Partition(trial, m, opt)
+						if (stErr == nil) != (batchErr == nil) {
+							t.Fatalf("step %d remove(%d): state err %v, batch err %v", step, idx, stErr, batchErr)
+						}
+						if stErr != nil {
+							if stErr.Error() != batchErr.Error() {
+								t.Fatalf("step %d remove errors differ:\nstate: %v\nbatch: %v", step, stErr, batchErr)
+							}
+							checkAgainstBatch(t, st, sys, m, opt, fmt.Sprintf("step %d post-failed-remove", step))
+							continue
+						}
+						sys = trial
+					}
+					checkAgainstBatch(t, st, sys, m, opt, fmt.Sprintf("step %d", step))
+				}
+			})
+		}
+	}
+}
+
+// TestStateAdmitRemoveInverse is the inverse property: Admit of a task that
+// succeeds, followed by Remove of that same task, restores the exact prior
+// state — entries, placements and input numbering all byte-equal.
+func TestStateAdmitRemoveInverse(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, opt := range stateOptions() {
+			r := rand.New(rand.NewSource(seed ^ 0x5eed))
+			m := 2 + r.Intn(4)
+			st, err := NewState(m, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Grow a base population (ignoring rejections).
+			n := 0
+			for i := 0; i < 12; i++ {
+				if st.Admit(randLowTask(r, fmt.Sprintf("base%d", i)).AsSporadic()) == nil {
+					n++
+				}
+			}
+			for trial := 0; trial < 20; trial++ {
+				before := append([]stateEntry(nil), st.entries...)
+				probe := randLowTask(r, fmt.Sprintf("probe%d", trial)).AsSporadic()
+				if st.Admit(probe) != nil {
+					continue // rejection already leaves the state untouched
+				}
+				if err := st.Remove(n); err != nil {
+					t.Fatalf("seed %d trial %d: removing the just-admitted task failed: %v", seed, trial, err)
+				}
+				if !reflect.DeepEqual(st.entries, before) {
+					t.Fatalf("seed %d trial %d (%v/%v): admit∘remove is not identity:\nbefore: %+v\nafter:  %+v",
+						seed, trial, opt.Heuristic, opt.Test, before, st.entries)
+				}
+			}
+		}
+	}
+}
+
+// TestStateRebuildMatchesBatch: Rebuild from a batch result replays future
+// mutations identically to a state grown incrementally from empty.
+func TestStateRebuildMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, opt := range stateOptions() {
+		var sys task.System
+		for i := 0; i < 10; i++ {
+			sys = append(sys, randLowTask(r, fmt.Sprintf("t%d", i)))
+		}
+		const m = 4
+		res, err := Partition(sys, m, opt)
+		if err != nil {
+			continue // an unpackable draw: nothing to rebuild from
+		}
+		st, err := Rebuild(sys, m, res, opt)
+		if err != nil {
+			t.Fatalf("%v/%v: rebuild: %v", opt.Heuristic, opt.Test, err)
+		}
+		if !reflect.DeepEqual(st.Result(), res) {
+			t.Fatalf("%v/%v: rebuild does not round-trip the batch result", opt.Heuristic, opt.Test)
+		}
+		tk := randLowTask(r, "extra")
+		trial := append(sys.Clone(), tk)
+		stErr := st.Admit(tk.AsSporadic())
+		_, batchErr := Partition(trial, m, opt)
+		if (stErr == nil) != (batchErr == nil) {
+			t.Fatalf("%v/%v: rebuilt state err %v, batch err %v", opt.Heuristic, opt.Test, stErr, batchErr)
+		}
+		if stErr == nil {
+			checkAgainstBatch(t, st, trial, m, opt, "post-rebuild admit")
+		}
+	}
+}
+
+// TestStateRebuildRejectsCorruptResult: Rebuild validates coverage rather
+// than trusting the caller.
+func TestStateRebuildRejectsCorruptResult(t *testing.T) {
+	sys := task.System{lowTask("a", 1, 4, 8), lowTask("b", 1, 5, 9)}
+	res, err := Partition(sys, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := &Result{Assignment: [][]int{{0, 0}, {1}}}
+	if _, err := Rebuild(sys, 2, twice, Options{}); err == nil {
+		t.Error("rebuild accepted a doubly-assigned task")
+	}
+	missing := &Result{Assignment: [][]int{{0}, {}}}
+	if _, err := Rebuild(sys, 2, missing, Options{}); err == nil {
+		t.Error("rebuild accepted an unassigned task")
+	}
+	if _, err := Rebuild(sys, 3, res, Options{}); err == nil {
+		t.Error("rebuild accepted a result for the wrong processor count")
+	}
+}
+
+// TestStateZeroProcs mirrors the batch m==0 edge: the first admission fails
+// with the batch error, and an empty state's Result matches the batch result
+// for an empty system.
+func TestStateZeroProcs(t *testing.T) {
+	st, err := NewState(0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := task.System{lowTask("a", 1, 4, 8)}
+	stErr := st.Admit(sys[0].AsSporadic())
+	_, batchErr := Partition(sys, 0, Options{})
+	if stErr == nil || batchErr == nil || stErr.Error() != batchErr.Error() {
+		t.Fatalf("m=0 errors differ: state %v, batch %v", stErr, batchErr)
+	}
+	batchEmpty, err := Partition(nil, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Result(), batchEmpty) {
+		t.Error("empty m=0 state result differs from batch")
+	}
+	if _, err := NewState(-1, Options{}); err == nil {
+		t.Error("NewState accepted m=-1")
+	}
+}
+
+// TestStateZeroAllocWarmOps pins the warm-path allocation contract (the
+// incremental analogue of core's TestNoopTraceZeroOverhead): once the scratch
+// buffers have warmed up, a steady-state first-fit/DBF* admit+remove cycle
+// performs no heap allocations at all.
+func TestStateZeroAllocWarmOps(t *testing.T) {
+	st, err := NewState(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	n := 0
+	for i := 0; i < 8; i++ {
+		if st.Admit(randLowTask(r, fmt.Sprintf("base%d", i)).AsSporadic()) == nil {
+			n++
+		}
+	}
+	probe := lowTask("probe", 1, 12, 30).AsSporadic()
+	if err := st.Admit(probe); err != nil {
+		t.Fatalf("probe does not fit the warm-up population: %v", err)
+	}
+	if err := st.Remove(n); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := st.Admit(probe); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Remove(n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Admit+Remove allocated %.1f times per cycle, want 0", allocs)
+	}
+}

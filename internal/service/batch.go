@@ -87,6 +87,7 @@ func (s *Shard) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
 		return *res
 	}
 	s.install(trial, alloc, append(append([]string(nil), s.sysHashes...), hashes...))
+	s.syncPartitionState()
 	s.met.admits.Add(int64(len(tks)))
 	s.met.batches.Add(1)
 	s.maybeSnapshot()

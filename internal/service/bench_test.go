@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"runtime"
@@ -41,18 +42,44 @@ func probe() *task.DAGTask {
 	return task.MustNew("probe", dag.Example1(), dag.Example1D, dag.Example1T)
 }
 
-// BenchmarkAdmit quantifies the daemon's performance core — the
-// content-addressed Phase-1 memo — on single-task admission against a
-// 50-task system:
+// seededServer starts a server with cfg, admits every task of sys, then runs
+// one probe admit+remove warmup round so later iterations hit steady state.
+func seededServer(b *testing.B, cfg Config, sys task.System) *Server {
+	b.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(svc.Close)
+	ctx := context.Background()
+	for i, tk := range sys {
+		if status, body := svc.Admit(ctx, tk); status != http.StatusOK {
+			b.Fatalf("seed admit %d: %d %s", i, status, body)
+		}
+	}
+	if status, _ := svc.Admit(ctx, probe()); status != http.StatusOK {
+		b.Fatal("probe warmup rejected")
+	}
+	if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
+		b.Fatal("probe warmup removal failed")
+	}
+	return svc
+}
+
+// BenchmarkAdmit quantifies the daemon's single-task admission cost against a
+// live 50-task system, across the three generations of the warm path:
 //
-//   - cold-full-fedcons: what every admission would cost without the cache
+//   - cold-full-fedcons: what every admission would cost with no state at all
 //     (one complete two-phase FEDCONS run over all 51 tasks);
-//   - warm-cache: one admit + one remove through the live server, all
-//     Phase-1 analyses served from the cache, Phase 2 recomputed twice.
+//   - warm-full-repartition: one admit + one remove through a server running
+//     with Config.FullRepartition — Phase-1 analyses memoized, but every
+//     mutation re-runs Phase 2 from scratch and the full core.Verify audit;
+//   - warm-cache: the same pair through the default server — the low-density
+//     probe is served from the incremental partition.State with the
+//     delta-scoped audit, no batch re-analysis at all.
 //
-// The acceptance bar (results/timing_admission.json) is warm ≥ 5× faster
-// than cold, even though the warm loop does two full Phase-2 partitions per
-// iteration and the cold loop only one.
+// The acceptance bar (results/timing_admission.json) is the incremental warm
+// pair ≥ 10× faster than the full-repartition pair it replaced.
 func BenchmarkAdmit(b *testing.B) {
 	sys, m := benchSystem(b)
 	full := append(sys.Clone(), probe())
@@ -65,35 +92,67 @@ func BenchmarkAdmit(b *testing.B) {
 		}
 	})
 
-	b.Run("warm-cache", func(b *testing.B) {
-		svc, err := New(Config{M: m, QueueBound: 4})
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer svc.Close()
-		ctx := context.Background()
-		for i, tk := range sys {
-			if status, body := svc.Admit(ctx, tk); status != http.StatusOK {
-				b.Fatalf("seed admit %d: %d %s", i, status, body)
+	pair := func(cfg Config) func(*testing.B) {
+		return func(b *testing.B) {
+			svc := seededServer(b, cfg, sys)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if status, body := svc.Admit(ctx, probe()); status != http.StatusOK {
+					b.Fatalf("warm admit: %d %s", status, body)
+				}
+				if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
+					b.Fatal("warm remove failed")
+				}
 			}
 		}
-		// One warmup round caches the probe itself.
-		if status, _ := svc.Admit(ctx, probe()); status != http.StatusOK {
-			b.Fatal("probe warmup rejected")
-		}
-		if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
-			b.Fatal("probe warmup removal failed")
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if status, body := svc.Admit(ctx, probe()); status != http.StatusOK {
-				b.Fatalf("warm admit: %d %s", status, body)
+	}
+	b.Run("warm-full-repartition", pair(Config{M: m, QueueBound: 4, FullRepartition: true}))
+	b.Run("warm-cache", pair(Config{M: m, QueueBound: 4}))
+}
+
+// BenchmarkRemove isolates the removal half of the warm pair: each iteration
+// times exactly one Remove of a live low-density task. The removable
+// population is replenished in chunks with the timer stopped, so re-admission
+// cost never pollutes the removal number.
+func BenchmarkRemove(b *testing.B) {
+	sys, m := benchSystem(b)
+	const chunk = 64
+	names := make([]string, chunk)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	run := func(cfg Config) func(*testing.B) {
+		return func(b *testing.B) {
+			svc := seededServer(b, cfg, sys)
+			ctx := context.Background()
+			admitAll := func() {
+				for _, n := range names {
+					tk := task.MustNew(n, dag.Example1(), dag.Example1D, dag.Example1T)
+					if status, body := svc.Admit(ctx, tk); status != http.StatusOK {
+						b.Fatalf("refill admit %s: %d %s", n, status, body)
+					}
+				}
 			}
-			if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
-				b.Fatal("warm remove failed")
+			admitAll()
+			removed := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if removed == chunk {
+					b.StopTimer()
+					admitAll()
+					removed = 0
+					b.StartTimer()
+				}
+				if status, _ := svc.Remove(ctx, names[removed]); status != http.StatusOK {
+					b.Fatalf("remove %s failed", names[removed])
+				}
+				removed++
 			}
 		}
-	})
+	}
+	b.Run("warm-full-repartition", run(Config{M: m, QueueBound: 4, FullRepartition: true}))
+	b.Run("warm-incremental", run(Config{M: m, QueueBound: 4}))
 }
 
 // BenchmarkAdmitBatch measures the analysis core of POST /v1/admit/batch — a

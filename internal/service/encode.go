@@ -2,6 +2,8 @@ package service
 
 import (
 	"encoding/json"
+	"math"
+	"strconv"
 
 	"fedsched/internal/core"
 	"fedsched/internal/task"
@@ -90,11 +92,185 @@ func NewVerdict(sys task.System, m int, alloc *core.Allocation, err error) Verdi
 }
 
 // Encode renders the verdict as indented JSON with a trailing newline — the
-// exact bytes both the daemon endpoints and `fedsched -o json` emit.
+// exact bytes both the daemon endpoints and `fedsched -o json` emit. The
+// common shape (no trace, plain ASCII names, finite floats) is emitted by a
+// single-pass appender; anything else goes through encoding/json, and
+// TestEncodeFastMatchesStdlib pins that both spellings are byte-identical.
 func (v Verdict) Encode() ([]byte, error) {
+	if b, ok := v.appendFast(); ok {
+		return b, nil
+	}
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return nil, err
 	}
 	return append(data, '\n'), nil
+}
+
+// appendFast emits the MarshalIndent encoding in one pass. ok is false when
+// any field needs stdlib treatment (a raw trace, a string that JSON-escapes,
+// a non-finite float) — the caller then takes the two-pass path, so the
+// response bytes never depend on which encoder ran.
+func (v Verdict) appendFast() ([]byte, bool) {
+	if len(v.Trace) != 0 || !plainJSONString(v.Reason) ||
+		!finite(v.USum) || !finite(v.DensitySum) {
+		return nil, false
+	}
+	for i := range v.High {
+		if !plainJSONString(v.High[i].Task) || !finite(v.High[i].Density) {
+			return nil, false
+		}
+	}
+	for i := range v.SharedProcs {
+		for _, name := range v.SharedProcs[i].Tasks {
+			if !plainJSONString(name) {
+				return nil, false
+			}
+		}
+	}
+	b := make([]byte, 0, v.sizeHint())
+	b = append(b, "{\n  \"schedulable\": "...)
+	b = strconv.AppendBool(b, v.Schedulable)
+	b = append(b, ",\n  \"processors\": "...)
+	b = strconv.AppendInt(b, int64(v.Processors), 10)
+	b = append(b, ",\n  \"tasks\": "...)
+	b = strconv.AppendInt(b, int64(v.Tasks), 10)
+	b = append(b, ",\n  \"usum\": "...)
+	b = appendJSONFloat(b, v.USum)
+	b = append(b, ",\n  \"densitySum\": "...)
+	b = appendJSONFloat(b, v.DensitySum)
+	b = append(b, ",\n  \"dedicated\": "...)
+	b = strconv.AppendInt(b, int64(v.Dedicated), 10)
+	b = append(b, ",\n  \"shared\": "...)
+	b = strconv.AppendInt(b, int64(v.Shared), 10)
+	if len(v.High) > 0 {
+		b = append(b, ",\n  \"high\": ["...)
+		for i, h := range v.High {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, "\n    {\n      \"task\": \""...)
+			b = append(b, h.Task...)
+			b = append(b, "\",\n      \"density\": "...)
+			b = appendJSONFloat(b, h.Density)
+			b = append(b, ",\n      \"procs\": "...)
+			b = appendIntArray(b, h.Procs)
+			b = append(b, ",\n      \"makespan\": "...)
+			b = strconv.AppendInt(b, int64(h.Makespan), 10)
+			b = append(b, ",\n      \"deadline\": "...)
+			b = strconv.AppendInt(b, int64(h.Deadline), 10)
+			b = append(b, "\n    }"...)
+		}
+		b = append(b, "\n  ]"...)
+	}
+	if len(v.SharedProcs) > 0 {
+		b = append(b, ",\n  \"sharedProcs\": ["...)
+		for i, p := range v.SharedProcs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, "\n    {\n      \"proc\": "...)
+			b = strconv.AppendInt(b, int64(p.Proc), 10)
+			b = append(b, ",\n      \"tasks\": "...)
+			b = appendStringArray(b, p.Tasks)
+			b = append(b, "\n    }"...)
+		}
+		b = append(b, "\n  ]"...)
+	}
+	if v.Reason != "" {
+		b = append(b, ",\n  \"reason\": \""...)
+		b = append(b, v.Reason...)
+		b = append(b, '"')
+	}
+	b = append(b, "\n}\n"...)
+	return b, true
+}
+
+func (v Verdict) sizeHint() int {
+	n := 192 + len(v.Reason)
+	for i := range v.High {
+		n += 144 + len(v.High[i].Task) + 10*len(v.High[i].Procs)
+	}
+	for i := range v.SharedProcs {
+		n += 72
+		for _, t := range v.SharedProcs[i].Tasks {
+			n += len(t) + 9
+		}
+	}
+	return n
+}
+
+// plainJSONString reports whether s encodes as itself between quotes: ASCII,
+// no control characters, nothing encoding/json escapes (including the
+// HTML-safety set & < >).
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '&' || c == '<' || c == '>' {
+			return false
+		}
+	}
+	return true
+}
+
+func finite(f float64) bool { return !math.IsInf(f, 0) && !math.IsNaN(f) }
+
+// appendJSONFloat mirrors encoding/json's float64 formatting: shortest
+// round-trip form, 'f' notation inside [1e-6, 1e21), 'e' outside with the
+// exponent's leading zero stripped ("e-09" → "e-9").
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendIntArray writes xs as an indented array at nesting depth 3 (the
+// "procs" position): nil is null, empty is [], elements sit one per line.
+func appendIntArray(b []byte, xs []int) []byte {
+	if xs == nil {
+		return append(b, "null"...)
+	}
+	if len(xs) == 0 {
+		return append(b, "[]"...)
+	}
+	b = append(b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n        "...)
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	return append(b, "\n      ]"...)
+}
+
+// appendStringArray is appendIntArray for the "tasks" position; every element
+// has already passed plainJSONString.
+func appendStringArray(b []byte, xs []string) []byte {
+	if xs == nil {
+		return append(b, "null"...)
+	}
+	if len(xs) == 0 {
+		return append(b, "[]"...)
+	}
+	b = append(b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n        \""...)
+		b = append(b, x...)
+		b = append(b, '"')
+	}
+	return append(b, "\n      ]"...)
 }

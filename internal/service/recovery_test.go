@@ -90,6 +90,72 @@ func TestRecoveryByteIdenticalAllocation(t *testing.T) {
 	}
 }
 
+// TestRecoveryRebuildsPartitionState: a kill-9 replay must leave the shard
+// with a live incremental Phase-2 state, and the next low-density mutations
+// must run warm (state mutated in place, not rebuilt) while staying
+// byte-identical to a never-crashed daemon fed the same history.
+func TestRecoveryRebuildsPartitionState(t *testing.T) {
+	cfg := Config{M: 10, WALDir: t.TempDir()}
+	crash, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := New(Config{M: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(twin.Close)
+	ctx := context.Background()
+	apply := func(label string, op func(s *Server) (int, []byte)) {
+		t.Helper()
+		s1, b1 := op(crash)
+		s2, b2 := op(twin)
+		if s1 != s2 || !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: daemons diverged before the crash (%d vs %d)\n%s\nvs\n%s", label, s1, s2, b1, b2)
+		}
+		if s1 != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, s1, b1)
+		}
+	}
+	for _, n := range []string{"low1", "low2", "low3"} {
+		n := n
+		apply("admit "+n, func(s *Server) (int, []byte) { return s.Admit(ctx, example1Task(n)) })
+	}
+	apply("admit hi", func(s *Server) (int, []byte) { return s.Admit(ctx, trijob("hi")) })
+	apply("remove low2", func(s *Server) (int, []byte) { return s.Remove(ctx, "low2") })
+
+	again, after := restartServer(t, crash, cfg)
+	_, want := allocationBytes(t, twin)
+	if !bytes.Equal(after, want) {
+		t.Fatalf("recovered allocation differs from never-crashed twin:\n--- recovered ---\n%s--- twin ---\n%s", after, want)
+	}
+	st := again.Shard.pstate
+	if st == nil {
+		t.Fatal("recovery did not rebuild the incremental partition state")
+	}
+	step := func(label string, op func(s *Server) (int, []byte)) {
+		t.Helper()
+		s1, b1 := op(again)
+		s2, b2 := op(twin)
+		if s1 != s2 || !bytes.Equal(b1, b2) {
+			t.Fatalf("%s diverged from twin (%d vs %d)\n%s\nvs\n%s", label, s1, s2, b1, b2)
+		}
+		if s1 != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, s1, b1)
+		}
+		if again.Shard.pstate != st {
+			t.Errorf("%s rebuilt the partition state; warm path not taken", label)
+		}
+	}
+	step("post-recovery admit", func(s *Server) (int, []byte) { return s.Admit(ctx, example1Task("post")) })
+	step("post-recovery remove", func(s *Server) (int, []byte) { return s.Remove(ctx, "low3") })
+	_, a1 := allocationBytes(t, again)
+	_, a2 := allocationBytes(t, twin)
+	if !bytes.Equal(a1, a2) {
+		t.Errorf("final allocations diverged:\n--- recovered ---\n%s--- twin ---\n%s", a1, a2)
+	}
+}
+
 // TestRecoveryAcrossSnapshots drives enough mutations to cross the snapshot
 // cadence, so recovery exercises snapshot+WAL rather than WAL alone.
 func TestRecoveryAcrossSnapshots(t *testing.T) {

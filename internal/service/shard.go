@@ -15,6 +15,7 @@ import (
 
 	"fedsched/internal/core"
 	"fedsched/internal/obs"
+	"fedsched/internal/partition"
 	"fedsched/internal/store"
 	"fedsched/internal/task"
 )
@@ -52,6 +53,13 @@ type Shard struct {
 	// runs before the loop starts): maintained so WAL records and snapshots
 	// never re-hash the installed system.
 	sysHashes []string
+
+	// pstate is the live incremental Phase-2 partition mirroring alloc's
+	// low-density placement; nil when alloc is nil (or after a rebuild
+	// failure, which just disables the warm path). Writer-loop-only, like
+	// sysHashes: mutated by the warm path and re-derived from the installed
+	// allocation after every full-analysis install (see syncPartitionState).
+	pstate *partition.State
 
 	reqs    chan *request
 	closing chan struct{}
@@ -139,6 +147,10 @@ func (s *Shard) recover(rec *store.Recovery) error {
 		return fmt.Errorf("recovered allocation failed verification: %w", err)
 	}
 	s.sys, s.alloc, s.sysHashes = rec.Tasks, alloc, rec.Hashes
+	// Rebuild the incremental Phase-2 state from the recovered allocation, so
+	// the first warm admission after a crash takes the same fast path — and
+	// produces the same bytes — as on a daemon that never crashed.
+	s.syncPartitionState()
 	return nil
 }
 
@@ -364,6 +376,9 @@ func (s *Shard) doAdmit(tk *task.DAGTask, rec *obs.Recorder) opResult {
 			return errResult(http.StatusConflict, fmt.Sprintf("task %q already admitted; remove it first", tk.Name))
 		}
 	}
+	if res, ok := s.fastAdmit(tk, rec); ok {
+		return res
+	}
 	trial := append(s.sys.Clone(), tk)
 	opt := s.cfg.Options
 	opt.Trace = rec
@@ -382,6 +397,7 @@ func (s *Shard) doAdmit(tk *task.DAGTask, rec *obs.Recorder) opResult {
 		return *res
 	}
 	s.install(trial, alloc, append(append([]string(nil), s.sysHashes...), hash))
+	s.syncPartitionState()
 	s.met.admits.Add(1)
 	s.maybeSnapshot()
 	return verdictResult(http.StatusOK, withTrace(NewVerdict(trial, s.cfg.M, alloc, nil), rec))
@@ -420,9 +436,13 @@ func (s *Shard) doRemove(name string) opResult {
 			return *res
 		}
 		s.install(nil, nil, nil)
+		s.syncPartitionState()
 		s.met.removes.Add(1)
 		s.maybeSnapshot()
 		return verdictResult(http.StatusOK, NewVerdict(nil, s.cfg.M, nil, nil))
+	}
+	if res, ok := s.fastRemove(name, idx, trial, hashes); ok {
+		return res
 	}
 	alloc, err := s.cache.Schedule(trial, s.cfg.M, s.cfg.Options)
 	if err != nil {
@@ -439,6 +459,7 @@ func (s *Shard) doRemove(name string) opResult {
 		return *res
 	}
 	s.install(trial, alloc, hashes)
+	s.syncPartitionState()
 	s.met.removes.Add(1)
 	s.maybeSnapshot()
 	return verdictResult(http.StatusOK, NewVerdict(trial, s.cfg.M, alloc, nil))

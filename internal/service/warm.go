@@ -1,0 +1,121 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"fedsched/internal/core"
+	"fedsched/internal/obs"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+// This file is the shard's warm admission path: untraced single low-density
+// mutations are served from the live partition.State via core.AdmitLow /
+// core.RemoveLow instead of re-running the full FEDCONS analysis, then
+// audited with core.VerifyDelta before the identical persist/install/verdict
+// sequence as the full path. Everything that could diverge from a
+// from-scratch analysis falls back to it:
+//
+//   - traced requests (rec != nil): the decision trace must come from the
+//     batch code that produces -trace/-explain bytes;
+//   - high-density tasks: they change Phase-1 sizing, processor numbering
+//     and the shared-processor set, so Phase 2 must re-partition anyway;
+//   - the first admission into an empty shard (no base allocation to extend)
+//     and batch admissions (one WAL record, atomic semantics);
+//   - a missing or inconsistent partition.State (never expected; the state
+//     is re-derived from the installed allocation after every full-path
+//     install and on recovery);
+//   - Config.FullRepartition, the operator escape hatch — and the oracle
+//     configuration the warm-path differential tests compare bytes against.
+
+// fastAdmit serves one low-density admission from the live partition state.
+// ok is false when the warm path does not apply and the caller must run the
+// full analysis.
+func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder) (opResult, bool) {
+	if s.cfg.FullRepartition || rec != nil || s.alloc == nil || tk.HighDensity() || !s.pstateConsistent() {
+		return opResult{}, false
+	}
+	trial := append(s.sys.Clone(), tk)
+	alloc, err := core.AdmitLow(s.alloc, s.pstate, tk)
+	if err != nil {
+		s.met.rejects.Add(1)
+		return verdictResult(http.StatusConflict, NewVerdict(trial, s.cfg.M, nil, err)), true
+	}
+	if err := core.VerifyDelta(trial, s.cfg.M, alloc, s.sys, s.alloc); err != nil {
+		// The state already committed the admission: re-derive it from the
+		// (unchanged) installed allocation before refusing.
+		s.syncPartitionState()
+		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error()), true
+	}
+	hash := s.cache.hashOf(tk).String()
+	if res := s.persistAdmit([]*task.DAGTask{tk}, []string{hash}); res != nil {
+		s.syncPartitionState()
+		return *res, true
+	}
+	s.install(trial, alloc, append(append([]string(nil), s.sysHashes...), hash))
+	s.met.admits.Add(1)
+	s.maybeSnapshot()
+	return verdictResult(http.StatusOK, NewVerdict(trial, s.cfg.M, alloc, nil)), true
+}
+
+// fastRemove serves one low-density removal from the live partition state.
+// idx is the task's position in s.sys; trial/hashes are the spliced system
+// and hash list the caller already built (shared with the full path).
+func (s *Shard) fastRemove(name string, idx int, trial task.System, hashes []string) (opResult, bool) {
+	if s.cfg.FullRepartition || s.alloc == nil || s.sys[idx].HighDensity() || !s.pstateConsistent() {
+		return opResult{}, false
+	}
+	alloc, err := core.RemoveLow(s.alloc, s.pstate, idx)
+	if err != nil {
+		// Same non-monotonicity surface as the full path: keep the verified
+		// old state installed and report the identical failure.
+		s.met.errors.Add(1)
+		return errResult(http.StatusConflict, fmt.Sprintf("system unschedulable after removing %q: %v", name, err)), true
+	}
+	if err := core.VerifyDelta(trial, s.cfg.M, alloc, s.sys, s.alloc); err != nil {
+		s.syncPartitionState()
+		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error()), true
+	}
+	if res := s.persistRemove(name); res != nil {
+		s.syncPartitionState()
+		return *res, true
+	}
+	s.install(trial, alloc, hashes)
+	s.met.removes.Add(1)
+	s.maybeSnapshot()
+	return verdictResult(http.StatusOK, NewVerdict(trial, s.cfg.M, alloc, nil)), true
+}
+
+// pstateConsistent reports whether the live partition state plausibly mirrors
+// the installed allocation. The two are maintained in lockstep, so a mismatch
+// means a bug — the warm path declines and the full analysis (which ends in
+// syncPartitionState) repairs it, at full-repartition cost but with correct
+// output.
+func (s *Shard) pstateConsistent() bool {
+	return s.pstate != nil &&
+		s.pstate.Len() == len(s.alloc.LowIndices) &&
+		s.pstate.M() == len(s.alloc.SharedProcs)
+}
+
+// syncPartitionState re-derives pstate from the installed system+allocation.
+// Called after every full-path install, after recovery, and to roll back a
+// warm-path state mutation that could not be installed. A rebuild failure
+// (never expected: the allocation passed core.Verify) only disables the warm
+// path.
+func (s *Shard) syncPartitionState() {
+	if s.alloc == nil {
+		s.pstate = nil
+		return
+	}
+	low := make(task.System, 0, len(s.alloc.LowIndices))
+	for _, i := range s.alloc.LowIndices {
+		low = append(low, s.sys[i])
+	}
+	st, err := partition.Rebuild(low, len(s.alloc.SharedProcs), s.alloc.Low, s.cfg.Options.Partition)
+	if err != nil {
+		s.pstate = nil
+		return
+	}
+	s.pstate = st
+}

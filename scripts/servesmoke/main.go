@@ -20,7 +20,11 @@
 // admits a mixed system, captures /v1/allocation, SIGKILLs the process (no
 // drain, no snapshot), restarts it on the same -wal-dir, and asserts the
 // recovered allocation is byte-identical and the Phase-1 cache came back
-// warm (cache_hits > 0 before any new request).
+// warm (cache_hits > 0 before any new request). Finally it boots a
+// never-crashed twin on a fresh -wal-dir, replays the same history, and
+// asserts the next low-density admission — served by the recovered daemon's
+// rebuilt incremental Phase-2 state — returns byte-identical verdict and
+// allocation bodies on both daemons.
 //
 // Any failure exits non-zero with a diagnosis on stderr.
 package main
@@ -29,6 +33,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -187,11 +192,11 @@ func crashRecoverySmoke() error {
 	walDir := filepath.Join(tmp, "wal")
 	client := &http.Client{Timeout: 5 * time.Second}
 
-	boot := func(tag string) (*exec.Cmd, chan error, string, *bytes.Buffer, error) {
+	boot := func(tag, dir string) (*exec.Cmd, chan error, string, *bytes.Buffer, error) {
 		addrfile := filepath.Join(tmp, "addr-"+tag)
 		var out bytes.Buffer
 		daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-addrfile", addrfile,
-			"-m", "8", "-wal-dir", walDir, "-snapshot-every", "2")
+			"-m", "8", "-wal-dir", dir, "-snapshot-every", "2")
 		daemon.Stdout, daemon.Stderr = &out, &out
 		if err := daemon.Start(); err != nil {
 			return nil, nil, "", nil, fmt.Errorf("starting daemon (%s): %w", tag, err)
@@ -206,37 +211,44 @@ func crashRecoverySmoke() error {
 		return daemon, exited, base, &out, nil
 	}
 
-	daemon, exited, base, out, err := boot("pre-crash")
+	daemon, exited, base, out, err := boot("pre-crash", walDir)
 	if err != nil {
 		return err
 	}
 	defer daemon.Process.Kill()
 
-	// A mixed durable system: a low-density task plus two content-identical
-	// high-density tasks, so recovery both re-partitions and re-runs Phase-1
-	// MINPROCS (the second trijob is the recovery cache hit we assert below).
-	for _, tk := range []*task.DAGTask{
-		task.MustNew("example1", dag.Example1(), dag.Example1D, dag.Example1T),
-		task.MustNew("tri-a", dag.Independent(5, 5, 5), 5, 5),
-		task.MustNew("tri-b", dag.Independent(5, 5, 5), 5, 5),
-		task.MustNew("doomed", dag.Example1(), dag.Example1D, dag.Example1T),
-	} {
-		if v, err := admit(client, base, tk); err != nil || !v.Schedulable {
-			return fmt.Errorf("admit %s: err=%v verdict=%+v", tk.Name, err, v)
+	// A mixed durable history: a low-density task plus two content-identical
+	// high-density tasks (the second trijob is the recovery cache hit we
+	// assert below), a removal so replay covers both record kinds. feed
+	// drives the same history into any daemon, so the never-crashed twin
+	// below sees exactly what the crashed one did.
+	feed := func(base string) error {
+		for _, tk := range []*task.DAGTask{
+			task.MustNew("example1", dag.Example1(), dag.Example1D, dag.Example1T),
+			task.MustNew("tri-a", dag.Independent(5, 5, 5), 5, 5),
+			task.MustNew("tri-b", dag.Independent(5, 5, 5), 5, 5),
+			task.MustNew("doomed", dag.Example1(), dag.Example1D, dag.Example1T),
+		} {
+			if v, err := admit(client, base, tk); err != nil || !v.Schedulable {
+				return fmt.Errorf("admit %s: err=%v verdict=%+v", tk.Name, err, v)
+			}
 		}
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/tasks/doomed", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("remove doomed: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("remove doomed: %s", resp.Status)
+		}
+		return nil
 	}
-	// A removal too, so replay covers both record kinds.
-	req, err := http.NewRequest(http.MethodDelete, base+"/v1/tasks/doomed", nil)
-	if err != nil {
+	if err := feed(base); err != nil {
 		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return fmt.Errorf("remove doomed: %w", err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remove doomed: %s", resp.Status)
 	}
 	before, err := getBody(client, base+"/v1/allocation")
 	if err != nil {
@@ -250,7 +262,7 @@ func crashRecoverySmoke() error {
 	}
 	<-exited
 
-	daemon2, _, base2, out2, err := boot("post-crash")
+	daemon2, _, base2, out2, err := boot("post-crash", walDir)
 	if err != nil {
 		return fmt.Errorf("restart after crash: %w (first boot output:\n%s)", err, out.String())
 	}
@@ -281,8 +293,62 @@ func crashRecoverySmoke() error {
 	if vars.WALSeq != 5 {
 		return fmt.Errorf("recovered wal_seq = %d, want 5 (4 admits + 1 remove)", vars.WALSeq)
 	}
+
+	// Recovery also rebuilt the incremental Phase-2 partition state. The next
+	// low-density admission rides it — and must be byte-identical to a
+	// never-crashed twin daemon fed the same history.
+	twin, _, baseTwin, outTwin, err := boot("twin", filepath.Join(tmp, "wal-twin"))
+	if err != nil {
+		return fmt.Errorf("booting never-crashed twin: %w", err)
+	}
+	defer twin.Process.Kill()
+	if err := feed(baseTwin); err != nil {
+		return fmt.Errorf("replaying history into twin: %w (output:\n%s)", err, outTwin.String())
+	}
+	postLow := func() *task.DAGTask {
+		return task.MustNew("post-crash-low", dag.Example1(), dag.Example1D, dag.Example1T)
+	}
+	s1, b1, err := admitRaw(client, base2, postLow())
+	if err != nil {
+		return fmt.Errorf("post-crash warm admit: %w", err)
+	}
+	s2, b2, err := admitRaw(client, baseTwin, postLow())
+	if err != nil {
+		return fmt.Errorf("twin warm admit: %w", err)
+	}
+	if s1 != http.StatusOK || s2 != http.StatusOK || !bytes.Equal(b1, b2) {
+		return fmt.Errorf("warm admission after recovery diverged from twin (%d vs %d):\n--- recovered ---\n%s--- twin ---\n%s", s1, s2, b1, b2)
+	}
+	allocRec, err := getBody(client, base2+"/v1/allocation")
+	if err != nil {
+		return err
+	}
+	allocTwin, err := getBody(client, baseTwin+"/v1/allocation")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(allocRec, allocTwin) {
+		return fmt.Errorf("allocation after warm admission diverged from twin:\n--- recovered ---\n%s--- twin ---\n%s", allocRec, allocTwin)
+	}
+	twin.Process.Kill()
 	daemon2.Process.Kill()
 	return nil
+}
+
+// admitRaw POSTs tk to /v1/admit and returns the raw status and body bytes
+// for byte-level comparison.
+func admitRaw(client *http.Client, base string, tk *task.DAGTask) (int, []byte, error) {
+	body, err := json.Marshal(tk)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(base+"/v1/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
 }
 
 // getBody GETs url and returns the raw body on 200.
