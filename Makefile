@@ -3,16 +3,17 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race partition-race serve-smoke obs-smoke shard-bench experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race partition-race policy-race serve-smoke obs-smoke shard-bench policy-bench experiments experiments-quick examples clean
 
 all: build vet test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests,
 # the differential oracle under the race detector, a fuzzing smoke pass, the
-# shard/durability suite under the race detector, an end-to-end
-# boot/admit/drain check of the fedschedd daemon, and a smoke test of its
-# observability surface (/metrics, pprof, ?trace=1, audit log).
-check: vet build test-race oracle-race par-race shard-race partition-race fuzz-smoke serve-smoke obs-smoke
+# shard/durability suite under the race detector, the admission-policy layer
+# under the race detector, an end-to-end boot/admit/drain check of the
+# fedschedd daemon, and a smoke test of its observability surface (/metrics,
+# pprof, ?trace=1, audit log).
+check: vet build test-race oracle-race par-race shard-race partition-race policy-race fuzz-smoke serve-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -78,6 +79,18 @@ partition-race:
 	$(GO) test -race -run 'TestAdmitRemoveLow|TestRemoveLow|TestVerifyDelta' ./internal/core/
 	$(GO) test -race -run 'TestWarmPath|TestServiceStateRandomWalk|TestEncodeFast' ./internal/service/
 
+# The pluggable admission-policy layer under the race detector: the
+# semi-federated and reservation property suites (service-lemma sizing,
+# acceptance dominance over strict FEDCONS, verifier rejection of mutated
+# budgets and servers), the 20-seed CLI differential pinning -policy=fedcons
+# byte-identical to the default invocation, the daemon's policy-pinned
+# durability (banner, snapshot header, recovery refusal), and the E22
+# dominance certification at quick scale.
+policy-race:
+	$(GO) test -race ./internal/semifed/ ./internal/reservation/
+	$(GO) test -race -run 'TestPolicy' ./cmd/fedsched/ ./cmd/fedschedd/ ./cmd/analyze/
+	$(GO) test -race -run 'TestConfigValidatePolicy|TestE22' ./internal/exp/
+
 # End-to-end daemon smoke test: build fedschedd, boot it on a random port,
 # admit Example 1 (accepted) and a 3-wide high-density task (3-processor
 # Phase-1 grant), then SIGTERM and assert a clean drain. Followed by the
@@ -91,6 +104,12 @@ serve-smoke:
 # admissions/sec + latency quantiles into results/timing_shards.json.
 shard-bench:
 	$(GO) run ./scripts/shardbench
+
+# Policy benchmark: time cold and warm admissions under each -policy
+# (fedcons, semi, reservation) on a fixed workload and record the medians
+# into results/timing_policy.json.
+policy-bench:
+	$(GO) run ./scripts/policybench
 
 # Observability smoke test: boot fedschedd with -v/-audit/-debug-addr, scrape
 # the Prometheus exposition, admit with ?trace=1 asserting the inline decision

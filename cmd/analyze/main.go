@@ -21,6 +21,7 @@ import (
 	"fedsched/internal/dag"
 	"fedsched/internal/dbf"
 	"fedsched/internal/partition"
+	"fedsched/internal/service"
 	"fedsched/internal/task"
 )
 
@@ -36,11 +37,16 @@ func run(args []string, out io.Writer) error {
 	var (
 		minm     = fs.Bool("minm", false, "search for the minimum platform size each method needs (up to 256)")
 		dbfH     = fs.Int64("dbf", 0, "if > 0, dump Σ DBF and Σ DBF* curves up to this horizon as CSV")
+		policy   = fs.String("policy", "fedcons", "also report this admission policy's verdict: fedcons (no extra row), semi or reservation")
 		example  bool
 		example2 = fs.Int("example2", 0, "analyze the paper's Example 2 family at this size n instead of a file")
 	)
 	fs.BoolVar(&example, "example1", false, "analyze the paper's Example 1 system instead of a file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, err := service.ParsePolicy(*policy)
+	if err != nil {
 		return err
 	}
 
@@ -119,6 +125,16 @@ func run(args []string, out io.Writer) error {
 		{"LI-FED-D", baseline.LiFedD},
 		{"LI-FED (implicit only)", baseline.LiFed},
 		{"PART-SEQ", baseline.PartSeq},
+	}
+	if pol != "" {
+		// Appended, not inserted, so the default table stays byte-identical.
+		label := "SEMI-FED (Jiang et al.)"
+		if pol == core.PolicyReservation {
+			label = "RESERVATION (Ueter et al.)"
+		}
+		methods = append(methods, method{label, func(s task.System, mm int) bool {
+			return core.Schedulable(s, mm, core.Options{Policy: pol})
+		}})
 	}
 	fmt.Fprintln(out, "verdicts:")
 	for _, mt := range methods {

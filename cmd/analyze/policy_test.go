@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPolicyFlag pins the -policy surface of the report: unknown names are
+// refused, the default report carries no policy row (so its bytes are
+// unchanged from earlier releases), and the split policies append exactly
+// one labeled verdict row.
+func TestPolicyFlag(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantErr    string
+		wantRow    string
+		forbidRows []string
+	}{
+		{
+			name:    "unknown",
+			args:    []string{"-policy", "quantum", "-example1"},
+			wantErr: "unknown -policy",
+		},
+		{
+			name:       "default",
+			args:       []string{"-example1"},
+			forbidRows: []string{"SEMI-FED", "RESERVATION"},
+		},
+		{
+			name:       "fedcons",
+			args:       []string{"-policy", "fedcons", "-example1"},
+			forbidRows: []string{"SEMI-FED", "RESERVATION"},
+		},
+		{
+			name:       "semi",
+			args:       []string{"-policy", "semi", "-example1"},
+			wantRow:    "SEMI-FED (Jiang et al.)",
+			forbidRows: []string{"RESERVATION"},
+		},
+		{
+			name:       "reservation",
+			args:       []string{"-policy", "reservation", "-example1"},
+			wantRow:    "RESERVATION (Ueter et al.)",
+			forbidRows: []string{"SEMI-FED"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tc.args, &buf)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			out := buf.String()
+			if tc.wantRow != "" && !strings.Contains(out, tc.wantRow) {
+				t.Errorf("report missing %q:\n%s", tc.wantRow, out)
+			}
+			for _, row := range tc.forbidRows {
+				if strings.Contains(out, row) {
+					t.Errorf("report unexpectedly contains %q:\n%s", row, out)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyRowAgreesWithDefault: appending the policy row must not perturb
+// the rest of the report — the default report is a strict prefix of the
+// -policy=semi report for the same input.
+func TestPolicyRowAgreesWithDefault(t *testing.T) {
+	var def, semi bytes.Buffer
+	if err := run([]string{"-example1"}, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-policy", "semi", "-example1"}, &semi); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(semi.String(), def.String()) {
+		t.Fatalf("-policy=semi report is not default report + appended row:\n--- default ---\n%s\n--- semi ---\n%s", def.String(), semi.String())
+	}
+}

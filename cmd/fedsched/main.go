@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		explain   = fs.Bool("explain", false, "print a step-by-step explanation of the FEDCONS decision (which phase, which task, which inequality)")
 		traceOut  = fs.String("trace", "", "write the decision trace as JSONL to this file ('-' = stdout); byte-deterministic for fixed input and options")
 		par       = fs.Int("par", runtime.GOMAXPROCS(0), "Phase-1 analysis worker pool size; output (including -trace and -explain) is byte-identical for every value")
+		policy    = fs.String("policy", "fedcons", "admission policy: fedcons (paper), semi (semi-federated fractional grants) or reservation (reservation servers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +87,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opt.Par = *par
+	if opt.Policy, err = service.ParsePolicy(*policy); err != nil {
+		return err
+	}
+	if opt.Policy != "" && *simulate > 0 {
+		// The simulator replays template schedules; split-shape allocations
+		// have none (servers are dispatched work-conservingly at run time).
+		return fmt.Errorf("-simulate supports only -policy=fedcons")
+	}
 	var rec *obs.Recorder
 	if *explain || *traceOut != "" {
 		rec = obs.New(obs.DefaultLimits)
@@ -198,17 +207,38 @@ func saveAllocation(out io.Writer, alloc *core.Allocation, path string, quiet bo
 
 func printAllocation(out io.Writer, sys task.System, alloc *core.Allocation) {
 	fmt.Fprintln(out, "verdict: SCHEDULABLE")
+	if alloc.Policy != "" {
+		fmt.Fprintf(out, "policy: %s (%d reservation servers)\n", alloc.Policy, len(alloc.Servers))
+	}
 	ded, shared := alloc.ProcessorsUsed()
 	fmt.Fprintf(out, "processors: %d dedicated (federated), %d shared (partitioned EDF)\n", ded, shared)
 	for _, h := range alloc.High {
 		tk := sys[h.TaskIndex]
+		if h.Template == nil { // split-shape grant: no template schedule
+			fmt.Fprintf(out, "  high-density %-12s δ=%.3f → procs %v + fractional server\n",
+				tk.Name, tk.Density(), h.Procs)
+			continue
+		}
 		fmt.Fprintf(out, "  high-density %-12s δ=%.3f → procs %v, template makespan %d ≤ D=%d\n",
 			tk.Name, tk.Density(), h.Procs, h.Template.Makespan, tk.D)
 	}
+	srvNames := core.ServerNames(sys, alloc)
+	for j, sv := range alloc.Servers {
+		owner := sys[sv.TaskIndex]
+		w := owner.D
+		if owner.T < w {
+			w = owner.T
+		}
+		fmt.Fprintf(out, "  server %-14s budget %d per window %d (owner %s)\n", srvNames[j], sv.Budget, w, owner.Name)
+	}
 	for k, p := range alloc.SharedProcs {
-		idxs := alloc.TasksOnShared(k)
-		fmt.Fprintf(out, "  shared proc %d: %d tasks:", p, len(idxs))
-		for _, i := range idxs {
+		fmt.Fprintf(out, "  shared proc %d: %d tasks:", p, len(alloc.Low.Assignment[k]))
+		for _, pos := range alloc.Low.Assignment[k] {
+			if pos < len(alloc.Servers) {
+				fmt.Fprintf(out, " %s(E=%d)", srvNames[pos], alloc.Servers[pos].Budget)
+				continue
+			}
+			i := alloc.LowIndices[pos-len(alloc.Servers)]
 			fmt.Fprintf(out, " %s(δ=%.2f)", sys[i].Name, sys[i].Density())
 		}
 		fmt.Fprintln(out)

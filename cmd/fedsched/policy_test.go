@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedsched/internal/gen"
+	"fedsched/internal/task"
+)
+
+// TestPolicyFlagValidation pins the -policy vocabulary: the three known
+// policies are accepted, anything else is refused before the input file is
+// read, and -simulate (which replays strict template schedules) refuses the
+// split policies.
+func TestPolicyFlagValidation(t *testing.T) {
+	path := schedulableFile(t)
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"default", nil, ""},
+		{"fedcons", []string{"-policy", "fedcons"}, ""},
+		{"semi", []string{"-policy", "semi"}, ""},
+		{"reservation", []string{"-policy", "reservation"}, ""},
+		{"unknown", []string{"-policy", "quantum"}, "unknown -policy"},
+		{"empty", []string{"-policy", ""}, ""},
+		{"simulate-semi", []string{"-policy", "semi", "-simulate", "100"}, "-simulate supports only -policy=fedcons"},
+		{"simulate-reservation", []string{"-policy", "reservation", "-simulate", "100"}, "-simulate supports only -policy=fedcons"},
+		{"simulate-fedcons", []string{"-policy", "fedcons", "-simulate", "100"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append(append([]string{}, tc.args...), path), &bytes.Buffer{})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run(%v) = %v, want success", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPolicyFedconsDifferential pins that `-policy=fedcons` is inert: across
+// 20 generated systems spanning schedulable and unschedulable territory,
+// every partition heuristic and both worker-pool widths, the explicit flag
+// produces byte-identical output — verdict and allocation JSON, the -trace
+// JSONL stream, the -explain text, and the same error — as the pre-policy
+// default invocation. It also asserts the strict JSON verdict never leaks
+// the split-shape fields (policy, servers), which is what keeps the daemon's
+// GET /v1/allocation contract unchanged.
+func TestPolicyFedconsDifferential(t *testing.T) {
+	const m, n, seeds = 8, 8, 20
+	dir := t.TempDir()
+	heuristics := []string{"first-fit", "best-fit", "worst-fit"}
+	pars := []string{"1", "4"}
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		normU := 0.30 + 0.03*float64(seed) // 0.30 … 0.87: mixed verdicts
+		p := gen.DefaultParams(n, normU*float64(m))
+		sys, err := gen.System(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := writeSystem(t, &task.SystemFile{Processors: m, Tasks: sys})
+		for _, h := range heuristics {
+			for _, par := range pars {
+				for _, mode := range []struct {
+					name string
+					args []string
+				}{
+					{"json+trace", []string{"-o", "json", "-trace", "@TRACE@"}},
+					{"explain", []string{"-explain"}},
+				} {
+					base := append([]string{"-partition", h, "-par", par}, mode.args...)
+					gotOut, gotTrace, gotErr := runCapture(t, dir, base, path, "")
+					wantOut, wantTrace, wantErr := runCapture(t, dir, base, path, "fedcons")
+					label := fmt.Sprintf("seed %d %s par %s %s", seed, h, par, mode.name)
+					if !errors.Is(gotErr, wantErr) && !sameErrString(gotErr, wantErr) {
+						t.Fatalf("%s: err %v vs %v", label, gotErr, wantErr)
+					}
+					if gotOut != wantOut {
+						t.Fatalf("%s: output diverges:\n--- default ---\n%s\n--- -policy=fedcons ---\n%s", label, gotOut, wantOut)
+					}
+					if gotTrace != wantTrace {
+						t.Fatalf("%s: trace diverges", label)
+					}
+					if mode.name == "json+trace" {
+						for _, leak := range []string{`"policy"`, `"servers"`} {
+							if strings.Contains(gotOut, leak) {
+								t.Fatalf("%s: strict JSON verdict leaks %s:\n%s", label, leak, gotOut)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// runCapture invokes run with the given base args against path, optionally
+// appending -policy=pol, substituting a fresh trace file for the @TRACE@
+// placeholder. It returns stdout, the trace file contents and run's error.
+func runCapture(t *testing.T, dir string, base []string, path, pol string) (string, string, error) {
+	t.Helper()
+	args := make([]string, 0, len(base)+3)
+	tracePath := ""
+	for _, a := range base {
+		if a == "@TRACE@" {
+			tracePath = filepath.Join(dir, "trace.jsonl")
+			os.Remove(tracePath)
+			a = tracePath
+		}
+		args = append(args, a)
+	}
+	if pol != "" {
+		args = append(args, "-policy", pol)
+	}
+	args = append(args, path)
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	trace := ""
+	if tracePath != "" {
+		if b, rerr := os.ReadFile(tracePath); rerr == nil {
+			trace = string(b)
+		}
+	}
+	return buf.String(), trace, err
+}
+
+func sameErrString(a, b error) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Error() == b.Error()
+}

@@ -69,6 +69,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		prio         = fs.String("priority", "insertion", "LS list order: insertion, longest-path, largest-wcet")
 		heuristic    = fs.String("partition", "first-fit", "partition heuristic: first-fit (paper), best-fit, worst-fit")
 		admission    = fs.String("admission", "dbf-approx", "partition admission test: dbf-approx (paper), edf-exact or dm-rta")
+		policy       = fs.String("policy", "fedcons", "admission policy: fedcons (paper), semi or reservation; persisted in snapshots so a shard recovers under the policy it ran")
 		queue        = fs.Int("queue", 64, "admission queue bound; beyond it requests are shed with 429")
 		shards       = fs.Int("shards", 1, "independent admission domains (clusters route to shards by consistent hashing)")
 		walDir       = fs.String("wal-dir", "", "if set, make shards durable: WAL + snapshots under this directory, replayed on restart")
@@ -143,6 +144,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	opt.Par = *par
+	if opt.Policy, err = service.ParsePolicy(*policy); err != nil {
+		return err
+	}
 	observer, closeAudit, err := buildObserver(out, *verbose, *auditPath)
 	if err != nil {
 		return err
@@ -180,8 +184,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *walDir != "" {
 		durable = " wal-dir=" + *walDir
 	}
-	fmt.Fprintf(out, "fedschedd: m=%d shards=%d %s/%s/%s/%s%s listening on http://%s\n",
-		*m, *shards, *minprocs, *prio, *heuristic, *admission, durable, resolved)
+	// The policy prefix appears only for non-default policies, keeping the
+	// default startup line byte-identical to earlier releases.
+	variant := fmt.Sprintf("%s/%s/%s/%s", *minprocs, *prio, *heuristic, *admission)
+	if opt.Policy != "" {
+		variant = opt.Policy + "/" + variant
+	}
+	fmt.Fprintf(out, "fedschedd: m=%d shards=%d %s%s listening on http://%s\n",
+		*m, *shards, variant, durable, resolved)
 
 	stopDebug, err := startDebugServer(out, *debugAddr, *debugAddrf)
 	if err != nil {

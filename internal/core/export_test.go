@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// fuzzSystem builds a small random constrained-deadline system, biased so
+// the first task is often high-density (ensuring dedicated-group mutations
+// have something to corrupt). It lives here, in package core, because the
+// in-package property tests (hash, metamorphic) share it with the external
+// fuzz harness below.
+func fuzzSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		nv := 1 + r.Intn(6)
+		if i == 0 && r.Intn(2) == 0 {
+			nv = 4 + r.Intn(5)
+		}
+		b := dag.NewBuilder(nv)
+		for v := 0; v < nv; v++ {
+			b.AddJob(task.Time(1 + r.Intn(6)))
+		}
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		var d task.Time
+		if i == 0 {
+			d = g.LongestChain() + task.Time(r.Intn(3))
+		} else {
+			d = g.LongestChain() + task.Time(r.Intn(int(2*g.Volume())))
+		}
+		t := d + task.Time(r.Intn(40))
+		sys = append(sys, task.MustNew(fmt.Sprintf("t%d", i), g, d, t))
+	}
+	return sys
+}
+
+// Exported aliases for the external fuzz harness (package core_test in
+// fuzz_test.go), which imports the policy packages to obtain split-shape
+// allocations and therefore cannot live in package core (that would close an
+// import cycle through internal/semifed and internal/reservation).
+var (
+	FuzzSystemForTest = fuzzSystem
+	CloneAllocForTest = cloneAlloc
+)

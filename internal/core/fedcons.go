@@ -85,6 +85,12 @@ type Options struct {
 	// any Par value; the differential matrix in parallel_test.go pins this.
 	// 0 and 1 both mean fully sequential; negative values are rejected.
 	Par int
+	// Policy selects the admission strategy: "" (or "fedcons") runs the
+	// paper's strict algorithm above; any other value must name a policy
+	// registered with RegisterPolicy (e.g. "semi", "reservation"), and
+	// Schedule dispatches to it. The strict path never consults the
+	// registry, so the default output cannot be perturbed by registration.
+	Policy string
 }
 
 // HighAssignment is the phase-1 outcome for one high-density task.
@@ -110,18 +116,36 @@ type Allocation struct {
 	// LowIndices are the input indices of the low-density tasks, in input
 	// order; Low partition entries refer to positions in this slice.
 	LowIndices []int
-	// Low is the partition of the low-density tasks over SharedProcs:
-	// Low.Assignment[k] lists positions in LowIndices placed on
-	// SharedProcs[k].
+	// Low is the partition over SharedProcs: Low.Assignment[k] lists
+	// positions placed on SharedProcs[k]. For the strict shape positions
+	// index LowIndices; for a split shape (Policy non-empty) positions
+	// < len(Servers) are servers and later positions index
+	// LowIndices[pos−len(Servers)] (see PartitionSystem).
 	Low *partition.Result
+
+	// Policy tags the allocation's shape: "" is the strict FEDCONS shape
+	// above; "semi" or "reservation" mark a split shape whose high-density
+	// tasks are served by dedicated processors plus the reservation servers
+	// in Servers. Verify dispatches on this tag. omitempty keeps the strict
+	// JSON encoding byte-identical to the pre-policy format.
+	Policy string `json:",omitempty"`
+	// Servers are the reservation servers of a split-shape allocation,
+	// placed by the Phase-2 partitioner ahead of the low-density tasks.
+	Servers []ServerSpec `json:",omitempty"`
 }
 
 // TasksOnShared returns the input-system indices assigned to shared
-// processor k (an index into SharedProcs).
+// processor k (an index into SharedProcs). On a split-shape allocation a
+// server position maps to its owner's input index, so a high-density task
+// appears once per server it has on the processor.
 func (a *Allocation) TasksOnShared(k int) []int {
 	out := make([]int, 0, len(a.Low.Assignment[k]))
 	for _, pos := range a.Low.Assignment[k] {
-		out = append(out, a.LowIndices[pos])
+		if pos < len(a.Servers) {
+			out = append(out, a.Servers[pos].TaskIndex)
+			continue
+		}
+		out = append(out, a.LowIndices[pos-len(a.Servers)])
 	}
 	return out
 }
@@ -353,9 +377,26 @@ func ceilDensity(tk *task.DAGTask) int {
 	return int((tk.Volume() + den - 1) / den)
 }
 
-// Schedule runs FEDCONS(τ, m). On success it returns the allocation; on
-// failure, a *FailureError describing the phase and task responsible.
+// Schedule runs the configured admission policy on (τ, m): the paper's
+// strict FEDCONS when opt.Policy is "" or "fedcons", otherwise the
+// registered policy of that name (with the strict scheduler passed as its
+// fallback). On success it returns the allocation; on failure, an error —
+// a *FailureError describing the phase and task responsible when the strict
+// path decided.
 func Schedule(sys task.System, m int, opt Options) (*Allocation, error) {
+	if opt.Policy != "" && opt.Policy != PolicyFedcons {
+		p, err := LookupPolicy(opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		return p.Schedule(sys, m, opt, scheduleFedcons)
+	}
+	return scheduleFedcons(sys, m, opt)
+}
+
+// scheduleFedcons is the strict FEDCONS(τ, m) of Fig. 2 — the body behind
+// Schedule's default dispatch and the fallback handed to policies.
+func scheduleFedcons(sys task.System, m int, opt Options) (*Allocation, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}

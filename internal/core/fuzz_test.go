@@ -1,66 +1,49 @@
-package core
+package core_test
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
-	"fedsched/internal/dag"
-	"fedsched/internal/task"
-)
+	"fedsched/internal/core"
 
-// fuzzSystem builds a small random constrained-deadline system, biased so
-// the first task is often high-density (ensuring dedicated-group mutations
-// have something to corrupt).
-func fuzzSystem(r *rand.Rand, n int) task.System {
-	sys := make(task.System, 0, n)
-	for i := 0; i < n; i++ {
-		nv := 1 + r.Intn(6)
-		if i == 0 && r.Intn(2) == 0 {
-			nv = 4 + r.Intn(5)
-		}
-		b := dag.NewBuilder(nv)
-		for v := 0; v < nv; v++ {
-			b.AddJob(task.Time(1 + r.Intn(6)))
-		}
-		for u := 0; u < nv; u++ {
-			for v := u + 1; v < nv; v++ {
-				if r.Float64() < 0.3 {
-					b.AddEdge(u, v)
-				}
-			}
-		}
-		g := b.MustBuild()
-		var d task.Time
-		if i == 0 {
-			d = g.LongestChain() + task.Time(r.Intn(3))
-		} else {
-			d = g.LongestChain() + task.Time(r.Intn(int(2*g.Volume())))
-		}
-		t := d + task.Time(r.Intn(40))
-		sys = append(sys, task.MustNew(fmt.Sprintf("t%d", i), g, d, t))
-	}
-	return sys
-}
+	// Registering the policies lets the fuzzer request split-shape
+	// allocations through the ordinary core.Schedule dispatch. This file is
+	// an external test package precisely so these imports are legal.
+	_ "fedsched/internal/reservation"
+	_ "fedsched/internal/semifed"
+)
 
 // FuzzVerifyAllocation checks the two faces of core.Verify on fuzz-chosen
 // systems: every allocation Schedule produces passes it unchanged, and no
-// single structural corruption — wrong platform size, dropped or duplicated
-// task, out-of-range or double-claimed processor, missing or inconsistent
-// template, discarded partition — slips through.
+// single structural corruption slips through. Mutations 0–7 corrupt the
+// strict FEDCONS shape — wrong platform size, dropped or duplicated task,
+// out-of-range or double-claimed processor, missing or inconsistent
+// template, discarded partition. Mutations 8–12 corrupt split-shape
+// allocations produced by the semi-federated (even seeds) and reservation
+// (odd seeds) policies: a cleared policy tag smuggling servers past the
+// strict verifier, fractional-server budgets forced to zero or past the
+// owner's window, and dropped or duplicated reservation servers.
 func FuzzVerifyAllocation(f *testing.F) {
 	for seed := uint32(0); seed < 4; seed++ {
-		for mut := uint8(0); mut < 8; mut++ {
+		for mut := uint8(0); mut < 13; mut++ {
 			f.Add(seed, mut)
 		}
 	}
 	f.Fuzz(func(t *testing.T, seed uint32, mut uint8) {
 		r := rand.New(rand.NewSource(int64(seed)))
-		sys := fuzzSystem(r, 2+r.Intn(4))
-		var alloc *Allocation
+		sys := core.FuzzSystemForTest(r, 2+r.Intn(4))
+		mut %= 13
+		var opt core.Options
+		if mut >= 8 {
+			opt.Policy = core.PolicySemi
+			if seed%2 == 1 {
+				opt.Policy = core.PolicyReservation
+			}
+		}
+		var alloc *core.Allocation
 		var m int
 		for m = 2; m <= 8; m++ {
-			a, err := Schedule(sys, m, Options{})
+			a, err := core.Schedule(sys, m, opt)
 			if err == nil {
 				alloc = a
 				break
@@ -69,13 +52,19 @@ func FuzzVerifyAllocation(f *testing.F) {
 		if alloc == nil {
 			t.Skip("system rejected on every platform size")
 		}
-		if err := Verify(sys, m, alloc); err != nil {
+		if mut >= 8 && (alloc.Policy == "" || len(alloc.Servers) == 0) {
+			// Either the policy fell back to the strict shape, or the system
+			// has no high-density tasks so the split shape degenerates to a
+			// pure partition — nothing fractional to corrupt either way.
+			t.Skip("no reservation servers to corrupt")
+		}
+		if err := core.Verify(sys, m, alloc); err != nil {
 			t.Fatalf("clean allocation failed Verify: %v", err)
 		}
 
-		mutated := cloneAlloc(alloc)
+		mutated := core.CloneAllocForTest(alloc)
 		var desc string
-		switch mut % 8 {
+		switch mut {
 		case 0:
 			mutated.M++
 			desc = "wrong platform size"
@@ -129,9 +118,25 @@ func FuzzVerifyAllocation(f *testing.F) {
 		case 7:
 			mutated.Low = nil
 			desc = "discarded partition"
+		case 8:
+			mutated.Policy = ""
+			desc = "split allocation relabeled as strict"
+		case 9:
+			mutated.Servers[0].Budget = 0
+			desc = "zero server budget"
+		case 10:
+			owner := sys[mutated.Servers[0].TaskIndex]
+			mutated.Servers[0].Budget = core.Window(owner) + 1
+			desc = "server budget beyond the owner's window"
+		case 11:
+			mutated.Servers = mutated.Servers[:len(mutated.Servers)-1]
+			desc = "dropped reservation server"
+		case 12:
+			mutated.Servers = append(mutated.Servers, mutated.Servers[0])
+			desc = "duplicated reservation server"
 		}
-		if err := Verify(sys, m, mutated); err == nil {
-			t.Fatalf("mutated allocation (%s) passed Verify; seed=%d", desc, seed)
+		if err := core.Verify(sys, m, mutated); err == nil {
+			t.Fatalf("mutated allocation (%s, policy %q) passed Verify; seed=%d", desc, alloc.Policy, seed)
 		}
 	})
 }

@@ -27,9 +27,9 @@ import (
 // success; on failure (the identical *FailureError Schedule would return) it
 // is unchanged. base is not mutated: unchanged fields are shared.
 func AdmitLow(base *Allocation, st *partition.State, tk *task.DAGTask) (*Allocation, error) {
-	newIdx := len(base.High) + len(base.LowIndices) // tk's input index
+	newIdx := systemSize(base) // tk's input index
 	if err := st.Admit(tk.AsSporadic()); err != nil {
-		return nil, liftPartitionError(err, base.LowIndices, newIdx, len(base.SharedProcs))
+		return nil, liftPartitionError(err, base.Servers, base.LowIndices, newIdx, len(base.SharedProcs))
 	}
 	li := make([]int, len(base.LowIndices)+1)
 	copy(li, base.LowIndices)
@@ -40,6 +40,8 @@ func AdmitLow(base *Allocation, st *partition.State, tk *task.DAGTask) (*Allocat
 		SharedProcs: base.SharedProcs,
 		LowIndices:  li,
 		Low:         st.Result(),
+		Policy:      base.Policy,
+		Servers:     base.Servers,
 	}, nil
 }
 
@@ -73,8 +75,11 @@ func RemoveLow(base *Allocation, st *partition.State, sysIdx int) (*Allocation, 
 		}
 		li = append(li, v)
 	}
-	if err := st.Remove(pos); err != nil {
-		return nil, liftPartitionError(err, li, -1, len(base.SharedProcs))
+	// The partitionable input is servers-first (see PartitionSystem), so the
+	// low task at LowIndices position pos sits at combined input index
+	// len(Servers)+pos.
+	if err := st.Remove(len(base.Servers) + pos); err != nil {
+		return nil, liftPartitionError(err, base.Servers, li, -1, len(base.SharedProcs))
 	}
 	var high []HighAssignment
 	if len(base.High) > 0 {
@@ -86,27 +91,45 @@ func RemoveLow(base *Allocation, st *partition.State, sysIdx int) (*Allocation, 
 			}
 		}
 	}
+	servers := base.Servers
+	if len(servers) > 0 {
+		servers = make([]ServerSpec, len(base.Servers))
+		copy(servers, base.Servers)
+		for j := range servers {
+			if servers[j].TaskIndex > sysIdx {
+				servers[j].TaskIndex--
+			}
+		}
+	}
 	return &Allocation{
 		M:           base.M,
 		High:        high,
 		SharedProcs: base.SharedProcs,
 		LowIndices:  li,
 		Low:         st.Result(),
+		Policy:      base.Policy,
+		Servers:     servers,
 	}, nil
 }
 
 // liftPartitionError wraps a State failure into the *FailureError Schedule
-// builds for a Phase-2 rejection, mapping the partition's low-order task
-// index through the mutated system's LowIndices. newIdx is the input index
-// of a task being admitted (one past lowIndices), or -1 for a removal.
-func liftPartitionError(err error, lowIndices []int, newIdx, remaining int) error {
+// builds for a Phase-2 rejection, mapping the partition's combined-input
+// task index (servers first, then low tasks) through the mutated system's
+// indices: a server position maps to its owner's input index, a low position
+// through lowIndices. newIdx is the input index of a task being admitted
+// (one past the combined input), or -1 for a removal.
+func liftPartitionError(err error, servers []ServerSpec, lowIndices []int, newIdx, remaining int) error {
 	fe := &FailureError{Phase: PhaseLowDensity, Remaining: remaining, Err: err}
 	var pf *partition.FailureError
 	if errors.As(err, &pf) {
-		if pf.TaskIndex == len(lowIndices) && newIdx >= 0 {
+		s := len(servers)
+		switch {
+		case pf.TaskIndex < s:
+			fe.TaskIndex = servers[pf.TaskIndex].TaskIndex
+		case pf.TaskIndex-s == len(lowIndices) && newIdx >= 0:
 			fe.TaskIndex = newIdx
-		} else {
-			fe.TaskIndex = lowIndices[pf.TaskIndex]
+		default:
+			fe.TaskIndex = lowIndices[pf.TaskIndex-s]
 		}
 		fe.TaskName = pf.TaskName
 	}
@@ -125,9 +148,38 @@ func liftPartitionError(err error, lowIndices []int, newIdx, remaining int) erro
 // skipped when the identical task pointers sit on it in the identical order.
 // Anything not provably unchanged is re-verified; callers needing an
 // unconditional audit use Verify.
+//
+// Like Verify, VerifyDelta dispatches on the allocation's shape tag; the
+// base and the new allocation must carry the same tag (a policy change is a
+// full re-analysis, not a delta).
 func VerifyDelta(sys task.System, m int, a *Allocation, baseSys task.System, base *Allocation) error {
 	if a == nil || base == nil {
 		return fmt.Errorf("fedcons: nil allocation")
+	}
+	if a.Policy != base.Policy {
+		return fmt.Errorf("fedcons: delta audit across a policy change (%q → %q); use Verify", base.Policy, a.Policy)
+	}
+	switch a.Policy {
+	case "":
+		return verifyDeltaStrict(sys, m, a, baseSys, base)
+	case PolicySemi, PolicyReservation:
+		if a.M != m || base.M != m {
+			return fmt.Errorf("fedcons: allocation for m=%d (base m=%d), want %d", a.M, base.M, m)
+		}
+		if len(a.High) != len(base.High) || len(a.Servers) != len(base.Servers) {
+			return fmt.Errorf("fedcons: delta audit across a high-density change (%d+%d → %d+%d grants); use Verify",
+				len(base.High), len(base.Servers), len(a.High), len(a.Servers))
+		}
+		return verifySplitBase(sys, m, a, baseSys, base)
+	default:
+		return fmt.Errorf("fedcons: allocation tagged with unknown policy %q", a.Policy)
+	}
+}
+
+// verifyDeltaStrict is the strict-shape delta auditor behind VerifyDelta.
+func verifyDeltaStrict(sys task.System, m int, a *Allocation, baseSys task.System, base *Allocation) error {
+	if len(a.Servers) > 0 {
+		return fmt.Errorf("fedcons: a strict allocation must not carry reservation servers, found %d", len(a.Servers))
 	}
 	if a.M != m || base.M != m {
 		return fmt.Errorf("fedcons: allocation for m=%d (base m=%d), want %d", a.M, base.M, m)

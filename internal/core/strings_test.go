@@ -161,6 +161,7 @@ func cloneAlloc(a *Allocation) *Allocation {
 	}
 	c.SharedProcs = append([]int(nil), a.SharedProcs...)
 	c.LowIndices = append([]int(nil), a.LowIndices...)
+	c.Servers = append([]ServerSpec(nil), a.Servers...)
 	if a.Low != nil {
 		low := &partition.Result{Assignment: make([][]int, len(a.Low.Assignment))}
 		for k, procTasks := range a.Low.Assignment {

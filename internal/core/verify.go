@@ -20,10 +20,32 @@ import (
 //   - the low-density partition is exactly EDF-schedulable per processor
 //     (partition.Verify, which applies the exact QPA test).
 //
+// Verify dispatches on the allocation's shape tag: the strict
+// dedicated-processor shape above when a.Policy is empty, the split shape
+// (dedicated processors + reservation servers, audited against the Ueter
+// service inequality by verifySplit) for "semi" and "reservation". The
+// strict auditor rejects any allocation carrying servers, so a dedicated-only
+// verifier can never be talked into accepting a fractional grant.
+//
 // Verify is the auditor used by tests, experiments and cmd/fedsched.
 func Verify(sys task.System, m int, a *Allocation) error {
 	if a == nil {
 		return fmt.Errorf("fedcons: nil allocation")
+	}
+	switch a.Policy {
+	case "":
+		return verifyStrict(sys, m, a)
+	case PolicySemi, PolicyReservation:
+		return verifySplit(sys, m, a)
+	default:
+		return fmt.Errorf("fedcons: allocation tagged with unknown policy %q", a.Policy)
+	}
+}
+
+// verifyStrict audits the paper's dedicated-processor allocation shape.
+func verifyStrict(sys task.System, m int, a *Allocation) error {
+	if len(a.Servers) > 0 {
+		return fmt.Errorf("fedcons: a strict allocation must not carry reservation servers, found %d", len(a.Servers))
 	}
 	if a.M != m {
 		return fmt.Errorf("fedcons: allocation for m=%d, want %d", a.M, m)

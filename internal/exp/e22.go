@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/core"
+	"fedsched/internal/gen"
+	"fedsched/internal/runner"
+	"fedsched/internal/stats"
+)
+
+// E22PolicyComparison sweeps normalized utilization under deadline-tightened
+// generation (the E7 bias, which produces many high-density tasks) and
+// compares the acceptance ratio of the three admission policies side by side:
+// the paper's strict FEDCONS, semi-federated fractional grants (Jiang et al.)
+// and reservation-based federated scheduling (Ueter et al.). Because both
+// split policies fall back to strict FEDCONS on failure, their curves must
+// dominate the FEDCONS column pointwise — the experiment counts per-trial
+// dominance violations (always expected 0) rather than assuming it — and the
+// capacity reclaimed from grant rounding shows as a strictly higher ratio in
+// the saturated region. Every accepted allocation is re-audited in-trial by
+// the policy-aware core.Verify; a verification failure aborts the experiment,
+// so a row in the committed table certifies that every acceptance behind it
+// verified.
+func E22PolicyComparison(cfg Config) (*Result, error) {
+	const m, n = 8, 10
+	necessary := runner.MustLookup("necessary")
+	policies := []string{"", core.PolicySemi, core.PolicyReservation}
+	tab := &stats.Table{
+		Title:   "E22 — acceptance ratio by admission policy (m=8, n=10, β∈[0.25,0.6])",
+		Columns: []string{"U/m", "NECESSARY (UB)", "FEDCONS", "SEMI", "RESERVATION", "semi split%", "resv split%"},
+	}
+	res := &Result{ID: "E22", Title: "Policy comparison: fedcons vs semi vs reservation", Table: tab, Plot: &PlotSpec{XCol: 0, YCols: []int{2, 3, 4}}}
+	type trial struct {
+		Necessary bool
+		OK        [3]bool // acceptance per policies[k]
+		Split     [3]bool // accepted with the split shape (not the fallback)
+	}
+	outcomes, err := sweep(cfg, "E22", sweepID(22, 0), len(utilGrid), cfg.SystemsPerPoint,
+		func(point, _ int, r *rand.Rand) (trial, error) {
+			p := sweepParams(n, m, utilGrid[point])
+			p.BetaMin, p.BetaMax = 0.25, 0.6 // tighter deadlines → more high-density tasks
+			sys, err := gen.System(r, p)
+			if err != nil {
+				return trial{}, err
+			}
+			tr := trial{Necessary: necessary.Schedulable(sys, m)}
+			for k, pol := range policies {
+				alloc, err := core.Schedule(sys, m, core.Options{Policy: pol})
+				if err != nil {
+					continue
+				}
+				if verr := core.Verify(sys, m, alloc); verr != nil {
+					return trial{}, fmt.Errorf("policy %q accepted an unverifiable allocation: %w", pol, verr)
+				}
+				tr.OK[k] = true
+				tr.Split[k] = alloc.Policy != ""
+			}
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	dominanceViolations := 0
+	for p, normU := range utilGrid {
+		var nec stats.Counter
+		var counters, split [3]stats.Counter
+		for _, tr := range outcomes[p] {
+			nec.Add(tr.Necessary)
+			for k := range counters {
+				counters[k].Add(tr.OK[k])
+			}
+			for k := 1; k < 3; k++ {
+				if tr.OK[0] && !tr.OK[k] {
+					dominanceViolations++
+				}
+				if tr.OK[k] {
+					split[k].Add(tr.Split[k])
+				}
+			}
+		}
+		tab.AddRow(normU, nec.Ratio(), counters[0].Ratio(), counters[1].Ratio(), counters[2].Ratio(),
+			100*split[1].Ratio(), 100*split[2].Ratio())
+	}
+	if dominanceViolations > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"UNEXPECTED: %d trials accepted by FEDCONS were rejected by a split policy (the fallback should make this impossible)",
+			dominanceViolations))
+	} else {
+		res.Notes = append(res.Notes,
+			"Dominance verified per trial: every system strict FEDCONS accepted, both split policies accepted too (0 violations).")
+	}
+	res.Notes = append(res.Notes,
+		"Every accepted allocation passed the policy-aware core.Verify in-trial (service inequality, budget bounds, EDF partition).",
+		"The split columns show how often the fractional shape itself (not the strict fallback) carried the acceptance;",
+		"the SEMI/RESERVATION gain over FEDCONS in the saturated region is the reclaimed grant-rounding capacity.")
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -16,6 +17,74 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if err := QuickConfig().Validate(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConfigValidatePolicy pins the Policy vocabulary: the strict default
+// spellings and both registered split policies validate, anything else is
+// rejected with the -policy error message.
+func TestConfigValidatePolicy(t *testing.T) {
+	cases := []struct {
+		policy string
+		ok     bool
+	}{
+		{"", true},
+		{"fedcons", true},
+		{"semi", true},
+		{"reservation", true},
+		{"quantum", false},
+		{"SEMI", false},
+		{"semi ", false},
+	}
+	for _, tc := range cases {
+		cfg := quick()
+		cfg.Policy = tc.policy
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("Policy %q: %v, want valid", tc.policy, err)
+		}
+		if !tc.ok {
+			if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+				t.Errorf("Policy %q: err = %v, want unknown-policy rejection", tc.policy, err)
+			}
+		}
+	}
+}
+
+// TestE22DominanceAndVerification runs the policy-comparison experiment at
+// quick scale: the result must certify zero dominance violations (the Notes
+// record the per-trial check) and the SEMI and RESERVATION columns must be
+// pointwise ≥ the FEDCONS column.
+func TestE22DominanceAndVerification(t *testing.T) {
+	res, err := E22PolicyComparison(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "UNEXPECTED") {
+			t.Errorf("dominance violation recorded: %s", n)
+		}
+		if strings.Contains(n, "0 violations") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes do not certify the dominance check: %v", res.Notes)
+	}
+	col := func(row []string, k int) float64 {
+		v, err := strconv.ParseFloat(row[k], 64)
+		if err != nil {
+			t.Fatalf("column %d of row %v: %v", k, row, err)
+		}
+		return v
+	}
+	for _, row := range res.Table.Rows {
+		fedcons, semi, resv := col(row, 2), col(row, 3), col(row, 4)
+		if semi < fedcons || resv < fedcons {
+			t.Errorf("U/m=%s: split policy below FEDCONS: fedcons=%.3f semi=%.3f reservation=%.3f",
+				row[0], fedcons, semi, resv)
+		}
 	}
 }
 

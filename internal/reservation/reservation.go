@@ -1,0 +1,174 @@
+// Package reservation implements reservation-based federated scheduling
+// (Ueter, von der Brüggen, Chen, Li, Agrawal: "Reservation-Based Federated
+// Scheduling for Parallel Real-Time Tasks", arXiv 1712.05040) as a pluggable
+// core.Policy.
+//
+// Where strict federation dedicates whole processors to each high-density
+// task and semi-federated scheduling splits off one fractional share, this
+// policy abstracts every high-density task τ_i into r_i identical reservation
+// servers of budget E_i released with each dag-job and sharing its window
+// w_i = min(D_i, T_i) as relative deadline. No processor is dedicated at all:
+// the servers are ordinary constrained-deadline sporadic tasks that the
+// existing Baruah–Fisher partitioner places on the full platform alongside
+// the low-density tasks, which makes the policy compose with any partitioned
+// schedulability machinery.
+//
+// Sizing (the equal-budget instantiation of Ueter et al.'s service condition;
+// see DESIGN.md §13): work-conserving execution of the dag-job inside its
+// reservations meets the deadline whenever
+//
+//	r_i·E_i ≥ vol_i + (r_i − 1)·len_i,  with E_i ≤ w_i.
+//
+// The minimal feasible count is r_i = ⌈(vol_i − len_i)/(w_i − len_i)⌉ (and
+// r_i = 1 when vol_i ≤ w_i), with budget E_i = ⌈(vol_i + (r_i−1)·len_i)/r_i⌉.
+// Minimality of r_i guarantees E_i ≤ w_i: r_i·(w_i − len_i) ≥ vol_i − len_i
+// rearranges to (vol_i + (r_i−1)·len_i)/r_i ≤ w_i, and w_i is an integer, so
+// the ceiling cannot exceed it. core.Verify re-checks the service inequality
+// and every budget bound independently.
+//
+// Like semifed, the policy falls back to strict FEDCONS whenever the
+// reservation attempt fails (a critical path filling the window, or the
+// partitioner rejecting the server set), so its acceptance dominates the
+// paper's algorithm pointwise.
+package reservation
+
+import (
+	"errors"
+
+	"fedsched/internal/core"
+	"fedsched/internal/obs"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+func init() { core.RegisterPolicy(policy{}) }
+
+// policy implements core.Policy.
+type policy struct{}
+
+// Name returns the registry key, "reservation".
+func (policy) Name() string { return core.PolicyReservation }
+
+// Schedule tries the reservation-server shape first and falls back to strict
+// FEDCONS on any failure. Only the strict path's error surfaces when both
+// fail.
+func (policy) Schedule(sys task.System, m int, opt core.Options, fallback core.ScheduleFunc) (*core.Allocation, error) {
+	if err := core.ValidateInput(sys, m, opt); err != nil {
+		return nil, err
+	}
+	if alloc, err := schedule(sys, m, opt); err == nil {
+		return alloc, nil
+	}
+	fopt := opt
+	fopt.Policy = ""
+	return fallback(sys, m, fopt)
+}
+
+// Servers sizes the reservation system of one high-density task: r equal
+// servers of budget E satisfying r·E ≥ vol + (r−1)·len with E ≤ w. ok is
+// false when no reservation system exists (len ≥ w with vol > w).
+func Servers(tk *task.DAGTask) (r int, budget task.Time, ok bool) {
+	vol, l, w := tk.Volume(), tk.Len(), core.Window(tk)
+	if vol <= w {
+		// δ = 1 exactly: a single full-window server suffices.
+		return 1, w, true
+	}
+	if l >= w {
+		return 0, 0, false
+	}
+	rr := (vol - l + (w - l) - 1) / (w - l) // ⌈(vol−len)/(w−len)⌉ ≥ 2 here
+	budget = (vol + (rr-1)*l + rr - 1) / rr // ⌈(vol+(r−1)·len)/r⌉
+	if budget > w {
+		// Unreachable by minimality of rr (see package comment); kept as a
+		// defensive guard so a future sizing change cannot emit an
+		// unverifiable allocation.
+		return 0, 0, false
+	}
+	return int(rr), budget, true
+}
+
+// schedule is the reservation-shape attempt: size every high-density task
+// into servers, then partition servers plus low-density tasks over the whole
+// platform. No dedicated processors are granted (High stays empty).
+func schedule(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
+	alloc := &core.Allocation{M: m, Policy: core.PolicyReservation}
+
+	root := opt.Trace.Start("reservation")
+	if root != nil {
+		root.Int("m", int64(m)).Int("tasks", int64(len(sys)))
+	}
+
+	phase1 := root.Child("phase1")
+	for i, tk := range sys {
+		var tsp *obs.Span
+		if phase1 != nil {
+			vol, l, w := tk.Volume(), tk.Len(), core.Window(tk)
+			tsp = phase1.Child("task").Str("task", tk.Name).Int("index", int64(i)).
+				Int("vol", int64(vol)).Int("len", int64(l)).Int("window", int64(w)).
+				Float("density", float64(vol)/float64(w)).Bool("high", tk.HighDensity())
+		}
+		if !tk.HighDensity() {
+			tsp.Finish()
+			alloc.LowIndices = append(alloc.LowIndices, i)
+			continue
+		}
+		r, budget, ok := Servers(tk)
+		if !ok {
+			tsp.Bool("failed", true).Finish()
+			phase1.Finish()
+			root.Bool("schedulable", false).Str("phase", core.PhaseHighDensity.String()).Finish()
+			return nil, &core.FailureError{Phase: core.PhaseHighDensity, TaskIndex: i, TaskName: tk.Name, Remaining: m}
+		}
+		tsp.Int("servers", int64(r)).Int("budget", int64(budget)).Finish()
+		for j := 0; j < r; j++ {
+			alloc.Servers = append(alloc.Servers, core.ServerSpec{TaskIndex: i, Budget: budget})
+		}
+	}
+	phase1.Int("dedicated", 0).Int("remaining", int64(m)).Finish()
+
+	for p := 0; p < m; p++ {
+		alloc.SharedProcs = append(alloc.SharedProcs, p)
+	}
+	combined, err := core.PartitionSystem(sys, alloc)
+	if err != nil {
+		root.Bool("schedulable", false).Finish()
+		return nil, err
+	}
+	phase2 := root.Child("phase2")
+	if phase2 != nil {
+		phase2.Int("procs", int64(m)).Int("servers", int64(len(alloc.Servers))).
+			Int("low", int64(len(alloc.LowIndices))).
+			Str("heuristic", opt.Partition.Heuristic.String()).
+			Str("test", opt.Partition.Test.String())
+	}
+	popt := opt.Partition
+	popt.Trace = phase2
+	res, err := partition.Partition(combined, m, popt)
+	if err != nil {
+		fe := &core.FailureError{Phase: core.PhaseLowDensity, Remaining: m, Err: err}
+		var pf *partition.FailureError
+		if errors.As(err, &pf) {
+			fe.TaskIndex = inputIndex(alloc, pf.TaskIndex)
+			fe.TaskName = pf.TaskName
+		}
+		phase2.Bool("failed", true).Finish()
+		root.Bool("schedulable", false).Str("phase", core.PhaseLowDensity.String()).Finish()
+		return nil, fe
+	}
+	phase2.Finish()
+	root.Bool("schedulable", true).Finish()
+	alloc.Low = res
+	return alloc, nil
+}
+
+// inputIndex maps a combined-partition position (servers first, then low
+// tasks) back to the input-system index for failure reporting.
+func inputIndex(a *core.Allocation, pos int) int {
+	if pos < len(a.Servers) {
+		return a.Servers[pos].TaskIndex
+	}
+	if rest := pos - len(a.Servers); rest < len(a.LowIndices) {
+		return a.LowIndices[rest]
+	}
+	return -1
+}

@@ -1,0 +1,201 @@
+package reservation
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// randomTask draws a DAG task; tight deadlines bias toward high density.
+func randomTask(r *rand.Rand) *task.DAGTask {
+	nv := 1 + r.Intn(8)
+	b := dag.NewBuilder(nv)
+	for v := 0; v < nv; v++ {
+		b.AddJob(task.Time(1 + r.Intn(6)))
+	}
+	for u := 0; u < nv; u++ {
+		for v := u + 1; v < nv; v++ {
+			if r.Float64() < 0.25 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g := b.MustBuild()
+	l := g.LongestChain()
+	d := l + task.Time(r.Intn(int(g.Volume())+1))
+	return task.MustNew("t", g, d, d+task.Time(r.Intn(30)))
+}
+
+func randomSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		sys = append(sys, randomTask(r))
+	}
+	return sys
+}
+
+// Servers must satisfy r·E ≥ vol + (r−1)·len with E ≤ w — and E ≤ w must
+// hold from minimality of r alone, without any budget clamping.
+func TestServersServiceCondition(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	highs := 0
+	for trial := 0; trial < 2000; trial++ {
+		tk := randomTask(r)
+		if !tk.HighDensity() {
+			continue
+		}
+		highs++
+		vol, l, w := tk.Volume(), tk.Len(), core.Window(tk)
+		rr, e, ok := Servers(tk)
+		if !ok {
+			if l < w {
+				t.Fatalf("Servers failed with slack: vol=%d len=%d w=%d", vol, l, w)
+			}
+			continue
+		}
+		if rr < 1 {
+			t.Fatalf("server count %d < 1", rr)
+		}
+		if e < 1 || e > w {
+			t.Fatalf("budget %d outside [1, %d] (vol=%d len=%d r=%d)", e, w, vol, l, rr)
+		}
+		if task.Time(rr)*e < vol+task.Time(rr-1)*l {
+			t.Fatalf("service condition violated: %d·%d < %d + %d·%d", rr, e, vol, rr-1, l)
+		}
+		// Minimality: one server fewer cannot satisfy the condition with any
+		// budget ≤ w.
+		if rr > 1 && task.Time(rr-1)*w >= vol+task.Time(rr-2)*l {
+			t.Fatalf("r=%d not minimal: r−1 servers of full budget suffice (vol=%d len=%d w=%d)", rr, vol, l, w)
+		}
+	}
+	if highs == 0 {
+		t.Fatal("test vacuous: no high-density draws")
+	}
+}
+
+// Every accepted allocation passes the policy-aware verifier; reservation-
+// shape allocations grant no dedicated processors and are rejected by the
+// strict verifier once the tag is stripped.
+func TestScheduleVerifies(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	splits := 0
+	for trial := 0; trial < 300; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		alloc, err := core.Schedule(sys, m, core.Options{Policy: core.PolicyReservation})
+		if err != nil {
+			continue
+		}
+		if err := core.Verify(sys, m, alloc); err != nil {
+			t.Fatalf("trial %d: accepted allocation fails Verify: %v", trial, err)
+		}
+		if alloc.Policy != core.PolicyReservation {
+			continue // fallback path
+		}
+		splits++
+		if len(alloc.High) != 0 {
+			t.Fatalf("trial %d: reservation allocation grants dedicated processors", trial)
+		}
+		if len(alloc.SharedProcs) != m {
+			t.Fatalf("trial %d: reservation shape must share all %d processors, got %d", trial, m, len(alloc.SharedProcs))
+		}
+		if len(alloc.Servers) > 0 {
+			stripped := *alloc
+			stripped.Policy = ""
+			if core.Verify(sys, m, &stripped) == nil {
+				t.Fatalf("trial %d: strict verifier accepted a reservation allocation", trial)
+			}
+		}
+	}
+	if splits == 0 {
+		t.Fatal("test vacuous: no reservation-shape acceptances")
+	}
+}
+
+// Acceptance dominance over strict FEDCONS via the fallback.
+func TestDominatesFedcons(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	hits := 0
+	for trial := 0; trial < 300; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		if !core.Schedulable(sys, m, core.Options{}) {
+			continue
+		}
+		if !core.Schedulable(sys, m, core.Options{Policy: core.PolicyReservation}) {
+			t.Fatalf("trial %d: fedcons accepts but reservation rejects", trial)
+		}
+		hits++
+	}
+	if hits == 0 {
+		t.Fatal("test vacuous: no fedcons acceptances")
+	}
+}
+
+// A critical path filling the window admits no reservation system; the
+// fallback must return the strict shape.
+func TestFallbackWhenNoServersExist(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.AddJob(5)
+	b.AddJob(5)
+	g := b.MustBuild()
+	tk := task.MustNew("rigid", g, 5, 5)
+	if _, _, ok := Servers(tk); ok {
+		t.Fatal("Servers should be infeasible when len == window < vol")
+	}
+	sys := task.System{tk}
+	alloc, err := core.Schedule(sys, 2, core.Options{Policy: core.PolicyReservation})
+	if err != nil {
+		t.Fatalf("fallback did not engage: %v", err)
+	}
+	if alloc.Policy != "" || len(alloc.Servers) != 0 {
+		t.Fatalf("fallback allocation not strict-shaped: policy=%q servers=%d", alloc.Policy, len(alloc.Servers))
+	}
+	if err := core.Verify(sys, 2, alloc); err != nil {
+		t.Fatalf("fallback allocation fails Verify: %v", err)
+	}
+	_, err = core.Schedule(sys, 1, core.Options{Policy: core.PolicyReservation})
+	var fe *core.FailureError
+	if !errors.As(err, &fe) {
+		t.Fatalf("double failure: want *core.FailureError, got %T: %v", err, err)
+	}
+}
+
+// Dropping a server or shrinking its budget must break verification.
+func TestVerifyRejectsMutatedServers(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 25; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		alloc, err := core.Schedule(sys, m, core.Options{Policy: core.PolicyReservation})
+		if err != nil || alloc.Policy != core.PolicyReservation || len(alloc.Servers) == 0 {
+			continue
+		}
+		checked++
+		// Dropping any single server breaks either the service inequality or
+		// the partition coverage.
+		for j := range alloc.Servers {
+			mut := *alloc
+			mut.Servers = append([]core.ServerSpec(nil), alloc.Servers[:j]...)
+			mut.Servers = append(mut.Servers, alloc.Servers[j+1:]...)
+			if err := core.Verify(sys, m, &mut); err == nil {
+				t.Fatalf("trial %d: dropped server %d still verifies", trial, j)
+			}
+		}
+		// Zero and over-window budgets are out of range.
+		mut := *alloc
+		mut.Servers = append([]core.ServerSpec(nil), alloc.Servers...)
+		mut.Servers[0].Budget = 0
+		if err := core.Verify(sys, m, &mut); err == nil {
+			t.Fatalf("trial %d: zero budget still verifies", trial)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("test vacuous: no reservation allocations")
+	}
+}

@@ -108,6 +108,12 @@ func TestBuiltinsAgreeWithWrappedFunctions(t *testing.T) {
 		"fedcons-dm-rta": func(sys task.System, m int) bool {
 			return core.Schedulable(sys, m, core.Options{Partition: partition.Options{Test: partition.DMRta}})
 		},
+		"semifed": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Policy: core.PolicySemi})
+		},
+		"reservation": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Policy: core.PolicyReservation})
+		},
 		"part-seq": baseline.PartSeq,
 		"li-fed":   baseline.LiFed,
 		"li-fed-d": baseline.LiFedD,

@@ -8,6 +8,11 @@ import (
 	"fedsched/internal/partition"
 	"fedsched/internal/sim"
 	"fedsched/internal/task"
+
+	// Register the pluggable admission policies the analyzers below select
+	// by name.
+	_ "fedsched/internal/reservation"
+	_ "fedsched/internal/semifed"
 )
 
 // Built-in analyzers: FEDCONS in both MINPROCS modes and its partition-phase
@@ -30,6 +35,12 @@ func init() {
 	Register(fedcons("fedcons-wf", core.Options{Partition: partition.Options{Heuristic: partition.WorstFit}}))
 	Register(fedcons("fedcons-exact-edf", core.Options{Partition: partition.Options{Test: partition.ExactEDF}}))
 	Register(fedcons("fedcons-dm-rta", core.Options{Partition: partition.Options{Test: partition.DMRta}}))
+
+	// The pluggable policies (E22): semi-federated fractional grants and
+	// reservation-based federated scheduling, each falling back to strict
+	// FEDCONS, so their acceptance dominates "fedcons" pointwise.
+	Register(fedcons("semifed", core.Options{Policy: core.PolicySemi}))
+	Register(fedcons("reservation", core.Options{Policy: core.PolicyReservation}))
 
 	// Baselines (package baseline documents each).
 	Register(NewFunc("part-seq", baseline.PartSeq))

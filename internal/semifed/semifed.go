@@ -1,0 +1,181 @@
+// Package semifed implements semi-federated scheduling (Jiang, Guan, Long,
+// Yi: "Semi-Federated Scheduling of Parallel Real-Time Tasks on
+// Multiprocessors", arXiv 1705.03245) as a pluggable core.Policy.
+//
+// Strict federation rounds the processor grant of every high-density task up
+// to an integer, wasting up to one processor per task. Semi-federated
+// scheduling splits the grant instead: a high-density task τ_i with volume
+// vol_i, critical-path length len_i and scheduling window w_i = min(D_i, T_i)
+// receives
+//
+//	d_i dedicated processors  +  one reservation server of budget E_i ≤ w_i,
+//
+// and the fractional servers are packed onto the shared processors by the
+// ordinary Phase-2 partitioner, alongside the low-density tasks. The sizing
+// used here is the equal-deadline specialization of the container condition:
+// with r_i = d_i + 1 reservation units, work-conserving execution of the
+// dag-job inside its reservations meets the deadline whenever
+//
+//	d_i·w_i + E_i ≥ vol_i + (d_i + 1 − 1)·len_i = vol_i + d_i·len_i,
+//
+// (see DESIGN.md §13; core.Verify re-checks exactly this inequality). Solving
+// for the smallest d_i with a feasible budget E_i ≤ w_i gives
+//
+//	d_i = ⌈(vol_i − w_i)/(w_i − len_i)⌉,   E_i = vol_i − d_i·(w_i − len_i),
+//
+// which satisfies the condition with equality and keeps 1 ≤ E_i ≤ w_i. When
+// vol_i = w_i (density exactly 1) no dedicated processor is needed and the
+// task becomes a single server of budget w_i.
+//
+// The policy is strictly admission-dominant over FEDCONS: if the split-shape
+// attempt fails for any reason (a window with no slack past the critical
+// path, dedicated processors exhausted, or the combined partition failing),
+// it falls back to the strict algorithm, so every system FEDCONS accepts is
+// accepted here too.
+package semifed
+
+import (
+	"errors"
+
+	"fedsched/internal/core"
+	"fedsched/internal/obs"
+	"fedsched/internal/partition"
+	"fedsched/internal/task"
+)
+
+func init() { core.RegisterPolicy(policy{}) }
+
+// policy implements core.Policy.
+type policy struct{}
+
+// Name returns the registry key, "semi".
+func (policy) Name() string { return core.PolicySemi }
+
+// Schedule tries the semi-federated split first and falls back to strict
+// FEDCONS on any failure, so acceptance dominates the paper's algorithm
+// pointwise. Only the strict path's error surfaces when both fail.
+func (policy) Schedule(sys task.System, m int, opt core.Options, fallback core.ScheduleFunc) (*core.Allocation, error) {
+	if err := core.ValidateInput(sys, m, opt); err != nil {
+		return nil, err
+	}
+	if alloc, err := schedule(sys, m, opt); err == nil {
+		return alloc, nil
+	}
+	fopt := opt
+	fopt.Policy = ""
+	return fallback(sys, m, fopt)
+}
+
+// Split sizes the semi-federated grant of one high-density task: d dedicated
+// processors plus one server of budget E, satisfying the service condition
+// d·w + E ≥ vol + d·len with equality. ok is false when no split exists
+// (len ≥ w with vol > w: the critical path fills the window, so no finite
+// budget closes the gap).
+func Split(tk *task.DAGTask) (d int, budget task.Time, ok bool) {
+	vol, l, w := tk.Volume(), tk.Len(), core.Window(tk)
+	if vol <= w {
+		// δ = 1 exactly (high-density means vol ≥ w): one pure server.
+		return 0, w, true
+	}
+	if l >= w {
+		return 0, 0, false
+	}
+	dd := (vol - w + (w - l) - 1) / (w - l) // ⌈(vol−w)/(w−l)⌉ ≥ 1
+	return int(dd), vol - dd*(w-l), true
+}
+
+// schedule is the split-shape attempt. Phase 1 sizes every high-density task
+// with Split and hands out dedicated processors; Phase 2 partitions the
+// fractional servers together with the low-density tasks onto the remaining
+// processors.
+func schedule(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
+	alloc := &core.Allocation{M: m, Policy: core.PolicySemi}
+	nextProc := 0
+	mr := m
+
+	root := opt.Trace.Start("semifed")
+	if root != nil {
+		root.Int("m", int64(m)).Int("tasks", int64(len(sys)))
+	}
+
+	phase1 := root.Child("phase1")
+	for i, tk := range sys {
+		var tsp *obs.Span
+		if phase1 != nil {
+			vol, l, w := tk.Volume(), tk.Len(), core.Window(tk)
+			tsp = phase1.Child("task").Str("task", tk.Name).Int("index", int64(i)).
+				Int("vol", int64(vol)).Int("len", int64(l)).Int("window", int64(w)).
+				Float("density", float64(vol)/float64(w)).Bool("high", tk.HighDensity())
+		}
+		if !tk.HighDensity() {
+			tsp.Finish()
+			alloc.LowIndices = append(alloc.LowIndices, i)
+			continue
+		}
+		d, budget, ok := Split(tk)
+		if !ok || d > mr {
+			tsp.Bool("failed", true).Finish()
+			phase1.Finish()
+			root.Bool("schedulable", false).Str("phase", core.PhaseHighDensity.String()).Finish()
+			return nil, &core.FailureError{Phase: core.PhaseHighDensity, TaskIndex: i, TaskName: tk.Name, Remaining: mr}
+		}
+		tsp.Int("dedicated", int64(d)).Int("budget", int64(budget)).Finish()
+		if d > 0 {
+			procs := make([]int, d)
+			for p := range procs {
+				procs[p] = nextProc
+				nextProc++
+			}
+			alloc.High = append(alloc.High, core.HighAssignment{TaskIndex: i, Procs: procs})
+			mr -= d
+		}
+		alloc.Servers = append(alloc.Servers, core.ServerSpec{TaskIndex: i, Budget: budget})
+	}
+	phase1.Int("dedicated", int64(nextProc)).Int("remaining", int64(mr)).Finish()
+
+	for p := 0; p < mr; p++ {
+		alloc.SharedProcs = append(alloc.SharedProcs, nextProc+p)
+	}
+	combined, err := core.PartitionSystem(sys, alloc)
+	if err != nil {
+		root.Bool("schedulable", false).Finish()
+		return nil, err
+	}
+	phase2 := root.Child("phase2")
+	if phase2 != nil {
+		phase2.Int("procs", int64(mr)).Int("servers", int64(len(alloc.Servers))).
+			Int("low", int64(len(alloc.LowIndices))).
+			Str("heuristic", opt.Partition.Heuristic.String()).
+			Str("test", opt.Partition.Test.String())
+	}
+	popt := opt.Partition
+	popt.Trace = phase2
+	res, err := partition.Partition(combined, mr, popt)
+	if err != nil {
+		fe := &core.FailureError{Phase: core.PhaseLowDensity, Remaining: mr, Err: err}
+		var pf *partition.FailureError
+		if errors.As(err, &pf) {
+			fe.TaskIndex = inputIndex(alloc, pf.TaskIndex)
+			fe.TaskName = pf.TaskName
+		}
+		phase2.Bool("failed", true).Finish()
+		root.Bool("schedulable", false).Str("phase", core.PhaseLowDensity.String()).Finish()
+		return nil, fe
+	}
+	phase2.Finish()
+	root.Bool("schedulable", true).Finish()
+	alloc.Low = res
+	return alloc, nil
+}
+
+// inputIndex maps a combined-partition position (servers first, then low
+// tasks) back to the input-system index for failure reporting.
+func inputIndex(a *core.Allocation, pos int) int {
+	if pos < len(a.Servers) {
+		return a.Servers[pos].TaskIndex
+	}
+	if rest := pos - len(a.Servers); rest < len(a.LowIndices) {
+		return a.LowIndices[rest]
+	}
+	return -1
+}

@@ -1,0 +1,249 @@
+package semifed
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
+)
+
+// randomTask draws a DAG task; tight deadlines (D close to the critical
+// path) bias the draw toward high density.
+func randomTask(r *rand.Rand) *task.DAGTask {
+	nv := 1 + r.Intn(8)
+	b := dag.NewBuilder(nv)
+	for v := 0; v < nv; v++ {
+		b.AddJob(task.Time(1 + r.Intn(6)))
+	}
+	for u := 0; u < nv; u++ {
+		for v := u + 1; v < nv; v++ {
+			if r.Float64() < 0.25 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g := b.MustBuild()
+	l := g.LongestChain()
+	d := l + task.Time(r.Intn(int(g.Volume())+1))
+	return task.MustNew("t", g, d, d+task.Time(r.Intn(30)))
+}
+
+func randomSystem(r *rand.Rand, n int) task.System {
+	sys := make(task.System, 0, n)
+	for i := 0; i < n; i++ {
+		sys = append(sys, randomTask(r))
+	}
+	return sys
+}
+
+// Split must satisfy the service condition d·w + E ≥ vol + d·len with
+// equality, keep the budget in [1, w], and fail exactly when the critical
+// path fills the window with volume left over.
+func TestSplitServiceCondition(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	highs := 0
+	for trial := 0; trial < 2000; trial++ {
+		tk := randomTask(r)
+		if !tk.HighDensity() {
+			continue
+		}
+		highs++
+		vol, l, w := tk.Volume(), tk.Len(), core.Window(tk)
+		d, e, ok := Split(tk)
+		if !ok {
+			if l < w {
+				t.Fatalf("Split failed with slack: vol=%d len=%d w=%d", vol, l, w)
+			}
+			continue
+		}
+		if e < 1 || e > w {
+			t.Fatalf("budget %d outside [1, %d] (vol=%d len=%d d=%d)", e, w, vol, l, d)
+		}
+		if d < 0 || (vol > w && d < 1) {
+			t.Fatalf("vol=%d > w=%d needs a dedicated processor, got d=%d", vol, w, d)
+		}
+		supply := task.Time(d)*w + e
+		need := vol + task.Time(d)*l
+		if supply != need {
+			t.Fatalf("service condition not tight: %d·%d+%d = %d, want %d", d, w, e, supply, need)
+		}
+	}
+	if highs == 0 {
+		t.Fatal("test vacuous: no high-density draws")
+	}
+}
+
+// Split saves exactly one whole processor against the analytic strict bound:
+// the Graham-style dedicated count is μ = ⌈(vol−len)/(w−len)⌉, and because
+// (vol−w)/(w−len) = (vol−len)/(w−len) − 1 exactly, the semi split always
+// yields d = μ − 1 dedicated processors plus a fractional server E ≤ w — the
+// reclaimed rounding loss.
+func TestSplitSavesOneProcessor(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	hits := 0
+	for trial := 0; trial < 2000; trial++ {
+		tk := randomTask(r)
+		if !tk.HighDensity() {
+			continue
+		}
+		vol, l, w := tk.Volume(), tk.Len(), core.Window(tk)
+		if vol <= w || l >= w {
+			continue
+		}
+		d, _, ok := Split(tk)
+		if !ok {
+			t.Fatalf("Split failed with slack: vol=%d len=%d w=%d", vol, l, w)
+		}
+		mu := int((vol - l + (w - l) - 1) / (w - l))
+		if d != mu-1 {
+			t.Fatalf("d=%d, want analytic μ−1 = %d (vol=%d len=%d w=%d)", d, mu-1, vol, l, w)
+		}
+		hits++
+	}
+	if hits == 0 {
+		t.Fatal("test vacuous")
+	}
+}
+
+// Every allocation the policy returns must pass the policy-aware verifier,
+// and split-shape results must be rejected by the dedicated-only (strict)
+// verifier once the tag is stripped.
+func TestScheduleVerifies(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	splits, stricts := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		alloc, err := core.Schedule(sys, m, core.Options{Policy: core.PolicySemi})
+		if err != nil {
+			continue
+		}
+		if err := core.Verify(sys, m, alloc); err != nil {
+			t.Fatalf("trial %d: accepted allocation fails Verify: %v", trial, err)
+		}
+		if alloc.Policy != core.PolicySemi {
+			stricts++ // fallback path
+			continue
+		}
+		splits++
+		if len(alloc.Servers) > 0 {
+			stripped := *alloc
+			stripped.Policy = ""
+			if core.Verify(sys, m, &stripped) == nil {
+				t.Fatalf("trial %d: strict verifier accepted a split-shape allocation", trial)
+			}
+		}
+		for _, h := range alloc.High {
+			if h.Template != nil {
+				t.Fatalf("trial %d: split grant carries a template", trial)
+			}
+		}
+	}
+	if splits == 0 {
+		t.Fatal("test vacuous: no split-shape acceptances")
+	}
+}
+
+// Acceptance dominance: every system strict FEDCONS accepts, the semi policy
+// accepts too (the fallback guarantees it).
+func TestDominatesFedcons(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	flips := 0
+	for trial := 0; trial < 300; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		if !core.Schedulable(sys, m, core.Options{}) {
+			continue
+		}
+		if !core.Schedulable(sys, m, core.Options{Policy: core.PolicySemi}) {
+			t.Fatalf("trial %d: fedcons accepts but semi rejects", trial)
+		}
+		flips++
+	}
+	if flips == 0 {
+		t.Fatal("test vacuous: no fedcons acceptances")
+	}
+}
+
+// A task whose critical path fills its window admits no split (Split is
+// undefined there) but strict federation can still schedule it on width
+// processors — the fallback must kick in and return a strict-shape
+// allocation.
+func TestFallbackWhenNoSplitExists(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.AddJob(5)
+	b.AddJob(5) // two parallel chains: len = 5, vol = 10
+	g := b.MustBuild()
+	tk := task.MustNew("rigid", g, 5, 5) // w = 5 = len, vol > w
+	if _, _, ok := Split(tk); ok {
+		t.Fatal("Split should be infeasible when len == window < vol")
+	}
+	sys := task.System{tk}
+	alloc, err := core.Schedule(sys, 2, core.Options{Policy: core.PolicySemi})
+	if err != nil {
+		t.Fatalf("fallback did not engage: %v", err)
+	}
+	if alloc.Policy != "" || len(alloc.Servers) != 0 {
+		t.Fatalf("fallback allocation not strict-shaped: policy=%q servers=%d", alloc.Policy, len(alloc.Servers))
+	}
+	if err := core.Verify(sys, 2, alloc); err != nil {
+		t.Fatalf("fallback allocation fails Verify: %v", err)
+	}
+}
+
+// When both the split and the strict path fail, the strict path's error (a
+// *core.FailureError) is what surfaces.
+func TestDoubleFailureReturnsStrictError(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.AddJob(5)
+	b.AddJob(5)
+	g := b.MustBuild()
+	tk := task.MustNew("rigid", g, 5, 5)
+	_, err := core.Schedule(task.System{tk}, 1, core.Options{Policy: core.PolicySemi})
+	if err == nil {
+		t.Fatal("expected failure on m=1")
+	}
+	var fe *core.FailureError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *core.FailureError, got %T: %v", err, err)
+	}
+	if fe.Phase != core.PhaseHighDensity {
+		t.Fatalf("want high-density failure, got %v", fe.Phase)
+	}
+}
+
+// Mutating a server budget in either direction must break verification: the
+// sizing is tight, so any decrement starves the service inequality, and any
+// increment past the window breaks the budget bound.
+func TestVerifyRejectsMutatedBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 25; trial++ {
+		sys := randomSystem(r, 1+r.Intn(6))
+		m := 1 + r.Intn(8)
+		alloc, err := core.Schedule(sys, m, core.Options{Policy: core.PolicySemi})
+		if err != nil || alloc.Policy != core.PolicySemi || len(alloc.Servers) == 0 {
+			continue
+		}
+		checked++
+		for j := range alloc.Servers {
+			mut := *alloc
+			mut.Servers = append([]core.ServerSpec(nil), alloc.Servers...)
+			mut.Servers[j].Budget--
+			if err := core.Verify(sys, m, &mut); err == nil {
+				t.Fatalf("trial %d: decremented budget of server %d still verifies", trial, j)
+			}
+			mut.Servers = append([]core.ServerSpec(nil), alloc.Servers...)
+			mut.Servers[j].Budget = core.Window(sys[mut.Servers[j].TaskIndex]) + 1
+			if err := core.Verify(sys, m, &mut); err == nil {
+				t.Fatalf("trial %d: over-window budget of server %d still verifies", trial, j)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("test vacuous: no split allocations with servers")
+	}
+}

@@ -196,3 +196,46 @@ func BenchmarkAdmitBatch(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSchedulePolicy compares the admission cost of the three -policy
+// values on the same workload, cold and warm (recorded in
+// results/timing_policy.json by scripts/policybench):
+//
+//   - cold/<policy>: one complete batch analysis with an empty memo. The
+//     split policies pay their fractional-sizing pass plus the combined
+//     servers+low partition, and — when the split attempt fails — the strict
+//     fallback on top, so this bounds the policy layer's overhead over the
+//     paper's algorithm.
+//   - warm/<policy>: one admit+remove pair of a low-density probe through a
+//     live server running the policy. Split shapes ride the same incremental
+//     Phase-2 partition state as the strict shape, but over the combined
+//     servers+low system — many more partitioned tasks on this workload —
+//     and a delta the state cannot absorb declines to the full analysis, so
+//     the warm column quantifies what the fractional shapes pay online.
+func BenchmarkSchedulePolicy(b *testing.B) {
+	sys, m := benchSystem(b)
+	for _, pol := range []string{"", core.PolicySemi, core.PolicyReservation} {
+		pol := pol
+		b.Run("cold/"+policyLabel(pol), func(b *testing.B) {
+			opt := core.Options{Policy: pol}
+			for i := 0; i < b.N; i++ {
+				if _, err := NewAnalysisCache().Schedule(sys, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("warm/"+policyLabel(pol), func(b *testing.B) {
+			svc := seededServer(b, Config{M: m, QueueBound: 4, Options: core.Options{Policy: pol}}, sys)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if status, body := svc.Admit(ctx, probe()); status != http.StatusOK {
+					b.Fatalf("warm admit: %d %s", status, body)
+				}
+				if status, _ := svc.Remove(ctx, "probe"); status != http.StatusOK {
+					b.Fatal("warm remove failed")
+				}
+			}
+		})
+	}
+}

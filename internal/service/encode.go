@@ -23,8 +23,15 @@ type Verdict struct {
 	// Dedicated and Shared count processors by role (schedulable only).
 	Dedicated int `json:"dedicated"`
 	Shared    int `json:"shared"`
+	// Policy tags a split-shape allocation ("semi" or "reservation");
+	// omitempty keeps the strict encoding byte-identical to the pre-policy
+	// format.
+	Policy string `json:"policy,omitempty"`
 	// High lists the Phase-1 grants in input order (schedulable only).
 	High []HighGrant `json:"high,omitempty"`
+	// Servers lists a split-shape allocation's reservation servers in
+	// allocation order (schedulable only, split shapes only).
+	Servers []ServerGrant `json:"servers,omitempty"`
 	// SharedProcs lists each Phase-2 processor and its tasks (schedulable only).
 	SharedProcs []SharedProc `json:"sharedProcs,omitempty"`
 	// Reason is the failure diagnosis (unschedulable only).
@@ -42,6 +49,15 @@ type HighGrant struct {
 	Procs    []int     `json:"procs"`
 	Makespan task.Time `json:"makespan"`
 	Deadline task.Time `json:"deadline"`
+}
+
+// ServerGrant is one reservation server of a split-shape allocation: Budget
+// execution units per Deadline-long window, re-released every Period.
+type ServerGrant struct {
+	Task     string    `json:"task"` // display name: owner#srvN
+	Budget   task.Time `json:"budget"`
+	Deadline task.Time `json:"deadline"`
+	Period   task.Time `json:"period"`
 }
 
 // SharedProc is one Phase-2 processor with the tasks partitioned onto it.
@@ -71,20 +87,38 @@ func NewVerdict(sys task.System, m int, alloc *core.Allocation, err error) Verdi
 		return v
 	}
 	v.Dedicated, v.Shared = alloc.ProcessorsUsed()
+	v.Policy = alloc.Policy
 	for _, h := range alloc.High {
 		tk := sys[h.TaskIndex]
-		v.High = append(v.High, HighGrant{
+		g := HighGrant{
 			Task:     tk.Name,
 			Density:  tk.Density(),
 			Procs:    h.Procs,
-			Makespan: h.Template.Makespan,
 			Deadline: tk.D,
+		}
+		if h.Template != nil { // split-shape grants carry no template
+			g.Makespan = h.Template.Makespan
+		}
+		v.High = append(v.High, g)
+	}
+	srvNames := core.ServerNames(sys, alloc)
+	for j, sv := range alloc.Servers {
+		owner := sys[sv.TaskIndex]
+		v.Servers = append(v.Servers, ServerGrant{
+			Task:     srvNames[j],
+			Budget:   sv.Budget,
+			Deadline: taskWindow(owner),
+			Period:   owner.T,
 		})
 	}
 	for k, p := range alloc.SharedProcs {
 		sp := SharedProc{Proc: p, Tasks: []string{}}
-		for _, i := range alloc.TasksOnShared(k) {
-			sp.Tasks = append(sp.Tasks, sys[i].Name)
+		for _, pos := range alloc.Low.Assignment[k] {
+			if pos < len(alloc.Servers) {
+				sp.Tasks = append(sp.Tasks, srvNames[pos])
+				continue
+			}
+			sp.Tasks = append(sp.Tasks, sys[alloc.LowIndices[pos-len(alloc.Servers)]].Name)
 		}
 		v.SharedProcs = append(v.SharedProcs, sp)
 	}
@@ -113,7 +147,8 @@ func (v Verdict) Encode() ([]byte, error) {
 // response bytes never depend on which encoder ran.
 func (v Verdict) appendFast() ([]byte, bool) {
 	if len(v.Trace) != 0 || !plainJSONString(v.Reason) ||
-		!finite(v.USum) || !finite(v.DensitySum) {
+		!finite(v.USum) || !finite(v.DensitySum) ||
+		v.Policy != "" || len(v.Servers) != 0 {
 		return nil, false
 	}
 	for i := range v.High {

@@ -10,8 +10,24 @@ import (
 	"fedsched/internal/task"
 )
 
-// Schedule runs FEDCONS(τ, m) with Phase-1 MINPROCS results drawn from the
-// memo cache. It is a drop-in replacement for core.Schedule: for any system,
+// Schedule runs the configured admission policy with strict-FEDCONS analyses
+// drawn from the memo cache: the strict path ("" or "fedcons") goes straight
+// to scheduleFedcons; any other policy is dispatched through the core
+// registry with the cache-backed scheduler as its fallback, so a policy's
+// strict retry also benefits from the memo.
+func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
+	if opt.Policy != "" && opt.Policy != core.PolicyFedcons {
+		p, err := core.LookupPolicy(opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		return p.Schedule(sys, m, opt, c.scheduleFedcons)
+	}
+	return c.scheduleFedcons(sys, m, opt)
+}
+
+// scheduleFedcons runs FEDCONS(τ, m) with Phase-1 MINPROCS results drawn from
+// the memo cache. It is a drop-in replacement for core.Schedule: for any system,
 // platform and options it returns an identical allocation (same processor
 // numbering, same templates) or an identical *core.FailureError — the memo
 // only removes redundant list-scheduling work, never changes the answer.
@@ -28,7 +44,7 @@ import (
 // verdict and hit/miss accounting are identical to the sequential path (the
 // batch differential test pins this), with one trace caveat: a miss analyzed
 // in the pool records no per-μ "mu" children, because the scan ran off-trace.
-func (c *AnalysisCache) Schedule(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
+func (c *AnalysisCache) scheduleFedcons(sys task.System, m int, opt core.Options) (*core.Allocation, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}

@@ -53,3 +53,28 @@ func ParseOptions(minprocs, prio, heuristic, admission string) (core.Options, er
 	}
 	return opt, nil
 }
+
+// ParsePolicy maps the -policy flag vocabulary shared by the cmds onto the
+// normalized core.Options.Policy value: "" for the strict default, the policy
+// name otherwise. The vocabulary is static — the registry's contents never
+// widen what the flags accept — so an unknown value fails identically whether
+// or not a policy package was linked in.
+func ParsePolicy(name string) (string, error) {
+	switch name {
+	case "", "fedcons":
+		return "", nil
+	case core.PolicySemi, core.PolicyReservation:
+		return name, nil
+	default:
+		return "", fmt.Errorf("unknown -policy %q (want fedcons, semi or reservation)", name)
+	}
+}
+
+// policyLabel renders a normalized policy value for operator-facing messages:
+// the empty strict default reads back as "fedcons".
+func policyLabel(p string) string {
+	if p == "" {
+		return core.PolicyFedcons
+	}
+	return p
+}

@@ -8,6 +8,11 @@ import (
 	"time"
 
 	"fedsched/internal/core"
+
+	// Every server links the pluggable admission policies, so a shard can
+	// recover a WAL written under any of them.
+	_ "fedsched/internal/reservation"
+	_ "fedsched/internal/semifed"
 )
 
 // Config parameterizes a Server. The zero value of a field selects its
@@ -105,6 +110,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Options.Par < 0 {
 		return nil, fmt.Errorf("service: analysis worker pool size must be ≥ 0, got %d", cfg.Options.Par)
 	}
+	pol, err := core.NormalizePolicy(cfg.Options.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("service: %v", err)
+	}
+	cfg.Options.Policy = pol
 	if cfg.QueueBound == 0 {
 		cfg.QueueBound = 64
 	}

@@ -134,6 +134,13 @@ func (s *Shard) recover(rec *store.Recovery) error {
 	if rec.M != 0 && rec.M != s.cfg.M {
 		return fmt.Errorf("wal-dir holds a system admitted against m=%d, daemon configured with m=%d; refusing to reinterpret it", rec.M, s.cfg.M)
 	}
+	// The policy is recorded alongside M in the snapshot, so the check shares
+	// its gate: a WAL-only recovery (no snapshot yet, rec.M == 0) carries no
+	// policy record to compare against.
+	if rec.M != 0 && rec.Policy != s.cfg.Options.Policy {
+		return fmt.Errorf("wal-dir holds a system admitted under -policy=%s, daemon configured with -policy=%s; refusing to reinterpret it",
+			policyLabel(rec.Policy), policyLabel(s.cfg.Options.Policy))
+	}
 	for i, tk := range rec.Tasks {
 		if h := s.cache.hashOf(tk).String(); h != rec.Hashes[i] {
 			return fmt.Errorf("recovered task %q hashes to %s but the log recorded %s: store corrupted", tk.Name, h[:12], rec.Hashes[i])
@@ -357,7 +364,7 @@ func (s *Shard) maybeSnapshot() {
 	if s.store == nil {
 		return
 	}
-	wrote, err := s.store.MaybeSnapshot(s.sys, s.sysHashes, s.cfg.M)
+	wrote, err := s.store.MaybeSnapshot(s.sys, s.sysHashes, s.cfg.M, s.cfg.Options.Policy)
 	if err != nil {
 		s.met.errors.Add(1)
 		return

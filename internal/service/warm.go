@@ -36,9 +36,21 @@ func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder) (opResult, bool) 
 	if s.cfg.FullRepartition || rec != nil || s.alloc == nil || tk.HighDensity() || !s.pstateConsistent() {
 		return opResult{}, false
 	}
+	// The warm path extends the installed shape in place, so it only applies
+	// when that shape is the one the configured policy would produce; a
+	// strict-shape base under a split policy (the fallback engaged) must go
+	// through the full analysis, which retries the split first.
+	if s.alloc.Policy != s.cfg.Options.Policy {
+		return opResult{}, false
+	}
 	trial := append(s.sys.Clone(), tk)
 	alloc, err := core.AdmitLow(s.alloc, s.pstate, tk)
 	if err != nil {
+		if s.alloc.Policy != "" {
+			// A split-shape incremental failure is not final: the batch path
+			// falls back to strict FEDCONS, which may still accept.
+			return opResult{}, false
+		}
 		s.met.rejects.Add(1)
 		return verdictResult(http.StatusConflict, NewVerdict(trial, s.cfg.M, nil, err)), true
 	}
@@ -66,8 +78,16 @@ func (s *Shard) fastRemove(name string, idx int, trial task.System, hashes []str
 	if s.cfg.FullRepartition || s.alloc == nil || s.sys[idx].HighDensity() || !s.pstateConsistent() {
 		return opResult{}, false
 	}
+	if s.alloc.Policy != s.cfg.Options.Policy {
+		return opResult{}, false // see fastAdmit: shape must match the policy
+	}
 	alloc, err := core.RemoveLow(s.alloc, s.pstate, idx)
 	if err != nil {
+		if s.alloc.Policy != "" {
+			// The full analysis re-partitions from scratch and may still
+			// accept the shrunk system (or fall back to strict FEDCONS).
+			return opResult{}, false
+		}
 		// Same non-monotonicity surface as the full path: keep the verified
 		// old state installed and report the identical failure.
 		s.met.errors.Add(1)
@@ -94,7 +114,7 @@ func (s *Shard) fastRemove(name string, idx int, trial task.System, hashes []str
 // output.
 func (s *Shard) pstateConsistent() bool {
 	return s.pstate != nil &&
-		s.pstate.Len() == len(s.alloc.LowIndices) &&
+		s.pstate.Len() == len(s.alloc.Servers)+len(s.alloc.LowIndices) &&
 		s.pstate.M() == len(s.alloc.SharedProcs)
 }
 
@@ -108,11 +128,14 @@ func (s *Shard) syncPartitionState() {
 		s.pstate = nil
 		return
 	}
-	low := make(task.System, 0, len(s.alloc.LowIndices))
-	for _, i := range s.alloc.LowIndices {
-		low = append(low, s.sys[i])
+	// The Phase-2 system is shape-dependent: reservation servers (if any)
+	// first, then the low-density tasks — exactly what the partitioner saw.
+	combined, err := core.PartitionSystem(s.sys, s.alloc)
+	if err != nil {
+		s.pstate = nil
+		return
 	}
-	st, err := partition.Rebuild(low, len(s.alloc.SharedProcs), s.alloc.Low, s.cfg.Options.Partition)
+	st, err := partition.Rebuild(combined, len(s.alloc.SharedProcs), s.alloc.Low, s.cfg.Options.Partition)
 	if err != nil {
 		s.pstate = nil
 		return

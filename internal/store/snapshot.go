@@ -28,6 +28,11 @@ type Snapshot struct {
 	// restarted with a different -m is refused: the recovered allocation
 	// would silently differ from every verdict the shard ever served.
 	M int `json:"m"`
+	// Policy is the admission policy the system was admitted under ("" =
+	// strict fedcons). A daemon restarted with a different -policy is refused
+	// for the same reason as an M mismatch. omitempty keeps fedcons snapshots
+	// byte-identical to the pre-policy format, so old snapshots read as "".
+	Policy string `json:"policy,omitempty"`
 	// Tasks is the installed system in installation order.
 	Tasks task.System `json:"tasks"`
 	// CacheKeys are the content hashes (core.TaskHash hex) of Tasks, index

@@ -33,6 +33,7 @@ type Recovery struct {
 	Tasks  task.System
 	Hashes []string
 	M      int
+	Policy string // admission policy recorded in the snapshot ("" = fedcons)
 	Seq    uint64
 }
 
@@ -73,6 +74,7 @@ func replay(snap *Snapshot, recs []Record) (*Recovery, error) {
 		rec.Tasks = snap.Tasks.Clone()
 		rec.Hashes = append([]string(nil), snap.CacheKeys...)
 		rec.M = snap.M
+		rec.Policy = snap.Policy
 		rec.Seq = snap.Seq
 	}
 	byName := make(map[string]int, len(rec.Tasks))
@@ -153,17 +155,17 @@ func (s *Store) log(rec Record) error {
 // accumulated, then truncates the WAL. Called after a mutation is installed;
 // sys/keys must be the state including that mutation. Reports whether a
 // snapshot was written.
-func (s *Store) MaybeSnapshot(sys task.System, keys []string, m int) (bool, error) {
+func (s *Store) MaybeSnapshot(sys task.System, keys []string, m int, policy string) (bool, error) {
 	if s.sinceSnap < s.every {
 		return false, nil
 	}
-	return true, s.Snapshot(sys, keys, m)
+	return true, s.Snapshot(sys, keys, m, policy)
 }
 
 // Snapshot unconditionally checkpoints the installed system and truncates
 // the WAL.
-func (s *Store) Snapshot(sys task.System, keys []string, m int) error {
-	snap := &Snapshot{Format: snapshotFormat, Seq: s.seq.Load(), M: m, Tasks: sys, CacheKeys: keys}
+func (s *Store) Snapshot(sys task.System, keys []string, m int, policy string) error {
+	snap := &Snapshot{Format: snapshotFormat, Seq: s.seq.Load(), M: m, Policy: policy, Tasks: sys, CacheKeys: keys}
 	if err := writeSnapshot(s.dir, snap); err != nil {
 		return err
 	}

@@ -76,7 +76,7 @@ func TestStoreSnapshotCadence(t *testing.T) {
 		if err := st.LogAdmit([]*task.DAGTask{tk}, []string{hashOf(tk)}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := st.MaybeSnapshot(sys, keys, 8); err != nil {
+		if _, err := st.MaybeSnapshot(sys, keys, 8, ""); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -57,6 +57,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("crash-recovery-smoke: PASS")
+	if err := policySmoke(); err != nil {
+		fmt.Fprintln(os.Stderr, "policy-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("policy-smoke: PASS")
 }
 
 func smoke() error {
@@ -329,6 +334,178 @@ func crashRecoverySmoke() error {
 	}
 	if !bytes.Equal(allocRec, allocTwin) {
 		return fmt.Errorf("allocation after warm admission diverged from twin:\n--- recovered ---\n%s--- twin ---\n%s", allocRec, allocTwin)
+	}
+	twin.Process.Kill()
+	daemon2.Process.Kill()
+	return nil
+}
+
+// policySmoke is the -policy=semi durability pass: a daemon running the
+// semi-federated policy admits a system whose high-density tasks take
+// fractional grants (one dedicated processor plus a reservation server each,
+// where strict FEDCONS would round up to two whole processors), survives
+// kill -9 with a byte-identical allocation, refuses to reboot under a
+// different policy (the snapshot header pins it), and serves warm admissions
+// byte-identical to a never-crashed twin.
+func policySmoke() error {
+	tmp, err := os.MkdirTemp("", "policysmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "fedschedd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fedschedd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building fedschedd: %w", err)
+	}
+	walDir := filepath.Join(tmp, "wal")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	boot := func(tag, dir, policy string) (*exec.Cmd, chan error, string, *bytes.Buffer, error) {
+		addrfile := filepath.Join(tmp, "addr-"+tag)
+		var out bytes.Buffer
+		args := []string{"-addr", "127.0.0.1:0", "-addrfile", addrfile,
+			"-m", "8", "-wal-dir", dir, "-snapshot-every", "2"}
+		if policy != "" {
+			args = append(args, "-policy", policy)
+		}
+		daemon := exec.Command(bin, args...)
+		daemon.Stdout, daemon.Stderr = &out, &out
+		if err := daemon.Start(); err != nil {
+			return nil, nil, "", nil, fmt.Errorf("starting daemon (%s): %w", tag, err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- daemon.Wait() }()
+		base, err := waitForAddr(addrfile, exited, &out)
+		if err != nil {
+			daemon.Process.Kill()
+			return nil, nil, "", nil, err
+		}
+		return daemon, exited, base, &out, nil
+	}
+
+	// splitTask is high-density with vol=7 > window=6 > len=4: the semi
+	// policy grants it ⌈(7−6)/(6−4)⌉ = 1 dedicated processor plus a server
+	// of budget 7 − 1·(6−4) = 5, where strict FEDCONS dedicates 2 whole
+	// processors.
+	splitTask := func(name string) *task.DAGTask {
+		return task.MustNew(name, dag.Independent(4, 3), 6, 6)
+	}
+	feed := func(base string) error {
+		for _, tk := range []*task.DAGTask{
+			task.MustNew("example1", dag.Example1(), dag.Example1D, dag.Example1T),
+			splitTask("split-a"),
+			splitTask("split-b"),
+			task.MustNew("doomed", dag.Example1(), dag.Example1D, dag.Example1T),
+		} {
+			if v, err := admit(client, base, tk); err != nil || !v.Schedulable {
+				return fmt.Errorf("admit %s: err=%v verdict=%+v", tk.Name, err, v)
+			}
+		}
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/tasks/doomed", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("remove doomed: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("remove doomed: %s", resp.Status)
+		}
+		return nil
+	}
+
+	daemon, exited, base, out, err := boot("pre-crash", walDir, "semi")
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+	if err := feed(base); err != nil {
+		return err
+	}
+
+	// The installed allocation must carry the fractional shape: the semi
+	// policy tag and one budget-5 server per split task.
+	var v service.Verdict
+	if err := getJSON(client, base+"/v1/allocation", &v); err != nil {
+		return err
+	}
+	if v.Policy != "semi" {
+		return fmt.Errorf("allocation policy = %q, want semi: %+v", v.Policy, v)
+	}
+	servers := map[string]task.Time{}
+	for _, sv := range v.Servers {
+		servers[sv.Task] = sv.Budget
+	}
+	if servers["split-a#srv0"] != 5 || servers["split-b#srv0"] != 5 {
+		return fmt.Errorf("expected budget-5 servers for split-a and split-b, got %+v", v.Servers)
+	}
+
+	before, err := getBody(client, base+"/v1/allocation")
+	if err != nil {
+		return err
+	}
+	if err := daemon.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	<-exited
+
+	// A reboot under a different policy must refuse the directory.
+	for _, wrong := range []string{"", "reservation"} {
+		mismatch := exec.Command(bin, "-addr", "127.0.0.1:0", "-m", "8", "-wal-dir", walDir)
+		if wrong != "" {
+			mismatch.Args = append(mismatch.Args, "-policy", wrong)
+		}
+		var mout bytes.Buffer
+		mismatch.Stdout, mismatch.Stderr = &mout, &mout
+		if err := mismatch.Run(); err == nil {
+			mismatch.Process.Kill()
+			return fmt.Errorf("reboot with policy %q over a semi WAL succeeded, want refusal", wrong)
+		}
+		if !bytes.Contains(mout.Bytes(), []byte("refusing to reinterpret")) {
+			return fmt.Errorf("policy-mismatch reboot (%q) failed without the refusal diagnostic:\n%s", wrong, mout.String())
+		}
+	}
+
+	daemon2, _, base2, out2, err := boot("post-crash", walDir, "semi")
+	if err != nil {
+		return fmt.Errorf("restart after crash: %w (first boot output:\n%s)", err, out.String())
+	}
+	defer daemon2.Process.Kill()
+	after, err := getBody(client, base2+"/v1/allocation")
+	if err != nil {
+		return fmt.Errorf("allocation after restart: %w (output:\n%s)", err, out2.String())
+	}
+	if !bytes.Equal(before, after) {
+		return fmt.Errorf("semi allocation changed across kill -9 + restart:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+
+	// Warm admissions after recovery must match a never-crashed twin.
+	twin, _, baseTwin, outTwin, err := boot("twin", filepath.Join(tmp, "wal-twin"), "semi")
+	if err != nil {
+		return fmt.Errorf("booting never-crashed twin: %w", err)
+	}
+	defer twin.Process.Kill()
+	if err := feed(baseTwin); err != nil {
+		return fmt.Errorf("replaying history into twin: %w (output:\n%s)", err, outTwin.String())
+	}
+	postLow := func() *task.DAGTask {
+		return task.MustNew("post-crash-low", dag.Example1(), dag.Example1D, dag.Example1T)
+	}
+	s1, b1, err := admitRaw(client, base2, postLow())
+	if err != nil {
+		return fmt.Errorf("post-crash warm admit: %w", err)
+	}
+	s2, b2, err := admitRaw(client, baseTwin, postLow())
+	if err != nil {
+		return fmt.Errorf("twin warm admit: %w", err)
+	}
+	if s1 != http.StatusOK || s2 != http.StatusOK || !bytes.Equal(b1, b2) {
+		return fmt.Errorf("semi warm admission after recovery diverged from twin (%d vs %d):\n--- recovered ---\n%s--- twin ---\n%s", s1, s2, b1, b2)
 	}
 	twin.Process.Kill()
 	daemon2.Process.Kill()
