@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race partition-race policy-race serve-smoke obs-smoke shard-bench policy-bench experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race partition-race policy-race serve-smoke obs-smoke shard-bench policy-bench perf-gate perf-baseline experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -11,9 +11,10 @@ all: build vet test
 # the differential oracle under the race detector, a fuzzing smoke pass, the
 # shard/durability suite under the race detector, the admission-policy layer
 # under the race detector, an end-to-end boot/admit/drain check of the
-# fedschedd daemon, and a smoke test of its observability surface (/metrics,
-# pprof, ?trace=1, audit log).
-check: vet build test-race oracle-race par-race shard-race partition-race policy-race fuzz-smoke serve-smoke obs-smoke
+# fedschedd daemon, a smoke test of its observability surface (/metrics,
+# pprof, ?trace=1, flight recorder, audit log), and the continuous
+# perf-regression gate over the pinned benchmark set.
+check: vet build test-race oracle-race par-race shard-race partition-race policy-race fuzz-smoke serve-smoke obs-smoke perf-gate
 
 build:
 	$(GO) build ./...
@@ -116,6 +117,17 @@ policy-bench:
 # trace, pull a pprof profile from the debug listener, and check the audit log.
 obs-smoke:
 	$(GO) run ./scripts/obssmoke
+
+# Continuous perf-regression gate: run the pinned benchmark set (medians over
+# -count 5), compare against results/bench_baseline.json, fail on a >25%
+# slowdown, and append the run to results/bench_history.jsonl. On a host
+# whose fingerprint differs from the baseline's the gate is advisory.
+perf-gate:
+	$(GO) run ./scripts/perfgate
+
+# Re-record the committed perf baseline from this host's medians.
+perf-baseline:
+	$(GO) run ./scripts/perfgate -update
 
 # Regenerate the EXPERIMENTS.md measurement body (full scale; several minutes).
 experiments:

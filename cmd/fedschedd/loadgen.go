@@ -18,12 +18,13 @@ import (
 
 // loadgenConfig parameterizes the closed-loop load generator.
 type loadgenConfig struct {
-	target   string
-	duration time.Duration
-	workers  int
-	seed     int64
-	clusters int    // distinct cluster names; 1 = legacy unclustered requests
-	jsonPath string // if set, append the summary as one JSON line
+	target    string
+	duration  time.Duration
+	workers   int
+	seed      int64
+	clusters  int           // distinct cluster names; 1 = legacy unclustered requests
+	jsonPath  string        // if set, append the summary as one JSON line
+	sloBudget time.Duration // admit-latency budget for the SLO summary
 }
 
 // loadgenSummary is the machine-readable run report (-json), consumed by
@@ -45,6 +46,13 @@ type loadgenSummary struct {
 	AdmitP50Ns  int64   `json:"admit_p50_ns"`
 	AdmitP99Ns  int64   `json:"admit_p99_ns"`
 	AdmitP999Ns int64   `json:"admit_p999_ns"`
+
+	// Client-side SLO accounting, measured where the user experiences it:
+	// over-budget counts include queue wait, sheds and timeouts.
+	SLOLatencyBudgetNs   int64   `json:"slo_latency_budget_ns"`
+	SLOLatencyOverBudget int64   `json:"slo_latency_over_budget"`
+	SLOLatencyAttainment float64 `json:"slo_latency_attainment"` // fraction of requests within budget
+	SLOErrorBudgetSpend  float64 `json:"slo_error_budget_spend"` // (sheds+timeouts+errors)/requests ÷ the 0.1% allowance
 }
 
 // workerStats accumulates one worker's counters; they are summed at the end
@@ -120,6 +128,27 @@ func runLoadgen(ctx context.Context, out io.Writer, cfg loadgenConfig) error {
 	fmt.Fprintf(out, "  removals:   %d\n", total.removes)
 	fmt.Fprintf(out, "  admit latency: p50=%v p99=%v\n", q(0.50), q(0.99))
 
+	// SLO view of the same run, mirroring the server's burn-rate objectives:
+	// 99% of requests within the latency budget, 99.9% free of sheds,
+	// timeouts and transport/server errors.
+	budget := cfg.sloBudget
+	if budget <= 0 {
+		budget = 5 * time.Millisecond
+	}
+	var overBudget int64
+	for _, lat := range total.latencies {
+		if lat > budget {
+			overBudget++
+		}
+	}
+	attainment, errSpend := 1.0, 0.0
+	if total.requests > 0 {
+		attainment = 1 - float64(overBudget)/float64(total.requests)
+		errSpend = (float64(total.shed+total.timeouts+total.others) / float64(total.requests)) / 0.001
+	}
+	fmt.Fprintf(out, "  slo: %.2f%% of admissions within %v (%d over budget); error-budget spend %.2fx\n",
+		attainment*100, budget, overBudget, errSpend)
+
 	if cfg.jsonPath != "" {
 		sum := loadgenSummary{
 			Target:      cfg.target,
@@ -138,6 +167,11 @@ func runLoadgen(ctx context.Context, out io.Writer, cfg loadgenConfig) error {
 			AdmitP50Ns:  q(0.50).Nanoseconds(),
 			AdmitP99Ns:  q(0.99).Nanoseconds(),
 			AdmitP999Ns: q(0.999).Nanoseconds(),
+
+			SLOLatencyBudgetNs:   budget.Nanoseconds(),
+			SLOLatencyOverBudget: overBudget,
+			SLOLatencyAttainment: attainment,
+			SLOErrorBudgetSpend:  errSpend,
 		}
 		data, err := json.Marshal(sum)
 		if err != nil {

@@ -7,6 +7,7 @@
 //
 //	fedschedd [flags]                 # serve
 //	fedschedd -loadgen [flags]        # drive a running instance
+//	fedschedd -wal-dump <path>        # print a WAL's records as JSON lines
 //
 // Endpoints:
 //
@@ -22,7 +23,10 @@
 //	GET    /v1/healthz      liveness
 //	GET    /debug/vars      metrics (admits, rejects, cache hit rate,
 //	                        admission latency p50/p99/p999, queue depth)
-//	GET    /metrics         the same metrics in Prometheus text exposition
+//	GET    /debug/traces    flight recorder: recent decision traces, JSONL
+//	GET    /debug/traces/{id}  one retained decision trace by trace ID
+//	GET    /metrics         the same metrics in Prometheus text exposition,
+//	                        plus fleet sums and SLO burn-rate gauges
 //
 // Every mutating response carries an X-Trace-Id header; -v logs a one-line
 // summary per admission, -audit appends a JSONL audit trail, and -debug-addr
@@ -76,6 +80,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		snapEvery    = fs.Int("snapshot-every", 0, "mutations between per-shard snapshots (0 = default cadence; requires -wal-dir)")
 		fleet        = fs.String("fleet", "", "comma-separated base URLs of every fleet member; foreign-owned clusters answer 307 to their owner")
 		fleetSelf    = fs.Int("fleet-self", 0, "this process's index into -fleet")
+		flightSize   = fs.Int("flight-recorder", 0, "per-shard flight-recorder entries for GET /debug/traces (0 = default, negative disables)")
+		flightSample = fs.Int("flight-sample", 0, "record a full decision trace for 1 in this many untraced admissions (0 = default, negative disables sampling)")
+		sloLatency   = fs.Duration("slo-latency", 0, "admit-latency SLO budget for the burn-rate metrics (0 = default 5ms); loadgen: client-side budget for the SLO summary")
+		sloWindow    = fs.Duration("slo-window", 0, "rolling window for the SLO burn-rate metrics (0 = default 1m)")
+		walDump      = fs.String("wal-dump", "", "dump the WAL at this path (file, shard dir, or -wal-dir root) as JSON lines and exit")
 		par          = fs.Int("par", runtime.GOMAXPROCS(0), "Phase-1 analysis worker pool size for cold (batch) admissions; verdicts are identical for every value")
 		admitTimeout = fs.Duration("admit-timeout", 2*time.Second, "per-request admission deadline")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
@@ -125,17 +134,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-fleet-self requires -fleet")
 	}
 
+	if *sloLatency < 0 {
+		return fmt.Errorf("-slo-latency must be ≥ 0, got %v", *sloLatency)
+	}
+	if *sloWindow < 0 {
+		return fmt.Errorf("-slo-window must be ≥ 0, got %v", *sloWindow)
+	}
+
+	if *walDump != "" {
+		return runWALDump(out, *walDump)
+	}
+
 	if *loadgen {
 		if *clusters < 1 {
 			return fmt.Errorf("-clusters must be ≥ 1, got %d", *clusters)
 		}
+		budget := *sloLatency
+		if budget == 0 {
+			budget = service.DefaultSLOLatencyBudget
+		}
 		return runLoadgen(ctx, out, loadgenConfig{
-			target:   *target,
-			duration: *duration,
-			workers:  *workers,
-			seed:     *seed,
-			clusters: *clusters,
-			jsonPath: *jsonOut,
+			target:    *target,
+			duration:  *duration,
+			workers:   *workers,
+			seed:      *seed,
+			clusters:  *clusters,
+			jsonPath:  *jsonOut,
+			sloBudget: budget,
 		})
 	}
 
@@ -153,16 +178,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer closeAudit()
 	svc, err := service.New(service.Config{
-		M:             *m,
-		Options:       opt,
-		QueueBound:    *queue,
-		AdmitTimeout:  *admitTimeout,
-		Observer:      observer,
-		Shards:        *shards,
-		WALDir:        *walDir,
-		SnapshotEvery: *snapEvery,
-		Fleet:         fleetURLs,
-		Self:          *fleetSelf,
+		M:                  *m,
+		Options:            opt,
+		QueueBound:         *queue,
+		AdmitTimeout:       *admitTimeout,
+		Observer:           observer,
+		Shards:             *shards,
+		WALDir:             *walDir,
+		SnapshotEvery:      *snapEvery,
+		Fleet:              fleetURLs,
+		Self:               *fleetSelf,
+		FlightRecorderSize: *flightSize,
+		FlightSampleEvery:  *flightSample,
+		SLOLatencyBudget:   *sloLatency,
+		SLOWindow:          *sloWindow,
 	})
 	if err != nil {
 		return err

@@ -295,4 +295,22 @@ func TestLoadgenClustersAndJSON(t *testing.T) {
 	if sum.Admits+sum.Rejects+sum.Shed+sum.Timeouts+sum.Others != sum.Requests {
 		t.Errorf("status counts do not sum to requests: %+v", sum)
 	}
+	// The SLO summary is internally consistent: the default 5ms budget is
+	// reported, attainment matches the over-budget count, and the error spend
+	// reflects the run's sheds/timeouts/errors.
+	if sum.SLOLatencyBudgetNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("slo budget = %d ns, want the 5ms default", sum.SLOLatencyBudgetNs)
+	}
+	wantAttain := 1 - float64(sum.SLOLatencyOverBudget)/float64(sum.Requests)
+	if diff := sum.SLOLatencyAttainment - wantAttain; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("slo attainment = %v, want %v from %d over budget of %d",
+			sum.SLOLatencyAttainment, wantAttain, sum.SLOLatencyOverBudget, sum.Requests)
+	}
+	wantSpend := (float64(sum.Shed+sum.Timeouts+sum.Others) / float64(sum.Requests)) / 0.001
+	if diff := sum.SLOErrorBudgetSpend - wantSpend; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("slo error spend = %v, want %v", sum.SLOErrorBudgetSpend, wantSpend)
+	}
+	if !strings.Contains(out.String(), "slo:") {
+		t.Errorf("human report lacks the slo line:\n%s", out.String())
+	}
 }

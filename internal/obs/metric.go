@@ -162,6 +162,10 @@ type Bucket struct {
 func (h *Histogram) Buckets() []Bucket {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.bucketsLocked()
+}
+
+func (h *Histogram) bucketsLocked() []Bucket {
 	var out []Bucket
 	for i, n := range h.buckets {
 		if n > 0 {
@@ -170,3 +174,64 @@ func (h *Histogram) Buckets() []Bucket {
 	}
 	return out
 }
+
+// HistogramSnapshot is a point-in-time copy of a histogram taken under one
+// lock acquisition, so Count, Sum and the bucket counts are mutually
+// consistent even while other goroutines observe. The Prometheus exposition
+// renders from a snapshot, never from piecewise accessor calls: an
+// observation landing between two accessor reads would otherwise yield a
+// page whose +Inf bucket disagrees with its _count line.
+type HistogramSnapshot struct {
+	Count   int64
+	SumNs   int64
+	MaxNs   int64
+	Buckets []Bucket // non-empty, increasing UpperNs, per-bucket counts
+}
+
+// Snapshot captures the histogram's state atomically.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{Count: h.count, SumNs: h.sum, MaxNs: h.max, Buckets: h.bucketsLocked()}
+}
+
+// AddHistogram folds o's observations into h. Because both histograms share
+// the same fixed log-bucket boundaries, the merge is exact — bucket-wise
+// addition loses nothing — which is what makes a fleet-level histogram
+// aggregated across shards as trustworthy as any single shard's. o is
+// snapshotted first, so h.AddHistogram(o) is safe while o is being observed
+// (but h must not be o).
+func (h *Histogram) AddHistogram(o *Histogram) {
+	snap := o.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count += snap.Count
+	h.sum += snap.SumNs
+	if snap.MaxNs > h.max {
+		h.max = snap.MaxNs
+	}
+	for _, b := range snap.Buckets {
+		h.buckets[bucketIndex(b.UpperNs)] += b.Count
+	}
+}
+
+// Gauge is a settable instantaneous value, safe for concurrent use. The zero
+// value reads 0 and is ready. Unlike Counter it may move down as well as up
+// (queue depths, burn rates, utilization).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by d (atomically, via compare-and-swap).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WriteHistogram renders h as a Prometheus histogram sample block: cumulative
+// buckets keyed by upper bound in seconds, then _sum and _count. extraLabels,
+// when non-empty, is prepended inside each bucket's label set and appended
+// (braced) to _sum/_count; it must end with a comma. The caller writes the
+// # TYPE line (a labeled family shares one TYPE line across series).
+//
+// The whole block renders from one Snapshot, so the +Inf bucket, _sum and
+// _count always agree even while other goroutines observe — the conformance
+// property TestHistogramPrometheusConformance pins.
+func WriteHistogram(buf *bytes.Buffer, name, extraLabels string, h *Histogram) {
+	snap := h.Snapshot()
+	var cum int64
+	for _, b := range snap.Buckets {
+		cum += b.Count
+		le := strconv.FormatFloat(float64(b.UpperNs)/1e9, 'g', -1, 64)
+		fmt.Fprintf(buf, "%s_bucket{%sle=%q} %d\n", name, extraLabels, le, cum)
+	}
+	fmt.Fprintf(buf, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extraLabels, snap.Count)
+	suffix := ""
+	if extraLabels != "" {
+		suffix = "{" + strings.TrimSuffix(extraLabels, ",") + "}"
+	}
+	fmt.Fprintf(buf, "%s_sum%s %s\n", name, suffix, strconv.FormatFloat(float64(snap.SumNs)/1e9, 'g', -1, 64))
+	fmt.Fprintf(buf, "%s_count%s %d\n", name, suffix, snap.Count)
+}

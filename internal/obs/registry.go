@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair qualifying a metric series.
+type Label struct{ Key, Value string }
+
+// Metric types a Registry can hold. The type names match the Prometheus
+// exposition vocabulary and are rendered verbatim in # TYPE lines.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Registry is a labeled metric namespace with deterministic Prometheus text
+// rendering: families sort by name, series within a family keep registration
+// order. It exists so the daemon's fleet-level view — sums and merges across
+// shards, SLO burn rates — has one place to declare itself instead of growing
+// ad-hoc fmt.Fprintf blocks in the scrape handler.
+//
+// All methods are safe for concurrent use. Registering the same name with a
+// conflicting type panics: that is a wiring bug, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name   string
+	typ    string
+	series []*series
+	byKey  map[string]*series
+}
+
+type series struct {
+	labels  string // rendered label body, e.g. `shard="0"` ("" for none)
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // scrape-time value; overrides the typed fields
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels joins labels into the exposition body between braces, in the
+// given order. Values are quoted with the JSON/Prometheus escaping rules.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+func (r *Registry) family(name, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, typ: typ, byKey: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label, make func() *series) *series {
+	key := renderLabels(labels)
+	for _, s := range f.series {
+		if s.labels == key {
+			return s
+		}
+	}
+	s := make()
+	s.labels = key
+	f.series = append(f.series, s)
+	f.byKey[key] = s
+	return s
+}
+
+// Counter returns (registering on first use) the counter series for
+// name{labels}.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	f := r.family(name, TypeCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return f.get(labels, func() *series { return &series{counter: new(Counter)} }).counter
+}
+
+// Gauge returns (registering on first use) the gauge series for name{labels}.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	f := r.family(name, TypeGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return f.get(labels, func() *series { return &series{gauge: new(Gauge)} }).gauge
+}
+
+// Histogram returns (registering on first use) the histogram series for
+// name{labels}.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	f := r.family(name, TypeHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return f.get(labels, func() *series { return &series{hist: new(Histogram)} }).hist
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the shape fleet aggregations and burn rates take, since they derive from
+// other state rather than owning any.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	f := r.family(name, TypeGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.get(labels, func() *series { return &series{fn: fn} }).fn = fn
+}
+
+// CounterFunc is GaugeFunc with counter typing (the value must be
+// monotonically non-decreasing; the registry trusts the caller).
+func (r *Registry) CounterFunc(name string, fn func() float64, labels ...Label) {
+	f := r.family(name, TypeCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.get(labels, func() *series { return &series{fn: fn} }).fn = fn
+}
+
+// WritePrometheus renders every family in the text exposition format
+// (version 0.0.4): families sorted by name, one # TYPE line each, series in
+// registration order. Histogram series render their full
+// bucket/_sum/_count block via WriteHistogram, from a single consistent
+// snapshot per histogram.
+func (r *Registry) WritePrometheus(buf *bytes.Buffer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(buf, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			if f.typ == TypeHistogram {
+				extra := s.labels
+				if extra != "" {
+					extra += ","
+				}
+				WriteHistogram(buf, f.name, extra, s.hist)
+				continue
+			}
+			var v float64
+			switch {
+			case s.fn != nil:
+				v = s.fn()
+			case s.counter != nil:
+				v = float64(s.counter.Value())
+			case s.gauge != nil:
+				v = s.gauge.Value()
+			}
+			buf.WriteString(f.name)
+			if s.labels != "" {
+				buf.WriteByte('{')
+				buf.WriteString(s.labels)
+				buf.WriteByte('}')
+			}
+			buf.WriteByte(' ')
+			buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			buf.WriteByte('\n')
+		}
+	}
+}

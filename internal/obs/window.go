@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is a rolling-window event counter: Add records events now, Sum
+// returns how many landed within the trailing span. It is the primitive
+// behind the daemon's SLO burn-rate gauges, where "how many admissions blew
+// the latency budget *recently*" matters and a lifetime counter would never
+// recover from one bad minute.
+//
+// The window is a ring of fixed-width time buckets expired lazily: each
+// bucket remembers which interval it last counted for and is zeroed on first
+// touch after that interval passes, so neither Add nor Sum ever walks more
+// than the ring. Resolution is span/len(buckets); events age out at bucket
+// granularity, which overestimates Sum by at most one bucket's worth — the
+// conservative direction for burn-rate alerting.
+type Window struct {
+	mu      sync.Mutex
+	width   time.Duration // one bucket's time width
+	buckets []int64
+	epochs  []int64 // interval index each bucket last counted for
+	now     func() time.Time
+}
+
+// NewWindow returns a rolling counter covering span with n buckets.
+// span must be positive; n < 1 selects 60 buckets.
+func NewWindow(span time.Duration, n int) *Window {
+	return newWindowAt(span, n, time.Now)
+}
+
+// newWindowAt is NewWindow with an injectable clock, for tests.
+func newWindowAt(span time.Duration, n int, now func() time.Time) *Window {
+	if n < 1 {
+		n = 60
+	}
+	if span <= 0 {
+		span = time.Minute
+	}
+	w := &Window{
+		width:   span / time.Duration(n),
+		buckets: make([]int64, n),
+		epochs:  make([]int64, n),
+		now:     now,
+	}
+	if w.width <= 0 {
+		w.width = time.Nanosecond
+	}
+	for i := range w.epochs {
+		w.epochs[i] = -1
+	}
+	return w
+}
+
+// Add records n events at the current instant.
+func (w *Window) Add(n int64) {
+	if w == nil {
+		return
+	}
+	epoch := int64(w.now().UnixNano()) / int64(w.width)
+	i := int(epoch % int64(len(w.buckets)))
+	w.mu.Lock()
+	if w.epochs[i] != epoch {
+		w.epochs[i] = epoch
+		w.buckets[i] = 0
+	}
+	w.buckets[i] += n
+	w.mu.Unlock()
+}
+
+// Sum returns the events recorded within the trailing span.
+func (w *Window) Sum() int64 {
+	if w == nil {
+		return 0
+	}
+	epoch := int64(w.now().UnixNano()) / int64(w.width)
+	oldest := epoch - int64(len(w.buckets)) + 1
+	var sum int64
+	w.mu.Lock()
+	for i, e := range w.epochs {
+		if e >= oldest {
+			sum += w.buckets[i]
+		}
+	}
+	w.mu.Unlock()
+	return sum
+}
+
+// Span returns the window's covered duration.
+func (w *Window) Span() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.width * time.Duration(len(w.buckets))
+}

@@ -1,0 +1,254 @@
+// Package perfgate implements the continuous perf-regression gate: it parses
+// `go test -bench` output, reduces repeated runs to per-benchmark medians,
+// and compares them against a committed baseline with a relative threshold.
+//
+// The gate is deliberately simple — medians over -count repetitions, one
+// ratio per benchmark — because its job is to catch the large, accidental
+// regressions (an O(n²) slipped into the admission path, a lock added to the
+// warm path) on every `make check`, not to resolve single-digit-percent
+// drifts that need a quiet lab host. Medians make it robust to one noisy
+// run; the threshold (default 25%) keeps it quiet under normal scheduler
+// jitter.
+package perfgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed benchmark result line.
+type Sample struct {
+	Name    string  // benchmark name with the -GOMAXPROCS suffix stripped
+	NsPerOp float64 // nanoseconds per operation
+}
+
+// ParseBench reads `go test -bench` text output and returns every benchmark
+// sample in order. Lines that are not benchmark results (headers, PASS/ok
+// trailers, log output) are skipped. The trailing -N GOMAXPROCS suffix is
+// stripped from names so baselines survive a change in test parallelism;
+// sub-benchmark paths (BenchmarkAdmit/warm-cache) are preserved.
+func ParseBench(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A result line is: name, iteration count, value, "ns/op", [more].
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		idx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				idx = i
+				break
+			}
+		}
+		if idx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[idx-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("perfgate: bad ns/op value in %q: %v", sc.Text(), err)
+		}
+		out = append(out, Sample{Name: stripProcs(fields[0]), NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfgate: reading bench output: %v", err)
+	}
+	return out, nil
+}
+
+// stripProcs removes the -N GOMAXPROCS suffix go test appends to benchmark
+// names. Only a wholly numeric suffix after the last dash is stripped, so
+// sub-benchmark labels like "warm-cache" or "par=8" are left intact.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// Medians groups samples by name and reduces each group to its median
+// ns/op (the mean of the middle pair for even-sized groups).
+func Medians(samples []Sample) map[string]float64 {
+	byName := map[string][]float64{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s.NsPerOp)
+	}
+	out := make(map[string]float64, len(byName))
+	for name, vals := range byName {
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			out[name] = vals[n/2]
+		} else {
+			out[name] = (vals[n/2-1] + vals[n/2]) / 2
+		}
+	}
+	return out
+}
+
+// Host fingerprints the machine a baseline was recorded on. Benchmark
+// numbers are only comparable on like hardware; the gate downgrades
+// failures to warnings when the fingerprint changed (advisory mode).
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// CurrentHost fingerprints the running machine.
+func CurrentHost() Host {
+	return Host{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Comparable reports whether baselines recorded on h can be held against
+// results from other: same platform and CPU count. The Go patch version is
+// deliberately excluded — toolchain updates rarely move these benchmarks by
+// anywhere near the gate's threshold, and including it would invalidate the
+// committed baseline on every upgrade.
+func (h Host) Comparable(other Host) bool {
+	return h.GOOS == other.GOOS && h.GOARCH == other.GOARCH && h.NumCPU == other.NumCPU
+}
+
+// Baseline is the committed reference: per-benchmark median ns/op plus the
+// fingerprint of the host that recorded them.
+type Baseline struct {
+	Host       Host               `json:"host"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// LoadBaseline reads a baseline JSON file.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("perfgate: parsing baseline %s: %v", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("perfgate: baseline %s holds no benchmarks", path)
+	}
+	return b, nil
+}
+
+// Write saves the baseline as deterministic indented JSON (sorted keys), so
+// regenerating an unchanged baseline produces no diff.
+func (b Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Delta is one benchmark's baseline-vs-current comparison. Ratio is
+// current/baseline: 1.30 means 30% slower than baseline.
+type Delta struct {
+	Name   string  `json:"name"`
+	BaseNs float64 `json:"base_ns"`
+	CurNs  float64 `json:"cur_ns"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// Report is the outcome of holding current medians against a baseline.
+type Report struct {
+	Deltas      []Delta  `json:"deltas"`      // every benchmark present in both, sorted by name
+	Regressions []Delta  `json:"regressions"` // deltas whose ratio exceeds 1+threshold
+	Missing     []string `json:"missing"`     // in the baseline but not the current run
+	New         []string `json:"new"`         // in the current run but not the baseline
+}
+
+// Compare holds current medians against baseline medians. A benchmark
+// regresses when its ratio exceeds 1+threshold. Benchmarks missing from the
+// current run are reported (a renamed benchmark silently leaving the gate is
+// itself a regression of coverage); new benchmarks are listed so -update
+// runs pick them up.
+func Compare(baseline, current map[string]float64, threshold float64) Report {
+	var rep Report
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		d := Delta{Name: name, BaseNs: base, CurNs: cur, Ratio: cur / base}
+		rep.Deltas = append(rep.Deltas, d)
+		if d.Ratio > 1+threshold {
+			rep.Regressions = append(rep.Regressions, d)
+		}
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			rep.New = append(rep.New, name)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
+	sort.Slice(rep.Regressions, func(i, j int) bool { return rep.Regressions[i].Name < rep.Regressions[j].Name })
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.New)
+	return rep
+}
+
+// HistoryEntry is one line of the append-only bench history JSONL: the run's
+// medians, host, and gate outcome. The history is the longitudinal record
+// the committed baseline snapshots; plotting it shows drift the per-run gate
+// is too coarse to flag.
+type HistoryEntry struct {
+	Time       string             `json:"time"` // RFC 3339, recorded by the caller
+	Host       Host               `json:"host"`
+	Medians    map[string]float64 `json:"medians"`
+	WorstRatio float64            `json:"worst_ratio,omitempty"` // max current/baseline ratio, 0 when no baseline
+	Pass       bool               `json:"pass"`
+	Note       string             `json:"note,omitempty"` // e.g. "baseline update"
+}
+
+// AppendHistory appends one entry to the JSONL history at path, creating the
+// file if needed.
+func AppendHistory(path string, e HistoryEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(data, '\n'))
+	return err
+}
+
+// WorstRatio returns the largest current/baseline ratio in the report, or 0
+// when nothing was comparable.
+func (r Report) WorstRatio() float64 {
+	worst := 0.0
+	for _, d := range r.Deltas {
+		if d.Ratio > worst {
+			worst = d.Ratio
+		}
+	}
+	return worst
+}

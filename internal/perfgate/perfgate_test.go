@@ -1,0 +1,184 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// benchOutput is a verbatim-shaped `go test -bench` transcript: headers,
+// sub-benchmarks, -benchmem columns, repeated counts, and trailer lines.
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: fedsched/internal/service
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAdmit/warm-cache-8         	    8124	    168563 ns/op
+BenchmarkAdmit/warm-cache-8         	    8000	    170001 ns/op
+BenchmarkAdmit/warm-cache-8         	    8100	    166001 ns/op
+BenchmarkRemove/warm-incremental-8  	    7548	    149086 ns/op	1024 B/op	12 allocs/op
+BenchmarkSchedulePar/par=8-8        	    3822	    323879 ns/op
+BenchmarkSuiteQuick 	       1	3238361465 ns/op	1766691344 B/op	17614530 allocs/op
+PASS
+ok  	fedsched/internal/service	14.334s
+`
+
+func TestParseBench(t *testing.T) {
+	samples, err := ParseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range samples {
+		names = append(names, s.Name)
+	}
+	want := []string{
+		"BenchmarkAdmit/warm-cache",
+		"BenchmarkAdmit/warm-cache",
+		"BenchmarkAdmit/warm-cache",
+		"BenchmarkRemove/warm-incremental",
+		"BenchmarkSchedulePar/par=8", // "par=8" is a label, not a GOMAXPROCS suffix
+		"BenchmarkSuiteQuick",        // no suffix at all
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("parsed names = %v, want %v", names, want)
+	}
+	if samples[5].NsPerOp != 3238361465 {
+		t.Errorf("SuiteQuick ns/op = %v, want 3238361465", samples[5].NsPerOp)
+	}
+}
+
+func TestParseBenchRejectsCorruptValue(t *testing.T) {
+	_, err := ParseBench(strings.NewReader("BenchmarkX-8  100  oops ns/op\n"))
+	if err == nil {
+		t.Fatal("corrupt ns/op parsed without error")
+	}
+}
+
+func TestMedians(t *testing.T) {
+	samples := []Sample{
+		{"a", 300}, {"a", 100}, {"a", 200}, // odd: middle value
+		{"b", 10}, {"b", 30}, {"b", 20}, {"b", 40}, // even: mean of middle pair
+	}
+	got := Medians(samples)
+	if got["a"] != 200 {
+		t.Errorf("median a = %v, want 200", got["a"])
+	}
+	if got["b"] != 25 {
+		t.Errorf("median b = %v, want 25", got["b"])
+	}
+}
+
+// TestCompareFailsOnInjectedSlowdown is the gate's core acceptance check: a
+// >25% slowdown injected into one benchmark must surface as a regression,
+// while ±threshold noise on the others must not.
+func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkAdmit/warm-cache": 168563,
+		"BenchmarkSchedulePar":      323879,
+		"BenchmarkSuiteQuick":       3.2e9,
+	}
+	current := map[string]float64{
+		"BenchmarkAdmit/warm-cache": 168563 * 1.30, // injected 30% slowdown
+		"BenchmarkSchedulePar":      323879 * 1.20, // within the 25% gate
+		"BenchmarkSuiteQuick":       3.2e9 * 0.90,  // improvement
+	}
+	rep := Compare(baseline, current, 0.25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "BenchmarkAdmit/warm-cache" {
+		t.Fatalf("regressions = %+v, want exactly the injected slowdown", rep.Regressions)
+	}
+	if r := rep.Regressions[0].Ratio; r < 1.299 || r > 1.301 {
+		t.Errorf("regression ratio = %v, want ~1.30", r)
+	}
+	if len(rep.Missing) != 0 || len(rep.New) != 0 {
+		t.Errorf("missing/new = %v/%v, want none", rep.Missing, rep.New)
+	}
+	if w := rep.WorstRatio(); w < 1.299 || w > 1.301 {
+		t.Errorf("worst ratio = %v, want the injected 1.30", w)
+	}
+}
+
+func TestCompareReportsMissingAndNew(t *testing.T) {
+	rep := Compare(
+		map[string]float64{"old": 100, "both": 100},
+		map[string]float64{"new": 100, "both": 100},
+		0.25,
+	)
+	if !reflect.DeepEqual(rep.Missing, []string{"old"}) {
+		t.Errorf("missing = %v, want [old]", rep.Missing)
+	}
+	if !reflect.DeepEqual(rep.New, []string{"new"}) {
+		t.Errorf("new = %v, want [new]", rep.New)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Errorf("unchanged benchmark flagged: %+v", rep.Regressions)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	want := Baseline{
+		Host:       CurrentHost(),
+		Benchmarks: map[string]float64{"BenchmarkAdmit/warm-cache": 168563, "BenchmarkSuiteQuick": 3.2e9},
+	}
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("absent baseline loaded without error")
+	}
+}
+
+func TestHostComparable(t *testing.T) {
+	h := Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8}
+	if !h.Comparable(Host{GoVersion: "go1.24.5", GOOS: "linux", GOARCH: "amd64", NumCPU: 8}) {
+		t.Error("patch-version difference must stay comparable")
+	}
+	if h.Comparable(Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "arm64", NumCPU: 8}) {
+		t.Error("different architecture must not be comparable")
+	}
+	if h.Comparable(Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4}) {
+		t.Error("different CPU count must not be comparable")
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	for i := 0; i < 2; i++ {
+		if err := AppendHistory(path, HistoryEntry{
+			Time:    "2026-08-08T00:00:00Z",
+			Host:    CurrentHost(),
+			Medians: map[string]float64{"BenchmarkAdmit": float64(100 + i)},
+			Pass:    true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(data, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history has %d lines after two appends, want 2:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Errorf("history line is not a JSON object: %q", line)
+		}
+	}
+}
+
+// readFile is a tiny wrapper so the test reads like the assertions it makes.
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}

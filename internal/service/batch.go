@@ -34,20 +34,27 @@ func (s *Shard) AdmitBatch(ctx context.Context, tks []*task.DAGTask) (int, []byt
 // AdmitBatchTrace is AdmitBatch with an explicit trace ID and an optional
 // obs.Recorder for the trial analysis's decision trace (?trace=1).
 func (s *Shard) AdmitBatchTrace(ctx context.Context, tks []*task.DAGTask, traceID string, rec *obs.Recorder) (int, []byte) {
+	return s.admitBatchOp(ctx, tks, traceID, rec, "")
+}
+
+// admitBatchOp is AdmitBatchTrace with the request's cluster name.
+func (s *Shard) admitBatchOp(ctx context.Context, tks []*task.DAGTask, traceID string, rec *obs.Recorder, cluster string) (int, []byte) {
 	names := make([]string, len(tks))
 	for i, tk := range tks {
 		names[i] = tk.Name
 	}
 	label := strings.Join(names, ",")
-	res := s.submit(ctx, traceID, func() opResult {
-		return s.observed(traceID, "admit-batch", label, func() opResult { return s.doAdmitBatch(tks, rec) })
+	meta := mutMeta{trace: traceID, cluster: cluster}
+	res := s.submit(ctx, "admit-batch", traceID, func() opResult {
+		return s.observed(traceID, "admit-batch", label, func() opResult { return s.doAdmitBatch(tks, rec, meta, label) })
 	})
 	return res.status, res.body
 }
 
 // doAdmitBatch runs inside the writer loop (single writer: lock-free reads of
-// s.sys are safe; see doAdmit).
-func (s *Shard) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
+// s.sys are safe; see doAdmit). label is the comma-joined task-name list used
+// for flight entries and Observer records.
+func (s *Shard) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder, meta mutMeta, label string) opResult {
 	installed := make(map[string]bool, len(s.sys))
 	for _, cur := range s.sys {
 		installed[cur.Name] = true
@@ -57,23 +64,31 @@ func (s *Shard) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
 		switch {
 		case installed[tk.Name]:
 			s.met.errors.Add(1)
-			return errResult(http.StatusConflict, fmt.Sprintf("task %q already admitted; remove it first", tk.Name))
+			res := errResult(http.StatusConflict, fmt.Sprintf("task %q already admitted; remove it first", tk.Name))
+			return s.noteFlight(res, meta, "admit-batch", label, false, traceBytes(rec))
 		case seen[tk.Name]:
 			s.met.errors.Add(1)
-			return errResult(http.StatusConflict, fmt.Sprintf("task %q appears twice in the batch", tk.Name))
+			res := errResult(http.StatusConflict, fmt.Sprintf("task %q appears twice in the batch", tk.Name))
+			return s.noteFlight(res, meta, "admit-batch", label, false, traceBytes(rec))
 		}
 		seen[tk.Name] = true
 	}
 
+	srec, sampled := s.speculate(rec)
 	trial := append(s.sys.Clone(), tks...)
 	opt := s.cfg.Options
-	opt.Trace = rec
+	opt.Trace = srec
 	alloc, err := s.cache.Schedule(trial, s.cfg.M, opt)
 	if err != nil {
 		// All-or-nothing: one infeasible combination rejects the whole batch
 		// and leaves the installed system untouched.
 		s.met.rejects.Add(1)
-		return verdictResult(http.StatusConflict, withTrace(NewVerdict(trial, s.cfg.M, nil, err), rec))
+		v := NewVerdict(trial, s.cfg.M, nil, err)
+		trace := traceBytes(srec)
+		if rec != nil {
+			v.Trace = trace
+		}
+		return s.noteFlight(verdictResult(http.StatusConflict, v), meta, "admit-batch", label, sampled, trace)
 	}
 	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
 		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
@@ -83,7 +98,7 @@ func (s *Shard) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
 		hashes[i] = s.cache.hashOf(tk).String()
 	}
 	// One WAL record for the whole batch: replay is as atomic as admission.
-	if res := s.persistAdmit(tks, hashes); res != nil {
+	if res := s.persistAdmit(tks, hashes, meta); res != nil {
 		return *res
 	}
 	s.install(trial, alloc, append(append([]string(nil), s.sysHashes...), hashes...))
@@ -91,7 +106,16 @@ func (s *Shard) doAdmitBatch(tks []*task.DAGTask, rec *obs.Recorder) opResult {
 	s.met.admits.Add(int64(len(tks)))
 	s.met.batches.Add(1)
 	s.maybeSnapshot()
-	return verdictResult(http.StatusOK, withTrace(NewVerdict(trial, s.cfg.M, alloc, nil), rec))
+	v := NewVerdict(trial, s.cfg.M, alloc, nil)
+	trace := traceBytes(srec)
+	if rec != nil {
+		v.Trace = trace
+	}
+	res := verdictResult(http.StatusOK, v)
+	if sampled || rec != nil {
+		res = s.noteFlight(res, meta, "admit-batch", label, sampled, trace)
+	}
+	return res
 }
 
 // handleAdmitBatch decodes and validates the batch body; name-collision and
@@ -124,6 +148,6 @@ func (s *Shard) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
 	defer cancel()
-	status, respBody := s.AdmitBatchTrace(ctx, req.Tasks, traceID, rec)
+	status, respBody := s.admitBatchOp(ctx, req.Tasks, traceID, rec, requestCluster(r))
 	writeJSON(w, opResult{status: status, body: respBody})
 }

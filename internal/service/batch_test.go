@@ -133,13 +133,13 @@ func TestAdmitBatchShed(t *testing.T) {
 	svc, ts := newTestServer(t, Config{M: 4, QueueBound: 1})
 	release := make(chan struct{})
 	blocked := make(chan struct{})
-	go svc.submit(context.Background(), "stall", func() opResult {
+	go svc.submit(context.Background(), "admit", "stall", func() opResult {
 		close(blocked)
 		<-release
 		return opResult{status: http.StatusOK}
 	})
 	<-blocked
-	go svc.submit(context.Background(), "fill", func() opResult { return opResult{status: http.StatusOK} })
+	go svc.submit(context.Background(), "admit", "fill", func() opResult { return opResult{status: http.StatusOK} })
 	deadline := time.Now().Add(time.Second)
 	for len(svc.reqs) == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
@@ -193,7 +193,7 @@ func batchSystem(t testing.TB, seed int64, n int) (task.System, int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for m := 8; m <= 1 << 16; m *= 2 {
+	for m := 8; m <= 1<<16; m *= 2 {
 		if _, err := core.Schedule(sys, m, core.Options{}); err == nil {
 			return sys, m
 		}

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// promSamples parses a Prometheus text exposition into sample-line → value,
+// keyed by the full series identity (name plus label set, if any).
+func promSamples(t *testing.T, body []byte) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("non-numeric sample in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// sumSeries sums every sample of the named family: the bare series plus any
+// labeled ones. The name must be a full metric name (no prefix matching).
+func sumSeries(samples map[string]float64, name string) float64 {
+	var total float64
+	for key, v := range samples {
+		if key == name || strings.HasPrefix(key, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestFleetMetricsAggregationConcurrent drives mutations at every shard from
+// concurrent clients — including duplicate admits (409) and removals of
+// missing tasks (404) — while scraping /metrics in parallel, then checks on
+// the quiesced server that every fleet-level family equals the sum of its
+// per-shard series. Run under -race this also proves the scrape path is safe
+// against the writer loops.
+func TestFleetMetricsAggregationConcurrent(t *testing.T) {
+	const (
+		shards    = 4
+		admitsPer = 8
+	)
+	svc, ts := newTestServer(t, Config{M: 8, Shards: shards})
+	clusters := distinctClusters(t, svc, shards)
+	c := ts.Client()
+
+	var wg sync.WaitGroup
+	for _, cl := range clusters {
+		wg.Add(1)
+		go func(cl string) {
+			defer wg.Done()
+			base := ts.URL + "/v1/clusters/" + cl
+			for i := 0; i < admitsPer; i++ {
+				doJSON(t, c, http.MethodPost, base+"/admit", admitBody(t, example1Task(fmt.Sprintf("%s-t%d", cl, i))))
+			}
+			// One duplicate admit and one removal of a missing task: both are
+			// client errors the shard counts in errors_total.
+			doJSON(t, c, http.MethodPost, base+"/admit", admitBody(t, example1Task(cl+"-t0")))
+			doJSON(t, c, http.MethodDelete, base+"/tasks/"+cl+"-t0", nil)
+			doJSON(t, c, http.MethodDelete, base+"/tasks/no-such-task", nil)
+		}(cl)
+	}
+	// Scrape while the mutation storm is in flight: values are torn between
+	// the per-shard and fleet sections of one scrape, so only the weak
+	// invariant holds mid-flight — the fleet total (rendered later) is never
+	// below the per-shard sum (rendered earlier). -race checks the rest.
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 20; i++ {
+			_, body, _ := doJSON(t, c, http.MethodGet, ts.URL+"/metrics", nil)
+			s := promSamples(t, body)
+			if shardSum, fleet := sumSeries(s, "fedschedd_admits_total"), s["fedschedd_fleet_admits_total"]; fleet < shardSum {
+				t.Errorf("mid-flight scrape: fleet admits %v < per-shard sum %v", fleet, shardSum)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	_, body, _ := doJSON(t, c, http.MethodGet, ts.URL+"/metrics", nil)
+	samples := promSamples(t, body)
+
+	// Quiesced: every fleet family is exactly the sum of its shard series.
+	for _, fam := range []struct{ shard, fleet string }{
+		{"fedschedd_admits_total", "fedschedd_fleet_admits_total"},
+		{"fedschedd_batch_admits_total", "fedschedd_fleet_batch_admits_total"},
+		{"fedschedd_rejects_total", "fedschedd_fleet_rejects_total"},
+		{"fedschedd_removes_total", "fedschedd_fleet_removes_total"},
+		{"fedschedd_shed_total", "fedschedd_fleet_shed_total"},
+		{"fedschedd_timeouts_total", "fedschedd_fleet_timeouts_total"},
+		{"fedschedd_errors_total", "fedschedd_fleet_errors_total"},
+		{"fedschedd_admit_latency_seconds_count", "fedschedd_fleet_admit_latency_seconds_count"},
+		{"fedschedd_admit_latency_seconds_sum", "fedschedd_fleet_admit_latency_seconds_sum"},
+	} {
+		shardSum := sumSeries(samples, fam.shard)
+		fleet, ok := samples[fam.fleet]
+		if !ok {
+			t.Fatalf("exposition lacks %s:\n%s", fam.fleet, body)
+		}
+		// The merge is exact in integer nanoseconds; summing the rendered
+		// per-shard _sum seconds re-associates the float additions, so allow
+		// one ulp-scale slack there. Counters must match exactly.
+		if tol := 1e-12 * (1 + fleet); shardSum < fleet-tol || shardSum > fleet+tol {
+			t.Errorf("%s = %v but per-shard %s sums to %v", fam.fleet, fleet, fam.shard, shardSum)
+		}
+	}
+
+	// Absolute values are deterministic once the workload drains.
+	total := float64(shards * admitsPer)
+	if got := samples["fedschedd_fleet_admits_total"]; got != total {
+		t.Errorf("fleet admits = %v, want %v", got, total)
+	}
+	if got := samples["fedschedd_fleet_removes_total"]; got != shards {
+		t.Errorf("fleet removes = %v, want %v", got, float64(shards))
+	}
+	if got := samples["fedschedd_fleet_errors_total"]; got != 2*shards {
+		t.Errorf("fleet errors = %v, want %v (one duplicate + one missing removal per cluster)", got, float64(2*shards))
+	}
+	if got := samples["fedschedd_fleet_tasks"]; got != total-shards {
+		t.Errorf("fleet tasks = %v, want %v", got, total-shards)
+	}
+	// The SLO ledger saw every mutation exactly once: admits + the duplicate,
+	// the removal and the missing removal, per cluster.
+	if got, want := samples["fedschedd_slo_requests_total"], float64(shards*(admitsPer+3)); got != want {
+		t.Errorf("slo requests = %v, want %v", got, want)
+	}
+	if got := samples["fedschedd_slo_error_burn_rate"]; got != 0 {
+		t.Errorf("error burn rate = %v after a clean run (4xx spends no error budget), want 0", got)
+	}
+}
+
+// TestFleetRedirectHeaderAddressed covers the redirect paths TestFleetRedirect
+// leaves out: header-addressed mutations and DELETEs on the path family both
+// 307 to the owning member with the original request URI preserved.
+func TestFleetRedirectHeaderAddressed(t *testing.T) {
+	fleet := []string{"http://self.example", "http://peer.example"}
+	svc, ts := newTestServer(t, Config{M: 4, Fleet: fleet, Self: 0})
+	var theirs string
+	for i := 0; theirs == "" && i < 65536; i++ {
+		if name := fmt.Sprintf("c%d", i); svc.fleet.owner(name) != 0 {
+			theirs = name
+		}
+	}
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/admit",
+		bytes.NewReader(admitBody(t, example1Task("via-header"))))
+	req.Header.Set(clusterHeader, theirs)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("header-addressed foreign cluster = %d, want 307", resp.StatusCode)
+	}
+	// The legacy URI carries the cluster in the header, not the path: the
+	// Location must preserve the URI so the replayed request (which keeps its
+	// headers through a 307) lands on the same cluster at the owner.
+	if loc := resp.Header.Get("Location"); loc != "http://peer.example/v1/admit" {
+		t.Errorf("Location = %q, want %q", loc, "http://peer.example/v1/admit")
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/clusters/"+theirs+"/tasks/x", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("DELETE on foreign cluster = %d, want 307", resp.StatusCode)
+	}
+	if want := "http://peer.example/v1/clusters/" + theirs + "/tasks/x"; resp.Header.Get("Location") != want {
+		t.Errorf("DELETE Location = %q, want %q", resp.Header.Get("Location"), want)
+	}
+
+	// /metrics and the flight recorder stay local even when every data
+	// cluster is foreign.
+	for _, path := range []string{"/metrics", "/debug/traces"} {
+		if status, _, _ := doJSON(t, client, http.MethodGet, ts.URL+path, nil); status != http.StatusOK {
+			t.Errorf("%s = %d on a fleet member, want 200 (never redirected)", path, status)
+		}
+	}
+}
+
+// TestSLOBurnRates pins the burn-rate arithmetic: rate 1.0 means the window
+// consumes its error budget exactly at the objective's allowed pace.
+func TestSLOBurnRates(t *testing.T) {
+	st := newSLOState(5*time.Millisecond, time.Minute)
+
+	// 99 fast admits + 1 slow: exactly the 1% the 99% objective allows.
+	for i := 0; i < 99; i++ {
+		st.observe("admit", http.StatusOK, time.Millisecond)
+	}
+	st.observe("admit", http.StatusOK, 50*time.Millisecond)
+	if got := st.latencyBurnRate(); got < 0.999 || got > 1.001 {
+		t.Errorf("latency burn rate = %v, want 1.0 (1%% slow under a 99%% objective)", got)
+	}
+	// One 500 in 100 requests burns 10× the 99.9% objective's budget.
+	st.observe("remove", http.StatusInternalServerError, time.Millisecond)
+	if got, want := st.errorBurnRate(), (1.0/101.0)/0.001; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("error burn rate = %v, want %v", got, want)
+	}
+
+	// Sheds (429) spend error budget; client errors (4xx) and slow removals
+	// spend none.
+	before := st.errBad.Value()
+	st.observe("admit", http.StatusTooManyRequests, time.Millisecond)
+	st.observe("admit", http.StatusConflict, time.Millisecond)
+	st.observe("remove", http.StatusOK, time.Second)
+	if got := st.errBad.Value(); got != before+1 {
+		t.Errorf("errBad = %d after 429+409, want %d (only the shed counts)", got, before+1)
+	}
+	if got := st.latBad.Value(); got != 1 {
+		t.Errorf("latBad = %d, want 1 (the latency budget covers admits only)", got)
+	}
+
+	// Nil receiver and empty windows are inert: shards run with no SLO state
+	// in unit tests that construct them directly.
+	var nilState *sloState
+	nilState.observe("admit", http.StatusOK, time.Hour)
+	if got := newSLOState(0, 0).latencyBurnRate(); got != 0 {
+		t.Errorf("empty window burn rate = %v, want 0", got)
+	}
+}

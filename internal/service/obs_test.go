@@ -53,6 +53,42 @@ fedschedd_timeouts_total 0
 fedschedd_admit_latency_seconds_bucket{le="+Inf"} 0
 fedschedd_admit_latency_seconds_sum 0
 fedschedd_admit_latency_seconds_count 0
+# TYPE fedschedd_fleet_admit_latency_seconds histogram
+fedschedd_fleet_admit_latency_seconds_bucket{le="+Inf"} 0
+fedschedd_fleet_admit_latency_seconds_sum 0
+fedschedd_fleet_admit_latency_seconds_count 0
+# TYPE fedschedd_fleet_admits_total counter
+fedschedd_fleet_admits_total 0
+# TYPE fedschedd_fleet_batch_admits_total counter
+fedschedd_fleet_batch_admits_total 0
+# TYPE fedschedd_fleet_errors_total counter
+fedschedd_fleet_errors_total 0
+# TYPE fedschedd_fleet_rejects_total counter
+fedschedd_fleet_rejects_total 0
+# TYPE fedschedd_fleet_removes_total counter
+fedschedd_fleet_removes_total 0
+# TYPE fedschedd_fleet_shards gauge
+fedschedd_fleet_shards 1
+# TYPE fedschedd_fleet_shed_total counter
+fedschedd_fleet_shed_total 0
+# TYPE fedschedd_fleet_tasks gauge
+fedschedd_fleet_tasks 0
+# TYPE fedschedd_fleet_timeouts_total counter
+fedschedd_fleet_timeouts_total 0
+# TYPE fedschedd_slo_admit_latency_budget_seconds gauge
+fedschedd_slo_admit_latency_budget_seconds 0.005
+# TYPE fedschedd_slo_admit_latency_burn_rate gauge
+fedschedd_slo_admit_latency_burn_rate 0
+# TYPE fedschedd_slo_admit_latency_over_budget_total counter
+fedschedd_slo_admit_latency_over_budget_total 0
+# TYPE fedschedd_slo_error_burn_rate gauge
+fedschedd_slo_error_burn_rate 0
+# TYPE fedschedd_slo_errors_total counter
+fedschedd_slo_errors_total 0
+# TYPE fedschedd_slo_requests_total counter
+fedschedd_slo_requests_total 0
+# TYPE fedschedd_slo_window_seconds gauge
+fedschedd_slo_window_seconds 60
 `
 	if string(body) != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", body, want)
@@ -104,14 +140,14 @@ func TestShedBodyCarriesTraceID(t *testing.T) {
 	// Stall the writer loop with a request that blocks until released.
 	release := make(chan struct{})
 	blocked := make(chan struct{})
-	go svc.submit(context.Background(), "stall", func() opResult {
+	go svc.submit(context.Background(), "admit", "stall", func() opResult {
 		close(blocked)
 		<-release
 		return opResult{status: http.StatusOK}
 	})
 	<-blocked
 	// Fill the queue.
-	go svc.submit(context.Background(), "fill", func() opResult { return opResult{status: http.StatusOK} })
+	go svc.submit(context.Background(), "admit", "fill", func() opResult { return opResult{status: http.StatusOK} })
 	deadline := time.Now().Add(time.Second)
 	for len(svc.reqs) == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)

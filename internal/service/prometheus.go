@@ -67,6 +67,11 @@ func (s *Server) promHandler() http.Handler {
 					fmt.Sprintf("shard=%q,", strconv.Itoa(sh.id)), &sh.met.latency)
 			}
 		}
+		// Fleet families follow the per-shard exposition: the exact bucket-wise
+		// merge of every shard's latency histogram, then the registry's
+		// fleet sums and SLO burn-rate ledger (families sorted by name).
+		promHistogram(&buf, promNamespace+"_fleet_admit_latency_seconds", "", s.fleetLatency())
+		s.registry.WritePrometheus(&buf)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Write(buf.Bytes())
 	})
@@ -103,7 +108,9 @@ func promValue(v expvar.Var) (string, bool) {
 // promHistogram writes one obs.Histogram in Prometheus histogram form:
 // cumulative buckets keyed by upper bound in seconds, then _sum and _count.
 // extraLabels, when non-empty, is prepended inside each bucket's label set
-// and appended (braced) to _sum/_count; it must end with a comma.
+// and appended (braced) to _sum/_count; it must end with a comma. The sample
+// block itself comes from obs.WriteHistogram, which renders from a single
+// consistent snapshot.
 func promHistogram(buf *bytes.Buffer, name, extraLabels string, h *obs.Histogram) {
 	if extraLabels == "" {
 		fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
@@ -111,17 +118,5 @@ func promHistogram(buf *bytes.Buffer, name, extraLabels string, h *obs.Histogram
 		// One # TYPE line for the whole labeled family.
 		fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
 	}
-	var cum int64
-	for _, b := range h.Buckets() {
-		cum += b.Count
-		le := strconv.FormatFloat(float64(b.UpperNs)/1e9, 'g', -1, 64)
-		fmt.Fprintf(buf, "%s_bucket{%sle=%q} %d\n", name, extraLabels, le, cum)
-	}
-	fmt.Fprintf(buf, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extraLabels, h.Count())
-	suffix := ""
-	if extraLabels != "" {
-		suffix = "{" + strings.TrimSuffix(extraLabels, ",") + "}"
-	}
-	fmt.Fprintf(buf, "%s_sum%s %s\n", name, suffix, strconv.FormatFloat(float64(h.SumNs())/1e9, 'g', -1, 64))
-	fmt.Fprintf(buf, "%s_count%s %d\n", name, suffix, h.Count())
+	obs.WriteHistogram(buf, name, extraLabels, h)
 }

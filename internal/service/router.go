@@ -76,6 +76,8 @@ const clusterHeader = "X-Cluster"
 //	GET    /v1/allocation   current verdict + allocation
 //	GET    /v1/healthz      liveness
 //	GET    /debug/vars      expvar metrics
+//	GET    /debug/traces    flight recorder: retained decision entries, JSONL
+//	GET    /debug/traces/{id}  one retained decision trace by trace ID
 //	GET    /metrics         Prometheus text exposition
 //
 // Every data path also exists under /v1/clusters/{cluster}/... — e.g.
@@ -103,6 +105,8 @@ func (s *Server) Handler() http.Handler {
 	// Process-level endpoints: never redirected, always local.
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", s.varsAll())
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	mux.Handle("GET /metrics", s.promHandler())
 	return mux
 }

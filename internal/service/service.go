@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fedsched/internal/core"
+	"fedsched/internal/obs"
 
 	// Every server links the pluggable admission policies, so a shard can
 	// recover a WAL written under any of them.
@@ -61,6 +62,25 @@ type Config struct {
 	// (default store.DefaultSnapshotEvery). Requires WALDir.
 	SnapshotEvery int
 
+	// FlightRecorderSize is the per-shard flight-recorder capacity: how many
+	// recent decision entries (all rejections, plus traced/sampled admits)
+	// are retained for GET /debug/traces. 0 selects DefaultFlightEntries;
+	// negative disables the recorder entirely.
+	FlightRecorderSize int
+	// SLOLatencyBudget is the per-admission latency budget the SLO burn-rate
+	// metrics are computed against (client-visible latency, queue wait
+	// included). 0 selects DefaultSLOLatencyBudget.
+	SLOLatencyBudget time.Duration
+	// SLOWindow is the rolling window over which burn rates are computed.
+	// 0 selects DefaultSLOWindow.
+	SLOWindow time.Duration
+	// FlightSampleEvery makes one in this many untraced full-analysis
+	// admissions record its complete decision trace into the flight recorder
+	// (speculative tracing; the warm path is never affected). 0 selects
+	// DefaultFlightSampleEvery; negative disables sampling, leaving only
+	// client-traced requests with retained span trees.
+	FlightSampleEvery int
+
 	// Fleet lists the base URLs of every fedschedd process sharing the
 	// cluster space, in a fixed order all members agree on; Self is this
 	// process's index into it. A cluster first hashes to a fleet member —
@@ -99,6 +119,9 @@ type Server struct {
 	ring    *hashRing // cluster → local shard
 	fleet   *hashRing // cluster → fleet member (nil without Config.Fleet)
 	started time.Time
+
+	slo      *sloState     // server-wide SLO ledger, shared by every shard
+	registry *obs.Registry // fleet + SLO metric families for /metrics
 }
 
 // New starts a Server and its shards (including their writer loops and, with
@@ -136,6 +159,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotEvery > 0 && cfg.WALDir == "" {
 		return nil, fmt.Errorf("service: snapshot cadence requires a WAL directory")
 	}
+	if cfg.FlightSampleEvery == 0 {
+		cfg.FlightSampleEvery = DefaultFlightSampleEvery
+	}
 	if len(cfg.Fleet) > 0 && (cfg.Self < 0 || cfg.Self >= len(cfg.Fleet)) {
 		return nil, fmt.Errorf("service: fleet self index %d out of range for %d members", cfg.Self, len(cfg.Fleet))
 	}
@@ -143,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		ring:    newHashRing(cfg.Shards),
 		started: time.Now(),
+		slo:     newSLOState(cfg.SLOLatencyBudget, cfg.SLOWindow),
 	}
 	if len(cfg.Fleet) > 1 {
 		s.fleet = newHashRing(len(cfg.Fleet))
@@ -155,9 +182,13 @@ func New(cfg Config) (*Server, error) {
 			}
 			return nil, err
 		}
+		// Safe un-locked: the shard cannot receive a request until New
+		// returns (its channel send establishes the happens-before).
+		sh.slo = s.slo
 		s.shards = append(s.shards, sh)
 	}
 	s.Shard = s.shards[s.ring.owner("")]
+	s.registry = s.fleetRegistry()
 	return s, nil
 }
 

@@ -75,6 +75,23 @@ type Shard struct {
 	// tracePrefix + traceSeq mint per-request trace IDs like "a1b2c3d4-000007".
 	tracePrefix string
 	traceSeq    obs.Counter
+
+	// flight retains the last N decision entries (nil when the recorder is
+	// disabled); flightTick drives the 1-in-FlightSampleEvery speculative
+	// tracing of untraced full-path admissions.
+	flight     *flightRing
+	flightTick obs.Counter
+
+	// slo is the server-wide SLO ledger (shared across shards, nil-safe);
+	// set by service.New before the shard serves its first request.
+	slo *sloState
+}
+
+// mutMeta is the per-mutation metadata threaded from the HTTP handler through
+// the writer loop into the WAL record and the flight recorder.
+type mutMeta struct {
+	trace   string
+	cluster string
 }
 
 // request is one queued mutation for the writer loop.
@@ -85,10 +102,13 @@ type request struct {
 	resp  chan opResult // buffered: the loop never blocks on a gone client
 }
 
-// opResult is a finished operation: an HTTP status and a JSON body.
+// opResult is a finished operation: an HTTP status and a JSON body. flight,
+// when non-nil, is a decision entry the writer loop stamps with the
+// operation's latency and retains in the shard's flight recorder.
 type opResult struct {
 	status int
 	body   []byte
+	flight *FlightEntry
 }
 
 // newShard builds shard id, recovers its durable state when cfg.WALDir is
@@ -102,6 +122,13 @@ func newShard(id int, cfg Config) (*Shard, error) {
 		closing:     make(chan struct{}),
 		started:     time.Now(),
 		tracePrefix: randomTracePrefix(),
+	}
+	if cfg.FlightRecorderSize >= 0 {
+		n := cfg.FlightRecorderSize
+		if n == 0 {
+			n = DefaultFlightEntries
+		}
+		s.flight = newFlightRing(n)
 	}
 	if cfg.WALDir != "" {
 		st, rec, err := store.Open(filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%d", id)), cfg.SnapshotEvery)
@@ -221,8 +248,17 @@ func (s *Shard) serve(req *request) {
 // submit routes a mutation through the writer loop, shedding load when the
 // queue is full and honoring the caller's context deadline. The trace ID is
 // echoed in every error body minted here (429/503/504), so a client that
-// never got a verdict still holds a handle the operator can grep for.
-func (s *Shard) submit(ctx context.Context, traceID string, run func() opResult) opResult {
+// never got a verdict still holds a handle the operator can grep for. Every
+// outcome — including sheds and timeouts that never reached the loop — feeds
+// the SLO ledger with the client-visible latency (queue wait included).
+func (s *Shard) submit(ctx context.Context, op, traceID string, run func() opResult) opResult {
+	start := time.Now()
+	res := s.submitInner(ctx, traceID, run)
+	s.slo.observe(op, res.status, time.Since(start))
+	return res
+}
+
+func (s *Shard) submitInner(ctx context.Context, traceID string, run func() opResult) opResult {
 	if s.closed.Load() {
 		return errResultTrace(http.StatusServiceUnavailable, "server shutting down", traceID)
 	}
@@ -275,8 +311,15 @@ func (s *Shard) Admit(ctx context.Context, tk *task.DAGTask) (int, []byte) {
 // into it and embedded in the Verdict's "trace" field — the daemon's
 // ?trace=1 admit mode.
 func (s *Shard) AdmitTrace(ctx context.Context, tk *task.DAGTask, traceID string, rec *obs.Recorder) (int, []byte) {
-	res := s.submit(ctx, traceID, func() opResult {
-		return s.observed(traceID, "admit", tk.Name, func() opResult { return s.doAdmit(tk, rec) })
+	return s.admitOp(ctx, tk, traceID, rec, "")
+}
+
+// admitOp is AdmitTrace with the request's cluster name, threaded into the
+// WAL record and the flight recorder.
+func (s *Shard) admitOp(ctx context.Context, tk *task.DAGTask, traceID string, rec *obs.Recorder, cluster string) (int, []byte) {
+	meta := mutMeta{trace: traceID, cluster: cluster}
+	res := s.submit(ctx, "admit", traceID, func() opResult {
+		return s.observed(traceID, "admit", tk.Name, func() opResult { return s.doAdmit(tk, rec, meta) })
 	})
 	return res.status, res.body
 }
@@ -290,8 +333,14 @@ func (s *Shard) Remove(ctx context.Context, name string) (int, []byte) {
 
 // RemoveTrace is Remove with an explicit trace ID.
 func (s *Shard) RemoveTrace(ctx context.Context, name, traceID string) (int, []byte) {
-	res := s.submit(ctx, traceID, func() opResult {
-		return s.observed(traceID, "remove", name, func() opResult { return s.doRemove(name) })
+	return s.removeOp(ctx, name, traceID, "")
+}
+
+// removeOp is RemoveTrace with the request's cluster name.
+func (s *Shard) removeOp(ctx context.Context, name, traceID, cluster string) (int, []byte) {
+	meta := mutMeta{trace: traceID, cluster: cluster}
+	res := s.submit(ctx, "remove", traceID, func() opResult {
+		return s.observed(traceID, "remove", name, func() opResult { return s.doRemove(name, meta) })
 	})
 	return res.status, res.body
 }
@@ -308,6 +357,14 @@ func (s *Shard) observed(traceID, op, taskName string, run func() opResult) opRe
 	lat := time.Since(start)
 	if op == "admit" || op == "admit-batch" {
 		s.met.latency.Observe(lat)
+	}
+	if res.flight != nil {
+		// Stamp and retain the decision entry here, where the latency is
+		// known; we are the writer loop, the ring's single writer.
+		res.flight.UnixNs = start.UnixNano()
+		res.flight.LatencyNs = lat.Nanoseconds()
+		s.flight.put(res.flight)
+		res.flight = nil
 	}
 	if s.cfg.Observer != nil {
 		h1, m1 := s.cache.Stats()
@@ -330,11 +387,11 @@ func (s *Shard) observed(traceID, op, taskName string, run func() opResult) opRe
 // persistAdmit makes an accepted admission durable before it is installed.
 // A durability failure refuses the admission (500, state unchanged): the
 // shard never acknowledges state it could lose.
-func (s *Shard) persistAdmit(tks []*task.DAGTask, hashes []string) *opResult {
+func (s *Shard) persistAdmit(tks []*task.DAGTask, hashes []string, meta mutMeta) *opResult {
 	if s.store == nil {
 		return nil
 	}
-	if err := s.store.LogAdmit(tks, hashes); err != nil {
+	if err := s.store.LogAdmit(tks, hashes, meta.trace, meta.cluster); err != nil {
 		s.met.errors.Add(1)
 		res := errResult(http.StatusInternalServerError, "write-ahead log append failed: "+err.Error())
 		return &res
@@ -344,11 +401,11 @@ func (s *Shard) persistAdmit(tks []*task.DAGTask, hashes []string) *opResult {
 }
 
 // persistRemove is persistAdmit's removal twin.
-func (s *Shard) persistRemove(name string) *opResult {
+func (s *Shard) persistRemove(name string, meta mutMeta) *opResult {
 	if s.store == nil {
 		return nil
 	}
-	if err := s.store.LogRemove(name); err != nil {
+	if err := s.store.LogRemove(name, meta.trace, meta.cluster); err != nil {
 		s.met.errors.Add(1)
 		res := errResult(http.StatusInternalServerError, "write-ahead log append failed: "+err.Error())
 		return &res
@@ -374,51 +431,107 @@ func (s *Shard) maybeSnapshot() {
 	}
 }
 
+// speculate decides whether an untraced full-path mutation should record its
+// decision trace anyway: one in Config.FlightSampleEvery does, so the flight
+// recorder retains representative full traces without paying the recorder's
+// cost (≈4× on the analysis; see results/timing_obs.json) on every request.
+// A client-supplied recorder always wins and is never double-counted as a
+// sample. Writer-loop only.
+func (s *Shard) speculate(rec *obs.Recorder) (*obs.Recorder, bool) {
+	if rec != nil {
+		return rec, false
+	}
+	if s.flight == nil || s.cfg.FlightSampleEvery <= 0 {
+		return nil, false
+	}
+	if s.flightTick.Inc()%int64(s.cfg.FlightSampleEvery) != 0 {
+		return nil, false
+	}
+	return obs.New(obs.DefaultLimits), true
+}
+
+// traceBytes renders a recorder's span tree exactly the way the ?trace=1
+// verdict embeds it. Both the inline verdict and the flight entry are set
+// from ONE call's return value, which is what makes the /debug/traces/{id}
+// copy byte-identical to the inline trace.
+func traceBytes(rec *obs.Recorder) []byte {
+	if rec == nil {
+		return nil
+	}
+	return rec.JSON(obs.ExportOptions{Timings: true})
+}
+
+// noteFlight attaches a decision entry to res for the writer loop to stamp
+// and retain. No-op when the recorder is disabled.
+func (s *Shard) noteFlight(res opResult, meta mutMeta, op, taskName string, sampled bool, trace []byte) opResult {
+	if s.flight == nil {
+		return res
+	}
+	res.flight = &FlightEntry{
+		TraceID: meta.trace, Shard: s.id, Cluster: meta.cluster,
+		Op: op, Task: taskName, Status: res.status, Sampled: sampled, Trace: trace,
+	}
+	return res
+}
+
 // doAdmit runs inside the writer loop: it is the only writer, so reading
 // s.sys without the lock is safe, and the lock is taken only to install.
-func (s *Shard) doAdmit(tk *task.DAGTask, rec *obs.Recorder) opResult {
+func (s *Shard) doAdmit(tk *task.DAGTask, rec *obs.Recorder, meta mutMeta) opResult {
 	for _, cur := range s.sys {
 		if cur.Name == tk.Name {
 			s.met.errors.Add(1)
-			return errResult(http.StatusConflict, fmt.Sprintf("task %q already admitted; remove it first", tk.Name))
+			res := errResult(http.StatusConflict, fmt.Sprintf("task %q already admitted; remove it first", tk.Name))
+			return s.noteFlight(res, meta, "admit", tk.Name, false, traceBytes(rec))
 		}
 	}
-	if res, ok := s.fastAdmit(tk, rec); ok {
+	if res, ok := s.fastAdmit(tk, rec, meta); ok {
 		return res
 	}
+	srec, sampled := s.speculate(rec)
 	trial := append(s.sys.Clone(), tk)
 	opt := s.cfg.Options
-	opt.Trace = rec
+	opt.Trace = srec
 	alloc, err := s.cache.Schedule(trial, s.cfg.M, opt)
 	if err != nil {
 		s.met.rejects.Add(1)
-		return verdictResult(http.StatusConflict, withTrace(NewVerdict(trial, s.cfg.M, nil, err), rec))
+		v := NewVerdict(trial, s.cfg.M, nil, err)
+		trace := traceBytes(srec)
+		if rec != nil {
+			v.Trace = trace
+		}
+		// Every rejection is retained — explaining "why not" after the fact
+		// is the recorder's reason to exist.
+		return s.noteFlight(verdictResult(http.StatusConflict, v), meta, "admit", tk.Name, sampled, trace)
 	}
 	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
 		// The audit is the last line of defense: never install an
 		// allocation the independent checker rejects.
-		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
+		res := errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
+		return s.noteFlight(res, meta, "admit", tk.Name, sampled, traceBytes(srec))
 	}
 	hash := s.cache.hashOf(tk).String()
-	if res := s.persistAdmit([]*task.DAGTask{tk}, []string{hash}); res != nil {
+	if res := s.persistAdmit([]*task.DAGTask{tk}, []string{hash}, meta); res != nil {
 		return *res
 	}
 	s.install(trial, alloc, append(append([]string(nil), s.sysHashes...), hash))
 	s.syncPartitionState()
 	s.met.admits.Add(1)
 	s.maybeSnapshot()
-	return verdictResult(http.StatusOK, withTrace(NewVerdict(trial, s.cfg.M, alloc, nil), rec))
-}
-
-// withTrace embeds rec's spans (with phase-level timings) into the verdict.
-func withTrace(v Verdict, rec *obs.Recorder) Verdict {
+	v := NewVerdict(trial, s.cfg.M, alloc, nil)
+	trace := traceBytes(srec)
 	if rec != nil {
-		v.Trace = rec.JSON(obs.ExportOptions{Timings: true})
+		v.Trace = trace
 	}
-	return v
+	res := verdictResult(http.StatusOK, v)
+	if sampled || rec != nil {
+		// Admits are retained only when traced (client-requested or sampled);
+		// retaining every warm admit would evict the interesting entries.
+		res = s.noteFlight(res, meta, "admit", tk.Name, sampled, trace)
+	}
+	return res
 }
 
-func (s *Shard) doRemove(name string) opResult {
+func (s *Shard) doRemove(name string, meta mutMeta) opResult {
 	idx := -1
 	for i, cur := range s.sys {
 		if cur.Name == name {
@@ -439,7 +552,7 @@ func (s *Shard) doRemove(name string) opResult {
 		hashes = append(hashes, s.sysHashes[idx+1:]...)
 	}
 	if len(trial) == 0 {
-		if res := s.persistRemove(name); res != nil {
+		if res := s.persistRemove(name, meta); res != nil {
 			return *res
 		}
 		s.install(nil, nil, nil)
@@ -448,7 +561,7 @@ func (s *Shard) doRemove(name string) opResult {
 		s.maybeSnapshot()
 		return verdictResult(http.StatusOK, NewVerdict(nil, s.cfg.M, nil, nil))
 	}
-	if res, ok := s.fastRemove(name, idx, trial, hashes); ok {
+	if res, ok := s.fastRemove(name, idx, trial, hashes, meta); ok {
 		return res
 	}
 	alloc, err := s.cache.Schedule(trial, s.cfg.M, s.cfg.Options)
@@ -457,12 +570,13 @@ func (s *Shard) doRemove(name string) opResult {
 		// first-fit packing enough to fail; keep the (verified) old state
 		// rather than install nothing.
 		s.met.errors.Add(1)
-		return errResult(http.StatusConflict, fmt.Sprintf("system unschedulable after removing %q: %v", name, err))
+		res := errResult(http.StatusConflict, fmt.Sprintf("system unschedulable after removing %q: %v", name, err))
+		return s.noteFlight(res, meta, "remove", name, false, nil)
 	}
 	if err := core.Verify(trial, s.cfg.M, alloc); err != nil {
 		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error())
 	}
-	if res := s.persistRemove(name); res != nil {
+	if res := s.persistRemove(name, meta); res != nil {
 		return *res
 	}
 	s.install(trial, alloc, hashes)
@@ -500,7 +614,7 @@ func (s *Shard) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
 	defer cancel()
-	status, respBody := s.AdmitTrace(ctx, &tk, traceID, rec)
+	status, respBody := s.admitOp(ctx, &tk, traceID, rec, requestCluster(r))
 	writeJSON(w, opResult{status: status, body: respBody})
 }
 
@@ -509,8 +623,18 @@ func (s *Shard) handleRemove(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Trace-Id", traceID)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdmitTimeout)
 	defer cancel()
-	status, body := s.RemoveTrace(ctx, r.PathValue("name"), traceID)
+	status, body := s.removeOp(ctx, r.PathValue("name"), traceID, requestCluster(r))
 	writeJSON(w, opResult{status: status, body: body})
+}
+
+// requestCluster re-derives the cluster name a routed request addressed —
+// path form first, X-Cluster header second — so handlers can annotate WAL
+// records and flight entries without a signature change on the route table.
+func requestCluster(r *http.Request) string {
+	if c := r.PathValue("cluster"); c != "" {
+		return c
+	}
+	return r.Header.Get(clusterHeader)
 }
 
 func (s *Shard) handleAllocation(w http.ResponseWriter, _ *http.Request) {

@@ -32,7 +32,7 @@ import (
 // fastAdmit serves one low-density admission from the live partition state.
 // ok is false when the warm path does not apply and the caller must run the
 // full analysis.
-func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder) (opResult, bool) {
+func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder, meta mutMeta) (opResult, bool) {
 	if s.cfg.FullRepartition || rec != nil || s.alloc == nil || tk.HighDensity() || !s.pstateConsistent() {
 		return opResult{}, false
 	}
@@ -52,7 +52,12 @@ func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder) (opResult, bool) 
 			return opResult{}, false
 		}
 		s.met.rejects.Add(1)
-		return verdictResult(http.StatusConflict, NewVerdict(trial, s.cfg.M, nil, err)), true
+		// A warm-path rejection carries no span tree (the incremental test is
+		// not the traced code path), but the decision itself is still
+		// retained: metadata-only entries are how a rejection that never
+		// asked for ?trace=1 stays explainable at all.
+		res := verdictResult(http.StatusConflict, NewVerdict(trial, s.cfg.M, nil, err))
+		return s.noteFlight(res, meta, "admit", tk.Name, false, nil), true
 	}
 	if err := core.VerifyDelta(trial, s.cfg.M, alloc, s.sys, s.alloc); err != nil {
 		// The state already committed the admission: re-derive it from the
@@ -61,7 +66,7 @@ func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder) (opResult, bool) 
 		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error()), true
 	}
 	hash := s.cache.hashOf(tk).String()
-	if res := s.persistAdmit([]*task.DAGTask{tk}, []string{hash}); res != nil {
+	if res := s.persistAdmit([]*task.DAGTask{tk}, []string{hash}, meta); res != nil {
 		s.syncPartitionState()
 		return *res, true
 	}
@@ -74,7 +79,7 @@ func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder) (opResult, bool) 
 // fastRemove serves one low-density removal from the live partition state.
 // idx is the task's position in s.sys; trial/hashes are the spliced system
 // and hash list the caller already built (shared with the full path).
-func (s *Shard) fastRemove(name string, idx int, trial task.System, hashes []string) (opResult, bool) {
+func (s *Shard) fastRemove(name string, idx int, trial task.System, hashes []string, meta mutMeta) (opResult, bool) {
 	if s.cfg.FullRepartition || s.alloc == nil || s.sys[idx].HighDensity() || !s.pstateConsistent() {
 		return opResult{}, false
 	}
@@ -91,13 +96,14 @@ func (s *Shard) fastRemove(name string, idx int, trial task.System, hashes []str
 		// Same non-monotonicity surface as the full path: keep the verified
 		// old state installed and report the identical failure.
 		s.met.errors.Add(1)
-		return errResult(http.StatusConflict, fmt.Sprintf("system unschedulable after removing %q: %v", name, err)), true
+		res := errResult(http.StatusConflict, fmt.Sprintf("system unschedulable after removing %q: %v", name, err))
+		return s.noteFlight(res, meta, "remove", name, false, nil), true
 	}
 	if err := core.VerifyDelta(trial, s.cfg.M, alloc, s.sys, s.alloc); err != nil {
 		s.syncPartitionState()
 		return errResult(http.StatusInternalServerError, "allocation failed verification: "+err.Error()), true
 	}
-	if res := s.persistRemove(name); res != nil {
+	if res := s.persistRemove(name, meta); res != nil {
 		s.syncPartitionState()
 		return *res, true
 	}

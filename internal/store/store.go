@@ -126,17 +126,18 @@ func replay(snap *Snapshot, recs []Record) (*Recovery, error) {
 }
 
 // LogAdmit makes an admission (single or atomic batch) durable: one record,
-// one fsync. hashes are the content hashes of tks, index aligned.
-func (s *Store) LogAdmit(tks []*task.DAGTask, hashes []string) error {
+// one fsync. hashes are the content hashes of tks, index aligned. trace and
+// cluster annotate the record for post-hoc forensics and may be empty.
+func (s *Store) LogAdmit(tks []*task.DAGTask, hashes []string, trace, cluster string) error {
 	if len(tks) != len(hashes) {
 		return fmt.Errorf("store: %d tasks with %d hashes", len(tks), len(hashes))
 	}
-	return s.log(Record{Seq: s.seq.Load() + 1, Op: OpAdmit, Tasks: tks, Hashes: hashes})
+	return s.log(Record{Seq: s.seq.Load() + 1, Op: OpAdmit, Tasks: tks, Hashes: hashes, Trace: trace, Cluster: cluster})
 }
 
 // LogRemove makes a removal durable.
-func (s *Store) LogRemove(name string) error {
-	return s.log(Record{Seq: s.seq.Load() + 1, Op: OpRemove, Name: name})
+func (s *Store) LogRemove(name, trace, cluster string) error {
+	return s.log(Record{Seq: s.seq.Load() + 1, Op: OpRemove, Name: name, Trace: trace, Cluster: cluster})
 }
 
 func (s *Store) log(rec Record) error {

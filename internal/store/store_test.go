@@ -34,13 +34,13 @@ func TestStoreRecoversLoggedMutations(t *testing.T) {
 	if len(rec.Tasks) != 0 || rec.Seq != 0 {
 		t.Fatalf("fresh store recovered %+v", rec)
 	}
-	if err := st.LogAdmit([]*task.DAGTask{a}, []string{hashOf(a)}); err != nil {
+	if err := st.LogAdmit([]*task.DAGTask{a}, []string{hashOf(a)}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.LogAdmit([]*task.DAGTask{b, c}, []string{hashOf(b), hashOf(c)}); err != nil {
+	if err := st.LogAdmit([]*task.DAGTask{b, c}, []string{hashOf(b), hashOf(c)}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.LogRemove("b"); err != nil {
+	if err := st.LogRemove("b", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	st.Close() // crash-equivalent: no snapshot written
@@ -73,7 +73,7 @@ func TestStoreSnapshotCadence(t *testing.T) {
 		tk := testTask(t, name)
 		sys = append(sys, tk)
 		keys = append(keys, hashOf(tk))
-		if err := st.LogAdmit([]*task.DAGTask{tk}, []string{hashOf(tk)}); err != nil {
+		if err := st.LogAdmit([]*task.DAGTask{tk}, []string{hashOf(tk)}, "", ""); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := st.MaybeSnapshot(sys, keys, 8, ""); err != nil {
@@ -117,10 +117,10 @@ func TestStoreSnapshotCrashBeforeWALReset(t *testing.T) {
 	dir := t.TempDir()
 	a, b := testTask(t, "a"), testTask(t, "b")
 	st, _ := openStore(t, dir, 1000) // never auto-snapshot
-	if err := st.LogAdmit([]*task.DAGTask{a}, []string{hashOf(a)}); err != nil {
+	if err := st.LogAdmit([]*task.DAGTask{a}, []string{hashOf(a)}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.LogAdmit([]*task.DAGTask{b}, []string{hashOf(b)}); err != nil {
+	if err := st.LogAdmit([]*task.DAGTask{b}, []string{hashOf(b)}, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Write the snapshot by hand without resetting the WAL — exactly the

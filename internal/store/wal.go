@@ -48,6 +48,14 @@ type Record struct {
 	// aligned. They prewarm-check the Phase-1 cache on recovery: the
 	// recovered tasks must hash to exactly these values.
 	Hashes []string `json:"hashes,omitempty"`
+	// Trace is the decision trace ID of the mutation that produced this
+	// record, linking the durable log to the flight recorder and any audit
+	// stream. Optional: records written before the field existed decode with
+	// Trace empty, and replay never depends on it.
+	Trace string `json:"trace,omitempty"`
+	// Cluster is the logical cluster the mutation addressed ("" for the
+	// default cluster). Optional, like Trace.
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // walMagic is the 8-byte file header; a mismatch means the file was never a
@@ -206,6 +214,28 @@ func scanWAL(f *os.File) ([]Record, int64, error) {
 		end += int64(recordHeaderLen) + int64(n)
 		recs = append(recs, rec)
 	}
+}
+
+// ReadWAL reads the valid record prefix of the WAL at path without opening
+// it for appends — unlike OpenWAL it never truncates a torn tail, so it is
+// safe to point at a live shard's log. It returns the records and the number
+// of trailing bytes after the last valid record (0 = clean tail). A file
+// that was never a fedschedd WAL (bad magic) is refused.
+func ReadWAL(path string) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: opening wal: %w", err)
+	}
+	defer f.Close()
+	recs, end, err := scanWAL(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	return recs, info.Size() - end, nil
 }
 
 // Append buffers rec; it is not durable until Commit returns.

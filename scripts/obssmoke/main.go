@@ -10,10 +10,15 @@
 //     embeds a fedcons decision trace and an X-Trace-Id header,
 //  5. re-scrapes /metrics and asserts admits_total and the latency histogram
 //     advanced,
-//  6. fetches a pprof goroutine profile from the separate debug listener,
-//  7. asserts the audit log holds one valid JSON record per mutation and the
-//     -v output mentions the trace ID,
-//  8. sends SIGTERM and asserts a clean drain.
+//  6. forces a traced rejection, fetches the retained decision trace from
+//     /debug/traces/{id}, and asserts it is byte-identical to the inline
+//     ?trace=1 verdict's trace (writing the /debug/traces listing to
+//     $OBSSMOKE_TRACES_OUT for CI artifacts when set),
+//  7. fetches a pprof goroutine profile from the separate debug listener,
+//  8. asserts the audit log holds one valid JSON record per mutation, the
+//     -v output mentions the trace ID, and the rejection appears in the
+//     audit trail under the same trace ID,
+//  9. sends SIGTERM and asserts a clean drain.
 //
 // Any failure exits non-zero with a diagnosis on stderr.
 package main
@@ -157,6 +162,75 @@ func smoke() error {
 		}
 	}
 
+	// 5b. Flight recorder: force a traced rejection, then retrieve the same
+	// decision trace post-hoc from /debug/traces/{id} and assert the trace
+	// bytes are identical to the inline ?trace=1 verdict's — the post-mortem
+	// view must be exactly what the client saw.
+	trijob := func(name string) *task.DAGTask {
+		return task.MustNew(name, dag.Independent(5, 5, 5), 5, 5)
+	}
+	var rejectID string
+	var inlineTrace json.RawMessage
+	for i := 0; i < 3 && rejectID == ""; i++ {
+		body, err := json.Marshal(trijob(fmt.Sprintf("tri%d", i)))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/v1/admit?trace=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("admit tri%d: %w", i, err)
+		}
+		rejBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusConflict {
+			rejectID = resp.Header.Get("X-Trace-Id")
+			var rv struct {
+				Trace json.RawMessage `json:"trace"`
+			}
+			if err := json.Unmarshal(rejBody, &rv); err != nil || len(rv.Trace) == 0 {
+				return fmt.Errorf("traced rejection verdict carries no trace: %s", rejBody)
+			}
+			inlineTrace = rv.Trace
+		} else if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("admit tri%d: %s: %s", i, resp.Status, rejBody)
+		}
+	}
+	if rejectID == "" {
+		return fmt.Errorf("no admission was rejected on the m=8 platform; cannot exercise the flight recorder")
+	}
+	entryBody, err := fetch(client, base+"/debug/traces/"+rejectID)
+	if err != nil {
+		return fmt.Errorf("fetching retained trace %s: %w", rejectID, err)
+	}
+	var entry struct {
+		TraceID string          `json:"trace_id"`
+		Op      string          `json:"op"`
+		Status  int             `json:"status"`
+		Trace   json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(entryBody), &entry); err != nil {
+		return fmt.Errorf("retained trace not JSON: %v\n%s", err, entryBody)
+	}
+	if entry.TraceID != rejectID || entry.Op != "admit" || entry.Status != http.StatusConflict {
+		return fmt.Errorf("retained entry fields wrong: %s", entryBody)
+	}
+	if !bytes.Equal(entry.Trace, inlineTrace) {
+		return fmt.Errorf("retained trace differs from the inline ?trace=1 verdict:\nretained: %s\ninline:   %s", entry.Trace, inlineTrace)
+	}
+	listing, err := fetch(client, base+"/debug/traces")
+	if err != nil {
+		return fmt.Errorf("listing flight recorder: %w", err)
+	}
+	if !strings.Contains(listing, rejectID) {
+		return fmt.Errorf("/debug/traces listing lacks the rejection %s:\n%s", rejectID, listing)
+	}
+	if traceSmokeOut := os.Getenv("OBSSMOKE_TRACES_OUT"); traceSmokeOut != "" {
+		// CI archives the listing as a build artifact.
+		if err := os.WriteFile(traceSmokeOut, []byte(listing), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", traceSmokeOut, err)
+		}
+	}
+
 	// 6. pprof profile from the separate debug listener.
 	prof, err := fetch(client, debugBase+"/debug/pprof/goroutine?debug=1")
 	if err != nil {
@@ -193,10 +267,10 @@ func smoke() error {
 		return fmt.Errorf("reading audit log: %w", err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(auditData)), "\n")
-	if len(lines) != 1 {
-		return fmt.Errorf("audit log has %d records, want 1:\n%s", len(lines), auditData)
+	if len(lines) < 2 {
+		return fmt.Errorf("audit log has %d records, want the example1 admit plus the trijob decisions:\n%s", len(lines), auditData)
 	}
-	var rec struct {
+	type auditRecord struct {
 		Time        string `json:"time"`
 		TraceID     string `json:"trace_id"`
 		Op          string `json:"op"`
@@ -204,11 +278,31 @@ func smoke() error {
 		Schedulable bool   `json:"schedulable"`
 		LatencyNs   int64  `json:"latency_ns"`
 	}
+	var rec auditRecord
 	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
 		return fmt.Errorf("audit record not JSON: %s", lines[0])
 	}
 	if rec.TraceID != traceID || rec.Op != "admit" || rec.Task != "example1" || !rec.Schedulable || rec.LatencyNs <= 0 || rec.Time == "" {
 		return fmt.Errorf("audit record fields wrong: %s", lines[0])
+	}
+	// The rejection the flight recorder retained is in the audit trail too,
+	// under the same trace ID: one incident, three cross-referenced views
+	// (inline verdict, flight recorder, audit log).
+	foundReject := false
+	for _, line := range lines[1:] {
+		var r auditRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return fmt.Errorf("audit record not JSON: %s", line)
+		}
+		if r.TraceID == rejectID {
+			foundReject = true
+			if r.Schedulable || r.Op != "admit" {
+				return fmt.Errorf("rejection's audit record fields wrong: %s", line)
+			}
+		}
+	}
+	if !foundReject {
+		return fmt.Errorf("audit log never mentions the rejection %s:\n%s", rejectID, auditData)
 	}
 	return nil
 }

@@ -1,0 +1,202 @@
+// Command perfgate is the continuous perf-regression gate, run by
+// `make perf-gate`. It runs the pinned benchmark set:
+//
+//   - BenchmarkAdmit, BenchmarkRemove, BenchmarkAdmitBatch (internal/service)
+//   - BenchmarkSchedulePar (internal/core)
+//   - BenchmarkSuiteQuick (the E1–E21 evaluation suite at quick scale)
+//
+// with -count repetitions, reduces each benchmark to its median ns/op, and
+// holds the medians against the committed results/bench_baseline.json. Any
+// benchmark more than -threshold (default 25%) slower than its baseline
+// fails the gate with exit status 1. Every run — pass or fail — appends one
+// JSONL line to results/bench_history.jsonl, the longitudinal record the
+// baseline snapshots.
+//
+// Benchmark numbers only transfer between like machines, so the baseline
+// carries a host fingerprint (GOOS/GOARCH/NumCPU). On a host that does not
+// match, regressions are reported but the gate exits 0 (advisory mode) —
+// pass -strict to fail anyway, e.g. on the dedicated CI runner class the
+// baseline was recorded on.
+//
+// Flags:
+//
+//	-update     rewrite the baseline from this run's medians (and record a
+//	            "baseline update" history entry)
+//	-threshold  relative slowdown that fails the gate (default 0.25)
+//	-baseline   baseline path (default results/bench_baseline.json)
+//	-history    history JSONL path (default results/bench_history.jsonl;
+//	            empty disables the append)
+//	-count      benchmark repetitions per pinned set (default 5)
+//	-benchtime  go test -benchtime for the micro-benchmarks (default 0.3s;
+//	            BenchmarkSuiteQuick always runs exactly one iteration)
+//	-input      parse an existing `go test -bench` transcript instead of
+//	            running the benchmarks (for replaying CI artifacts)
+//	-strict     fail on regressions even when the host fingerprint differs
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"fedsched/internal/perfgate"
+)
+
+// pinnedSets are the gate's benchmark invocations. Each runs as its own
+// `go test` so package-level -benchtime tuning stays independent: the
+// micro-benchmarks get repetitions × benchtime, while the quick evaluation
+// suite is pinned to one iteration per repetition (one full suite pass is
+// the measurement; ramping it adds minutes for no extra signal).
+type pinnedSet struct {
+	pkg       string
+	pattern   string
+	benchtime string // empty means the -benchtime flag value
+}
+
+var pinnedSets = []pinnedSet{
+	{pkg: "./internal/service/", pattern: "^(BenchmarkAdmit|BenchmarkRemove|BenchmarkAdmitBatch)$"},
+	// SchedulePar's worker handoff is scheduler-jitter-dominated when workers
+	// outnumber CPUs, so it gets a longer pinned benchtime than the service
+	// micro-benchmarks to keep its medians inside the gate's threshold.
+	{pkg: "./internal/core/", pattern: "^BenchmarkSchedulePar$", benchtime: "1s"},
+	{pkg: "./", pattern: "^BenchmarkSuiteQuick$", benchtime: "1x"},
+}
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline from this run's medians")
+	threshold := flag.Float64("threshold", 0.25, "relative slowdown that fails the gate")
+	baselinePath := flag.String("baseline", "results/bench_baseline.json", "committed baseline path")
+	historyPath := flag.String("history", "results/bench_history.jsonl", "append-only history path (empty disables)")
+	count := flag.Int("count", 5, "benchmark repetitions (medians are taken per benchmark)")
+	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime for the micro-benchmarks")
+	input := flag.String("input", "", "parse this bench transcript instead of running benchmarks")
+	strict := flag.Bool("strict", false, "fail on regressions even on a mismatched host")
+	flag.Parse()
+
+	samples, err := collect(*input, *count, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	medians := perfgate.Medians(samples)
+	if len(medians) == 0 {
+		fatal(fmt.Errorf("no benchmark results collected"))
+	}
+	host := perfgate.CurrentHost()
+	now := time.Now().UTC().Format(time.RFC3339)
+
+	if *update {
+		b := perfgate.Baseline{Host: host, Benchmarks: medians}
+		if err := b.Write(*baselinePath); err != nil {
+			fatal(err)
+		}
+		appendHistory(*historyPath, perfgate.HistoryEntry{
+			Time: now, Host: host, Medians: medians, Pass: true, Note: "baseline update",
+		})
+		fmt.Printf("perfgate: baseline updated with %d benchmarks → %s\n", len(medians), *baselinePath)
+		return
+	}
+
+	baseline, err := perfgate.LoadBaseline(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("%v (run `go run ./scripts/perfgate -update` to record one)", err))
+	}
+	rep := perfgate.Compare(baseline.Benchmarks, medians, *threshold)
+	comparable := baseline.Host.Comparable(host)
+
+	for _, d := range rep.Deltas {
+		mark := "ok  "
+		if d.Ratio > 1+*threshold {
+			mark = "FAIL"
+		}
+		fmt.Printf("%s %-40s %12.0f ns/op  baseline %12.0f  %+6.1f%%\n",
+			mark, d.Name, d.CurNs, d.BaseNs, (d.Ratio-1)*100)
+	}
+	for _, name := range rep.Missing {
+		fmt.Printf("MISS %-40s in baseline but not in this run\n", name)
+	}
+	for _, name := range rep.New {
+		fmt.Printf("new  %-40s not in baseline (rerun with -update to adopt)\n", name)
+	}
+
+	pass := len(rep.Regressions) == 0 && len(rep.Missing) == 0
+	enforced := comparable || *strict
+	appendHistory(*historyPath, perfgate.HistoryEntry{
+		Time: now, Host: host, Medians: medians,
+		WorstRatio: rep.WorstRatio(), Pass: pass || !enforced,
+	})
+
+	switch {
+	case pass:
+		fmt.Printf("perfgate: %d benchmarks within %.0f%% of baseline\n", len(rep.Deltas), *threshold*100)
+	case !enforced:
+		fmt.Printf("perfgate: %d regression(s)/%d missing on a non-matching host (baseline %s/%s/%d CPUs); advisory only\n",
+			len(rep.Regressions), len(rep.Missing), baseline.Host.GOOS, baseline.Host.GOARCH, baseline.Host.NumCPU)
+	default:
+		fatal(fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%, %d missing from the run",
+			len(rep.Regressions), *threshold*100, len(rep.Missing)))
+	}
+}
+
+// collect gathers benchmark samples: from a transcript file with -input, or
+// by running every pinned set -count times in one go test invocation each.
+func collect(input string, count int, benchtime string) ([]perfgate.Sample, error) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return perfgate.ParseBench(f)
+	}
+	var all []perfgate.Sample
+	for _, set := range pinnedSets {
+		bt := benchtime
+		if set.benchtime != "" {
+			bt = set.benchtime
+		}
+		args := []string{"test", "-run", "^$", "-bench", set.pattern,
+			"-count", fmt.Sprint(count), "-benchtime", bt, "-timeout", "20m", set.pkg}
+		fmt.Printf("perfgate: go %s\n", joinArgs(args))
+		cmd := exec.Command("go", args...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("benchmarking %s: %v\n%s", set.pkg, err, out.String())
+		}
+		samples, err := perfgate.ParseBench(&out)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, samples...)
+	}
+	return all, nil
+}
+
+func joinArgs(args []string) string {
+	var b bytes.Buffer
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a)
+	}
+	return b.String()
+}
+
+func appendHistory(path string, e perfgate.HistoryEntry) {
+	if path == "" {
+		return
+	}
+	if err := perfgate.AppendHistory(path, e); err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: appending history: %v\n", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+	os.Exit(1)
+}

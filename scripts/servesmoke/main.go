@@ -18,7 +18,8 @@
 //
 // It then runs the crash-recovery smoke: boots the daemon with -wal-dir,
 // admits a mixed system, captures /v1/allocation, SIGKILLs the process (no
-// drain, no snapshot), restarts it on the same -wal-dir, and asserts the
+// drain, no snapshot), post-mortems the dead daemon's log with
+// `fedschedd -wal-dump`, restarts it on the same -wal-dir, and asserts the
 // recovered allocation is byte-identical and the Phase-1 cache came back
 // warm (cache_hits > 0 before any new request). Finally it boots a
 // never-crashed twin on a fresh -wal-dir, replays the same history, and
@@ -38,6 +39,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -266,6 +268,34 @@ func crashRecoverySmoke() error {
 		return fmt.Errorf("SIGKILL: %w", err)
 	}
 	<-exited
+
+	// Post-mortem before the restart: -wal-dump reads the dead daemon's log.
+	// At -snapshot-every 2 the cadence snapshotted through seq 4 and reset
+	// the WAL, so exactly the final removal is on the log — carrying its op,
+	// task name, trace ID and a clean CRC.
+	var dump bytes.Buffer
+	dumpCmd := exec.Command(bin, "-wal-dump", walDir)
+	dumpCmd.Stdout, dumpCmd.Stderr = &dump, &dump
+	if err := dumpCmd.Run(); err != nil {
+		return fmt.Errorf("-wal-dump after crash: %w\n%s", err, dump.String())
+	}
+	dumpLines := strings.Split(strings.TrimSpace(dump.String()), "\n")
+	if len(dumpLines) != 1 {
+		return fmt.Errorf("-wal-dump printed %d lines, want 1 (post-snapshot removal):\n%s", len(dumpLines), dump.String())
+	}
+	var dumped struct {
+		Seq   uint64 `json:"seq"`
+		Op    string `json:"op"`
+		Name  string `json:"name"`
+		Trace string `json:"trace"`
+		CRC   string `json:"crc"`
+	}
+	if err := json.Unmarshal([]byte(dumpLines[0]), &dumped); err != nil {
+		return fmt.Errorf("-wal-dump line not JSON: %v\n%s", err, dumpLines[0])
+	}
+	if dumped.Seq != 5 || dumped.Op != "remove" || dumped.Name != "doomed" || dumped.Trace == "" || dumped.CRC != "ok" {
+		return fmt.Errorf("-wal-dump record fields wrong: %s", dumpLines[0])
+	}
 
 	daemon2, _, base2, out2, err := boot("post-crash", walDir)
 	if err != nil {

@@ -50,6 +50,10 @@ type runResult struct {
 	AdmitP50Ns  int64   `json:"admit_p50_ns"`
 	AdmitP99Ns  int64   `json:"admit_p99_ns"`
 	AdmitP999Ns int64   `json:"admit_p999_ns"`
+
+	SLOLatencyBudgetNs   int64   `json:"slo_latency_budget_ns"`
+	SLOLatencyAttainment float64 `json:"slo_latency_attainment"`
+	SLOErrorBudgetSpend  float64 `json:"slo_error_budget_spend"`
 }
 
 // loadgenSummary mirrors the -json line cmd/fedschedd's load generator emits.
@@ -67,6 +71,10 @@ type loadgenSummary struct {
 	AdmitP50Ns  int64   `json:"admit_p50_ns"`
 	AdmitP99Ns  int64   `json:"admit_p99_ns"`
 	AdmitP999Ns int64   `json:"admit_p999_ns"`
+
+	SLOLatencyBudgetNs   int64   `json:"slo_latency_budget_ns"`
+	SLOLatencyAttainment float64 `json:"slo_latency_attainment"`
+	SLOErrorBudgetSpend  float64 `json:"slo_error_budget_spend"`
 }
 
 func main() {
@@ -113,9 +121,10 @@ func bench(duration time.Duration, workers int, shardList, outPath string) error
 			return fmt.Errorf("shards=%d: %w", n, err)
 		}
 		results = append(results, res)
-		fmt.Printf("shards=%d clusters=%d: %.1f req/s, %.1f admits/s, p50=%v p99=%v\n",
+		fmt.Printf("shards=%d clusters=%d: %.1f req/s, %.1f admits/s, p50=%v p99=%v, slo=%.2f%%\n",
 			res.Shards, res.Clusters, res.RequestsPS, res.AdmitsPS,
-			time.Duration(res.AdmitP50Ns), time.Duration(res.AdmitP99Ns))
+			time.Duration(res.AdmitP50Ns), time.Duration(res.AdmitP99Ns),
+			res.SLOLatencyAttainment*100)
 	}
 
 	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
@@ -202,6 +211,10 @@ func runOne(bin, tmp string, n, workers int, duration time.Duration) (runResult,
 		AdmitP50Ns:  sum.AdmitP50Ns,
 		AdmitP99Ns:  sum.AdmitP99Ns,
 		AdmitP999Ns: sum.AdmitP999Ns,
+
+		SLOLatencyBudgetNs:   sum.SLOLatencyBudgetNs,
+		SLOLatencyAttainment: sum.SLOLatencyAttainment,
+		SLOErrorBudgetSpend:  sum.SLOErrorBudgetSpend,
 	}, nil
 }
 
