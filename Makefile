@@ -3,18 +3,19 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race partition-race policy-race serve-smoke obs-smoke shard-bench policy-bench perf-gate perf-baseline experiments experiments-quick examples clean
+.PHONY: all check build vet test test-short test-race cover bench fuzz fuzz-smoke oracle-race par-race shard-race partition-race policy-race typed-race serve-smoke obs-smoke shard-bench policy-bench perf-gate perf-baseline experiments experiments-quick examples clean
 
 all: build vet test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + race-enabled tests,
 # the differential oracle under the race detector, a fuzzing smoke pass, the
 # shard/durability suite under the race detector, the admission-policy layer
-# under the race detector, an end-to-end boot/admit/drain check of the
-# fedschedd daemon, a smoke test of its observability surface (/metrics,
-# pprof, ?trace=1, flight recorder, audit log), and the continuous
-# perf-regression gate over the pinned benchmark set.
-check: vet build test-race oracle-race par-race shard-race partition-race policy-race fuzz-smoke serve-smoke obs-smoke perf-gate
+# under the race detector, the typed processor model under the race detector,
+# an end-to-end boot/admit/drain check of the fedschedd daemon, a smoke test
+# of its observability surface (/metrics, pprof, ?trace=1, flight recorder,
+# audit log), and the continuous perf-regression gate over the pinned
+# benchmark set.
+check: vet build test-race oracle-race par-race shard-race partition-race policy-race typed-race fuzz-smoke serve-smoke obs-smoke perf-gate
 
 build:
 	$(GO) build ./...
@@ -91,6 +92,20 @@ policy-race:
 	$(GO) test -race ./internal/semifed/ ./internal/reservation/
 	$(GO) test -race -run 'TestPolicy' ./cmd/fedsched/ ./cmd/fedschedd/ ./cmd/analyze/
 	$(GO) test -race -run 'TestConfigValidatePolicy|TestE22' ./internal/exp/
+
+# The typed (heterogeneous) processor model under the race detector: the
+# typed list-scheduling engine properties, the typed MINPROCS metamorphic
+# suite (edge-order invariance, type-label swap mirror, untyped degeneracy),
+# the typed hash sensitivity pins, the typed differential oracle (fast vs
+# reference engine with per-slice type audits), the 20-seed CLI differential
+# pinning single-type -policy=typed byte-identical to strict -policy=fedcons,
+# and the E23 type-mix certification at quick scale.
+typed-race:
+	$(GO) test -race -run 'TestRunTyped|TestTypedProcBase|TestValidateTyped' ./internal/listsched/
+	$(GO) test -race -run 'TestMinprocsTyped|TestTaskHashTypeSensitivity' ./internal/core/
+	$(GO) test -race -run 'TestOracleTyped' ./internal/sim/
+	$(GO) test -race -run 'TestTyped' ./cmd/fedsched/ ./cmd/fedschedd/ ./cmd/analyze/
+	$(GO) test -race -run 'TestE23' ./internal/exp/
 
 # End-to-end daemon smoke test: build fedschedd, boot it on a random port,
 # admit Example 1 (accepted) and a 3-wide high-density task (3-processor

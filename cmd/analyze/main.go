@@ -37,7 +37,8 @@ func run(args []string, out io.Writer) error {
 	var (
 		minm     = fs.Bool("minm", false, "search for the minimum platform size each method needs (up to 256)")
 		dbfH     = fs.Int64("dbf", 0, "if > 0, dump Σ DBF and Σ DBF* curves up to this horizon as CSV")
-		policy   = fs.String("policy", "fedcons", "also report this admission policy's verdict: fedcons (no extra row), semi or reservation")
+		policy   = fs.String("policy", "fedcons", "also report this admission policy's verdict: fedcons (no extra row), semi, reservation or typed")
+		mtypesF  = fs.String("m-types", "", "typed platform for the -policy=typed row, e.g. a:4,b:4 (must sum to the system's processor count)")
 		example  bool
 		example2 = fs.Int("example2", 0, "analyze the paper's Example 2 family at this size n instead of a file")
 	)
@@ -48,6 +49,13 @@ func run(args []string, out io.Writer) error {
 	pol, err := service.ParsePolicy(*policy)
 	if err != nil {
 		return err
+	}
+	mtypes, err := service.ParseMTypes(*mtypesF)
+	if err != nil {
+		return err
+	}
+	if mtypes != nil && pol != core.PolicyTyped {
+		return fmt.Errorf("-m-types requires -policy=typed")
 	}
 
 	var sf *task.SystemFile
@@ -129,11 +137,23 @@ func run(args []string, out io.Writer) error {
 	if pol != "" {
 		// Appended, not inserted, so the default table stays byte-identical.
 		label := "SEMI-FED (Jiang et al.)"
-		if pol == core.PolicyReservation {
+		switch pol {
+		case core.PolicyReservation:
 			label = "RESERVATION (Ueter et al.)"
+		case core.PolicyTyped:
+			label = "TYPED (Han et al.)"
+			if mtypes != nil {
+				label = fmt.Sprintf("TYPED (%s)", core.FormatMTypes(mtypes))
+			}
 		}
 		methods = append(methods, method{label, func(s task.System, mm int) bool {
-			return core.Schedulable(s, mm, core.Options{Policy: pol})
+			opt := core.Options{Policy: pol}
+			// The declared budgets only fit the declared platform; a -minm
+			// probe at a different size falls back to a single-type platform.
+			if sumInts(mtypes) == mm {
+				opt.MTypes = mtypes
+			}
+			return core.Schedulable(s, mm, opt)
 		}})
 	}
 	fmt.Fprintln(out, "verdicts:")
@@ -216,6 +236,14 @@ func min64(a, b task.Time) task.Time {
 		return a
 	}
 	return b
+}
+
+func sumInts(v []int) int {
+	t := 0
+	for _, x := range v {
+		t += x
+	}
+	return t
 }
 
 func sortTimes(ts []task.Time) {

@@ -61,7 +61,10 @@ func run(args []string, out io.Writer) error {
 		explain   = fs.Bool("explain", false, "print a step-by-step explanation of the FEDCONS decision (which phase, which task, which inequality)")
 		traceOut  = fs.String("trace", "", "write the decision trace as JSONL to this file ('-' = stdout); byte-deterministic for fixed input and options")
 		par       = fs.Int("par", runtime.GOMAXPROCS(0), "Phase-1 analysis worker pool size; output (including -trace and -explain) is byte-identical for every value")
-		policy    = fs.String("policy", "fedcons", "admission policy: fedcons (paper), semi (semi-federated fractional grants) or reservation (reservation servers)")
+		policy    = fs.String("policy", "fedcons", "admission policy: fedcons (paper), semi (semi-federated fractional grants), reservation (reservation servers) or typed (per-vertex processor types)")
+		mtypesF   = fs.String("m-types", "", "typed platform: per-type processor budgets, e.g. a:4,b:2 (requires -policy=typed; must sum to the system's processor count)")
+		mA        = fs.Int("m-a", -1, "shorthand for the type-a budget of -m-types (combine with -m-b)")
+		mB        = fs.Int("m-b", -1, "shorthand for the type-b budget of -m-types (combine with -m-a)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,10 +93,32 @@ func run(args []string, out io.Writer) error {
 	if opt.Policy, err = service.ParsePolicy(*policy); err != nil {
 		return err
 	}
-	if opt.Policy != "" && *simulate > 0 {
+	mtypes, err := service.ParseMTypes(*mtypesF)
+	if err != nil {
+		return err
+	}
+	if *mA >= 0 || *mB >= 0 {
+		if mtypes != nil {
+			return fmt.Errorf("-m-a/-m-b and -m-types are mutually exclusive")
+		}
+		a, b := *mA, *mB
+		if a < 0 {
+			a = 0
+		}
+		if b < 0 {
+			b = 0
+		}
+		mtypes = []int{a, b}
+	}
+	if mtypes != nil && opt.Policy != core.PolicyTyped {
+		return fmt.Errorf("per-type budgets (-m-types/-m-a/-m-b) require -policy=typed")
+	}
+	opt.MTypes = mtypes
+	if opt.Policy != "" && opt.Policy != core.PolicyTyped && *simulate > 0 {
 		// The simulator replays template schedules; split-shape allocations
 		// have none (servers are dispatched work-conservingly at run time).
-		return fmt.Errorf("-simulate supports only -policy=fedcons")
+		// Typed allocations carry templates, so they simulate like strict ones.
+		return fmt.Errorf("-simulate supports only -policy=fedcons or -policy=typed")
 	}
 	var rec *obs.Recorder
 	if *explain || *traceOut != "" {
@@ -207,7 +232,10 @@ func saveAllocation(out io.Writer, alloc *core.Allocation, path string, quiet bo
 
 func printAllocation(out io.Writer, sys task.System, alloc *core.Allocation) {
 	fmt.Fprintln(out, "verdict: SCHEDULABLE")
-	if alloc.Policy != "" {
+	switch {
+	case alloc.Policy == core.PolicyTyped:
+		fmt.Fprintf(out, "policy: typed (platform %s)\n", core.FormatMTypes(alloc.MTypes))
+	case alloc.Policy != "":
 		fmt.Fprintf(out, "policy: %s (%d reservation servers)\n", alloc.Policy, len(alloc.Servers))
 	}
 	ded, shared := alloc.ProcessorsUsed()

@@ -73,7 +73,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		prio         = fs.String("priority", "insertion", "LS list order: insertion, longest-path, largest-wcet")
 		heuristic    = fs.String("partition", "first-fit", "partition heuristic: first-fit (paper), best-fit, worst-fit")
 		admission    = fs.String("admission", "dbf-approx", "partition admission test: dbf-approx (paper), edf-exact or dm-rta")
-		policy       = fs.String("policy", "fedcons", "admission policy: fedcons (paper), semi or reservation; persisted in snapshots so a shard recovers under the policy it ran")
+		policy       = fs.String("policy", "fedcons", "admission policy: fedcons (paper), semi, reservation or typed; persisted in snapshots so a shard recovers under the policy it ran")
+		mtypesF      = fs.String("m-types", "", "typed platform: per-type processor budgets, e.g. a:4,b:4 (requires -policy=typed; must sum to -m)")
 		queue        = fs.Int("queue", 64, "admission queue bound; beyond it requests are shed with 429")
 		shards       = fs.Int("shards", 1, "independent admission domains (clusters route to shards by consistent hashing)")
 		walDir       = fs.String("wal-dir", "", "if set, make shards durable: WAL + snapshots under this directory, replayed on restart")
@@ -171,6 +172,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	opt.Par = *par
 	if opt.Policy, err = service.ParsePolicy(*policy); err != nil {
 		return err
+	}
+	if opt.MTypes, err = service.ParseMTypes(*mtypesF); err != nil {
+		return err
+	}
+	if opt.MTypes != nil && opt.Policy != "typed" {
+		return fmt.Errorf("-m-types requires -policy=typed")
 	}
 	observer, closeAudit, err := buildObserver(out, *verbose, *auditPath)
 	if err != nil {

@@ -87,10 +87,15 @@ type Options struct {
 	Par int
 	// Policy selects the admission strategy: "" (or "fedcons") runs the
 	// paper's strict algorithm above; any other value must name a policy
-	// registered with RegisterPolicy (e.g. "semi", "reservation"), and
-	// Schedule dispatches to it. The strict path never consults the
+	// registered with RegisterPolicy (e.g. "semi", "reservation", "typed"),
+	// and Schedule dispatches to it. The strict path never consults the
 	// registry, so the default output cannot be perturbed by registration.
 	Policy string
+	// MTypes gives the per-type processor budgets of a heterogeneous
+	// platform (MTypes[s] processors of type s, Σ MTypes = m) for the
+	// "typed" policy. Empty means all m processors are the default type 0;
+	// policies other than "typed" ignore it.
+	MTypes []int
 }
 
 // HighAssignment is the phase-1 outcome for one high-density task.
@@ -132,6 +137,11 @@ type Allocation struct {
 	// Servers are the reservation servers of a split-shape allocation,
 	// placed by the Phase-2 partitioner ahead of the low-density tasks.
 	Servers []ServerSpec `json:",omitempty"`
+	// MTypes records the per-type processor budgets of a typed-shape
+	// allocation (Policy "typed"): type s owns the global processor ids
+	// [Σ_{t<s} MTypes[t], Σ_{t≤s} MTypes[t]). omitempty keeps every other
+	// shape's JSON byte-identical to the pre-typed format.
+	MTypes []int `json:",omitempty"`
 }
 
 // TasksOnShared returns the input-system indices assigned to shared

@@ -5,13 +5,70 @@ import (
 	"testing"
 
 	"fedsched/internal/core"
+	"fedsched/internal/dag"
+	"fedsched/internal/task"
 
 	// Registering the policies lets the fuzzer request split-shape
 	// allocations through the ordinary core.Schedule dispatch. This file is
 	// an external test package precisely so these imports are legal.
 	_ "fedsched/internal/reservation"
 	_ "fedsched/internal/semifed"
+	_ "fedsched/internal/typedfed"
 )
+
+// retypeSysForFuzz rebuilds each task with every vertex independently
+// re-pinned to type b with the given probability (structure, WCETs, D and T
+// unchanged) — the typed-system counterpart of FuzzSystemForTest.
+func retypeSysForFuzz(r *rand.Rand, sys task.System, prob float64) task.System {
+	out := make(task.System, len(sys))
+	for i, tk := range sys {
+		g := tk.G
+		b := dag.NewBuilder(g.N())
+		for v := 0; v < g.N(); v++ {
+			ty := 0
+			if r.Float64() < prob {
+				ty = 1
+			}
+			b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), ty)
+		}
+		for _, e := range g.Edges() {
+			b.AddEdge(e[0], e[1])
+		}
+		out[i] = task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T)
+	}
+	return out
+}
+
+// flipOneVertexType rebuilds tk with exactly vertex v's processor type
+// toggled a↔b.
+func flipOneVertexType(tk *task.DAGTask, v int) *task.DAGTask {
+	g := tk.G
+	b := dag.NewBuilder(g.N())
+	for w := 0; w < g.N(); w++ {
+		ty := g.TypeOf(w)
+		if w == v {
+			ty = 1 - ty
+		}
+		b.AddTypedVertex(g.Vertex(w).Name, g.WCET(w), ty)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T)
+}
+
+// procTypeOf returns the type owning global processor p under the type-major
+// numbering declared by mtypes.
+func procTypeOf(mtypes []int, p int) int {
+	base := 0
+	for s, m := range mtypes {
+		if p < base+m {
+			return s
+		}
+		base += m
+	}
+	return -1
+}
 
 // FuzzVerifyAllocation checks the two faces of core.Verify on fuzz-chosen
 // systems: every allocation Schedule produces passes it unchanged, and no
@@ -23,18 +80,26 @@ import (
 // (odd seeds) policies: a cleared policy tag smuggling servers past the
 // strict verifier, fractional-server budgets forced to zero or past the
 // owner's window, and dropped or duplicated reservation servers.
+// Mutations 13–16 corrupt typed allocations on a two-type platform: the
+// policy tag cleared so the per-type budgets hit the strict verifier, a
+// vertex's processor type flipped in the system the allocation is audited
+// against, two dedicated processors of different types swapped in a grant's
+// local→global mapping, and a type's budget zeroed.
 func FuzzVerifyAllocation(f *testing.F) {
 	for seed := uint32(0); seed < 4; seed++ {
-		for mut := uint8(0); mut < 13; mut++ {
+		for mut := uint8(0); mut < 17; mut++ {
 			f.Add(seed, mut)
 		}
 	}
 	f.Fuzz(func(t *testing.T, seed uint32, mut uint8) {
 		r := rand.New(rand.NewSource(int64(seed)))
 		sys := core.FuzzSystemForTest(r, 2+r.Intn(4))
-		mut %= 13
+		mut %= 17
 		var opt core.Options
-		if mut >= 8 {
+		if mut >= 13 {
+			opt.Policy = core.PolicyTyped
+			sys = retypeSysForFuzz(r, sys, 0.3)
+		} else if mut >= 8 {
 			opt.Policy = core.PolicySemi
 			if seed%2 == 1 {
 				opt.Policy = core.PolicyReservation
@@ -43,6 +108,11 @@ func FuzzVerifyAllocation(f *testing.F) {
 		var alloc *core.Allocation
 		var m int
 		for m = 2; m <= 8; m++ {
+			if mut >= 13 {
+				// Both budgets positive: a genuinely heterogeneous platform,
+				// so the typed path cannot degenerate to strict FEDCONS.
+				opt.MTypes = []int{m - m/2, m / 2}
+			}
 			a, err := core.Schedule(sys, m, opt)
 			if err == nil {
 				alloc = a
@@ -52,7 +122,10 @@ func FuzzVerifyAllocation(f *testing.F) {
 		if alloc == nil {
 			t.Skip("system rejected on every platform size")
 		}
-		if mut >= 8 && (alloc.Policy == "" || len(alloc.Servers) == 0) {
+		if mut >= 13 && len(alloc.MTypes) == 0 {
+			t.Skip("typed allocation degenerated to the strict shape")
+		}
+		if mut >= 8 && mut < 13 && (alloc.Policy == "" || len(alloc.Servers) == 0) {
 			// Either the policy fell back to the strict shape, or the system
 			// has no high-density tasks so the split shape degenerates to a
 			// pure partition — nothing fractional to corrupt either way.
@@ -61,6 +134,7 @@ func FuzzVerifyAllocation(f *testing.F) {
 		if err := core.Verify(sys, m, alloc); err != nil {
 			t.Fatalf("clean allocation failed Verify: %v", err)
 		}
+		checkSys := sys
 
 		mutated := core.CloneAllocForTest(alloc)
 		var desc string
@@ -134,8 +208,40 @@ func FuzzVerifyAllocation(f *testing.F) {
 		case 12:
 			mutated.Servers = append(mutated.Servers, mutated.Servers[0])
 			desc = "duplicated reservation server"
+		case 13:
+			mutated.Policy = ""
+			desc = "typed allocation relabeled as strict"
+		case 14:
+			ti := r.Intn(len(sys))
+			vi := r.Intn(sys[ti].G.N())
+			checkSys = append(task.System(nil), sys...)
+			checkSys[ti] = flipOneVertexType(sys[ti], vi)
+			desc = "vertex processor type flipped in the audited system"
+		case 15:
+			i, j := -1, -1
+			for _, h := range mutated.High {
+				for a := range h.Procs {
+					for b := a + 1; b < len(h.Procs); b++ {
+						if procTypeOf(mutated.MTypes, h.Procs[a]) != procTypeOf(mutated.MTypes, h.Procs[b]) {
+							i, j = a, b
+						}
+					}
+				}
+				if i >= 0 {
+					h.Procs[i], h.Procs[j] = h.Procs[j], h.Procs[i]
+					break
+				}
+			}
+			if i < 0 {
+				t.Skip("no dedicated grant spans both processor types")
+			}
+			desc = "cross-type processor swap in a dedicated grant"
+		case 16:
+			mutated.MTypes = append([]int(nil), mutated.MTypes...)
+			mutated.MTypes[1] = 0
+			desc = "type-b budget zeroed"
 		}
-		if err := core.Verify(sys, m, mutated); err == nil {
+		if err := core.Verify(checkSys, m, mutated); err == nil {
 			t.Fatalf("mutated allocation (%s, policy %q) passed Verify; seed=%d", desc, alloc.Policy, seed)
 		}
 	})

@@ -9,13 +9,13 @@ import (
 )
 
 // rebuildShuffled reconstructs tk's graph with the edge list enumerated in a
-// random order (vertex labels unchanged) — the wire-level freedom a JSON
-// system file has in listing its "edges" array.
+// random order (vertex labels and processor types unchanged) — the
+// wire-level freedom a JSON system file has in listing its "edges" array.
 func rebuildShuffled(r *rand.Rand, tk *task.DAGTask) *task.DAGTask {
 	g := tk.G
 	b := dag.NewBuilder(g.N())
 	for v := 0; v < g.N(); v++ {
-		b.AddVertex(g.Vertex(v).Name, g.WCET(v))
+		b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), g.TypeOf(v))
 	}
 	edges := g.Edges()
 	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
@@ -34,7 +34,7 @@ func relabel(tk *task.DAGTask, perm []int) *task.DAGTask {
 	b := dag.NewBuilder(g.N())
 	for k, v := range perm {
 		rank[v] = k
-		b.AddVertex(g.Vertex(v).Name, g.WCET(v))
+		b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), g.TypeOf(v))
 	}
 	for _, e := range g.Edges() {
 		b.AddEdge(rank[e[0]], rank[e[1]])
@@ -179,6 +179,28 @@ func FuzzTaskHash(f *testing.F) {
 		}
 		if TaskHash(task.MustNew(tk.Name, bumped, tk.D, tk.T)) == h {
 			t.Fatal("hash unchanged under WCET+1")
+		}
+
+		// Typed arm: the same enumeration freedoms must leave a typed
+		// retyping's hash alone, and processor types must be part of the key
+		// — an exchanged type labeling is a different task (its MINPROCS runs
+		// on different budgets) and may not collide with the original.
+		ttk := retypeRandomly(r, tk, 0.5)
+		th := TaskHash(ttk)
+		if TaskHash(rebuildShuffled(r, ttk)) != th {
+			t.Fatal("typed hash changed under edge-list reordering")
+		}
+		if TaskHash(relabel(ttk, r.Perm(ttk.G.N()))) != th {
+			t.Fatal("typed hash changed under vertex reordering")
+		}
+		// Exchanging the labels is only guaranteed to change the hash when it
+		// changes the per-type vertex counts: with equal counts the swapped
+		// graph can be isomorphic to the original (the fuzzer found such a
+		// symmetric instance), and isomorphic tasks must collide.
+		if c := padCounts(ttk.G.CountByType()); ttk.G.Typed() && c[0] != c[1] {
+			if TaskHash(swapTaskTypes(ttk)) == th {
+				t.Fatal("hash unchanged under type-label exchange")
+			}
 		}
 	})
 }

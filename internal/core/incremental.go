@@ -42,6 +42,7 @@ func AdmitLow(base *Allocation, st *partition.State, tk *task.DAGTask) (*Allocat
 		Low:         st.Result(),
 		Policy:      base.Policy,
 		Servers:     base.Servers,
+		MTypes:      base.MTypes,
 	}, nil
 }
 
@@ -109,6 +110,7 @@ func RemoveLow(base *Allocation, st *partition.State, sysIdx int) (*Allocation, 
 		Low:         st.Result(),
 		Policy:      base.Policy,
 		Servers:     servers,
+		MTypes:      base.MTypes,
 	}, nil
 }
 
@@ -171,6 +173,10 @@ func VerifyDelta(sys task.System, m int, a *Allocation, baseSys task.System, bas
 				len(base.High), len(base.Servers), len(a.High), len(a.Servers))
 		}
 		return verifySplitBase(sys, m, a, baseSys, base)
+	case PolicyTyped:
+		// Typed allocations take the batch path (no warm deltas), so a typed
+		// delta audit is simply the full audit.
+		return verifyTyped(sys, m, a)
 	default:
 		return fmt.Errorf("fedcons: allocation tagged with unknown policy %q", a.Policy)
 	}
@@ -180,6 +186,9 @@ func VerifyDelta(sys task.System, m int, a *Allocation, baseSys task.System, bas
 func verifyDeltaStrict(sys task.System, m int, a *Allocation, baseSys task.System, base *Allocation) error {
 	if len(a.Servers) > 0 {
 		return fmt.Errorf("fedcons: a strict allocation must not carry reservation servers, found %d", len(a.Servers))
+	}
+	if len(a.MTypes) > 0 {
+		return fmt.Errorf("fedcons: a strict allocation must not carry per-type processor budgets")
 	}
 	if a.M != m || base.M != m {
 		return fmt.Errorf("fedcons: allocation for m=%d (base m=%d), want %d", a.M, base.M, m)

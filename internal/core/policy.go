@@ -48,6 +48,7 @@ const (
 	PolicyFedcons     = "fedcons"
 	PolicySemi        = "semi"
 	PolicyReservation = "reservation"
+	PolicyTyped       = "typed"
 )
 
 // ScheduleFunc is the signature of a strict-FEDCONS scheduler. Policies
@@ -252,6 +253,9 @@ func verifySplit(sys task.System, m int, a *Allocation) error {
 func verifySplitBase(sys task.System, m int, a *Allocation, baseSys task.System, base *Allocation) error {
 	if a.M != m {
 		return fmt.Errorf("fedcons: allocation for m=%d, want %d", a.M, m)
+	}
+	if len(a.MTypes) > 0 {
+		return fmt.Errorf("fedcons: a %s-shape allocation must not carry per-type processor budgets", a.Policy)
 	}
 	owned := make([]int, m) // 0 = unused, 1 = dedicated, 2 = shared
 	covered := make([]int, len(sys))

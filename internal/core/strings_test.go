@@ -154,6 +154,7 @@ func cloneAlloc(a *Allocation) *Allocation {
 		if t := a.High[i].Template; t != nil {
 			c.High[i].Template = &listsched.Schedule{
 				M:         t.M,
+				MTypes:    append([]int(nil), t.MTypes...),
 				Intervals: append([]listsched.Interval(nil), t.Intervals...),
 				Makespan:  t.Makespan,
 			}
@@ -162,6 +163,7 @@ func cloneAlloc(a *Allocation) *Allocation {
 	c.SharedProcs = append([]int(nil), a.SharedProcs...)
 	c.LowIndices = append([]int(nil), a.LowIndices...)
 	c.Servers = append([]ServerSpec(nil), a.Servers...)
+	c.MTypes = append([]int(nil), a.MTypes...)
 	if a.Low != nil {
 		low := &partition.Result{Assignment: make([][]int, len(a.Low.Assignment))}
 		for k, procTasks := range a.Low.Assignment {

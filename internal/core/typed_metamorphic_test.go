@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+	"fedsched/internal/listsched"
+	"fedsched/internal/task"
+)
+
+// typedOutcome flattens a MinprocsTyped run into the comparable triple the
+// metamorphic tests pin: feasibility, the budget vector, and the witness
+// makespan.
+type typedOutcome struct {
+	ok       bool
+	mu       string
+	makespan task.Time
+}
+
+func minprocsTypedOn(tk *task.DAGTask, avail []int, prio listsched.Priority) typedOutcome {
+	mu, tmpl, ok := MinprocsTyped(tk, avail, prio, nil)
+	out := typedOutcome{ok: ok}
+	if ok {
+		out.mu = FormatMTypes(mu)
+		out.makespan = tmpl.Makespan
+	}
+	return out
+}
+
+// retypeRandomly rebuilds tk with each vertex independently re-pinned to
+// type b with probability prob (structure, WCETs, D and T unchanged).
+func retypeRandomly(r *rand.Rand, tk *task.DAGTask, prob float64) *task.DAGTask {
+	g := tk.G
+	b := dag.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		t := 0
+		if r.Float64() < prob {
+			t = 1
+		}
+		b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), t)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T)
+}
+
+// padCounts pads a CountByType vector to at least two entries so type-b
+// counts can be read off untyped or uniformly-typed graphs.
+func padCounts(c []int) []int {
+	for len(c) < 2 {
+		c = append(c, 0)
+	}
+	return c
+}
+
+// swapTaskTypes rebuilds tk with types a and b exchanged on every vertex.
+func swapTaskTypes(tk *task.DAGTask) *task.DAGTask {
+	g := tk.G
+	b := dag.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), 1-g.TypeOf(v))
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T)
+}
+
+// TestMinprocsTypedEdgeEnumerationInvariance: like its homogeneous
+// counterpart, the typed MINPROCS scan (feasibility, the per-type budget
+// vector μ, and the witness makespan) must be blind to the order a wire file
+// enumerates its edges in.
+func TestMinprocsTypedEdgeEnumerationInvariance(t *testing.T) {
+	prios := map[string]listsched.Priority{
+		"insertion":    nil,
+		"longest-path": listsched.LongestPathFirst,
+		"largest-wcet": listsched.LargestWCETFirst,
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, base := range fuzzSystem(r, 3) {
+			tk := retypeRandomly(r, base, 0.4)
+			avail := []int{1 + r.Intn(4), 1 + r.Intn(4)}
+			shuffled := rebuildShuffled(r, tk)
+			for name, prio := range prios {
+				want, got := minprocsTypedOn(tk, avail, prio), minprocsTypedOn(shuffled, avail, prio)
+				if got != want {
+					t.Fatalf("seed %d prio %s avail %s: typed MINPROCS changed under edge-list reordering: %+v vs %+v",
+						seed, name, FormatMTypes(avail), want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestMinprocsTypedTypeSwapInvariance: processor-type labels are names, not
+// semantics. Exchanging the labels a↔b on every vertex and simultaneously
+// exchanging the per-type availability must produce the mirrored outcome:
+// same feasibility, same witness makespan, and the budget vector with its
+// entries exchanged.
+func TestMinprocsTypedTypeSwapInvariance(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, base := range fuzzSystem(r, 3) {
+			tk := retypeRandomly(r, base, 0.4)
+			avail := []int{1 + r.Intn(4), 1 + r.Intn(4)}
+			swappedAvail := []int{avail[1], avail[0]}
+			want := minprocsTypedOn(tk, avail, nil)
+			got := minprocsTypedOn(swapTaskTypes(tk), swappedAvail, nil)
+			if got.ok != want.ok || got.makespan != want.makespan {
+				t.Fatalf("seed %d avail %s: typed MINPROCS not swap-invariant: %+v vs %+v",
+					seed, FormatMTypes(avail), want, got)
+			}
+			if want.ok {
+				mu, _, _ := MinprocsTyped(tk, avail, nil, nil)
+				muSwap, _, _ := MinprocsTyped(swapTaskTypes(tk), swappedAvail, nil, nil)
+				if len(mu) != 2 || len(muSwap) != 2 || mu[0] != muSwap[1] || mu[1] != muSwap[0] {
+					t.Fatalf("seed %d: budget vector not mirrored: %v vs %v", seed, mu, muSwap)
+				}
+			}
+		}
+	}
+}
+
+// TestMinprocsTypedUntypedDegeneracy: on a single-type platform with an
+// untyped task the typed scan is the paper's MINPROCS — same feasibility,
+// same μ (as the single budget entry), same witness makespan. This is the
+// analysis-level half of the byte-identity pin in cmd/fedsched.
+func TestMinprocsTypedUntypedDegeneracy(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, tk := range fuzzSystem(r, 3) {
+			m := 1 + r.Intn(8)
+			mu, tmpl, ok := Minprocs(tk, m, nil)
+			muT, tmplT, okT := MinprocsTyped(tk, []int{m}, nil, nil)
+			if ok != okT {
+				t.Fatalf("seed %d m=%d: feasibility diverges: strict %v typed %v", seed, m, ok, okT)
+			}
+			if !ok {
+				continue
+			}
+			if len(muT) != 1 || muT[0] != mu {
+				t.Fatalf("seed %d m=%d: μ diverges: strict %d typed %v", seed, m, mu, muT)
+			}
+			if tmpl.Makespan != tmplT.Makespan {
+				t.Fatalf("seed %d m=%d: makespan diverges: strict %d typed %d", seed, m, tmpl.Makespan, tmplT.Makespan)
+			}
+			for v := range tmpl.Intervals {
+				if tmpl.Intervals[v] != tmplT.Intervals[v] {
+					t.Fatalf("seed %d m=%d vertex %d: interval diverges: %+v vs %+v",
+						seed, m, v, tmpl.Intervals[v], tmplT.Intervals[v])
+				}
+			}
+		}
+	}
+}
+
+// TestTaskHashTypeSensitivity: the content-addressed cache key must see
+// processor types — flipping one vertex's type changes the hash — while
+// staying blind to the usual enumeration freedoms on typed graphs, and typed
+// hashing must not perturb untyped hashing (the typed canonical section is
+// appended only for typed graphs).
+func TestTaskHashTypeSensitivity(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		base := fuzzSystem(r, 1)[0]
+		tk := retypeRandomly(r, base, 0.5)
+		h := TaskHash(tk)
+		if TaskHash(rebuildShuffled(r, tk)) != h {
+			t.Fatalf("seed %d: typed hash changed under edge-list reordering", seed)
+		}
+		if TaskHash(relabel(tk, r.Perm(tk.G.N()))) != h {
+			t.Fatalf("seed %d: typed hash changed under vertex reordering", seed)
+		}
+		// A full label exchange is only guaranteed to change the hash when
+		// the per-type counts differ; with equal counts the exchanged graph
+		// can be isomorphic to the original and must then collide.
+		if c := padCounts(tk.G.CountByType()); tk.G.Typed() && c[0] != c[1] {
+			if TaskHash(swapTaskTypes(tk)) == h {
+				t.Fatalf("seed %d: hash unchanged under type-label flip", seed)
+			}
+		}
+		// One-vertex flip: pick any vertex and toggle only it.
+		g := tk.G
+		b := dag.NewBuilder(g.N())
+		v0 := r.Intn(g.N())
+		for v := 0; v < g.N(); v++ {
+			ty := g.TypeOf(v)
+			if v == v0 {
+				ty = 1 - ty
+			}
+			b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), ty)
+		}
+		for _, e := range g.Edges() {
+			b.AddEdge(e[0], e[1])
+		}
+		oneFlip := task.MustNew(tk.Name, b.MustBuild(), tk.D, tk.T)
+		if TaskHash(oneFlip) == h {
+			t.Fatalf("seed %d: hash unchanged under single vertex type flip", seed)
+		}
+	}
+}

@@ -37,6 +37,8 @@ func Verify(sys task.System, m int, a *Allocation) error {
 		return verifyStrict(sys, m, a)
 	case PolicySemi, PolicyReservation:
 		return verifySplit(sys, m, a)
+	case PolicyTyped:
+		return verifyTyped(sys, m, a)
 	default:
 		return fmt.Errorf("fedcons: allocation tagged with unknown policy %q", a.Policy)
 	}
@@ -46,6 +48,9 @@ func Verify(sys task.System, m int, a *Allocation) error {
 func verifyStrict(sys task.System, m int, a *Allocation) error {
 	if len(a.Servers) > 0 {
 		return fmt.Errorf("fedcons: a strict allocation must not carry reservation servers, found %d", len(a.Servers))
+	}
+	if len(a.MTypes) > 0 {
+		return fmt.Errorf("fedcons: a strict allocation must not carry per-type processor budgets")
 	}
 	if a.M != m {
 		return fmt.Errorf("fedcons: allocation for m=%d, want %d", a.M, m)

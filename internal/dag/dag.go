@@ -33,6 +33,10 @@ type Vertex struct {
 	// be positive: zero-cost synchronization points should be modelled by
 	// direct edges instead.
 	WCET Time
+	// Type is the processor type the job must execute on, as a dense index
+	// (0 = type "a", 1 = type "b", …). The zero value models the classic
+	// homogeneous platform, so untyped graphs behave exactly as before.
+	Type int
 }
 
 // DAG is an immutable directed acyclic graph of jobs. Construct one with a
@@ -73,6 +77,74 @@ func (g *DAG) Vertex(v int) Vertex { return g.verts[v] }
 
 // WCET returns the worst-case execution time of vertex v.
 func (g *DAG) WCET(v int) Time { return g.verts[v].WCET }
+
+// TypeOf returns the processor type of vertex v (0 for untyped graphs).
+func (g *DAG) TypeOf(v int) int { return g.verts[v].Type }
+
+// Typed reports whether any vertex carries a nonzero processor type. An
+// untyped graph (all vertices type 0) is exactly the classic homogeneous
+// model, and every analysis treats it identically to a pre-typed build.
+func (g *DAG) Typed() bool {
+	for _, v := range g.verts {
+		if v.Type != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NumTypes returns 1 + the maximum vertex type, i.e. the number of distinct
+// processor types the graph may reference (1 for untyped graphs, including
+// the empty graph).
+func (g *DAG) NumTypes() int {
+	maxT := 0
+	for _, v := range g.verts {
+		if v.Type > maxT {
+			maxT = v.Type
+		}
+	}
+	return maxT + 1
+}
+
+// UniformType returns the single processor type shared by every vertex, and
+// whether such a type exists. The empty graph is uniformly the default type.
+// Only uniformly-typed tasks can be collapsed to a sporadic task on one
+// (matching-type) processor, so this is the typed Phase-2 eligibility test.
+func (g *DAG) UniformType() (int, bool) {
+	if len(g.verts) == 0 {
+		return 0, true
+	}
+	t := g.verts[0].Type
+	for _, v := range g.verts[1:] {
+		if v.Type != t {
+			return 0, false
+		}
+	}
+	return t, true
+}
+
+// VolumeByType returns the per-type work vector: out[s] is the summed WCET
+// of the vertices requiring processor type s. The slice has NumTypes()
+// entries.
+func (g *DAG) VolumeByType() []Time {
+	out := make([]Time, g.NumTypes())
+	for _, v := range g.verts {
+		out[v.Type] += v.WCET
+	}
+	return out
+}
+
+// CountByType returns out[s] = the number of vertices requiring processor
+// type s. With out[s] processors of each type s no job ever waits for a
+// processor, so list scheduling achieves makespan len(G) — it is the typed
+// MINPROCS scan's per-type saturation cap.
+func (g *DAG) CountByType() []int {
+	out := make([]int, g.NumTypes())
+	for _, v := range g.verts {
+		out[v.Type]++
+	}
+	return out
+}
 
 // Successors returns the successor indices of v. The returned slice is
 // owned by the DAG and must not be modified.
@@ -348,9 +420,16 @@ func NewBuilder(n int) *Builder {
 	}
 }
 
-// AddVertex appends a vertex and returns its index.
+// AddVertex appends a vertex of the default processor type (0) and returns
+// its index.
 func (b *Builder) AddVertex(name string, wcet Time) int {
-	b.verts = append(b.verts, Vertex{Name: name, WCET: wcet})
+	return b.AddTypedVertex(name, wcet, 0)
+}
+
+// AddTypedVertex appends a vertex pinned to processor type ptype and returns
+// its index. Type validity (non-negative) is checked by Build.
+func (b *Builder) AddTypedVertex(name string, wcet Time, ptype int) int {
+	b.verts = append(b.verts, Vertex{Name: name, WCET: wcet, Type: ptype})
 	return len(b.verts) - 1
 }
 
@@ -372,6 +451,7 @@ var (
 	ErrSelfLoop      = errors.New("dag: self-loop edge")
 	ErrEdgeRange     = errors.New("dag: edge endpoint out of range")
 	ErrNonPositiveEt = errors.New("dag: vertex WCET must be positive")
+	ErrNegativeType  = errors.New("dag: vertex processor type must be non-negative")
 )
 
 // Build validates the accumulated vertices and edges and returns the DAG.
@@ -380,6 +460,9 @@ func (b *Builder) Build() (*DAG, error) {
 	for i, v := range b.verts {
 		if v.WCET <= 0 {
 			return nil, fmt.Errorf("%w: vertex %d has WCET %d", ErrNonPositiveEt, i, v.WCET)
+		}
+		if v.Type < 0 {
+			return nil, fmt.Errorf("%w: vertex %d has type %d", ErrNegativeType, i, v.Type)
 		}
 	}
 	g := &DAG{

@@ -15,6 +15,9 @@ type jsonDAG struct {
 type jsonVertex struct {
 	Name string `json:"name,omitempty"`
 	WCET Time   `json:"wcet"`
+	// Type is omitted for the default type 0, so untyped graphs keep their
+	// pre-typed wire bytes (and hence content hashes of encoded systems).
+	Type int `json:"type,omitempty"`
 }
 
 // MarshalJSON encodes the DAG as {"vertices":[{name,wcet}...],"edges":[[u,v]...]}.
@@ -24,7 +27,7 @@ func (g *DAG) MarshalJSON() ([]byte, error) {
 		Edges:    g.Edges(),
 	}
 	for v := 0; v < g.N(); v++ {
-		jd.Vertices[v] = jsonVertex{Name: g.verts[v].Name, WCET: g.verts[v].WCET}
+		jd.Vertices[v] = jsonVertex{Name: g.verts[v].Name, WCET: g.verts[v].WCET, Type: g.verts[v].Type}
 	}
 	if jd.Edges == nil {
 		jd.Edges = [][2]int{}
@@ -40,7 +43,7 @@ func (g *DAG) UnmarshalJSON(data []byte) error {
 	}
 	b := NewBuilder(len(jd.Vertices))
 	for _, v := range jd.Vertices {
-		b.AddVertex(v.Name, v.WCET)
+		b.AddTypedVertex(v.Name, v.WCET, v.Type)
 	}
 	for _, e := range jd.Edges {
 		b.AddEdge(e[0], e[1])

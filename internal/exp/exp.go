@@ -159,6 +159,7 @@ func Suite() []Experiment {
 		{ID: "E20", Name: "Extension: partition optimality gap on implicit systems", Run: E20PartitionOptimality},
 		{ID: "E21", Name: "Extension: generator-sensitivity of the acceptance curve", Run: E21GeneratorSensitivity},
 		{ID: "E22", Name: "Policy comparison: fedcons vs semi vs reservation", Run: E22PolicyComparison},
+		{ID: "E23", Name: "Typed federated scheduling: acceptance vs platform type mix", Run: E23TypedMixSweep},
 	}
 }
 

@@ -32,6 +32,7 @@ func TestConfigValidatePolicy(t *testing.T) {
 		{"fedcons", true},
 		{"semi", true},
 		{"reservation", true},
+		{"typed", true},
 		{"quantum", false},
 		{"SEMI", false},
 		{"semi ", false},
@@ -85,6 +86,57 @@ func TestE22DominanceAndVerification(t *testing.T) {
 			t.Errorf("U/m=%s: split policy below FEDCONS: fedcons=%.3f semi=%.3f reservation=%.3f",
 				row[0], fedcons, semi, resv)
 		}
+	}
+}
+
+// TestE23TypeMixAndVerification runs the typed type-mix sweep at quick scale:
+// the Notes must certify zero in-trial verification failures (a failure
+// aborts the run), acceptance must actually depend on the platform's type
+// mix — some interior split beats both single-type extremes, whose starved
+// type leaves part of the fixed demand with nowhere to run — and the phase
+// attribution columns must be well-formed percentages.
+func TestE23TypeMixAndVerification(t *testing.T) {
+	res, err := E23TypedMixSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "0 verification failures") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes do not certify the in-trial verification: %v", res.Notes)
+	}
+	if len(res.Table.Rows) != 9 {
+		t.Fatalf("type-mix sweep has %d rows, want 9 (m_b = 0..8)", len(res.Table.Rows))
+	}
+	col := func(row []string, k int) float64 {
+		v, err := strconv.ParseFloat(row[k], 64)
+		if err != nil {
+			t.Fatalf("column %d of row %v: %v", k, row, err)
+		}
+		return v
+	}
+	var interiorMax float64
+	for i, row := range res.Table.Rows {
+		if mb := col(row, 0); mb != float64(i) {
+			t.Errorf("row %d: m_b = %v, want %d", i, mb, i)
+		}
+		for _, k := range []int{2, 3} {
+			if p := col(row, k); p < 0 || p > 100 {
+				t.Errorf("m_b=%s: phase column %d = %v, not a percentage", row[0], k, p)
+			}
+		}
+		if acc := col(row, 1); i > 0 && i < 8 && acc > interiorMax {
+			interiorMax = acc
+		}
+	}
+	allA, allB := col(res.Table.Rows[0], 1), col(res.Table.Rows[8], 1)
+	if interiorMax <= allA || interiorMax <= allB {
+		t.Errorf("acceptance does not peak at an interior type mix: interior max %.3f vs a:8 %.3f, b:8 %.3f",
+			interiorMax, allA, allB)
 	}
 }
 

@@ -119,6 +119,12 @@ type Params struct {
 	// for the E13 extension experiment.
 	BetaMin float64
 	BetaMax float64
+	// TypeProb, when positive, marks each generated vertex type-b (index 1)
+	// with this probability, producing workloads for the typed heterogeneous
+	// model (-policy=typed). Zero leaves generation untyped and draws nothing
+	// from the random stream, so every existing seeded corpus is
+	// bit-identical to the pre-typed generator.
+	TypeProb float64
 }
 
 // DefaultParams is the baseline configuration used across experiments:
@@ -154,6 +160,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("gen: WCET range [%d,%d] invalid", p.WCETMin, p.WCETMax)
 	case p.BetaMin <= 0 || p.BetaMax < p.BetaMin || p.BetaMax > 3:
 		return fmt.Errorf("gen: beta range [%v,%v] invalid", p.BetaMin, p.BetaMax)
+	case p.TypeProb < 0 || p.TypeProb > 1:
+		return fmt.Errorf("gen: TypeProb %v outside [0,1]", p.TypeProb)
 	}
 	return nil
 }
@@ -185,16 +193,39 @@ func Graph(r *rand.Rand, p Params) *dag.DAG {
 	if p.MaxVerts > p.MinVerts {
 		n += r.Intn(p.MaxVerts - p.MinVerts + 1)
 	}
+	var g *dag.DAG
 	switch p.Shape {
 	case ForkJoin:
-		return forkJoin(r, n, p)
+		g = forkJoin(r, n, p)
 	case SeriesParallel:
-		return seriesParallel(r, n, p)
+		g = seriesParallel(r, n, p)
 	case Layered:
-		return layered(r, n, p)
+		g = layered(r, n, p)
 	default:
-		return erdosRenyi(r, n, p)
+		g = erdosRenyi(r, n, p)
 	}
+	if p.TypeProb > 0 {
+		g = retype(r, g, p.TypeProb)
+	}
+	return g
+}
+
+// retype rebuilds g with each vertex independently marked type-b with
+// probability prob. Applied as a post-pass so the structural draws above stay
+// identical to the untyped generator for the same seed.
+func retype(r *rand.Rand, g *dag.DAG, prob float64) *dag.DAG {
+	b := dag.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		t := 0
+		if r.Float64() < prob {
+			t = 1
+		}
+		b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), t)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
 }
 
 // TaskFor wraps a DAG into a sporadic DAG task with utilization ≈ u:

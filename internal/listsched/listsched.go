@@ -42,8 +42,14 @@ type Interval struct {
 
 // Schedule is a complete non-preemptive schedule of one dag-job on M
 // processors. Intervals is indexed by job (vertex) id.
+//
+// MTypes, set only by RunTyped, records the per-type processor budgets of a
+// typed schedule (Σ MTypes = M) under the type-major local numbering of
+// TypedProcBase. It is omitted from JSON when absent, so schedules produced
+// by Run keep their pre-typed wire bytes.
 type Schedule struct {
 	M         int
+	MTypes    []int `json:",omitempty"`
 	Intervals []Interval
 	Makespan  Time
 }
@@ -100,6 +106,29 @@ func (s *Schedule) Validate(g *dag.DAG) error {
 		if s.Intervals[e[1]].Start < s.Intervals[e[0]].End {
 			return fmt.Errorf("listsched: precedence (%d→%d) violated: succ starts %d before pred ends %d",
 				e[0], e[1], s.Intervals[e[1]].Start, s.Intervals[e[0]].End)
+		}
+	}
+	if len(s.MTypes) > 0 {
+		total := 0
+		for st, m := range s.MTypes {
+			if m < 0 {
+				return fmt.Errorf("listsched: type %d has negative budget %d", st, m)
+			}
+			total += m
+		}
+		if total != s.M {
+			return fmt.Errorf("listsched: type budgets sum to %d, M=%d", total, s.M)
+		}
+		if g.NumTypes() > len(s.MTypes) {
+			return fmt.Errorf("listsched: graph uses %d types, schedule declares %d", g.NumTypes(), len(s.MTypes))
+		}
+		base := TypedProcBase(s.MTypes)
+		for j, iv := range s.Intervals {
+			st := g.TypeOf(j)
+			if iv.Proc < base[st] || iv.Proc >= base[st+1] {
+				return fmt.Errorf("listsched: job %d requires type %d but runs on processor %d (type block [%d,%d))",
+					j, st, iv.Proc, base[st], base[st+1])
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,243 @@
+// Typed list scheduling: Graham's LS generalized to a platform with
+// per-type processor budgets, after the typed federated model of Han et al.
+// (improved federated scheduling of typed DAG tasks on heterogeneous
+// multi-cores). Each vertex carries a processor type and may only execute on
+// processors of that type; the dispatcher stays work-conserving per type —
+// whenever a type-s processor is idle and a ready type-s job exists, one
+// starts immediately.
+//
+// The analogue of Graham's bound follows from the same chain-stall argument,
+// applied per type: the schedule induces some chain λ such that, whenever λ
+// is stalled at a type-s vertex, every type-s processor is busy with
+// non-chain work; type-s stall time is then at most (vol_s − len_s(λ))/m_s,
+// where len_s(λ) is the type-s work on λ. Rearranged,
+//
+//	makespan ≤ Σ_s vol_s/m_s + Σ_s (1 − 1/m_s)·len_s(λ),
+//
+// and since λ is the schedule's chain — not necessarily a longest one — the
+// a-priori bound maximizes the weighted term over all chains of G. (The
+// homogeneous case hides this: with one type the weights are uniform, so the
+// longest chain maximizes the term. With per-type weights it need not.)
+//
+// As in the homogeneous case the bound is only the a-priori guarantee: the
+// certification FEDCONS relies on is the concrete witness schedule's makespan
+// fitting the scheduling window.
+package listsched
+
+import (
+	"fmt"
+
+	"fedsched/internal/dag"
+)
+
+// TypedProcBase returns, for per-type budgets mtypes, the first global
+// processor id of each type under the repo's type-major numbering: type 0
+// owns ids [0, mtypes[0]), type 1 the next mtypes[1] ids, and so on. The
+// returned slice has len(mtypes)+1 entries; the last is the total processor
+// count, so type s owns [base[s], base[s+1]).
+func TypedProcBase(mtypes []int) []int {
+	base := make([]int, len(mtypes)+1)
+	for s, m := range mtypes {
+		base[s+1] = base[s] + m
+	}
+	return base
+}
+
+// RunTyped executes typed list scheduling of g on a platform with mtypes[s]
+// processors of type s, using the given priority (nil means InsertionOrder).
+// Processor ids in the returned schedule are local and type-major: type 0
+// owns ids [0, mtypes[0]), type 1 the next mtypes[1], … (see TypedProcBase).
+// Within each type the free-processor pop order is ascending, matching Run,
+// so RunTyped(g, []int{m}, prio) on an untyped graph reproduces
+// Run(g, m, prio) exactly.
+func RunTyped(g *dag.DAG, mtypes []int, prio Priority) (*Schedule, error) {
+	if len(mtypes) == 0 {
+		return nil, fmt.Errorf("listsched: no processor types")
+	}
+	if g.NumTypes() > len(mtypes) {
+		return nil, fmt.Errorf("listsched: graph uses %d types, platform has %d", g.NumTypes(), len(mtypes))
+	}
+	total := 0
+	for s, m := range mtypes {
+		if m < 0 {
+			return nil, fmt.Errorf("listsched: type %d has negative budget %d", s, m)
+		}
+		total += m
+	}
+	for s, need := range g.CountByType() {
+		if need > 0 && mtypes[s] == 0 {
+			return nil, fmt.Errorf("listsched: graph needs type-%d processors, budget is 0", s)
+		}
+	}
+	if prio == nil {
+		prio = InsertionOrder
+	}
+	n := g.N()
+	s := &Schedule{M: total, MTypes: append([]int(nil), mtypes...), Intervals: make([]Interval, n)}
+	if n == 0 {
+		return s, nil
+	}
+	pv := prio(g)
+	if len(pv) != n {
+		return nil, fmt.Errorf("listsched: priority returned %d values for %d jobs", len(pv), n)
+	}
+
+	base := TypedProcBase(mtypes)
+	pending := make([]int, n)
+	ready := &jobHeap{prio: pv}
+	for v := 0; v < n; v++ {
+		pending[v] = g.InDegree(v)
+		if pending[v] == 0 {
+			ready.push(v)
+		}
+	}
+
+	running := &runHeap{}
+	// One idle-processor stack per type, each popping in ascending id order
+	// exactly like Run's single stack.
+	free := make([][]int, len(mtypes))
+	for st, m := range mtypes {
+		free[st] = make([]int, m)
+		for p := 0; p < m; p++ {
+			free[st][p] = base[st] + m - 1 - p
+		}
+	}
+	idle := total
+
+	var blocked []int // ready jobs whose type had no free processor this round
+	now := Time(0)
+	scheduled := 0
+	for scheduled < n || running.len() > 0 {
+		// Dispatch: scan the ready heap in priority order, starting every job
+		// whose type has a free processor; jobs of saturated types go back on
+		// the heap afterwards so lower-priority jobs of other types still run
+		// (work conservation is per type).
+		blocked = blocked[:0]
+		for idle > 0 && ready.len() > 0 {
+			v := ready.pop()
+			st := g.TypeOf(v)
+			fp := free[st]
+			if len(fp) == 0 {
+				blocked = append(blocked, v)
+				continue
+			}
+			p := fp[len(fp)-1]
+			free[st] = fp[:len(fp)-1]
+			idle--
+			end := now + g.WCET(v)
+			s.Intervals[v] = Interval{Job: v, Proc: p, Start: now, End: end}
+			running.push(runEntry{finish: end, job: v, proc: p})
+			scheduled++
+		}
+		for _, v := range blocked {
+			ready.push(v)
+		}
+		if running.len() == 0 {
+			return nil, fmt.Errorf("listsched: stalled with %d/%d jobs scheduled", scheduled, n)
+		}
+		now = running.peek().finish
+		for running.len() > 0 && running.peek().finish == now {
+			e := running.pop()
+			st := g.TypeOf(e.job)
+			free[st] = append(free[st], e.proc)
+			idle++
+			for _, w := range g.Successors(e.job) {
+				pending[w]--
+				if pending[w] == 0 {
+					ready.push(w)
+				}
+			}
+		}
+		if now > s.Makespan {
+			s.Makespan = now
+		}
+	}
+	return s, nil
+}
+
+// ChainWorkByType returns the per-type work along one critical path of g
+// (the path CriticalPath picks deterministically), padded to ntypes entries.
+// MINPROCS' residual heuristic uses it; the typed bound does not (the
+// binding chain under per-type weights need not be a longest one — see
+// weightedChainScaled).
+func ChainWorkByType(g *dag.DAG, ntypes int) []Time {
+	lens := make([]Time, ntypes)
+	path, _ := g.CriticalPath()
+	for _, v := range path {
+		lens[g.TypeOf(v)] += g.WCET(v)
+	}
+	return lens
+}
+
+// weightedChainScaled returns max over all chains λ of Σ_v∈λ wfac[type(v)]·WCET(v)
+// by the usual topological-order dynamic program. Vertices whose type has no
+// wfac entry weigh scale (they can never be absorbed by parallelism).
+func weightedChainScaled(g *dag.DAG, wfac []Time, scale Time) Time {
+	dp := make([]Time, g.N())
+	var best Time
+	for _, v := range g.TopologicalOrder() {
+		f := Time(0)
+		for _, p := range g.Predecessors(v) {
+			if dp[p] > f {
+				f = dp[p]
+			}
+		}
+		w := scale
+		if s := g.TypeOf(v); s < len(wfac) {
+			w = wfac[s]
+		}
+		dp[v] = f + g.WCET(v)*w
+		if dp[v] > best {
+			best = dp[v]
+		}
+	}
+	return best
+}
+
+// TypedBoundScaled returns the typed Graham bound
+//
+//	Σ_s vol_s/m_s + max_λ Σ_s (1 − 1/m_s)·len_s(λ)
+//
+// as an exact value scaled by P = Π_{s: m_s>0} m_s; the caller compares
+// makespan·P ≤ TypedBoundScaled. Types with a zero budget contribute no
+// term (a schedulable graph has no work of such a type).
+func TypedBoundScaled(g *dag.DAG, mtypes []int) (bound Time, scale Time) {
+	scale = 1
+	for _, m := range mtypes {
+		if m > 0 {
+			scale *= Time(m)
+		}
+	}
+	// Per-vertex chain weight, scaled: type-s work counts (1 − 1/m_s)·P.
+	wfac := make([]Time, len(mtypes))
+	for s, m := range mtypes {
+		if m > 0 {
+			wfac[s] = scale - scale/Time(m)
+		} else {
+			wfac[s] = scale
+		}
+	}
+	bound = weightedChainScaled(g, wfac, scale)
+	vols := g.VolumeByType()
+	for s, m := range mtypes {
+		if s < len(vols) && m > 0 {
+			bound += vols[s] * (scale / Time(m))
+		}
+	}
+	return bound, scale
+}
+
+// TypedBound returns the typed Graham bound as a float64, the human-facing
+// rendering used by decision traces (exact comparisons use
+// TypedBoundScaled).
+func TypedBound(g *dag.DAG, mtypes []int) float64 {
+	bound, scale := TypedBoundScaled(g, mtypes)
+	return float64(bound) / float64(scale)
+}
+
+// WithinTypedBound reports whether the typed schedule's makespan respects
+// the typed Graham bound for graph g.
+func WithinTypedBound(s *Schedule, g *dag.DAG) bool {
+	bound, scale := TypedBoundScaled(g, s.MTypes)
+	return s.Makespan*scale <= bound
+}

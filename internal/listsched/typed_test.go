@@ -1,0 +1,256 @@
+package listsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/dag"
+)
+
+// randomTypedDAG is randomDAG with each vertex independently pinned to type b
+// with probability pb.
+func randomTypedDAG(r *rand.Rand, n int, p, pb float64, maxW int) *dag.DAG {
+	b := dag.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		ty := 0
+		if r.Float64() < pb {
+			ty = 1
+		}
+		b.AddTypedVertex("", Time(1+r.Intn(maxW)), ty)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// retypeSwapped rebuilds g with the type labels a and b exchanged.
+func retypeSwapped(g *dag.DAG) *dag.DAG {
+	b := dag.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		b.AddTypedVertex(g.Vertex(v).Name, g.WCET(v), 1-g.TypeOf(v))
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+func TestTypedProcBase(t *testing.T) {
+	base := TypedProcBase([]int{3, 0, 2})
+	want := []int{0, 3, 3, 5}
+	if len(base) != len(want) {
+		t.Fatalf("base = %v, want %v", base, want)
+	}
+	for i := range want {
+		if base[i] != want[i] {
+			t.Fatalf("base = %v, want %v", base, want)
+		}
+	}
+}
+
+func TestRunTypedRejections(t *testing.T) {
+	g := randomTypedDAG(rand.New(rand.NewSource(1)), 6, 0.3, 0.5, 5)
+	cases := []struct {
+		name   string
+		mtypes []int
+	}{
+		{"no types", nil},
+		{"fewer types than graph", []int{4}},
+		{"negative budget", []int{4, -1}},
+		{"needed type budget zero", []int{4, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := RunTyped(g, tc.mtypes, nil); err == nil {
+			t.Errorf("%s: RunTyped accepted mtypes %v", tc.name, tc.mtypes)
+		}
+	}
+}
+
+// TestRunTypedSingleTypeMatchesRun: on a single-type platform with an untyped
+// graph, RunTyped must reproduce Run interval-for-interval — the engine-level
+// half of the degenerate-platform byte-identity pin.
+func TestRunTypedSingleTypeMatchesRun(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	prios := []Priority{nil, LongestPathFirst, LargestWCETFirst}
+	for trial := 0; trial < 100; trial++ {
+		g := randomDAG(r, 1+r.Intn(20), 0.25, 6)
+		m := 1 + r.Intn(5)
+		prio := prios[trial%len(prios)]
+		want, err := Run(g, m, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunTyped(g, []int{m}, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Makespan != want.Makespan || got.M != want.M {
+			t.Fatalf("trial %d: makespan %d/%d vs %d/%d", trial, got.Makespan, got.M, want.Makespan, want.M)
+		}
+		for v := range want.Intervals {
+			if got.Intervals[v] != want.Intervals[v] {
+				t.Fatalf("trial %d vertex %d: %+v vs %+v", trial, v, got.Intervals[v], want.Intervals[v])
+			}
+		}
+	}
+}
+
+// TestRunTypedRespectsTypeBlocks: every vertex runs inside its type's
+// type-major processor block, Validate agrees, and the typed Graham bound
+// holds on the witness.
+func TestRunTypedRespectsTypeBlocks(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		g := randomTypedDAG(r, 1+r.Intn(20), 0.25, 0.4, 6)
+		mtypes := []int{1 + r.Intn(4), 1 + r.Intn(4)}
+		s, err := RunTyped(g, mtypes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := TypedProcBase(mtypes)
+		for v := 0; v < g.N(); v++ {
+			st := g.TypeOf(v)
+			p := s.Intervals[v].Proc
+			if p < base[st] || p >= base[st+1] {
+				t.Fatalf("trial %d: type-%d vertex %d on processor %d, block [%d,%d)",
+					trial, st, v, p, base[st], base[st+1])
+			}
+		}
+		if err := s.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !WithinTypedBound(s, g) {
+			t.Fatalf("trial %d: makespan %d violates typed Graham bound %v on mtypes %v",
+				trial, s.Makespan, TypedBound(g, mtypes), mtypes)
+		}
+	}
+}
+
+// TestRunTypedSwapMirror: exchanging type labels on every vertex and
+// exchanging the per-type budgets yields the mirrored schedule — same
+// makespan, every vertex's processor reflected into the other type's block.
+func TestRunTypedSwapMirror(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		g := randomTypedDAG(r, 1+r.Intn(16), 0.25, 0.4, 6)
+		mtypes := []int{1 + r.Intn(4), 1 + r.Intn(4)}
+		swapped := []int{mtypes[1], mtypes[0]}
+		s, err := RunTyped(g, mtypes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := RunTyped(retypeSwapped(g), swapped, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sm.Makespan != s.Makespan {
+			t.Fatalf("trial %d: makespan %d under swap, %d originally", trial, sm.Makespan, s.Makespan)
+		}
+		for v := 0; v < g.N(); v++ {
+			a, b := s.Intervals[v], sm.Intervals[v]
+			if a.Start != b.Start || a.End != b.End {
+				t.Fatalf("trial %d vertex %d: interval (%d,%d) vs (%d,%d) under swap",
+					trial, v, a.Start, a.End, b.Start, b.End)
+			}
+			// Reflect the processor id: offset within its block is preserved,
+			// the block moves to the other type's base.
+			base, sbase := TypedProcBase(mtypes), TypedProcBase(swapped)
+			st := g.TypeOf(v)
+			if b.Proc-sbase[1-st] != a.Proc-base[st] {
+				t.Fatalf("trial %d vertex %d: proc %d vs %d not mirrored", trial, v, a.Proc, b.Proc)
+			}
+		}
+	}
+}
+
+// TestRunTypedWorkConservingPerType: typed list scheduling is
+// work-conserving per type — whenever a type's processor idles, no ready
+// unstarted job of that type exists.
+func TestRunTypedWorkConservingPerType(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 100; trial++ {
+		g := randomTypedDAG(r, 3+r.Intn(16), 0.25, 0.4, 6)
+		mtypes := []int{1 + r.Intn(3), 1 + r.Intn(3)}
+		s, err := RunTyped(g, mtypes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := map[Time]bool{}
+		for _, iv := range s.Intervals {
+			events[iv.Start] = true
+			events[iv.End] = true
+		}
+		base := TypedProcBase(mtypes)
+		for at := range events {
+			busy := make([]int, len(mtypes))
+			for v, iv := range s.Intervals {
+				if iv.Start <= at && at < iv.End {
+					busy[g.TypeOf(v)]++
+				}
+			}
+			for j := 0; j < g.N(); j++ {
+				st := g.TypeOf(j)
+				if busy[st] == base[st+1]-base[st] || s.Intervals[j].Start <= at {
+					continue
+				}
+				avail := true
+				for _, p := range g.Predecessors(j) {
+					if s.Intervals[p].End > at {
+						avail = false
+						break
+					}
+				}
+				if avail {
+					t.Fatalf("trial %d at t=%d: %d/%d type-%d procs busy but job %d available and unstarted",
+						trial, at, busy[st], base[st+1]-base[st], st, j)
+				}
+			}
+		}
+	}
+}
+
+// TestValidateTypedRejections: typed Validate refuses budget/type
+// inconsistencies and wrong-block placements.
+func TestValidateTypedRejections(t *testing.T) {
+	g := randomTypedDAG(rand.New(rand.NewSource(25)), 8, 0.3, 0.5, 5)
+	mtypes := []int{3, 3}
+	s, err := RunTyped(g, mtypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, f func(c *Schedule)) {
+		t.Helper()
+		c := &Schedule{M: s.M, MTypes: append([]int(nil), s.MTypes...), Makespan: s.Makespan,
+			Intervals: append([]Interval(nil), s.Intervals...)}
+		f(c)
+		if err := c.Validate(g); err == nil {
+			t.Errorf("%s: Validate accepted the corrupted schedule", name)
+		}
+	}
+	corrupt("budget sum mismatch", func(c *Schedule) { c.MTypes = []int{3, 2} })
+	corrupt("negative budget", func(c *Schedule) { c.MTypes = []int{7, -1} })
+	corrupt("fewer types than graph", func(c *Schedule) { c.MTypes = []int{6} })
+	corrupt("vertex outside its type block", func(c *Schedule) {
+		// Move some vertex into the other type's block.
+		base := TypedProcBase(c.MTypes)
+		for v := 0; v < g.N(); v++ {
+			st := g.TypeOf(v)
+			other := 1 - st
+			if base[other+1] > base[other] {
+				iv := c.Intervals[v]
+				iv.Proc = base[other]
+				c.Intervals[v] = iv
+				return
+			}
+		}
+	})
+}

@@ -131,6 +131,28 @@ func (h Host) Comparable(other Host) bool {
 	return h.GOOS == other.GOOS && h.GOARCH == other.GOARCH && h.NumCPU == other.NumCPU
 }
 
+// MismatchReason names the fingerprint fields that make a baseline recorded
+// on h incomparable to results from other — the note an advisory history
+// line must carry so a later reader of bench_history.jsonl can tell a
+// downgraded regression from a clean pass. It returns "" when the hosts are
+// comparable.
+func (h Host) MismatchReason(other Host) string {
+	if h.Comparable(other) {
+		return ""
+	}
+	var parts []string
+	if h.GOOS != other.GOOS {
+		parts = append(parts, fmt.Sprintf("goos %s→%s", h.GOOS, other.GOOS))
+	}
+	if h.GOARCH != other.GOARCH {
+		parts = append(parts, fmt.Sprintf("goarch %s→%s", h.GOARCH, other.GOARCH))
+	}
+	if h.NumCPU != other.NumCPU {
+		parts = append(parts, fmt.Sprintf("cpus %d→%d", h.NumCPU, other.NumCPU))
+	}
+	return "host mismatch: " + strings.Join(parts, ", ")
+}
+
 // Baseline is the committed reference: per-benchmark median ns/op plus the
 // fingerprint of the host that recorded them.
 type Baseline struct {

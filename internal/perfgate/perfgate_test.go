@@ -1,6 +1,7 @@
 package perfgate
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -147,6 +148,54 @@ func TestHostComparable(t *testing.T) {
 	}
 	if h.Comparable(Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4}) {
 		t.Error("different CPU count must not be comparable")
+	}
+}
+
+func TestHostMismatchReason(t *testing.T) {
+	h := Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8}
+	if got := h.MismatchReason(h); got != "" {
+		t.Errorf("identical hosts: reason %q, want empty", got)
+	}
+	if got := h.MismatchReason(Host{GoVersion: "go1.24.5", GOOS: "linux", GOARCH: "amd64", NumCPU: 8}); got != "" {
+		t.Errorf("patch-version difference: reason %q, want empty (stays comparable)", got)
+	}
+	got := h.MismatchReason(Host{GoVersion: "go1.24.0", GOOS: "darwin", GOARCH: "arm64", NumCPU: 4})
+	for _, want := range []string{"host mismatch", "goos linux→darwin", "goarch amd64→arm64", "cpus 8→4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("reason %q missing %q", got, want)
+		}
+	}
+	if got := h.MismatchReason(Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4}); strings.Contains(got, "goos") || strings.Contains(got, "goarch") {
+		t.Errorf("cpu-only mismatch names matching fields: %q", got)
+	}
+}
+
+// TestAppendHistoryKeepsMismatchNote is the regression test for the advisory
+// append dropping the mismatch reason: an entry written with a Note must
+// come back with it on the JSONL line.
+func TestAppendHistoryKeepsMismatchNote(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	base := Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8}
+	cur := Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4}
+	if err := AppendHistory(path, HistoryEntry{
+		Time:    "2026-08-08T00:00:00Z",
+		Host:    cur,
+		Medians: map[string]float64{"BenchmarkAdmit": 100},
+		Pass:    true, // downgraded: regression on a mismatched host
+		Note:    base.MismatchReason(cur),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e HistoryEntry
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(data, "\n")), &e); err != nil {
+		t.Fatal(err)
+	}
+	if want := "host mismatch: cpus 8→4"; e.Note != want {
+		t.Errorf("history note = %q, want %q", e.Note, want)
 	}
 }
 

@@ -114,6 +114,12 @@ func TestBuiltinsAgreeWithWrappedFunctions(t *testing.T) {
 		"reservation": func(sys task.System, m int) bool {
 			return core.Schedulable(sys, m, core.Options{Policy: core.PolicyReservation})
 		},
+		"typed": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Policy: core.PolicyTyped})
+		},
+		"typed-even": func(sys task.System, m int) bool {
+			return core.Schedulable(sys, m, core.Options{Policy: core.PolicyTyped, MTypes: []int{m - m/2, m / 2}})
+		},
 		"part-seq": baseline.PartSeq,
 		"li-fed":   baseline.LiFed,
 		"li-fed-d": baseline.LiFedD,

@@ -13,6 +13,7 @@ import (
 	// by name.
 	_ "fedsched/internal/reservation"
 	_ "fedsched/internal/semifed"
+	_ "fedsched/internal/typedfed"
 )
 
 // Built-in analyzers: FEDCONS in both MINPROCS modes and its partition-phase
@@ -41,6 +42,14 @@ func init() {
 	// FEDCONS, so their acceptance dominates "fedcons" pointwise.
 	Register(fedcons("semifed", core.Options{Policy: core.PolicySemi}))
 	Register(fedcons("reservation", core.Options{Policy: core.PolicyReservation}))
+
+	// Typed federated scheduling (E23): "typed" runs the degenerate
+	// single-type platform (delegates to strict FEDCONS on untyped systems),
+	// "typed-even" splits the platform evenly between types a and b.
+	Register(fedcons("typed", core.Options{Policy: core.PolicyTyped}))
+	Register(NewFunc("typed-even", func(sys task.System, m int) bool {
+		return core.Schedulable(sys, m, core.Options{Policy: core.PolicyTyped, MTypes: []int{m - m/2, m / 2}})
+	}))
 
 	// Baselines (package baseline documents each).
 	Register(NewFunc("part-seq", baseline.PartSeq))

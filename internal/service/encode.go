@@ -23,10 +23,13 @@ type Verdict struct {
 	// Dedicated and Shared count processors by role (schedulable only).
 	Dedicated int `json:"dedicated"`
 	Shared    int `json:"shared"`
-	// Policy tags a split-shape allocation ("semi" or "reservation");
-	// omitempty keeps the strict encoding byte-identical to the pre-policy
-	// format.
+	// Policy tags a split-shape allocation ("semi" or "reservation") or a
+	// typed one ("typed"); omitempty keeps the strict encoding
+	// byte-identical to the pre-policy format.
 	Policy string `json:"policy,omitempty"`
+	// MTypes gives a typed allocation's per-type processor budgets (type s
+	// owns the type-major global id block); empty for every other shape.
+	MTypes []int `json:"mtypes,omitempty"`
 	// High lists the Phase-1 grants in input order (schedulable only).
 	High []HighGrant `json:"high,omitempty"`
 	// Servers lists a split-shape allocation's reservation servers in
@@ -88,6 +91,7 @@ func NewVerdict(sys task.System, m int, alloc *core.Allocation, err error) Verdi
 	}
 	v.Dedicated, v.Shared = alloc.ProcessorsUsed()
 	v.Policy = alloc.Policy
+	v.MTypes = alloc.MTypes
 	for _, h := range alloc.High {
 		tk := sys[h.TaskIndex]
 		g := HighGrant{
@@ -148,7 +152,7 @@ func (v Verdict) Encode() ([]byte, error) {
 func (v Verdict) appendFast() ([]byte, bool) {
 	if len(v.Trace) != 0 || !plainJSONString(v.Reason) ||
 		!finite(v.USum) || !finite(v.DensitySum) ||
-		v.Policy != "" || len(v.Servers) != 0 {
+		v.Policy != "" || len(v.MTypes) != 0 || len(v.Servers) != 0 {
 		return nil, false
 	}
 	for i := range v.High {

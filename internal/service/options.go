@@ -2,6 +2,8 @@ package service
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"fedsched/internal/core"
 	"fedsched/internal/listsched"
@@ -63,11 +65,50 @@ func ParsePolicy(name string) (string, error) {
 	switch name {
 	case "", "fedcons":
 		return "", nil
-	case core.PolicySemi, core.PolicyReservation:
+	case core.PolicySemi, core.PolicyReservation, core.PolicyTyped:
 		return name, nil
 	default:
-		return "", fmt.Errorf("unknown -policy %q (want fedcons, semi or reservation)", name)
+		return "", fmt.Errorf("unknown -policy %q (want fedcons, semi, reservation or typed)", name)
 	}
+}
+
+// ParseMTypes maps the -m-types flag vocabulary ("a:4,b:2") onto the
+// per-type processor-budget vector of core.Options.MTypes: letters name type
+// indices (a = 0, b = 1, …), each may appear at most once, and unnamed types
+// below the largest named one default to 0 processors. The budgets' sum is
+// validated against the platform size by the caller (the cmds know m).
+func ParseMTypes(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	budgets := make(map[int]int)
+	maxIdx := -1
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("-m-types entry %q: want <type>:<count>", part)
+		}
+		if len(name) != 1 || name[0] < 'a' || name[0] > 'z' {
+			return nil, fmt.Errorf("-m-types entry %q: type must be a letter a-z", part)
+		}
+		idx := int(name[0] - 'a')
+		if _, dup := budgets[idx]; dup {
+			return nil, fmt.Errorf("-m-types names type %q twice", name)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-m-types entry %q: count must be a non-negative integer", part)
+		}
+		budgets[idx] = n
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	out := make([]int, maxIdx+1)
+	for idx, n := range budgets {
+		out[idx] = n
+	}
+	return out, nil
 }
 
 // policyLabel renders a normalized policy value for operator-facing messages:

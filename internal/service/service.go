@@ -14,6 +14,7 @@ import (
 	// recover a WAL written under any of them.
 	_ "fedsched/internal/reservation"
 	_ "fedsched/internal/semifed"
+	_ "fedsched/internal/typedfed"
 )
 
 // Config parameterizes a Server. The zero value of a field selects its

@@ -27,13 +27,18 @@ import (
 //     is re-derived from the installed allocation after every full-path
 //     install and on recovery);
 //   - Config.FullRepartition, the operator escape hatch — and the oracle
-//     configuration the warm-path differential tests compare bytes against.
+//     configuration the warm-path differential tests compare bytes against;
+//   - the typed policy: its Phase-2 result is per-type partitions stitched
+//     into one slice, but the flat partition.State is type-blind — its
+//     first-fit would happily place a task on a wrong-type processor, which
+//     the typed verifier then rejects. Typed mutations always re-analyze.
 
 // fastAdmit serves one low-density admission from the live partition state.
 // ok is false when the warm path does not apply and the caller must run the
 // full analysis.
 func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder, meta mutMeta) (opResult, bool) {
-	if s.cfg.FullRepartition || rec != nil || s.alloc == nil || tk.HighDensity() || !s.pstateConsistent() {
+	if s.cfg.FullRepartition || rec != nil || s.alloc == nil || tk.HighDensity() ||
+		s.cfg.Options.Policy == core.PolicyTyped || !s.pstateConsistent() {
 		return opResult{}, false
 	}
 	// The warm path extends the installed shape in place, so it only applies
@@ -80,7 +85,8 @@ func (s *Shard) fastAdmit(tk *task.DAGTask, rec *obs.Recorder, meta mutMeta) (op
 // idx is the task's position in s.sys; trial/hashes are the spliced system
 // and hash list the caller already built (shared with the full path).
 func (s *Shard) fastRemove(name string, idx int, trial task.System, hashes []string, meta mutMeta) (opResult, bool) {
-	if s.cfg.FullRepartition || s.alloc == nil || s.sys[idx].HighDensity() || !s.pstateConsistent() {
+	if s.cfg.FullRepartition || s.alloc == nil || s.sys[idx].HighDensity() ||
+		s.cfg.Options.Policy == core.PolicyTyped || !s.pstateConsistent() {
 		return opResult{}, false
 	}
 	if s.alloc.Policy != s.cfg.Options.Policy {

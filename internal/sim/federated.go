@@ -178,7 +178,7 @@ func replayHigh(tk *task.DAGTask, taskIdx int, procs []int, tmpl *listsched.Sche
 			if err != nil {
 				return err
 			}
-			s, err := listsched.Run(reduced, tmpl.M, prio)
+			s, err := rerunTemplate(reduced, tmpl, prio)
 			if err != nil {
 				return err
 			}
@@ -209,14 +209,25 @@ func replayHigh(tk *task.DAGTask, taskIdx int, procs []int, tmpl *listsched.Sche
 }
 
 // dagWithActuals clones g with each vertex's WCET replaced by its actual
-// execution time (all positive).
+// execution time (all positive). Vertex types are preserved so a typed
+// template's online rerun still respects processor-type pinning.
 func dagWithActuals(g *dag.DAG, actual []Time) (*dag.DAG, error) {
 	b := dag.NewBuilder(g.N())
 	for v := 0; v < g.N(); v++ {
-		b.AddVertex(g.Vertex(v).Name, actual[v])
+		b.AddTypedVertex(g.Vertex(v).Name, actual[v], g.TypeOf(v))
 	}
 	for _, e := range g.Edges() {
 		b.AddEdge(e[0], e[1])
 	}
 	return b.Build()
+}
+
+// rerunTemplate re-runs Graham's LS online on the template's platform: the
+// typed engine when the template carries per-type budgets, the homogeneous
+// one otherwise.
+func rerunTemplate(g *dag.DAG, tmpl *listsched.Schedule, prio listsched.Priority) (*listsched.Schedule, error) {
+	if len(tmpl.MTypes) != 0 {
+		return listsched.RunTyped(g, tmpl.MTypes, prio)
+	}
+	return listsched.Run(g, tmpl.M, prio)
 }

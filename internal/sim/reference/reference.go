@@ -134,7 +134,12 @@ func replayHigh(tk *task.DAGTask, taskIdx int, procs []int, tmpl *listsched.Sche
 			if err != nil {
 				return st, err
 			}
-			s, err := listsched.Run(reduced, tmpl.M, prio)
+			var s *listsched.Schedule
+			if len(tmpl.MTypes) != 0 {
+				s, err = listsched.RunTyped(reduced, tmpl.MTypes, prio)
+			} else {
+				s, err = listsched.Run(reduced, tmpl.M, prio)
+			}
 			if err != nil {
 				return st, err
 			}
@@ -160,11 +165,12 @@ func replayHigh(tk *task.DAGTask, taskIdx int, procs []int, tmpl *listsched.Sche
 }
 
 // dagWithActuals clones g with each vertex's WCET replaced by its actual
-// execution time (all positive).
+// execution time (all positive). Vertex types are preserved so a typed
+// template's online rerun still respects processor-type pinning.
 func dagWithActuals(g *dag.DAG, actual []Time) (*dag.DAG, error) {
 	b := dag.NewBuilder(g.N())
 	for v := 0; v < g.N(); v++ {
-		b.AddVertex(g.Vertex(v).Name, actual[v])
+		b.AddTypedVertex(g.Vertex(v).Name, actual[v], g.TypeOf(v))
 	}
 	for _, e := range g.Edges() {
 		b.AddEdge(e[0], e[1])

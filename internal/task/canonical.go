@@ -67,6 +67,19 @@ func (tk *DAGTask) AppendCanonical(b []byte) []byte {
 		b = binary.BigEndian.AppendUint64(b, uint64(e[0]))
 		b = binary.BigEndian.AppendUint64(b, uint64(e[1]))
 	}
+	// Typed graphs append a per-vertex type section. Untyped graphs (every
+	// vertex the default type 0) skip it entirely, so their canonical bytes —
+	// and hence core.TaskHash, the memo cache keys, and every WAL/snapshot
+	// replay — are unchanged from the pre-typed encoding. Injectivity is
+	// preserved: the untyped encoding's length is fully determined by its own
+	// n and edge-count fields, so a typed encoding (strictly longer, with a
+	// distinguishing magic) can never collide with an untyped one.
+	if g.Typed() {
+		b = append(b, "fedsched/task/typed/v1\x00"...)
+		for _, v := range order {
+			b = binary.BigEndian.AppendUint64(b, uint64(g.TypeOf(v)))
+		}
+	}
 	return b
 }
 
@@ -78,8 +91,16 @@ func (tk *DAGTask) CanonicalOrder() []int {
 	n := g.N()
 	sig := make([]uint64, n)
 	next := make([]uint64, n)
+	// The processor type is folded into the seed only for typed graphs, so
+	// the canonical order of every untyped graph is bit-for-bit what it was
+	// before types existed; on typed graphs it keeps same-WCET vertices of
+	// different types in distinct refinement classes.
+	typed := g.Typed()
 	for v := 0; v < n; v++ {
 		sig[v] = mix(0x9e3779b97f4a7c15, uint64(g.WCET(v)))
+		if typed {
+			sig[v] = mix(sig[v], uint64(g.TypeOf(v)))
+		}
 	}
 	// Refine until the number of distinct signatures stops growing. Each
 	// round propagates one more hop of structure; n rounds always suffice.
@@ -159,7 +180,7 @@ func SameAnalysisInput(a, b *DAGTask) bool {
 		return false
 	}
 	for v := 0; v < a.G.N(); v++ {
-		if a.G.WCET(v) != b.G.WCET(v) {
+		if a.G.WCET(v) != b.G.WCET(v) || a.G.TypeOf(v) != b.G.TypeOf(v) {
 			return false
 		}
 		as, bs := a.G.Successors(v), b.G.Successors(v)

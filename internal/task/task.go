@@ -164,6 +164,17 @@ func (tk *DAGTask) Implicit() bool { return tk.D == tk.T }
 // u_i ≤ some capacity — only the first is per-task; see System.Feasible.
 func (tk *DAGTask) Feasible() bool { return tk.Len() <= tk.D }
 
+// Typed reports whether the task's graph references a nonzero processor
+// type; untyped tasks are analyzed exactly as on the homogeneous platform.
+func (tk *DAGTask) Typed() bool { return tk.G.Typed() }
+
+// NumTypes returns the number of processor types the task references
+// (1 for untyped tasks).
+func (tk *DAGTask) NumTypes() int { return tk.G.NumTypes() }
+
+// VolumeByType returns the per-type work vector of one dag-job.
+func (tk *DAGTask) VolumeByType() []Time { return tk.G.VolumeByType() }
+
 // AsSporadic collapses the task to the three-parameter sporadic task
 // (C = vol_i, D_i, T_i). This is exact for tasks confined to a single
 // processor, where intra-task parallelism cannot be exploited (Section IV-B).
@@ -281,6 +292,29 @@ func (sys System) Feasible(m int) bool {
 		}
 	}
 	return true
+}
+
+// Typed reports whether any task in the system references a nonzero
+// processor type.
+func (sys System) Typed() bool {
+	for _, tk := range sys {
+		if tk.Typed() {
+			return true
+		}
+	}
+	return false
+}
+
+// NumTypes returns the number of processor types the system references:
+// the maximum over its tasks (1 for untyped or empty systems).
+func (sys System) NumTypes() int {
+	n := 1
+	for _, tk := range sys {
+		if t := tk.NumTypes(); t > n {
+			n = t
+		}
+	}
+	return n
 }
 
 // Clone returns a shallow copy of the system slice (tasks are shared).

@@ -123,9 +123,13 @@ func main() {
 
 	pass := len(rep.Regressions) == 0 && len(rep.Missing) == 0
 	enforced := comparable || *strict
+	// On a mismatched host the entry records why the comparison was only
+	// advisory; without the note a downgraded regression is indistinguishable
+	// from a clean pass when reading the history later.
 	appendHistory(*historyPath, perfgate.HistoryEntry{
 		Time: now, Host: host, Medians: medians,
 		WorstRatio: rep.WorstRatio(), Pass: pass || !enforced,
+		Note: baseline.Host.MismatchReason(host),
 	})
 
 	switch {

@@ -64,6 +64,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("policy-smoke: PASS")
+	if err := typedSmoke(); err != nil {
+		fmt.Fprintln(os.Stderr, "typed-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("typed-smoke: PASS")
 }
 
 func smoke() error {
@@ -538,6 +543,157 @@ func policySmoke() error {
 		return fmt.Errorf("semi warm admission after recovery diverged from twin (%d vs %d):\n--- recovered ---\n%s--- twin ---\n%s", s1, s2, b1, b2)
 	}
 	twin.Process.Kill()
+	daemon2.Process.Kill()
+	return nil
+}
+
+// typedSmoke is the -policy=typed durability pass: a daemon declaring a
+// heterogeneous platform (-m-types a:4,b:4) admits a mixed-type high-density
+// task (one dedicated processor from each type block) and a uniformly
+// type-b low task over HTTP, survives kill -9 with a byte-identical
+// allocation, and refuses to reboot under the default policy (the snapshot
+// header pins "typed").
+func typedSmoke() error {
+	tmp, err := os.MkdirTemp("", "typedsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "fedschedd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fedschedd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building fedschedd: %w", err)
+	}
+	walDir := filepath.Join(tmp, "wal")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	boot := func(tag string) (*exec.Cmd, chan error, string, *bytes.Buffer, error) {
+		addrfile := filepath.Join(tmp, "addr-"+tag)
+		var out bytes.Buffer
+		daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-addrfile", addrfile,
+			"-m", "8", "-policy", "typed", "-m-types", "a:4,b:4",
+			"-wal-dir", walDir, "-snapshot-every", "2")
+		daemon.Stdout, daemon.Stderr = &out, &out
+		if err := daemon.Start(); err != nil {
+			return nil, nil, "", nil, fmt.Errorf("starting daemon (%s): %w", tag, err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- daemon.Wait() }()
+		base, err := waitForAddr(addrfile, exited, &out)
+		if err != nil {
+			daemon.Process.Kill()
+			return nil, nil, "", nil, err
+		}
+		return daemon, exited, base, &out, nil
+	}
+
+	// typedTask builds an independent-vertex DAG with per-vertex types.
+	typedTask := func(name string, types []int, wcets []task.Time, d, t task.Time) *task.DAGTask {
+		b := dag.NewBuilder(len(types))
+		for i, ty := range types {
+			b.AddTypedVertex("", wcets[i], ty)
+		}
+		return task.MustNew(name, b.MustBuild(), d, t)
+	}
+
+	daemon, exited, base, out, err := boot("pre-crash")
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	// A mixed-type high task: per type, vol = 6 fills window min(D,T) = 6 on
+	// one processor, so Phase 1 must grant exactly one processor per type —
+	// one from the type-a block [0,4) and one from the type-b block [4,8).
+	// The low task is uniformly type b, partitioned on a type-b shared
+	// processor; "doomed" exercises the removal record kind.
+	mixed := typedTask("mixed-high", []int{0, 0, 1, 1}, []task.Time{3, 3, 3, 3}, 6, 10)
+	for _, tk := range []*task.DAGTask{
+		mixed,
+		typedTask("low-b", []int{1}, []task.Time{2}, 8, 16),
+		typedTask("doomed", []int{0}, []task.Time{2}, 8, 16),
+	} {
+		if v, err := admit(client, base, tk); err != nil || !v.Schedulable {
+			return fmt.Errorf("admit %s: err=%v verdict=%+v", tk.Name, err, v)
+		}
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/tasks/doomed", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("remove doomed: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remove doomed: %s", resp.Status)
+	}
+
+	// The installed allocation must carry the typed shape — and the mixed
+	// task's grant must actually span both declared type blocks.
+	var v service.Verdict
+	if err := getJSON(client, base+"/v1/allocation", &v); err != nil {
+		return err
+	}
+	if v.Policy != "typed" || len(v.MTypes) != 2 || v.MTypes[0] != 4 || v.MTypes[1] != 4 {
+		return fmt.Errorf("allocation policy/mtypes = %q/%v, want typed/[4 4]: %+v", v.Policy, v.MTypes, v)
+	}
+	for _, h := range v.High {
+		if h.Task != "mixed-high" {
+			continue
+		}
+		if len(h.Procs) != 2 || h.Procs[0] >= 4 || h.Procs[1] < 4 {
+			return fmt.Errorf("mixed-high grant %v does not span the type blocks [0,4)+[4,8)", h.Procs)
+		}
+	}
+
+	before, err := getBody(client, base+"/v1/allocation")
+	if err != nil {
+		return err
+	}
+	if err := daemon.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	<-exited
+
+	// A default-policy reboot must refuse the typed directory.
+	mismatch := exec.Command(bin, "-addr", "127.0.0.1:0", "-m", "8", "-wal-dir", walDir)
+	var mout bytes.Buffer
+	mismatch.Stdout, mismatch.Stderr = &mout, &mout
+	if err := mismatch.Run(); err == nil {
+		mismatch.Process.Kill()
+		return fmt.Errorf("default-policy reboot over a typed WAL succeeded, want refusal")
+	}
+	if !bytes.Contains(mout.Bytes(), []byte("refusing to reinterpret")) {
+		return fmt.Errorf("policy-mismatch reboot failed without the refusal diagnostic:\n%s", mout.String())
+	}
+
+	daemon2, _, base2, out2, err := boot("post-crash")
+	if err != nil {
+		return fmt.Errorf("restart after crash: %w (first boot output:\n%s)", err, out.String())
+	}
+	defer daemon2.Process.Kill()
+	after, err := getBody(client, base2+"/v1/allocation")
+	if err != nil {
+		return fmt.Errorf("allocation after restart: %w (output:\n%s)", err, out2.String())
+	}
+	if !bytes.Equal(before, after) {
+		return fmt.Errorf("typed allocation changed across kill -9 + restart:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+
+	// A further typed admission on the recovered daemon re-analyzes in full
+	// (the typed policy has no warm path) and must land on a type-b shared
+	// processor, keeping the allocation verifiable end to end.
+	s, _, err := admitRaw(client, base2, typedTask("post-crash-low", []int{1}, []task.Time{2}, 8, 16))
+	if err != nil {
+		return fmt.Errorf("post-crash typed admit: %w", err)
+	}
+	if s != http.StatusOK {
+		return fmt.Errorf("post-crash typed admit: status %d, want 200", s)
+	}
 	daemon2.Process.Kill()
 	return nil
 }
